@@ -1,0 +1,195 @@
+// Command concord-kvd serves the in-memory key-value store over TCP on
+// top of the live Concord runtime — the LevelDB-server experiment of
+// §5.3 as a runnable system.
+//
+// Protocol (text, one request per line):
+//
+//	GET <key>            -> VALUE <value> | NOTFOUND
+//	PUT <key> <value>    -> OK
+//	DEL <key>            -> OK | NOTFOUND
+//	SCAN                 -> COUNT <n>
+//	SPIN <micros>        -> OK            (synthetic spin request)
+//	STATS                -> completed/preemptions/stolen counters
+//
+// Flags choose worker count, quantum, JBSQ depth, and work conservation;
+// defaults mirror the paper's Concord configuration scaled to small
+// machines.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"strconv"
+	"strings"
+	"time"
+
+	"concord/internal/kv"
+	"concord/internal/live"
+)
+
+// kvHandler adapts the store to the live runtime's Handler interface.
+type kvHandler struct {
+	store     *kv.Store
+	scanBatch int
+}
+
+func (h *kvHandler) Setup()          {}
+func (h *kvHandler) SetupWorker(int) {}
+
+// request is one parsed protocol command.
+type request struct {
+	op         string
+	key, value []byte
+}
+
+func (h *kvHandler) Handle(ctx *live.Ctx, payload any) (any, error) {
+	req := payload.(request)
+	switch req.op {
+	case "GET":
+		// Point queries hold the store lock: bracket them with a
+		// no-preempt section (the paper's 4-line lock counter, §3.1).
+		ctx.BeginNoPreempt()
+		v, ok := h.store.Get(req.key)
+		ctx.EndNoPreempt()
+		if !ok {
+			return "NOTFOUND", nil
+		}
+		return "VALUE " + string(v), nil
+	case "PUT":
+		ctx.BeginNoPreempt()
+		h.store.Put(req.key, req.value)
+		ctx.EndNoPreempt()
+		return "OK", nil
+	case "DEL":
+		ctx.BeginNoPreempt()
+		ok := h.store.Delete(req.key)
+		ctx.EndNoPreempt()
+		if !ok {
+			return "NOTFOUND", nil
+		}
+		return "OK", nil
+	case "SCAN":
+		// Range queries iterate in batches, polling for preemption
+		// between batches so a database-wide scan yields cooperatively.
+		n := 0
+		cursor := []byte(nil)
+		for {
+			cursor = h.store.ScanBatch(cursor, h.scanBatch, func(_, _ []byte) bool {
+				n++
+				return true
+			})
+			if cursor == nil {
+				return fmt.Sprintf("COUNT %d", n), nil
+			}
+			ctx.Poll()
+		}
+	case "SPIN":
+		us, err := strconv.Atoi(string(req.key))
+		if err != nil || us < 0 {
+			return nil, fmt.Errorf("bad SPIN duration %q", req.key)
+		}
+		ctx.Spin(time.Duration(us) * time.Microsecond)
+		return "OK", nil
+	default:
+		return nil, fmt.Errorf("unknown op %q", req.op)
+	}
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7070", "listen address")
+		workers  = flag.Int("workers", 2, "worker threads")
+		quantum  = flag.Duration("quantum", 200*time.Microsecond, "scheduling quantum (0 disables preemption)")
+		bound    = flag.Int("k", 2, "JBSQ queue bound")
+		steal    = flag.Bool("steal", true, "work-conserving dispatcher")
+		keys     = flag.Int("keys", 15000, "pre-populated unique keys (paper: 15,000)")
+		valSize  = flag.Int("valsize", 64, "value size in bytes")
+		scanStep = flag.Int("scanbatch", 256, "keys per scan batch between preemption polls")
+	)
+	flag.Parse()
+
+	store := kv.New()
+	val := strings.Repeat("v", *valSize)
+	for i := 0; i < *keys; i++ {
+		store.Put([]byte(fmt.Sprintf("key%08d", i)), []byte(val))
+	}
+
+	srv := live.New(&kvHandler{store: store, scanBatch: *scanStep}, live.Options{
+		Workers:        *workers,
+		Quantum:        *quantum,
+		QueueBound:     *bound,
+		WorkConserving: *steal,
+	})
+	srv.Start()
+	defer srv.Stop()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("listen: %v", err)
+	}
+	log.Printf("concord-kvd on %s: %d workers, quantum %v, JBSQ(%d), steal=%v, %d keys",
+		*addr, *workers, *quantum, *bound, *steal, *keys)
+
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			log.Printf("accept: %v", err)
+			continue
+		}
+		go serveConn(conn, srv)
+	}
+}
+
+func serveConn(conn net.Conn, srv *live.Server) {
+	defer conn.Close()
+	sc := bufio.NewScanner(conn)
+	sc.Buffer(make([]byte, 1<<16), 1<<20)
+	out := bufio.NewWriter(conn)
+	for sc.Scan() {
+		line := sc.Text()
+		if line == "STATS" {
+			st := srv.Stats()
+			fmt.Fprintf(out, "STATS completed=%d preemptions=%d stolen=%d\n",
+				st.Completed, st.Preemptions, st.Stolen)
+			out.Flush()
+			continue
+		}
+		req, err := parse(line)
+		if err != nil {
+			fmt.Fprintf(out, "ERR %v\n", err)
+			out.Flush()
+			continue
+		}
+		resp := srv.Do(req)
+		if resp.Err != nil {
+			fmt.Fprintf(out, "ERR %v\n", resp.Err)
+		} else {
+			fmt.Fprintf(out, "%s\n", resp.Payload)
+		}
+		out.Flush()
+	}
+}
+
+func parse(line string) (request, error) {
+	parts := strings.SplitN(line, " ", 3)
+	op := strings.ToUpper(parts[0])
+	switch op {
+	case "GET", "DEL", "SPIN":
+		if len(parts) < 2 {
+			return request{}, fmt.Errorf("%s needs a key", op)
+		}
+		return request{op: op, key: []byte(parts[1])}, nil
+	case "PUT":
+		if len(parts) < 3 {
+			return request{}, fmt.Errorf("PUT needs key and value")
+		}
+		return request{op: op, key: []byte(parts[1]), value: []byte(parts[2])}, nil
+	case "SCAN":
+		return request{op: op}, nil
+	default:
+		return request{}, fmt.Errorf("unknown op %q", parts[0])
+	}
+}

@@ -1,0 +1,193 @@
+// Command concord-load is an open-loop Poisson load generator for
+// concord-kvd, in the style of the paper's client (§5.1): requests
+// arrive on a Poisson process regardless of completions, latency is
+// measured end to end, and the report shows slowdown percentiles
+// (sojourn over intended service time) plus a latency histogram.
+//
+// Workload mixes mirror §5.3:
+//
+//	-mix 5050   50% GET, 50% SCAN
+//	-mix zippy  78% GET, 13% PUT, 6% DEL, 3% SCAN
+//	-mix get    100% GET
+//	-mix spin   synthetic spins, bimodal 99.5% x 5µs / 0.5% x 500µs
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"net"
+	"os"
+	"strings"
+	"time"
+
+	"concord/internal/trace"
+)
+
+type op struct {
+	line      string
+	class     string
+	serviceUS float64
+}
+
+type mixer func(r *rand.Rand) op
+
+func mixFor(name string, keys int) (mixer, error) {
+	key := func(r *rand.Rand) string {
+		return fmt.Sprintf("key%08d", r.Intn(keys))
+	}
+	switch name {
+	case "5050":
+		return func(r *rand.Rand) op {
+			if r.Intn(2) == 0 {
+				return op{"GET " + key(r), "GET", 1}
+			}
+			return op{"SCAN", "SCAN", 2000}
+		}, nil
+	case "zippy":
+		return func(r *rand.Rand) op {
+			switch v := r.Float64(); {
+			case v < 0.78:
+				return op{"GET " + key(r), "GET", 1}
+			case v < 0.91:
+				return op{"PUT " + key(r) + " " + strings.Repeat("w", 64), "PUT", 3}
+			case v < 0.97:
+				return op{"DEL " + key(r), "DEL", 3}
+			default:
+				return op{"SCAN", "SCAN", 2000}
+			}
+		}, nil
+	case "get":
+		return func(r *rand.Rand) op {
+			return op{"GET " + key(r), "GET", 1}
+		}, nil
+	case "spin":
+		return func(r *rand.Rand) op {
+			if r.Float64() < 0.995 {
+				return op{"SPIN 5", "short", 5}
+			}
+			return op{"SPIN 500", "long", 500}
+		}, nil
+	default:
+		return nil, fmt.Errorf("unknown mix %q", name)
+	}
+}
+
+func main() {
+	var (
+		addr     = flag.String("addr", "127.0.0.1:7070", "server address")
+		rate     = flag.Float64("rate", 2000, "offered load, requests/second")
+		duration = flag.Duration("duration", 10*time.Second, "run length")
+		conns    = flag.Int("conns", 16, "connection pool size (max in-flight)")
+		mix      = flag.String("mix", "zippy", "workload mix: 5050, zippy, get, spin")
+		keys     = flag.Int("keys", 15000, "key space (must match the server)")
+		seed     = flag.Int64("seed", 1, "random seed")
+		csvPath  = flag.String("csv", "", "write per-request records to this CSV file")
+		warmup   = flag.Float64("warmup", 0.1, "fraction of samples to discard")
+	)
+	flag.Parse()
+
+	gen, err := mixFor(*mix, *keys)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Connection pool: a free connection is required to launch a
+	// request; pool exhaustion means offered load exceeds capacity and
+	// shows up as queueing at the generator, like a saturated NIC.
+	pool := make(chan *bufio.ReadWriter, *conns)
+	for i := 0; i < *conns; i++ {
+		c, err := net.Dial("tcp", *addr)
+		if err != nil {
+			log.Fatalf("dial %s: %v", *addr, err)
+		}
+		defer c.Close()
+		pool <- bufio.NewReadWriter(bufio.NewReader(c), bufio.NewWriter(c))
+	}
+
+	lg := trace.NewLog(int(*rate * duration.Seconds()))
+	var hist trace.Histogram
+	rng := rand.New(rand.NewSource(*seed))
+	deadline := time.Now().Add(*duration)
+	launched := 0
+	done := make(chan struct{}, 1<<16)
+	inflight := 0
+
+	for time.Now().Before(deadline) {
+		// Poisson arrivals: exponential gaps at the offered rate.
+		gap := time.Duration(rng.ExpFloat64() / *rate * float64(time.Second))
+		time.Sleep(gap)
+		o := gen(rng)
+		rw := <-pool // blocks when all connections are busy
+		launched++
+		inflight++
+		go func(o op, rw *bufio.ReadWriter, start time.Time) {
+			defer func() { pool <- rw; done <- struct{}{} }()
+			fmt.Fprintf(rw, "%s\n", o.line)
+			rw.Flush()
+			resp, err := rw.ReadString('\n')
+			lat := time.Since(start)
+			if err != nil || strings.HasPrefix(resp, "ERR") {
+				log.Printf("request failed: %v %s", err, resp)
+				return
+			}
+			lg.Add(trace.Record{
+				Class:     o.class,
+				ServiceUS: o.serviceUS,
+				SojournUS: float64(lat) / float64(time.Microsecond),
+			})
+			hist.ObserveDuration(lat)
+		}(o, rw, time.Now())
+		// Reap completions without blocking the arrival process.
+		for {
+			select {
+			case <-done:
+				inflight--
+				continue
+			default:
+			}
+			break
+		}
+	}
+	for inflight > 0 {
+		<-done
+		inflight--
+	}
+
+	all := lg.Snapshot()
+	skip := int(*warmup * float64(len(all)))
+	steady := trace.NewLog(len(all) - skip)
+	for _, r := range all[skip:] {
+		steady.Add(r)
+	}
+	sum := steady.Summarize()
+	achieved := float64(launched) / duration.Seconds()
+	fmt.Printf("offered %.0f rps, launched %d (%.0f rps achieved)\n", *rate, launched, achieved)
+	fmt.Printf("steady-state: %s\n", sum)
+	if !math.IsNaN(sum.P999) {
+		fmt.Printf("p99.9 slowdown %.1fx %s the 50x SLO\n", sum.P999, meets(sum.P999))
+	}
+	fmt.Print(hist.String())
+
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := lg.WriteCSV(f); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %d records to %s\n", lg.Len(), *csvPath)
+	}
+}
+
+func meets(p999 float64) string {
+	if p999 <= 50 {
+		return "meets"
+	}
+	return "MISSES"
+}

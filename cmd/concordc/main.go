@@ -1,0 +1,111 @@
+// Command concordc is the Concord "compiler": it instruments Go source
+// files with cooperative preemption probes (ctx.Poll() at function
+// entries and loop back-edges), the role the paper's LLVM pass plays for
+// C/C++ (§4.3).
+//
+// Usage:
+//
+//	concordc file.go            # print instrumented source to stdout
+//	concordc -w file.go dir/    # rewrite files in place
+//	concordc -suffix Context -method Probe file.go
+//	concordc -every 64 file.go  # amortized loop probes (§4.3 unrolling)
+//
+// Functions are instrumented when they take a `*...Ctx` parameter;
+// annotate a function with `//concord:nopreempt` to exclude it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"concord/internal/instrument"
+)
+
+func main() {
+	var (
+		write  = flag.Bool("w", false, "rewrite files in place instead of printing")
+		suffix = flag.String("suffix", "Ctx", "context parameter type-name suffix")
+		method = flag.String("method", "Poll", "probe method name")
+		every  = flag.Int("every", 0, "amortize loop probes: poll once per N iterations (0 = every iteration)")
+		quiet  = flag.Bool("q", false, "suppress per-file probe counts")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+	opts := instrument.Options{CtxTypeSuffix: *suffix, PollMethod: *method, LoopEvery: *every}
+
+	exit := 0
+	for _, arg := range flag.Args() {
+		files, err := collect(arg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "concordc: %v\n", err)
+			exit = 1
+			continue
+		}
+		for _, path := range files {
+			if err := processFile(path, opts, *write, *quiet); err != nil {
+				fmt.Fprintf(os.Stderr, "concordc: %v\n", err)
+				exit = 1
+			}
+		}
+	}
+	os.Exit(exit)
+}
+
+// collect expands an argument into Go files (recursing into directories,
+// skipping tests and vendored code).
+func collect(arg string) ([]string, error) {
+	info, err := os.Stat(arg)
+	if err != nil {
+		return nil, err
+	}
+	if !info.IsDir() {
+		return []string{arg}, nil
+	}
+	var out []string
+	err = filepath.WalkDir(arg, func(path string, d fs.DirEntry, err error) error {
+		if err != nil {
+			return err
+		}
+		if d.IsDir() {
+			name := d.Name()
+			if name == "vendor" || name == "testdata" || strings.HasPrefix(name, ".") {
+				return filepath.SkipDir
+			}
+			return nil
+		}
+		if strings.HasSuffix(path, ".go") && !strings.HasSuffix(path, "_test.go") {
+			out = append(out, path)
+		}
+		return nil
+	})
+	return out, err
+}
+
+func processFile(path string, opts instrument.Options, write, quiet bool) error {
+	src, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	res, err := instrument.File(path, src, opts)
+	if err != nil {
+		return err
+	}
+	if !quiet {
+		fmt.Fprintf(os.Stderr, "%s: %d probes in %d functions\n", path, res.Probes, res.Functions)
+	}
+	if write {
+		if res.Probes == 0 {
+			return nil // untouched
+		}
+		return os.WriteFile(path, res.Source, 0o644)
+	}
+	_, err = os.Stdout.Write(res.Source)
+	return err
+}

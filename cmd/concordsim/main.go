@@ -1,0 +1,81 @@
+// Command concordsim regenerates the paper's tables and figures from the
+// simulated Concord/Shinjuku/Persephone server models.
+//
+// Usage:
+//
+//	concordsim -list
+//	concordsim -fig fig6
+//	concordsim -fig all -quick
+//	concordsim -fig fig9 -requests 80000 -workers 14 -seed 7
+//
+// Output is TSV with '#' comment headers, one block per figure.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"concord/internal/figures"
+)
+
+func main() {
+	var (
+		fig      = flag.String("fig", "", "figure id (fig2..fig15, table1, ablation-*), or 'all'")
+		list     = flag.Bool("list", false, "list available figure ids")
+		quick    = flag.Bool("quick", false, "fast low-fidelity run (noisier tails)")
+		requests = flag.Int("requests", 0, "requests per load point (0 = per-figure default)")
+		workers  = flag.Int("workers", 0, "worker threads (0 = paper's 14)")
+		seed     = flag.Uint64("seed", 0, "random seed (0 = 1)")
+		timing   = flag.Bool("time", false, "print wall-clock time per figure to stderr")
+		plot     = flag.Bool("plot", false, "render ASCII charts instead of TSV")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range figures.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+	if *fig == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	opts := figures.Options{Requests: *requests, Workers: *workers, Seed: *seed}
+	if *quick {
+		q := figures.Quick()
+		if opts.Requests == 0 {
+			opts.Requests = q.Requests
+		}
+		opts.LoadPoints = q.LoadPoints
+	}
+
+	gens := figures.All()
+	var ids []string
+	if *fig == "all" {
+		ids = figures.IDs()
+	} else {
+		if _, ok := gens[*fig]; !ok {
+			fmt.Fprintf(os.Stderr, "unknown figure %q; use -list\n", *fig)
+			os.Exit(2)
+		}
+		ids = []string{*fig}
+	}
+
+	for _, id := range ids {
+		start := time.Now()
+		t := gens[id](opts)
+		if *timing {
+			fmt.Fprintf(os.Stderr, "%s: %.1fs\n", id, time.Since(start).Seconds())
+		}
+		if *plot {
+			fmt.Print(t.Plot(96, 20))
+		} else {
+			fmt.Print(t.TSV())
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,27 @@
+// Package concord is a from-scratch Go reproduction of "Achieving
+// Microsecond-Scale Tail Latency Efficiently with Approximate Optimal
+// Scheduling" (Iyer, Unal, Kogias, Candea — SOSP 2023), the Concord
+// scheduling runtime.
+//
+// The repository contains two complementary implementations of the
+// paper's system plus everything needed to regenerate its evaluation:
+//
+//   - a cycle-level discrete-event simulation of the
+//     dispatcher/worker server architecture (internal/sim,
+//     internal/server) parameterized by the paper's published cost
+//     model (internal/cost, internal/mech), which regenerates every
+//     figure and table (internal/figures, cmd/concordsim);
+//   - a working Go runtime with cooperative preemption, JBSQ(k)
+//     bounded worker queues, and a work-conserving dispatcher
+//     (internal/live), served over TCP by cmd/concord-kvd against the
+//     skiplist KV store in internal/kv, with source instrumentation by
+//     cmd/concordc (internal/instrument) standing in for the paper's
+//     LLVM pass.
+//
+// See README.md for a tour, DESIGN.md for the system inventory and the
+// paper-to-module map, and EXPERIMENTS.md for reproduced-vs-paper
+// results. The benchmarks in bench_test.go regenerate one figure or
+// table each:
+//
+//	go test -bench=. -benchmem
+package concord

@@ -1,0 +1,71 @@
+// futureproof: the §5.6 what-if study as a library walkthrough — will
+// compiler-enforced cooperation still matter once hardware offers fast
+// user-space interrupts (Intel UIPI on Sapphire Rapids)?
+//
+// The program prints the preemption-mechanism overhead across scheduling
+// quanta on (a) the paper's testbed cost model and (b) the Sapphire
+// Rapids cost model, plus the §2 analytical system-overhead breakdown
+// that explains the gap.
+//
+// Run with: go run ./examples/futureproof
+package main
+
+import (
+	"fmt"
+
+	"concord/internal/analytic"
+	"concord/internal/cost"
+	"concord/internal/mech"
+)
+
+func table(title string, m cost.Model, mechs []mech.Mechanism) {
+	fmt.Println(title)
+	fmt.Printf("  %-12s", "quantum")
+	for _, mc := range mechs {
+		fmt.Printf("%14s", mc.Name())
+	}
+	fmt.Println()
+	s := m.MicrosToCycles(500)
+	for _, qus := range []float64{1, 2, 5, 10, 25, 50, 100} {
+		fmt.Printf("  %8.0fµs  ", qus)
+		for _, mc := range mechs {
+			fmt.Printf("%13.1f%%", 100*mech.SpinOverhead(mc, s, m.MicrosToCycles(qus)))
+		}
+		fmt.Println()
+	}
+	fmt.Println()
+}
+
+func main() {
+	fmt.Println("Is Concord future-proof? Preemption-mechanism overhead for 500µs requests")
+	fmt.Println()
+
+	today := cost.Default()
+	table("Today's servers (posted IPIs vs instrumentation):", today,
+		[]mech.Mechanism{mech.IPI{M: today}, mech.Rdtsc{M: today}, mech.CacheLine{M: today}})
+
+	spr := cost.SapphireRapids()
+	table("Sapphire Rapids (user-space interrupts available):", spr,
+		[]mech.Mechanism{mech.UIPI{M: spr}, mech.Rdtsc{M: spr}, mech.CacheLine{M: spr}})
+
+	// The §2 analytical model, end to end: whole-system overhead for a
+	// 14-worker machine at a 5µs quantum.
+	fmt.Println("Whole-system overhead (Eq. 1) at q=5µs, 500µs requests, 14 workers:")
+	for _, cfg := range []struct {
+		name           string
+		mc             mech.Mechanism
+		jbsq, conserve bool
+	}{
+		{"Shinjuku (IPI + SQ + dedicated dispatcher)", mech.IPI{M: today}, false, false},
+		{"UIPI + SQ + dedicated dispatcher", mech.UIPI{M: spr}, false, false},
+		{"Concord (coop + JBSQ + work-conserving)", mech.CacheLine{M: today}, true, true},
+	} {
+		p := analytic.ForSystem(today, cfg.mc, 14,
+			today.MicrosToCycles(500), today.MicrosToCycles(5), cfg.jbsq, cfg.conserve)
+		fmt.Printf("  %-45s %5.1f%% of machine cycles lost\n", cfg.name, 100*p.SystemOverhead())
+	}
+	fmt.Println()
+	fmt.Println("Interrupt delivery keeps getting cheaper, but it still rides the same")
+	fmt.Println("coherence fabric as Concord's cache-line writes — and a shared line")
+	fmt.Println("plus an L1-hit probe remains the cheapest possible signal (§5.6).")
+}

@@ -1,0 +1,59 @@
+// tailstudy: use the simulation library to reproduce the paper's central
+// policy finding — no single scheduling policy wins everywhere (§1, §5.2):
+//
+//   - at HIGH service-time dispersion, preemptive single-queue scheduling
+//     (Shinjuku, Concord) dominates FCFS, and Concord's cheap mechanisms
+//     beat Shinjuku's;
+//   - at LOW dispersion, preemption is pure overhead and FCFS
+//     (Persephone) wins — yet Concord stays close because its preemption
+//     costs so little.
+//
+// Run with: go run ./examples/tailstudy   (about a minute)
+package main
+
+import (
+	"fmt"
+
+	"concord/internal/core"
+	"concord/internal/server"
+	"concord/internal/workload"
+)
+
+func study(name string, spec workload.Spec, quantumUS float64) core.Result {
+	e := core.Experiment{
+		Name:      name,
+		Workload:  spec,
+		QuantumUS: quantumUS,
+		Params: server.RunParams{
+			Requests:        60000,
+			Seed:            11,
+			MaxCentralQueue: 150000,
+			DrainSlackUS:    50000,
+		},
+	}
+	res := e.Run()
+	fmt.Print(res.Summary())
+	if imp, err := res.Improvement("Concord", "Shinjuku"); err == nil {
+		fmt.Printf("  Concord vs Shinjuku: %+.0f%%\n", 100*imp)
+	}
+	if imp, err := res.Improvement("Concord", "Persephone-FCFS"); err == nil {
+		fmt.Printf("  Concord vs Persephone-FCFS: %+.0f%%\n", 100*imp)
+	}
+	fmt.Println()
+	return res
+}
+
+func main() {
+	fmt.Println("Scheduling-policy study: max throughput at the 50x p99.9-slowdown SLO")
+	fmt.Println("(14 simulated workers, cost model from the paper)")
+	fmt.Println()
+
+	study("HIGH dispersion: Bimodal(99.5% x 0.5µs, 0.5% x 500µs)", workload.USRBimodal(), 5)
+	study("HIGH dispersion: LevelDB 50% GET / 50% SCAN", workload.LevelDB5050(), 5)
+	study("LOW dispersion: TPCC on in-memory DB", workload.TPCC(), 10)
+
+	fmt.Println("Reading: preemption pays exactly when a few huge requests would")
+	fmt.Println("otherwise block many tiny ones; when service times are uniform it")
+	fmt.Println("only adds overhead — and Concord shrinks that overhead enough to")
+	fmt.Println("stay competitive in both regimes.")
+}

@@ -1,0 +1,120 @@
+// Package analytic implements the paper's §2 throughput-overhead model
+// (Eqs. 1–4) in closed form. The simulator (internal/server) charges the
+// same costs event-by-event; the tests cross-validate the two.
+//
+//	Overhead_sys = (n·Overhead_w + Overhead_d) / (n + 1)          (Eq. 1)
+//	Overhead_w   = (c_proc + c_pre + c_fin) / S                   (Eq. 2)
+//	c_pre        = floor(S/q) · (c_notif + c_switch + c_next)     (Eq. 3)
+//	c_fin        = c_switch + c_next                              (Eq. 4)
+package analytic
+
+import (
+	"concord/internal/cost"
+	"concord/internal/mech"
+	"concord/internal/sim"
+)
+
+// Params names the quantities in Eqs. 1–4 for one system configuration.
+type Params struct {
+	// Workers is n: the number of worker threads.
+	Workers int
+	// Service is S: the request service time in cycles.
+	Service sim.Cycles
+	// Quantum is q: the scheduling quantum in cycles; 0 disables
+	// preemption (c_pre = 0).
+	Quantum sim.Cycles
+	// ProcFrac is c_proc/S: runtime + instrumentation overhead fraction.
+	ProcFrac float64
+	// Notif is c_notif: the worker-side preemption notification cost.
+	Notif sim.Cycles
+	// Switch is c_switch: the context-switch cost.
+	Switch sim.Cycles
+	// Next is c_next: the cost of waiting for the next request.
+	Next sim.Cycles
+	// DispatcherOverhead is Overhead_d: 1 for a dedicated dispatcher,
+	// less for a work-conserving one.
+	DispatcherOverhead float64
+}
+
+// ForSystem derives Params from a cost model, a mechanism, and a queueing
+// mode. jbsq selects the near-zero c_next of bounded worker-local queues
+// instead of the synchronous single-queue handoff; workConserving lowers
+// Overhead_d per §3.3's 40%-effectiveness argument.
+func ForSystem(m cost.Model, mc mech.Mechanism, workers int, service, quantum sim.Cycles, jbsq, workConserving bool) Params {
+	next := m.NextRequest
+	if jbsq {
+		next = m.JBSQLocalPop
+	}
+	disp := 1.0
+	if workConserving {
+		// §3.3's illustration: a dispatcher idle half the time running
+		// rdtsc-instrumented code is ≈40% as effective as a worker, so it
+		// wastes only ≈60% of a core instead of 100%.
+		disp = 0.6
+	}
+	return Params{
+		Workers:            workers,
+		Service:            service,
+		Quantum:            quantum,
+		ProcFrac:           mc.ProcOverhead(),
+		Notif:              mc.NotifyCost(),
+		Switch:             m.ContextSwitch,
+		Next:               next,
+		DispatcherOverhead: disp,
+	}
+}
+
+// Preemptions returns floor(S/q), the preemption count per request.
+func (p Params) Preemptions() int64 {
+	if p.Quantum <= 0 {
+		return 0
+	}
+	return int64(p.Service / p.Quantum)
+}
+
+// CPre returns c_pre per Eq. 3.
+func (p Params) CPre() float64 {
+	return float64(p.Preemptions()) * float64(p.Notif+p.Switch+p.Next)
+}
+
+// CFin returns c_fin per Eq. 4.
+func (p Params) CFin() float64 {
+	return float64(p.Switch + p.Next)
+}
+
+// WorkerOverhead returns Overhead_w per Eq. 2.
+func (p Params) WorkerOverhead() float64 {
+	if p.Service <= 0 {
+		panic("analytic: non-positive service time")
+	}
+	cproc := p.ProcFrac * float64(p.Service)
+	return (cproc + p.CPre() + p.CFin()) / float64(p.Service)
+}
+
+// SystemOverhead returns Overhead_sys per Eq. 1.
+func (p Params) SystemOverhead() float64 {
+	if p.Workers <= 0 {
+		panic("analytic: need at least one worker")
+	}
+	n := float64(p.Workers)
+	return (n*p.WorkerOverhead() + p.DispatcherOverhead) / (n + 1)
+}
+
+// MaxGoodputFrac returns the fraction of the machine's aggregate CPU
+// capacity available for application goodput: 1 - Overhead_sys.
+func (p Params) MaxGoodputFrac() float64 {
+	return 1 - p.SystemOverhead()
+}
+
+// DedicatedDispatcherWaste returns the §2.2.3 small-VM argument: the
+// fraction of a v-core VM's capacity lost to a dedicated dispatcher that
+// is only busy a fraction busyFrac of the time.
+func DedicatedDispatcherWaste(vcpus int, busyFrac float64) float64 {
+	if vcpus <= 0 {
+		panic("analytic: need at least one vCPU")
+	}
+	if busyFrac < 0 || busyFrac > 1 {
+		panic("analytic: busy fraction outside [0,1]")
+	}
+	return (1 - busyFrac) / float64(vcpus)
+}

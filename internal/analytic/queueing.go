@@ -1,0 +1,104 @@
+package analytic
+
+import (
+	"fmt"
+	"math"
+)
+
+// Closed-form queueing results used to validate the simulator: with all
+// mechanism costs zeroed (cost.Ideal) and preemption disabled, the
+// simulated server is an M/G/c FCFS queue and must agree with theory.
+
+// ErlangC returns the probability that an arriving request waits in an
+// M/M/c queue with offered load a = λ/µ (in Erlangs) and c servers.
+// It returns 1 for a >= c (unstable).
+func ErlangC(c int, a float64) float64 {
+	if c <= 0 {
+		panic("analytic: ErlangC needs at least one server")
+	}
+	if a < 0 {
+		panic("analytic: negative offered load")
+	}
+	rho := a / float64(c)
+	if rho >= 1 {
+		return 1
+	}
+	// Iteratively compute the Erlang-B blocking probability, then
+	// convert: C = B / (1 - ρ(1-B)).
+	b := 1.0
+	for k := 1; k <= c; k++ {
+		b = a * b / (float64(k) + a*b)
+	}
+	return b / (1 - rho*(1-b))
+}
+
+// MMcWait returns the mean waiting time (excluding service) in an M/M/c
+// queue with arrival rate lambda and mean service time s (same time
+// units). It returns +Inf when unstable.
+func MMcWait(c int, lambda, s float64) float64 {
+	if lambda < 0 || s <= 0 {
+		panic("analytic: invalid rate or service time")
+	}
+	a := lambda * s
+	rho := a / float64(c)
+	if rho >= 1 {
+		return math.Inf(1)
+	}
+	return ErlangC(c, a) * s / (float64(c) * (1 - rho))
+}
+
+// MM1Slowdown returns the mean slowdown (sojourn/service) of an M/M/1
+// FCFS queue at utilization rho: 1/(1-ρ).
+func MM1Slowdown(rho float64) float64 {
+	if rho < 0 {
+		panic("analytic: negative utilization")
+	}
+	if rho >= 1 {
+		return math.Inf(1)
+	}
+	return 1 / (1 - rho)
+}
+
+// MG1Wait returns the Pollaczek–Khinchine mean waiting time of an M/G/1
+// FCFS queue: W = λ·E[S²] / (2(1-ρ)). meanS and meanS2 are the first
+// two moments of the service time; lambda the arrival rate.
+func MG1Wait(lambda, meanS, meanS2 float64) float64 {
+	if lambda < 0 || meanS <= 0 || meanS2 < meanS*meanS {
+		panic(fmt.Sprintf("analytic: invalid M/G/1 parameters λ=%v E[S]=%v E[S²]=%v", lambda, meanS, meanS2))
+	}
+	rho := lambda * meanS
+	if rho >= 1 {
+		return math.Inf(1)
+	}
+	return lambda * meanS2 / (2 * (1 - rho))
+}
+
+// MG1PSSlowdown returns the mean slowdown under M/G/1 Processor
+// Sharing, which is insensitive to the service distribution: 1/(1-ρ).
+// It is the ideal that quantum-based preemptive requeueing approaches as
+// the quantum shrinks.
+func MG1PSSlowdown(rho float64) float64 {
+	return MM1Slowdown(rho)
+}
+
+// BimodalMoments returns E[S] and E[S²] for a two-point service
+// distribution: probability pShort of sShort, else sLong.
+func BimodalMoments(pShort, sShort, sLong float64) (meanS, meanS2 float64) {
+	if pShort < 0 || pShort > 1 {
+		panic("analytic: probability outside [0,1]")
+	}
+	meanS = pShort*sShort + (1-pShort)*sLong
+	meanS2 = pShort*sShort*sShort + (1-pShort)*sLong*sLong
+	return
+}
+
+// MGcWaitApprox returns the Lee–Longton approximation for the mean wait
+// of an M/G/c queue: the M/M/c wait scaled by (1+CV²)/2. Exact for
+// M/M/c and asymptotically correct in heavy traffic.
+func MGcWaitApprox(c int, lambda, meanS, meanS2 float64) float64 {
+	cv2 := meanS2/(meanS*meanS) - 1
+	if cv2 < 0 {
+		cv2 = 0
+	}
+	return MMcWait(c, lambda, meanS) * (1 + cv2) / 2
+}

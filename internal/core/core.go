@@ -1,0 +1,139 @@
+// Package core is the top-level API of the Concord reproduction: it ties
+// the simulated server (internal/server), the workload catalog
+// (internal/workload), and the metrics (internal/stats) into one-call
+// experiments — "run these systems on this workload across these loads
+// and compare their throughput at the tail-latency SLO".
+//
+// The package exists so that examples, benchmarks, and the CLI all drive
+// experiments the same way; the figure generators in internal/figures
+// are thin arrangements of the same pieces.
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"concord/internal/cost"
+	"concord/internal/server"
+	"concord/internal/stats"
+	"concord/internal/workload"
+)
+
+// Experiment describes one slowdown-vs-load comparison.
+type Experiment struct {
+	// Name labels the experiment in reports.
+	Name string
+	// Workload is the service-time distribution and lock model.
+	Workload workload.Spec
+	// QuantumUS is the scheduling quantum for preemptive systems.
+	QuantumUS float64
+	// Systems are the configurations to compare. Empty means the paper's
+	// trio: Persephone-FCFS, Shinjuku, Concord.
+	Systems []server.Config
+	// Workers overrides the paper's 14 when positive.
+	Workers int
+	// LoadsKRps overrides the workload's default sweep when non-empty.
+	LoadsKRps []float64
+	// Params tunes run fidelity; the zero value uses sensible defaults.
+	Params server.RunParams
+	// SLOSlowdown is the tail target; 0 means the paper's 50×.
+	SLOSlowdown float64
+}
+
+// Result is the outcome of an experiment.
+type Result struct {
+	Experiment Experiment
+	Curves     []stats.Curve
+	// MaxLoadKRps maps system name to the highest load meeting the SLO
+	// (absent if never met).
+	MaxLoadKRps map[string]float64
+}
+
+// DefaultSystems returns the paper's three evaluated systems.
+func DefaultSystems(m cost.Model, workers int, quantumUS float64) []server.Config {
+	return []server.Config{
+		server.PersephoneFCFS(m, workers),
+		server.Shinjuku(m, workers, quantumUS),
+		server.Concord(m, workers, quantumUS),
+	}
+}
+
+// AblationSystems returns the Fig. 11 cumulative-mechanism ladder.
+func AblationSystems(m cost.Model, workers int, quantumUS float64) []server.Config {
+	return []server.Config{
+		server.Shinjuku(m, workers, quantumUS),
+		server.CoopSQ(m, workers, quantumUS),
+		server.CoopJBSQ(m, workers, quantumUS),
+		server.Concord(m, workers, quantumUS),
+	}
+}
+
+// Run executes the experiment.
+func (e Experiment) Run() Result {
+	workers := e.Workers
+	if workers <= 0 {
+		workers = 14
+	}
+	systems := e.Systems
+	if len(systems) == 0 {
+		systems = DefaultSystems(cost.Default(), workers, e.QuantumUS)
+	}
+	loads := e.LoadsKRps
+	if len(loads) == 0 {
+		loads = e.Workload.LoadsKRps
+	}
+	slo := e.SLOSlowdown
+	if slo <= 0 {
+		slo = stats.DefaultSLOSlowdown
+	}
+
+	res := Result{Experiment: e, MaxLoadKRps: map[string]float64{}}
+	for _, cfg := range systems {
+		curve := server.Sweep(cfg, e.Workload.WL, loads, e.Params)
+		res.Curves = append(res.Curves, curve)
+		if max, ok := curve.MaxLoadUnderSLO(slo); ok {
+			res.MaxLoadKRps[cfg.Name] = max
+		}
+	}
+	return res
+}
+
+// Improvement returns system a's throughput gain over system b at the
+// SLO (e.g. 0.52 for +52%).
+func (r Result) Improvement(a, b string) (float64, error) {
+	la, oka := r.MaxLoadKRps[a]
+	lb, okb := r.MaxLoadKRps[b]
+	if !oka || !okb {
+		return 0, fmt.Errorf("core: no SLO crossing for %q (%v) or %q (%v)", a, oka, b, okb)
+	}
+	if lb == 0 {
+		return 0, fmt.Errorf("core: baseline %q sustains zero load", b)
+	}
+	return la/lb - 1, nil
+}
+
+// Summary renders the per-system SLO throughput, best system first.
+func (r Result) Summary() string {
+	type row struct {
+		name string
+		load float64
+	}
+	var rows []row
+	for _, c := range r.Curves {
+		if load, ok := r.MaxLoadKRps[c.System]; ok {
+			rows = append(rows, row{c.System, load})
+		} else {
+			rows = append(rows, row{c.System, 0})
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].load > rows[j].load })
+	out := fmt.Sprintf("%s (quantum %gµs):\n", r.Experiment.Name, r.Experiment.QuantumUS)
+	for _, rw := range rows {
+		if rw.load > 0 {
+			out += fmt.Sprintf("  %-20s %8.1f kRps at SLO\n", rw.name, rw.load)
+		} else {
+			out += fmt.Sprintf("  %-20s never meets SLO in swept range\n", rw.name)
+		}
+	}
+	return out
+}

@@ -1,0 +1,98 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"concord/internal/cost"
+	"concord/internal/server"
+	"concord/internal/workload"
+)
+
+func quickExperiment() Experiment {
+	return Experiment{
+		Name:      "quick-ycsb",
+		Workload:  workload.YCSBBimodal(),
+		QuantumUS: 5,
+		Workers:   8,
+		LoadsKRps: []float64{20, 60, 100, 130, 160},
+		Params:    server.RunParams{Requests: 15000, Seed: 3, MaxCentralQueue: 100000, DrainSlackUS: 30000},
+	}
+}
+
+func TestExperimentRunDefaults(t *testing.T) {
+	res := quickExperiment().Run()
+	if len(res.Curves) != 3 {
+		t.Fatalf("curves = %d, want 3 default systems", len(res.Curves))
+	}
+	names := map[string]bool{}
+	for _, c := range res.Curves {
+		names[c.System] = true
+		if len(c.Points) != 5 {
+			t.Fatalf("%s has %d points", c.System, len(c.Points))
+		}
+	}
+	for _, want := range []string{"Persephone-FCFS", "Shinjuku", "Concord"} {
+		if !names[want] {
+			t.Errorf("missing system %q", want)
+		}
+	}
+	// On a high-dispersion workload the preemptive systems must beat
+	// FCFS at the SLO.
+	concord, okC := res.MaxLoadKRps["Concord"]
+	fcfs, okF := res.MaxLoadKRps["Persephone-FCFS"]
+	if okC && okF && concord < fcfs {
+		t.Errorf("Concord %v kRps below FCFS %v on high-dispersion workload", concord, fcfs)
+	}
+}
+
+func TestImprovement(t *testing.T) {
+	res := Result{MaxLoadKRps: map[string]float64{"a": 150, "b": 100}}
+	imp, err := res.Improvement("a", "b")
+	if err != nil || imp != 0.5 {
+		t.Fatalf("improvement = %v, %v", imp, err)
+	}
+	if _, err := res.Improvement("a", "missing"); err == nil {
+		t.Fatal("missing baseline did not error")
+	}
+}
+
+func TestSummaryFormat(t *testing.T) {
+	e := quickExperiment()
+	res := e.Run()
+	s := res.Summary()
+	if !strings.Contains(s, e.Name) {
+		t.Fatalf("summary missing name:\n%s", s)
+	}
+	for _, sys := range []string{"Concord", "Shinjuku", "Persephone-FCFS"} {
+		if !strings.Contains(s, sys) {
+			t.Fatalf("summary missing %s:\n%s", sys, s)
+		}
+	}
+}
+
+func TestAblationSystems(t *testing.T) {
+	sys := AblationSystems(cost.Default(), 4, 5)
+	if len(sys) != 4 {
+		t.Fatalf("ablation ladder has %d rungs", len(sys))
+	}
+	want := []string{"Shinjuku", "Co-op+SQ", "Co-op+JBSQ(2)", "Concord"}
+	for i, cfg := range sys {
+		if cfg.Name != want[i] {
+			t.Errorf("rung %d = %q, want %q", i, cfg.Name, want[i])
+		}
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%s invalid: %v", cfg.Name, err)
+		}
+	}
+}
+
+func TestCustomSystems(t *testing.T) {
+	e := quickExperiment()
+	m := cost.Default()
+	e.Systems = []server.Config{server.Concord(m, 8, 5), server.ConcordNoSteal(m, 8, 5)}
+	res := e.Run()
+	if len(res.Curves) != 2 {
+		t.Fatalf("curves = %d", len(res.Curves))
+	}
+}

@@ -1,0 +1,223 @@
+// Package cost defines the CPU cost model underlying every simulated
+// experiment: the per-event cycle costs of preemption notifications,
+// cache-coherence misses, context switches, and dispatcher operations.
+//
+// All constants come from the Concord paper (SOSP 2023) §2–§3 or the
+// measurements it cites:
+//
+//   - receiving a posted IPI in Shinjuku: ≈1200 cycles (§2.2.1)
+//   - Linux IPIs: ≈2× Shinjuku's posted IPIs (§2.2.1)
+//   - an rdtsc() call: ≈30 cycles (§2.2.1)
+//   - a cache-line probe that hits L1 plus a compare: ≈2 cycles (§3.1)
+//   - the final probe's Read-after-Write coherence miss: ≈150 cycles (§3.1)
+//   - two coherence misses on the dispatcher→worker handoff: ≈400 cycles
+//     total (§2.2.2, citing David et al. SOSP'13)
+//   - cooperative user-level context switch: ≈100ns (§3.1)
+//   - Intel user-space interrupts (UIPI): chosen so that Concord's
+//     notification is ≈2× cheaper (§5.6)
+//
+// Times are expressed in CPU cycles (sim.Cycles). Model converts between
+// cycles and wall-clock using its Frequency.
+package cost
+
+import (
+	"concord/internal/sim"
+)
+
+// Model holds every tunable cost in the simulated machine. The zero value
+// is not useful; start from Default() (the paper's c6420 testbed) or
+// SapphireRapids() (§5.6) and override fields as needed.
+type Model struct {
+	// FrequencyGHz is the clock rate used to convert cycles to time.
+	// The paper's testbed runs at 2.6 GHz; its arithmetic examples use
+	// 2 GHz ("assuming a 2GHz clock", §2.2.1).
+	FrequencyGHz float64
+
+	// IPIReceive is the cost, borne by the worker, of receiving a posted
+	// inter-processor interrupt (Shinjuku's mechanism).
+	IPIReceive sim.Cycles
+
+	// LinuxIPIReceive is the cost of a standard Linux IPI (≈2× posted).
+	LinuxIPIReceive sim.Cycles
+
+	// UIPIReceive is the cost of receiving an Intel user-space interrupt.
+	UIPIReceive sim.Cycles
+
+	// IPISend is the dispatcher-side cost of posting an IPI (writing the
+	// posted-interrupt descriptor and the doorbell).
+	IPISend sim.Cycles
+
+	// Rdtsc is the cost of one rdtsc() bookkeeping probe.
+	Rdtsc sim.Cycles
+
+	// ProbeHit is the cost of one Concord cache-line probe when the line
+	// is already in the worker's L1 (the common case): a load plus a
+	// compare.
+	ProbeHit sim.Cycles
+
+	// ProbeMiss is the cost of the final Concord probe: a Read-after-Write
+	// coherence miss on the line the dispatcher just wrote.
+	ProbeMiss sim.Cycles
+
+	// CacheLineWrite is the dispatcher-side cost of writing a preemption
+	// flag into a remote worker's cache line (Read-for-ownership).
+	CacheLineWrite sim.Cycles
+
+	// ContextSwitch is the cost of a cooperative user-level context
+	// switch (save registers + stack swap), ≈100ns.
+	ContextSwitch sim.Cycles
+
+	// NextRequest is c_next: the coherence cost of the synchronous
+	// worker→dispatcher→worker handoff in a single-queue system: at
+	// minimum a Read-after-Write miss (dispatcher reads the worker's
+	// "done" flag) plus a Write-after-Read miss (dispatcher writes the
+	// worker's request slot), ≈400 cycles total.
+	NextRequest sim.Cycles
+
+	// JBSQLocalPop is the cost for a worker to pop the next request from
+	// its own bounded queue (data already local or prefetched): a handful
+	// of cycles, plus starting the quantum timer which in JBSQ must be
+	// done by the worker itself (§3.2).
+	JBSQLocalPop sim.Cycles
+
+	// ArrivalCost is the dispatcher-side cost of accepting one incoming
+	// request from the networker and enqueueing it on the central queue.
+	ArrivalCost sim.Cycles
+
+	// DispatchBase is the dispatcher-side cost of dispatching one request
+	// in single-queue mode (poll flags, pick request, write line).
+	DispatchBase sim.Cycles
+
+	// RequeueCost is the dispatcher-side cost of re-placing a preempted
+	// request on the central queue.
+	RequeueCost sim.Cycles
+
+	// SlotFreeCost is the dispatcher-side cost of noticing that a worker
+	// finished a request (polling the worker's flag / occupancy counter).
+	SlotFreeCost sim.Cycles
+
+	// DispatcherSlice is how long the work-conserving dispatcher runs
+	// application code before its rdtsc self-preemption probes make it
+	// check for pending dispatcher work (§3.3).
+	DispatcherSlice sim.Cycles
+
+	// DispatchJBSQExtra is the extra dispatcher cost per request for
+	// computing the shortest per-worker queue under JBSQ (the source of
+	// Concord's ≈2% deficit in Fig. 8 left).
+	DispatchJBSQExtra sim.Cycles
+
+	// NetworkRTT is the client↔server round-trip added to end-to-end
+	// latency (the testbed measures ≈10µs).
+	NetworkRTT sim.Cycles
+
+	// InstrOverheadConcord is c_proc for Concord's instrumentation as a
+	// fraction of service time (≈1% on average, Table 1). Negative values
+	// are possible in reality (loop unrolling can speed code up) but the
+	// model uses the average.
+	InstrOverheadConcord float64
+
+	// InstrOverheadRdtsc is c_proc for rdtsc-based Compiler Interrupts
+	// instrumentation (≈21% in Fig. 2; Table 1 averages 13.7%).
+	InstrOverheadRdtsc float64
+
+	// RuntimeOverhead is the baseline runtime tax (logging, accounting)
+	// charged on every system as a fraction of service time.
+	RuntimeOverhead float64
+
+	// ProbeSpacingCycles is the average gap between consecutive
+	// instrumentation probes (≈200 LLVM IR instructions ≈ 50-100ns of
+	// straight-line code). It bounds how stale a preemption flag can be
+	// observed, i.e. Concord's preemption-delay granularity.
+	ProbeSpacingCycles sim.Cycles
+
+	// PreemptCacheReload is the extra work (cold-cache refill) a request
+	// pays when it resumes after a preemption. The paper does not
+	// isolate this cost and the default model leaves it at 0; the
+	// cache-reload ablation shows its effect on low-dispersion workloads
+	// (it is why real FCFS systems keep a small edge on TPCC).
+	PreemptCacheReload sim.Cycles
+
+	// PreemptDelayStdDev is the standard deviation (in cycles) of
+	// Concord's one-sided preemption lateness, measured ≈0.29µs on
+	// average and < 2µs worst case across 24 benchmarks (Table 1). The
+	// delay distribution is a one-sided normal per Fig. 5.
+	PreemptDelayStdDev sim.Cycles
+}
+
+// Default returns the cost model of the paper's evaluation testbed
+// (Cloudlab c6420, Xeon Gold 6142 @ 2.6 GHz).
+func Default() Model {
+	const ghz = 2.0 // the paper's arithmetic ("assuming a 2GHz clock")
+	return Model{
+		FrequencyGHz:         ghz,
+		IPIReceive:           1200,
+		LinuxIPIReceive:      2400,
+		UIPIReceive:          300,
+		IPISend:              700,
+		Rdtsc:                30,
+		ProbeHit:             2,
+		ProbeMiss:            150,
+		CacheLineWrite:       100,
+		ContextSwitch:        sim.Cycles(100 * ghz), // ≈100ns
+		NextRequest:          400,
+		JBSQLocalPop:         30,
+		ArrivalCost:          230,
+		DispatchBase:         250,
+		RequeueCost:          60,
+		SlotFreeCost:         25,
+		DispatchJBSQExtra:    25,
+		DispatcherSlice:      sim.Cycles(1000 * ghz),   // 1µs self-check interval
+		NetworkRTT:           sim.Cycles(10_000 * ghz), // 10µs
+		InstrOverheadConcord: 0.0104,                   // Table 1 average
+		InstrOverheadRdtsc:   0.21,                     // Fig. 2
+		RuntimeOverhead:      0.005,
+		ProbeSpacingCycles:   sim.Cycles(100 * ghz), // ≈100ns between probes
+		PreemptDelayStdDev:   sim.Cycles(290 * ghz), // 0.29µs (Table 1 avg)
+	}
+}
+
+// Ideal returns a frictionless machine: every mechanism cost is zero and
+// instrumentation is free. It turns the server into a pure queueing
+// simulator, which is what the paper's Fig. 5 sensitivity study uses.
+func Ideal() Model {
+	const ghz = 2.0
+	return Model{
+		FrequencyGHz:    ghz,
+		DispatcherSlice: sim.Cycles(1000 * ghz),
+	}
+}
+
+// SapphireRapids returns the §5.6 future-proofing configuration: a
+// 192-core Sapphire Rapids server where coherence misses are ≈1.5× more
+// expensive and user-space interrupts are available.
+func SapphireRapids() Model {
+	m := Default()
+	m.ProbeMiss = sim.Cycles(float64(m.ProbeMiss) * 1.5)
+	m.CacheLineWrite = sim.Cycles(float64(m.CacheLineWrite) * 1.5)
+	m.NextRequest = sim.Cycles(float64(m.NextRequest) * 1.5)
+	// UIPI receive cost calibrated so compiler-enforced cooperation shows
+	// ≈2× lower overhead (Fig. 15): Concord pays ProbeMiss ≈ 225 cycles
+	// at yield; UIPI delivery costs ≈2× that.
+	m.UIPIReceive = 450
+	return m
+}
+
+// MicrosToCycles converts microseconds to cycles under the model's clock.
+func (m Model) MicrosToCycles(us float64) sim.Cycles {
+	return sim.Cycles(us * 1000 * m.FrequencyGHz)
+}
+
+// NanosToCycles converts nanoseconds to cycles under the model's clock.
+func (m Model) NanosToCycles(ns float64) sim.Cycles {
+	return sim.Cycles(ns * m.FrequencyGHz)
+}
+
+// CyclesToMicros converts cycles to microseconds under the model's clock.
+func (m Model) CyclesToMicros(c sim.Cycles) float64 {
+	return float64(c) / (1000 * m.FrequencyGHz)
+}
+
+// CyclesToNanos converts cycles to nanoseconds under the model's clock.
+func (m Model) CyclesToNanos(c sim.Cycles) float64 {
+	return float64(c) / m.FrequencyGHz
+}

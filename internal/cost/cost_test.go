@@ -1,0 +1,86 @@
+package cost
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultMatchesPaperConstants(t *testing.T) {
+	m := Default()
+	if m.IPIReceive != 1200 {
+		t.Errorf("IPIReceive = %d, paper says ≈1200", m.IPIReceive)
+	}
+	if m.LinuxIPIReceive != 2*m.IPIReceive {
+		t.Errorf("LinuxIPIReceive = %d, paper says 2× posted IPI", m.LinuxIPIReceive)
+	}
+	if m.Rdtsc != 30 {
+		t.Errorf("Rdtsc = %d, paper says ≈30", m.Rdtsc)
+	}
+	if m.ProbeHit != 2 {
+		t.Errorf("ProbeHit = %d, paper says ≈2", m.ProbeHit)
+	}
+	if m.ProbeMiss != 150 {
+		t.Errorf("ProbeMiss = %d, paper says ≈150", m.ProbeMiss)
+	}
+	if m.NextRequest != 400 {
+		t.Errorf("NextRequest = %d, paper says ≈400", m.NextRequest)
+	}
+	// §3.1: cnotif is 1/8th the cost of a Shinjuku IPI.
+	if m.IPIReceive/m.ProbeMiss != 8 {
+		t.Errorf("IPI/ProbeMiss ratio = %d, paper says 8", m.IPIReceive/m.ProbeMiss)
+	}
+}
+
+func TestConversionsRoundTrip(t *testing.T) {
+	m := Default()
+	prop := func(usInt uint16) bool {
+		us := float64(usInt)
+		c := m.MicrosToCycles(us)
+		back := m.CyclesToMicros(c)
+		return math.Abs(back-us) < 0.001
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConversionConsistency(t *testing.T) {
+	m := Default()
+	if got := m.MicrosToCycles(1); got != m.NanosToCycles(1000) {
+		t.Errorf("1µs = %d cycles but 1000ns = %d cycles", got, m.NanosToCycles(1000))
+	}
+	if m.MicrosToCycles(5) != 10000 {
+		t.Errorf("5µs at 2GHz = %d cycles, want 10000", m.MicrosToCycles(5))
+	}
+	if ns := m.CyclesToNanos(m.ContextSwitch); math.Abs(ns-100) > 1 {
+		t.Errorf("context switch = %vns, paper says ≈100ns", ns)
+	}
+}
+
+func TestSapphireRapidsScaling(t *testing.T) {
+	base, spr := Default(), SapphireRapids()
+	if spr.ProbeMiss <= base.ProbeMiss {
+		t.Error("Sapphire Rapids coherence miss should be more expensive")
+	}
+	ratio := float64(spr.ProbeMiss) / float64(base.ProbeMiss)
+	if math.Abs(ratio-1.5) > 0.01 {
+		t.Errorf("SPR coherence scaling = %v, paper says ≈1.5×", ratio)
+	}
+	// §5.6: UIPI delivery ≈2× Concord's notification cost on SPR.
+	uipiRatio := float64(spr.UIPIReceive) / float64(spr.ProbeMiss)
+	if math.Abs(uipiRatio-2) > 0.1 {
+		t.Errorf("UIPI/ProbeMiss on SPR = %v, want ≈2", uipiRatio)
+	}
+}
+
+func TestInstrumentationOverheadOrdering(t *testing.T) {
+	m := Default()
+	// Table 1: Concord ≈1%, Compiler Interrupts ≈13-21%.
+	if m.InstrOverheadConcord >= m.InstrOverheadRdtsc {
+		t.Error("Concord instrumentation must be cheaper than rdtsc instrumentation")
+	}
+	if r := m.InstrOverheadRdtsc / m.InstrOverheadConcord; r < 10 {
+		t.Errorf("rdtsc/Concord overhead ratio = %v, paper says ≈13-20×", r)
+	}
+}

@@ -1,0 +1,56 @@
+package dist
+
+import (
+	"fmt"
+
+	"concord/internal/sim"
+)
+
+// Arrival generates inter-arrival gaps for an open-loop load generator.
+type Arrival interface {
+	// Name identifies the process in reports.
+	Name() string
+	// NextGapUS returns the time in µs until the next arrival.
+	NextGapUS(r *sim.RNG) float64
+}
+
+// Poisson is a Poisson arrival process (exponential inter-arrival gaps),
+// matching the paper's load generator ("requests according to a Poisson
+// process", §5.1), which mimics bursty production traffic.
+type Poisson struct {
+	RatePerSec float64
+}
+
+// NewPoisson returns a Poisson process with the given request rate.
+// It panics on a non-positive rate.
+func NewPoisson(ratePerSec float64) Poisson {
+	if ratePerSec <= 0 {
+		panic("dist: Poisson rate must be positive")
+	}
+	return Poisson{RatePerSec: ratePerSec}
+}
+
+func (p Poisson) Name() string { return fmt.Sprintf("Poisson(%g/s)", p.RatePerSec) }
+
+func (p Poisson) NextGapUS(r *sim.RNG) float64 {
+	return r.Exp(1e6 / p.RatePerSec)
+}
+
+// Uniform is a deterministic arrival process with constant gaps, useful
+// for isolating queueing effects from arrival burstiness.
+type Uniform struct {
+	RatePerSec float64
+}
+
+// NewUniform returns a constant-gap process with the given rate.
+// It panics on a non-positive rate.
+func NewUniform(ratePerSec float64) Uniform {
+	if ratePerSec <= 0 {
+		panic("dist: Uniform rate must be positive")
+	}
+	return Uniform{RatePerSec: ratePerSec}
+}
+
+func (u Uniform) Name() string { return fmt.Sprintf("Uniform(%g/s)", u.RatePerSec) }
+
+func (u Uniform) NextGapUS(*sim.RNG) float64 { return 1e6 / u.RatePerSec }

@@ -1,0 +1,213 @@
+// Package dist provides the service-time distributions used throughout
+// the Concord evaluation (§5.1–§5.3): fixed, exponential, bimodal and
+// multimodal mixtures (YCSB-A, Meta USR, TPCC, ZippyDB), plus generic
+// heavy-tailed distributions for extension studies.
+//
+// Samples are expressed in microseconds of *un-instrumented* service time;
+// the server model converts them to cycles and adds runtime overheads.
+package dist
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"concord/internal/sim"
+)
+
+// Sample is one drawn request: its class label (used for per-class
+// latency reporting and lock behaviour) and its service time in µs.
+type Sample struct {
+	Class     string
+	ServiceUS float64
+}
+
+// Dist is a service-time distribution.
+type Dist interface {
+	// Name identifies the distribution in reports.
+	Name() string
+	// Mean returns the expected service time in µs.
+	Mean() float64
+	// Sample draws one request using the provided RNG.
+	Sample(r *sim.RNG) Sample
+}
+
+// Fixed is a degenerate distribution: every request takes exactly US µs.
+type Fixed struct {
+	US    float64
+	Class string
+}
+
+// NewFixed returns a Fixed distribution with the given service time.
+func NewFixed(us float64) Fixed { return Fixed{US: us, Class: "fixed"} }
+
+func (f Fixed) Name() string  { return fmt.Sprintf("Fixed(%g)", f.US) }
+func (f Fixed) Mean() float64 { return f.US }
+func (f Fixed) Sample(*sim.RNG) Sample {
+	return Sample{Class: f.Class, ServiceUS: f.US}
+}
+
+// Exponential has exponentially distributed service times.
+type Exponential struct {
+	MeanUS float64
+}
+
+func (e Exponential) Name() string  { return fmt.Sprintf("Exp(%g)", e.MeanUS) }
+func (e Exponential) Mean() float64 { return e.MeanUS }
+func (e Exponential) Sample(r *sim.RNG) Sample {
+	return Sample{Class: "exp", ServiceUS: r.Exp(e.MeanUS)}
+}
+
+// Lognormal has log-normally distributed service times, parameterized by
+// the underlying normal's mu and sigma (natural log scale).
+type Lognormal struct {
+	Mu, Sigma float64
+}
+
+func (l Lognormal) Name() string { return fmt.Sprintf("Lognormal(%g,%g)", l.Mu, l.Sigma) }
+func (l Lognormal) Mean() float64 {
+	return math.Exp(l.Mu + l.Sigma*l.Sigma/2)
+}
+func (l Lognormal) Sample(r *sim.RNG) Sample {
+	return Sample{Class: "lognormal", ServiceUS: r.Lognormal(l.Mu, l.Sigma)}
+}
+
+// Pareto has Pareto-distributed service times (heavy tail). Mean is
+// infinite for Alpha <= 1; Mean() reports +Inf in that case.
+type Pareto struct {
+	ScaleUS float64
+	Alpha   float64
+}
+
+func (p Pareto) Name() string { return fmt.Sprintf("Pareto(%g,%g)", p.ScaleUS, p.Alpha) }
+func (p Pareto) Mean() float64 {
+	if p.Alpha <= 1 {
+		return math.Inf(1)
+	}
+	return p.Alpha * p.ScaleUS / (p.Alpha - 1)
+}
+func (p Pareto) Sample(r *sim.RNG) Sample {
+	return Sample{Class: "pareto", ServiceUS: r.Pareto(p.ScaleUS, p.Alpha)}
+}
+
+// Class is one component of a Mixture: a request class with a fixed
+// probability and its own service-time distribution.
+type Class struct {
+	Name   string
+	Weight float64 // relative weight; normalized by NewMixture
+	Dist   Dist
+}
+
+// Mixture draws a class by weight, then a service time from the class's
+// distribution. It models multimodal workloads such as TPCC and ZippyDB.
+type Mixture struct {
+	name    string
+	classes []Class
+	cum     []float64 // cumulative normalized weights
+	mean    float64
+}
+
+// NewMixture builds a mixture distribution. Weights are normalized; it
+// panics if no classes are given or any weight is negative.
+func NewMixture(name string, classes ...Class) *Mixture {
+	if len(classes) == 0 {
+		panic("dist: mixture needs at least one class")
+	}
+	total := 0.0
+	for _, c := range classes {
+		if c.Weight < 0 {
+			panic("dist: negative mixture weight")
+		}
+		total += c.Weight
+	}
+	if total == 0 {
+		panic("dist: mixture weights sum to zero")
+	}
+	m := &Mixture{name: name, classes: classes}
+	acc := 0.0
+	for _, c := range classes {
+		acc += c.Weight / total
+		m.cum = append(m.cum, acc)
+		m.mean += (c.Weight / total) * c.Dist.Mean()
+	}
+	m.cum[len(m.cum)-1] = 1 // guard against rounding
+	return m
+}
+
+func (m *Mixture) Name() string  { return m.name }
+func (m *Mixture) Mean() float64 { return m.mean }
+
+// Classes returns the mixture's components (normalized order preserved).
+func (m *Mixture) Classes() []Class { return m.classes }
+
+func (m *Mixture) Sample(r *sim.RNG) Sample {
+	u := r.Float64()
+	i := sort.SearchFloat64s(m.cum, u)
+	if i >= len(m.classes) {
+		i = len(m.classes) - 1
+	}
+	c := m.classes[i]
+	s := c.Dist.Sample(r)
+	s.Class = c.Name
+	return s
+}
+
+// Bimodal returns the paper's two-point distributions, e.g.
+// Bimodal(50, 1, 50, 100) is "50% of requests take 1µs, 50% take 100µs"
+// (YCSB-A-like) and Bimodal(99.5, 0.5, 0.5, 500) is the Meta-USR-like
+// distribution.
+func Bimodal(pctShort, shortUS, pctLong, longUS float64) *Mixture {
+	name := fmt.Sprintf("Bimodal(%s:%s, %s:%s)",
+		trimFloat(pctShort), trimFloat(shortUS), trimFloat(pctLong), trimFloat(longUS))
+	return NewMixture(name,
+		Class{Name: "short", Weight: pctShort, Dist: NewFixed(shortUS)},
+		Class{Name: "long", Weight: pctLong, Dist: NewFixed(longUS)},
+	)
+}
+
+func trimFloat(f float64) string {
+	s := fmt.Sprintf("%.1f", f)
+	s = strings.TrimSuffix(s, ".0")
+	return s
+}
+
+// TPCC returns the §5.2 TPCC-on-in-memory-DB distribution:
+// Payment 5.7µs 44%, OrderStatus 6µs 4%, NewOrder 20µs 44%,
+// Delivery 88µs 4%, StockLevel 100µs 4%.
+func TPCC() *Mixture {
+	return NewMixture("TPCC",
+		Class{Name: "Payment", Weight: 44, Dist: NewFixed(5.7)},
+		Class{Name: "OrderStatus", Weight: 4, Dist: NewFixed(6)},
+		Class{Name: "NewOrder", Weight: 44, Dist: NewFixed(20)},
+		Class{Name: "Delivery", Weight: 4, Dist: NewFixed(88)},
+		Class{Name: "StockLevel", Weight: 4, Dist: NewFixed(100)},
+	)
+}
+
+// Empirical is a distribution backed by an explicit sample set, drawn
+// uniformly with replacement. It supports replaying measured traces.
+type Empirical struct {
+	TraceName string
+	ValuesUS  []float64
+	mean      float64
+}
+
+// NewEmpirical builds an empirical distribution over the given samples.
+// It panics on an empty sample set.
+func NewEmpirical(name string, valuesUS []float64) *Empirical {
+	if len(valuesUS) == 0 {
+		panic("dist: empirical distribution needs samples")
+	}
+	sum := 0.0
+	for _, v := range valuesUS {
+		sum += v
+	}
+	return &Empirical{TraceName: name, ValuesUS: valuesUS, mean: sum / float64(len(valuesUS))}
+}
+
+func (e *Empirical) Name() string  { return e.TraceName }
+func (e *Empirical) Mean() float64 { return e.mean }
+func (e *Empirical) Sample(r *sim.RNG) Sample {
+	return Sample{Class: "trace", ServiceUS: e.ValuesUS[r.Intn(len(e.ValuesUS))]}
+}

@@ -1,0 +1,240 @@
+package dist
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"concord/internal/sim"
+)
+
+func sampleMean(t *testing.T, d Dist, n int) float64 {
+	t.Helper()
+	r := sim.NewRNG(1)
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		s := d.Sample(r)
+		if s.ServiceUS < 0 {
+			t.Fatalf("%s produced negative service time %v", d.Name(), s.ServiceUS)
+		}
+		sum += s.ServiceUS
+	}
+	return sum / float64(n)
+}
+
+func TestFixed(t *testing.T) {
+	d := NewFixed(5)
+	if d.Mean() != 5 {
+		t.Fatalf("Mean = %v, want 5", d.Mean())
+	}
+	r := sim.NewRNG(1)
+	for i := 0; i < 10; i++ {
+		if s := d.Sample(r); s.ServiceUS != 5 {
+			t.Fatalf("Sample = %v, want 5", s.ServiceUS)
+		}
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	d := Exponential{MeanUS: 12}
+	if got := sampleMean(t, d, 200000); math.Abs(got-12) > 0.3 {
+		t.Fatalf("sample mean = %v, want ~12", got)
+	}
+}
+
+func TestLognormalMean(t *testing.T) {
+	d := Lognormal{Mu: 1, Sigma: 0.5}
+	want := d.Mean()
+	if got := sampleMean(t, d, 400000); math.Abs(got-want)/want > 0.02 {
+		t.Fatalf("sample mean = %v, want ~%v", got, want)
+	}
+}
+
+func TestParetoMean(t *testing.T) {
+	d := Pareto{ScaleUS: 1, Alpha: 3}
+	want := d.Mean() // 1.5
+	if got := sampleMean(t, d, 400000); math.Abs(got-want)/want > 0.05 {
+		t.Fatalf("sample mean = %v, want ~%v", got, want)
+	}
+	inf := Pareto{ScaleUS: 1, Alpha: 0.9}
+	if !math.IsInf(inf.Mean(), 1) {
+		t.Fatal("Pareto with alpha<=1 should report infinite mean")
+	}
+}
+
+func TestBimodalProportionsAndMean(t *testing.T) {
+	d := Bimodal(50, 1, 50, 100)
+	if math.Abs(d.Mean()-50.5) > 1e-9 {
+		t.Fatalf("Mean = %v, want 50.5", d.Mean())
+	}
+	r := sim.NewRNG(2)
+	short, long := 0, 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		s := d.Sample(r)
+		switch s.ServiceUS {
+		case 1:
+			short++
+			if s.Class != "short" {
+				t.Fatalf("1µs sample classified %q", s.Class)
+			}
+		case 100:
+			long++
+			if s.Class != "long" {
+				t.Fatalf("100µs sample classified %q", s.Class)
+			}
+		default:
+			t.Fatalf("unexpected service time %v", s.ServiceUS)
+		}
+	}
+	if frac := float64(short) / n; math.Abs(frac-0.5) > 0.01 {
+		t.Fatalf("short fraction = %v, want ~0.5", frac)
+	}
+	_ = long
+}
+
+func TestBimodalUSR(t *testing.T) {
+	d := Bimodal(99.5, 0.5, 0.5, 500)
+	want := 0.995*0.5 + 0.005*500 // 2.9975
+	if math.Abs(d.Mean()-want) > 1e-9 {
+		t.Fatalf("Mean = %v, want %v", d.Mean(), want)
+	}
+	r := sim.NewRNG(3)
+	long := 0
+	const n = 400000
+	for i := 0; i < n; i++ {
+		if d.Sample(r).ServiceUS == 500 {
+			long++
+		}
+	}
+	if frac := float64(long) / n; math.Abs(frac-0.005) > 0.0008 {
+		t.Fatalf("long fraction = %v, want ~0.005", frac)
+	}
+}
+
+func TestTPCCMixture(t *testing.T) {
+	d := TPCC()
+	want := 0.44*5.7 + 0.04*6 + 0.44*20 + 0.04*88 + 0.04*100
+	if math.Abs(d.Mean()-want) > 1e-9 {
+		t.Fatalf("Mean = %v, want %v", d.Mean(), want)
+	}
+	r := sim.NewRNG(4)
+	counts := map[string]int{}
+	const n = 200000
+	for i := 0; i < n; i++ {
+		counts[d.Sample(r).Class]++
+	}
+	if len(counts) != 5 {
+		t.Fatalf("saw %d classes, want 5: %v", len(counts), counts)
+	}
+	if frac := float64(counts["Payment"]) / n; math.Abs(frac-0.44) > 0.01 {
+		t.Fatalf("Payment fraction = %v, want ~0.44", frac)
+	}
+	if frac := float64(counts["Delivery"]) / n; math.Abs(frac-0.04) > 0.005 {
+		t.Fatalf("Delivery fraction = %v, want ~0.04", frac)
+	}
+}
+
+func TestMixtureSampleMeanMatchesAnalytic(t *testing.T) {
+	prop := func(w1, w2, v1, v2 uint8) bool {
+		if w1 == 0 && w2 == 0 {
+			return true
+		}
+		m := NewMixture("t",
+			Class{Name: "a", Weight: float64(w1), Dist: NewFixed(float64(v1))},
+			Class{Name: "b", Weight: float64(w2), Dist: NewFixed(float64(v2))},
+		)
+		got := sampleMean(t, m, 50000)
+		return math.Abs(got-m.Mean()) <= 0.05*math.Max(1, m.Mean())
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMixturePanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"empty":    func() { NewMixture("x") },
+		"negative": func() { NewMixture("x", Class{Name: "a", Weight: -1, Dist: NewFixed(1)}) },
+		"zero-sum": func() { NewMixture("x", Class{Name: "a", Weight: 0, Dist: NewFixed(1)}) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		})
+	}
+}
+
+func TestEmpirical(t *testing.T) {
+	e := NewEmpirical("trace", []float64{1, 2, 3, 4})
+	if e.Mean() != 2.5 {
+		t.Fatalf("Mean = %v, want 2.5", e.Mean())
+	}
+	r := sim.NewRNG(5)
+	seen := map[float64]bool{}
+	for i := 0; i < 1000; i++ {
+		v := e.Sample(r).ServiceUS
+		if v < 1 || v > 4 {
+			t.Fatalf("sample %v outside trace values", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 4 {
+		t.Fatalf("only saw values %v", seen)
+	}
+}
+
+func TestPoissonArrivalRate(t *testing.T) {
+	p := NewPoisson(100000) // 100 kRps → mean gap 10µs
+	r := sim.NewRNG(6)
+	sum := 0.0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		g := p.NextGapUS(r)
+		if g < 0 {
+			t.Fatalf("negative gap %v", g)
+		}
+		sum += g
+	}
+	if mean := sum / n; math.Abs(mean-10) > 0.2 {
+		t.Fatalf("mean gap = %vµs, want ~10", mean)
+	}
+}
+
+func TestUniformArrival(t *testing.T) {
+	u := NewUniform(1e6)
+	r := sim.NewRNG(7)
+	for i := 0; i < 10; i++ {
+		if g := u.NextGapUS(r); g != 1 {
+			t.Fatalf("gap = %v, want 1", g)
+		}
+	}
+}
+
+func TestArrivalPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for non-positive rate")
+		}
+	}()
+	NewPoisson(0)
+}
+
+func TestNames(t *testing.T) {
+	cases := map[string]string{
+		Bimodal(50, 1, 50, 100).Name():      "Bimodal(50:1, 50:100)",
+		Bimodal(99.5, 0.5, 0.5, 500).Name(): "Bimodal(99.5:0.5, 0.5:500)",
+		NewFixed(1).Name():                  "Fixed(1)",
+		TPCC().Name():                       "TPCC",
+		NewPoisson(1000).Name():             "Poisson(1000/s)",
+	}
+	for got, want := range cases {
+		if got != want {
+			t.Errorf("name %q, want %q", got, want)
+		}
+	}
+}

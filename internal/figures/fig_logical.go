@@ -1,0 +1,62 @@
+package figures
+
+import (
+	"fmt"
+
+	"concord/internal/cost"
+	"concord/internal/logical"
+	"concord/internal/server"
+	"concord/internal/stats"
+	"concord/internal/workload"
+)
+
+// AblationLogicalQueue realizes §6's "How Concord extends to
+// single-logical-queue systems" as an experiment: on the USR bimodal
+// workload it compares
+//
+//   - Concord (physical single queue + dispatcher),
+//   - a Shenango-like work-stealing runtime with run-to-completion, and
+//   - that runtime with Concord's cooperative preemption grafted on
+//     (scheduler hyperthread + cache-line flags).
+//
+// Expected shape: run-to-completion crosses the SLO early (no
+// preemption); the §6 extension recovers preemption's tail benefits and,
+// with no serialized dispatcher, saturates later than dispatcher-based
+// Concord at very high request rates.
+func AblationLogicalQueue(o Options) Table {
+	m := cost.Default()
+	workers := o.workers()
+	spec := workload.USRBimodal()
+	const q = 5.0
+	loads := o.thin(spec.LoadsKRps)
+	reqs := o.requests(120000)
+
+	concord := server.Sweep(server.Concord(m, workers, q), spec.WL, loads,
+		server.RunParams{Requests: reqs, Seed: o.seed(), MaxCentralQueue: 150000, DrainSlackUS: 50000})
+
+	lp := logical.Params{Requests: reqs, Seed: o.seed(), MaxQueue: 150000, DrainSlackUS: 50000}
+	rtc := logical.Sweep(logical.RunToCompletion(m, workers), spec.WL.Dist, loads, lp)
+	coop := logical.Sweep(logical.CoopPreemption(m, workers, q), spec.WL.Dist, loads, lp)
+
+	t := Table{
+		ID:      "ablation-logical",
+		Title:   "Physical vs logical single queue, Bimodal(99.5:0.5, 0.5:500), q=5µs",
+		Columns: []string{"load_krps", "concord_dispatcher", "logical_rtc", "logical_concord"},
+	}
+	for i, load := range loads {
+		t.Rows = append(t.Rows, []float64{
+			load, concord.Points[i].P999, rtc.Points[i].P999, coop.Points[i].P999,
+		})
+	}
+	notes := "§6: Concord's cooperation + work conservation transplant onto\n" +
+		"single-logical-queue (work-stealing) runtimes and remove the dispatcher bottleneck.\n"
+	for _, c := range []stats.Curve{concord, rtc, coop} {
+		if max, ok := c.MaxLoadUnderSLO(stats.DefaultSLOSlowdown); ok {
+			notes += fmt.Sprintf("max load at 50x SLO: %-20s %.1f kRps\n", c.System, max)
+		} else {
+			notes += fmt.Sprintf("max load at 50x SLO: %-20s never met\n", c.System)
+		}
+	}
+	t.Notes = notes
+	return t
+}

@@ -1,0 +1,172 @@
+// Package figures regenerates every table and figure in the paper's
+// evaluation (§2 Figs. 2–3, §3 Fig. 5, §5 Figs. 6–15 and Table 1). Each
+// generator returns a typed Table whose rows mirror the series the paper
+// plots; cmd/concordsim prints them and bench_test.go wraps each one in a
+// testing.B benchmark.
+package figures
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table is the numeric payload behind one figure or table.
+type Table struct {
+	// ID is the paper's label, e.g. "fig6" or "table1".
+	ID string
+	// Title describes the experiment.
+	Title string
+	// Columns names each column; the first is the x-axis.
+	Columns []string
+	// Rows holds the data, one row per x-position.
+	Rows [][]float64
+	// RowLabels optionally names each row (used by Table 1, where rows
+	// are benchmarks rather than load points).
+	RowLabels []string
+	// Notes records workload, parameters, and interpretation hints.
+	Notes string
+}
+
+// TSV renders the table as tab-separated values with a header.
+func (t Table) TSV() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "# %s: %s\n", t.ID, t.Title)
+	if t.Notes != "" {
+		for _, line := range strings.Split(t.Notes, "\n") {
+			fmt.Fprintf(&b, "# %s\n", line)
+		}
+	}
+	if len(t.RowLabels) > 0 {
+		b.WriteString("name\t")
+	}
+	b.WriteString(strings.Join(t.Columns, "\t"))
+	b.WriteByte('\n')
+	for r, row := range t.Rows {
+		if len(t.RowLabels) > 0 {
+			b.WriteString(t.RowLabels[r])
+			b.WriteByte('\t')
+		}
+		for i, v := range row {
+			if i > 0 {
+				b.WriteByte('\t')
+			}
+			switch {
+			case math.IsInf(v, 1):
+				b.WriteString("inf")
+			case math.IsNaN(v):
+				b.WriteString("nan")
+			case v == math.Trunc(v) && math.Abs(v) < 1e9:
+				fmt.Fprintf(&b, "%.0f", v)
+			default:
+				fmt.Fprintf(&b, "%.4g", v)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Column returns the index of the named column, or -1.
+func (t Table) Column(name string) int {
+	for i, c := range t.Columns {
+		if c == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Options scales experiment fidelity. The zero value requests
+// paper-fidelity runs; tests and benchmarks pass Quick() to trade
+// precision for speed.
+type Options struct {
+	// Requests per load point (0 = per-figure default).
+	Requests int
+	// Workers overrides the paper's 14-worker setup when positive.
+	Workers int
+	// Seed for reproducibility; 0 means 1.
+	Seed uint64
+	// LoadPoints, when positive, thins each sweep to about this many
+	// x-positions.
+	LoadPoints int
+}
+
+// Quick returns options for fast, reduced-fidelity runs (unit tests and
+// smoke benchmarks). Tail percentiles get noisy but orderings hold.
+func Quick() Options {
+	return Options{Requests: 20000, LoadPoints: 6}
+}
+
+func (o Options) seed() uint64 {
+	if o.Seed == 0 {
+		return 1
+	}
+	return o.Seed
+}
+
+func (o Options) workers() int {
+	if o.Workers > 0 {
+		return o.Workers
+	}
+	return 14
+}
+
+func (o Options) requests(def int) int {
+	if o.Requests > 0 {
+		return o.Requests
+	}
+	return def
+}
+
+func (o Options) thin(loads []float64) []float64 {
+	if o.LoadPoints <= 0 || len(loads) <= o.LoadPoints {
+		return loads
+	}
+	out := make([]float64, 0, o.LoadPoints)
+	for i := 0; i < o.LoadPoints; i++ {
+		idx := i * (len(loads) - 1) / (o.LoadPoints - 1)
+		out = append(out, loads[idx])
+	}
+	return out
+}
+
+// Generator produces one figure's table.
+type Generator func(Options) Table
+
+// All maps figure IDs to generators, in paper order.
+func All() map[string]Generator {
+	return map[string]Generator{
+		"fig2":   Fig2,
+		"fig3":   Fig3,
+		"fig5":   Fig5,
+		"fig6":   Fig6,
+		"fig7":   Fig7,
+		"fig8a":  Fig8a,
+		"fig8b":  Fig8b,
+		"fig9":   Fig9,
+		"fig10":  Fig10,
+		"fig11":  Fig11,
+		"fig12":  Fig12,
+		"fig13":  Fig13,
+		"fig14":  Fig14,
+		"fig15":  Fig15,
+		"table1": Table1,
+		// Extensions: ablation studies for the design choices DESIGN.md
+		// calls out, beyond the paper's own figures.
+		"ablation-jbsq-depth": AblationJBSQDepth,
+		"ablation-policy":     AblationPolicy,
+		"ablation-defer":      AblationDeferWholeRequest,
+		"ablation-logical":    AblationLogicalQueue,
+	}
+}
+
+// IDs returns the generator keys in paper order, extensions last.
+func IDs() []string {
+	return []string{
+		"fig2", "fig3", "fig5", "fig6", "fig7", "fig8a", "fig8b",
+		"fig9", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "table1",
+		"ablation-jbsq-depth", "ablation-policy", "ablation-defer",
+		"ablation-logical",
+	}
+}

@@ -1,0 +1,250 @@
+package figures
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestIDsMatchGenerators(t *testing.T) {
+	gens := All()
+	ids := IDs()
+	if len(gens) != len(ids) {
+		t.Fatalf("All() has %d entries, IDs() has %d", len(gens), len(ids))
+	}
+	for _, id := range ids {
+		if gens[id] == nil {
+			t.Errorf("IDs() lists %q but All() lacks it", id)
+		}
+	}
+}
+
+func TestTSVRendering(t *testing.T) {
+	tab := Table{
+		ID: "x", Title: "T", Columns: []string{"a", "b"},
+		Rows:  [][]float64{{1, 2.5}, {3, math.Inf(1)}},
+		Notes: "note",
+	}
+	got := tab.TSV()
+	for _, want := range []string{"# x: T", "# note", "a\tb", "1\t2.5", "3\tinf"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("TSV missing %q:\n%s", want, got)
+		}
+	}
+	tab.RowLabels = []string{"r1", "r2"}
+	got = tab.TSV()
+	if !strings.Contains(got, "name\ta\tb") || !strings.Contains(got, "r1\t1\t2.5") {
+		t.Errorf("labeled TSV wrong:\n%s", got)
+	}
+}
+
+func TestColumnLookup(t *testing.T) {
+	tab := Table{Columns: []string{"x", "y"}}
+	if tab.Column("y") != 1 || tab.Column("z") != -1 {
+		t.Fatal("Column lookup broken")
+	}
+}
+
+func col(t *testing.T, tab Table, name string) int {
+	t.Helper()
+	i := tab.Column(name)
+	if i < 0 {
+		t.Fatalf("%s: no column %q in %v", tab.ID, name, tab.Columns)
+	}
+	return i
+}
+
+func TestFig2Anchors(t *testing.T) {
+	tab := Fig2(Quick())
+	ipi, rd, cc := col(t, tab, "ipi_pct"), col(t, tab, "rdtsc_pct"), col(t, tab, "concord_pct")
+	for _, row := range tab.Rows {
+		q := row[0]
+		if q <= 10 && !(row[cc] < row[ipi]) {
+			t.Errorf("q=%v: Concord %.1f%% not below IPI %.1f%%", q, row[cc], row[ipi])
+		}
+		if math.Abs(row[rd]-21.5) > 1 {
+			t.Errorf("q=%v: rdtsc %.1f%% not flat ≈21%%", q, row[rd])
+		}
+	}
+	// IPI anchors: ≈30% at 2µs, ≈6% at 10µs.
+	if math.Abs(tab.Rows[1][ipi]-30.5) > 2 {
+		t.Errorf("IPI at 2µs = %v, want ≈30%%", tab.Rows[1][ipi])
+	}
+	if math.Abs(tab.Rows[3][ipi]-6.5) > 1.5 {
+		t.Errorf("IPI at 10µs = %v, want ≈6%%", tab.Rows[3][ipi])
+	}
+	// IPI falls with quantum; Concord is near-flat (< 8% everywhere).
+	for i := 1; i < len(tab.Rows); i++ {
+		if tab.Rows[i][ipi] >= tab.Rows[i-1][ipi] {
+			t.Error("IPI overhead not decreasing with quantum")
+		}
+		if tab.Rows[i][cc] > 8 {
+			t.Errorf("Concord overhead %v%% too high", tab.Rows[i][cc])
+		}
+	}
+}
+
+func TestFig12Ratio(t *testing.T) {
+	tab := Fig12(Quick())
+	shin, conc := col(t, tab, "shinjuku_ipi_sq_pct"), col(t, tab, "concord_coop_jbsq_pct")
+	// Paper: ≈4× reduction; check at the 5µs row.
+	var at5 []float64
+	for _, row := range tab.Rows {
+		if row[0] == 5 {
+			at5 = row
+		}
+	}
+	if at5 == nil {
+		t.Fatal("no 5µs row")
+	}
+	ratio := at5[shin] / at5[conc]
+	if ratio < 3 || ratio > 6 {
+		t.Errorf("Shinjuku/Concord overhead ratio at 5µs = %.1f, paper says ≈4", ratio)
+	}
+	// The co-op+SQ line sits between the two at small quanta.
+	mid := col(t, tab, "coop_sq_pct")
+	for _, row := range tab.Rows[:4] {
+		if !(row[conc] <= row[mid] && row[mid] <= row[shin]) {
+			t.Errorf("q=%v: ablation ordering broken: %v", row[0], row)
+		}
+	}
+}
+
+func TestFig15UIPITwiceConcord(t *testing.T) {
+	tab := Fig15(Quick())
+	ui, cc := col(t, tab, "uipi_pct"), col(t, tab, "concord_pct")
+	// At small quanta UIPI costs ≈2× Concord.
+	for _, row := range tab.Rows[:2] {
+		ratio := row[ui] / row[cc]
+		if ratio < 1.3 || ratio > 3 {
+			t.Errorf("q=%v: UIPI/Concord = %.2f, paper says ≈2", row[0], ratio)
+		}
+	}
+}
+
+func TestFig3JBSQRatio(t *testing.T) {
+	o := Quick()
+	o.Requests = 40000
+	tab := Fig3(o)
+	sq, jb := col(t, tab, "shinjuku_sq_pct"), col(t, tab, "concord_jbsq2_pct")
+	for _, row := range tab.Rows {
+		if row[jb] >= row[sq] {
+			t.Errorf("S=%vµs: JBSQ overhead %.2f%% >= SQ %.2f%%", row[0], row[jb], row[sq])
+		}
+	}
+	// Paper: 9-13× lower. Check the 5µs and 10µs rows land near that band.
+	for _, i := range []int{1, 2} {
+		ratio := tab.Rows[i][sq] / tab.Rows[i][jb]
+		if ratio < 6 || ratio > 25 {
+			t.Errorf("S=%vµs: SQ/JBSQ ratio = %.1f, paper says 9-13×", tab.Rows[i][0], ratio)
+		}
+	}
+	// SQ overhead decreases with service time (∝ 1/S).
+	for i := 1; i < len(tab.Rows); i++ {
+		if tab.Rows[i][sq] >= tab.Rows[i-1][sq] {
+			t.Error("SQ idle overhead not decreasing with service time")
+		}
+	}
+}
+
+func TestFig5PreemptionVariance(t *testing.T) {
+	o := Quick()
+	o.Requests = 60000
+	tab := Fig5(o)
+	np, pr, s2 := col(t, tab, "no_preempt"), col(t, tab, "precise_N5_0"), col(t, tab, "N5_2")
+	last := tab.Rows[len(tab.Rows)-1]
+	if !(last[np] > 4*last[pr]) {
+		t.Errorf("at high load, no-preemption p999 %.1f not ≫ precise %.1f", last[np], last[pr])
+	}
+	// Imprecision within 2µs std-dev stays within a small factor of
+	// precise preemption at every load (the paper's core claim).
+	for _, row := range tab.Rows {
+		if row[s2] > 4*row[pr]+10 {
+			t.Errorf("load %.2f: N(5,2) p999 %.1f far from precise %.1f", row[0], row[s2], row[pr])
+		}
+	}
+}
+
+func TestFig6QuickOrdering(t *testing.T) {
+	o := Quick()
+	o.Requests = 15000
+	tab := Fig6(o)
+	if !strings.Contains(tab.Notes, "Concord vs Shinjuku") {
+		t.Fatalf("fig6 notes missing improvement summary:\n%s", tab.Notes)
+	}
+	// At the highest swept load, Concord's p999 must not exceed
+	// Shinjuku's (it saturates later).
+	sh, cc := col(t, tab, "shinjuku_q2"), col(t, tab, "concord_q2")
+	last := tab.Rows[len(tab.Rows)-1]
+	if !(last[cc] <= last[sh]) {
+		t.Errorf("at max load, Concord q2 p999 %.1f > Shinjuku %.1f", last[cc], last[sh])
+	}
+}
+
+func TestTable1Shape(t *testing.T) {
+	o := Quick()
+	o.Requests = 5000
+	tab := Table1(o)
+	if len(tab.Rows) != 26 { // 24 benchmarks + average + maximum
+		t.Fatalf("table1 has %d rows, want 26", len(tab.Rows))
+	}
+	if len(tab.RowLabels) != 26 {
+		t.Fatalf("table1 has %d labels", len(tab.RowLabels))
+	}
+	cci := col(t, tab, "ci_overhead_pct")
+	ccc := col(t, tab, "concord_overhead_pct")
+	avg := tab.Rows[24]
+	if avg[cci] < 5*math.Max(avg[ccc], 0.1) {
+		t.Errorf("CI average %.2f%% not ≫ Concord average %.2f%%", avg[cci], avg[ccc])
+	}
+	sd := col(t, tab, "concord_stddev_us")
+	for i, row := range tab.Rows[:24] {
+		if row[sd] <= 0 || row[sd] >= 2 {
+			t.Errorf("%s: std-dev %.3fµs outside (0, 2µs)", tab.RowLabels[i], row[sd])
+		}
+	}
+}
+
+func TestQuickOptionsThinning(t *testing.T) {
+	o := Options{LoadPoints: 3}
+	loads := o.thin([]float64{1, 2, 3, 4, 5, 6, 7})
+	if len(loads) != 3 || loads[0] != 1 || loads[2] != 7 {
+		t.Fatalf("thin = %v, want [1 4 7]", loads)
+	}
+	if got := (Options{}).thin([]float64{1, 2}); len(got) != 2 {
+		t.Fatal("no-op thin changed length")
+	}
+}
+
+func TestPlotRendering(t *testing.T) {
+	tab := Table{
+		ID: "p", Title: "T", Columns: []string{"x", "a", "b"},
+		Rows: [][]float64{{1, 2, 3}, {2, 5, 400}, {3, 10, math.Inf(1)}},
+	}
+	out := tab.Plot(60, 10)
+	for _, want := range []string{"p: T", "* = a", "o = b", "inf clamped"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("plot missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.Contains(out, "log") {
+		t.Fatalf("2..400 span should log-scale:\n%s", out)
+	}
+	if strings.Count(out, "\n") < 12 {
+		t.Fatalf("plot too short:\n%s", out)
+	}
+}
+
+func TestPlotDegenerate(t *testing.T) {
+	if out := (Table{}).Plot(60, 10); !strings.Contains(out, "no data") {
+		t.Fatalf("empty table plot = %q", out)
+	}
+	allInf := Table{Columns: []string{"x", "y"}, Rows: [][]float64{{1, math.Inf(1)}}}
+	if out := allInf.Plot(60, 10); !strings.Contains(out, "no finite data") {
+		t.Fatalf("all-inf plot = %q", out)
+	}
+	flat := Table{Columns: []string{"x", "y"}, Rows: [][]float64{{1, 5}, {2, 5}}}
+	if out := flat.Plot(60, 10); !strings.Contains(out, "linear") {
+		t.Fatalf("flat plot = %q", out)
+	}
+}

@@ -1,0 +1,122 @@
+package figures
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Plot renders the table as an ASCII chart: the first column is the
+// x-axis, every other column is a series. The y-axis is log-scaled when
+// the data spans more than two decades (slowdown curves always do).
+// Infinities (saturated points) clamp to the top of the chart.
+func (t Table) Plot(width, height int) string {
+	if len(t.Rows) == 0 || len(t.Columns) < 2 {
+		return "(no data)\n"
+	}
+	if width < 30 {
+		width = 72
+	}
+	if height < 5 {
+		height = 18
+	}
+
+	marks := "*o+x#@%&"
+
+	// Collect y range over finite values.
+	minY, maxY := math.Inf(1), math.Inf(-1)
+	minX, maxX := math.Inf(1), math.Inf(-1)
+	sawInf := false
+	for _, row := range t.Rows {
+		minX = math.Min(minX, row[0])
+		maxX = math.Max(maxX, row[0])
+		for _, v := range row[1:] {
+			if math.IsInf(v, 1) {
+				sawInf = true
+				continue
+			}
+			if math.IsNaN(v) {
+				continue
+			}
+			minY = math.Min(minY, v)
+			maxY = math.Max(maxY, v)
+		}
+	}
+	if math.IsInf(minY, 1) {
+		return "(no finite data)\n"
+	}
+	if maxY == minY {
+		maxY = minY + 1
+	}
+	logScale := minY > 0 && maxY/math.Max(minY, 1e-12) > 100
+	yPos := func(v float64) int {
+		if math.IsInf(v, 1) {
+			return height - 1
+		}
+		var frac float64
+		if logScale {
+			frac = (math.Log10(v) - math.Log10(minY)) / (math.Log10(maxY) - math.Log10(minY))
+		} else {
+			frac = (v - minY) / (maxY - minY)
+		}
+		p := int(frac * float64(height-1))
+		if p < 0 {
+			p = 0
+		}
+		if p >= height {
+			p = height - 1
+		}
+		return p
+	}
+	xPos := func(v float64) int {
+		if maxX == minX {
+			return 0
+		}
+		p := int((v - minX) / (maxX - minX) * float64(width-1))
+		if p < 0 {
+			p = 0
+		}
+		if p >= width {
+			p = width - 1
+		}
+		return p
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for _, row := range t.Rows {
+		x := xPos(row[0])
+		for s, v := range row[1:] {
+			if math.IsNaN(v) {
+				continue
+			}
+			y := yPos(v)
+			grid[y][x] = marks[s%len(marks)]
+		}
+	}
+
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s: %s\n", t.ID, t.Title)
+	scale := "linear"
+	if logScale {
+		scale = "log"
+	}
+	fmt.Fprintf(&b, "y: %.3g .. %.3g (%s)", minY, maxY, scale)
+	if sawInf {
+		b.WriteString(", inf clamped to top")
+	}
+	b.WriteByte('\n')
+	for i := height - 1; i >= 0; i-- {
+		b.WriteString("| ")
+		b.Write(grid[i])
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "+-%s\n", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "x: %s, %.4g .. %.4g\n", t.Columns[0], minX, maxX)
+	for s := 1; s < len(t.Columns); s++ {
+		fmt.Fprintf(&b, "  %c = %s\n", marks[(s-1)%len(marks)], t.Columns[s])
+	}
+	return b.String()
+}

@@ -1,0 +1,312 @@
+// Package instrument is the Go analogue of Concord's LLVM instrumentation
+// pass (§4.3): it rewrites Go source so that preemption probes —
+// ctx.Poll() calls — appear at every function entry and loop back-edge of
+// request-handling code, without the developer writing them by hand.
+//
+// A function is instrumented when it has a parameter whose type ends in
+// the configured context type (by default any `*...Ctx`, e.g.
+// `ctx *live.Ctx`). Probes are inserted:
+//
+//   - at the top of the function body (function entry), and
+//   - at the top of every for/range loop body within it (the loop
+//     back-edge: the probe runs on every iteration).
+//
+// Function literals inside an instrumented function inherit its context
+// variable. Functions whose doc comment contains the directive
+// `//concord:nopreempt` are left untouched (the safety hatch for code
+// that must not yield, mirroring §3.1's un-instrumented external calls).
+// Instrumentation is idempotent: existing probes are not duplicated.
+package instrument
+
+import (
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/format"
+	"go/parser"
+	"go/token"
+	"strings"
+)
+
+// Options configures the pass.
+type Options struct {
+	// CtxTypeSuffix identifies context parameters: a pointer type whose
+	// element type name ends with this suffix. Default "Ctx".
+	CtxTypeSuffix string
+	// PollMethod is the probe method name. Default "Poll".
+	PollMethod string
+	// LoopEvery amortizes loop probes: instead of polling on every
+	// back-edge, the loop polls once every N iterations via a per-
+	// function counter. This is the Go analogue of the paper's loop
+	// unrolling (§4.3): it bounds per-iteration cost for tight loops at
+	// the price of a proportionally longer worst-case yield delay.
+	// Values <= 1 poll on every iteration.
+	LoopEvery int
+}
+
+func (o Options) withDefaults() Options {
+	if o.CtxTypeSuffix == "" {
+		o.CtxTypeSuffix = "Ctx"
+	}
+	if o.PollMethod == "" {
+		o.PollMethod = "Poll"
+	}
+	return o
+}
+
+// Result is the outcome of instrumenting one file.
+type Result struct {
+	// Source is the rewritten file.
+	Source []byte
+	// Probes is the number of probe calls inserted.
+	Probes int
+	// Functions is the number of functions instrumented.
+	Functions int
+}
+
+// nopreemptDirective marks functions the pass must skip.
+const nopreemptDirective = "//concord:nopreempt"
+
+// File instruments one Go source file.
+func File(filename string, src []byte, opts Options) (Result, error) {
+	opts = opts.withDefaults()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, filename, src, parser.ParseComments)
+	if err != nil {
+		return Result{}, fmt.Errorf("instrument: %w", err)
+	}
+
+	var res Result
+	for _, decl := range f.Decls {
+		fn, ok := decl.(*ast.FuncDecl)
+		if !ok || fn.Body == nil {
+			continue
+		}
+		if hasNopreempt(fn.Doc) {
+			continue
+		}
+		ctxName := ctxParamName(fn.Type, opts)
+		if ctxName == "" {
+			continue
+		}
+		n := instrumentFunc(fn.Body, ctxName, opts)
+		if n > 0 {
+			res.Probes += n
+			res.Functions++
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := format.Node(&buf, fset, f); err != nil {
+		return Result{}, fmt.Errorf("instrument: formatting: %w", err)
+	}
+	res.Source = buf.Bytes()
+	return res, nil
+}
+
+func hasNopreempt(doc *ast.CommentGroup) bool {
+	if doc == nil {
+		return false
+	}
+	for _, c := range doc.List {
+		if strings.HasPrefix(strings.TrimSpace(c.Text), nopreemptDirective) {
+			return true
+		}
+	}
+	return false
+}
+
+// ctxParamName returns the name of the first parameter whose type is a
+// pointer to a type ending in the context suffix, or "".
+func ctxParamName(ft *ast.FuncType, opts Options) string {
+	if ft.Params == nil {
+		return ""
+	}
+	for _, field := range ft.Params.List {
+		star, ok := field.Type.(*ast.StarExpr)
+		if !ok {
+			continue
+		}
+		var typeName string
+		switch t := star.X.(type) {
+		case *ast.Ident:
+			typeName = t.Name
+		case *ast.SelectorExpr:
+			typeName = t.Sel.Name
+		default:
+			continue
+		}
+		if !strings.HasSuffix(typeName, opts.CtxTypeSuffix) {
+			continue
+		}
+		for _, name := range field.Names {
+			if name.Name != "_" {
+				return name.Name
+			}
+		}
+	}
+	return ""
+}
+
+// counterName is the per-function iteration counter amortized loop
+// probes share.
+const counterName = "_concordPolls"
+
+// instrumentFunc inserts probes into body and returns how many were
+// added.
+func instrumentFunc(body *ast.BlockStmt, ctxName string, opts Options) int {
+	n := 0
+	loopProbes := 0
+	if insertProbe(body, ctxName, opts) {
+		n++
+	}
+	ast.Inspect(body, func(node ast.Node) bool {
+		switch v := node.(type) {
+		case *ast.ForStmt:
+			if v.Body != nil && insertLoopProbe(v.Body, ctxName, opts) {
+				n++
+				loopProbes++
+			}
+		case *ast.RangeStmt:
+			if v.Body != nil && insertLoopProbe(v.Body, ctxName, opts) {
+				n++
+				loopProbes++
+			}
+		case *ast.FuncLit:
+			// A nested literal with its own context parameter is handled
+			// with that parameter; otherwise it inherits the enclosing
+			// context variable (a closure capture), which Inspect's
+			// continued traversal covers.
+			if inner := ctxParamName(v.Type, opts); inner != "" && v.Body != nil {
+				n += instrumentFunc(v.Body, inner, opts)
+				return false // handled; do not also instrument with outer ctx
+			}
+		}
+		return true
+	})
+	if loopProbes > 0 && opts.LoopEvery > 1 {
+		declareCounter(body)
+	}
+	return n
+}
+
+// declareCounter prepends `var _concordPolls int` (after any entry
+// probe) unless the function already declares it.
+func declareCounter(body *ast.BlockStmt) {
+	for _, stmt := range body.List {
+		if ds, ok := stmt.(*ast.DeclStmt); ok {
+			if gd, ok := ds.Decl.(*ast.GenDecl); ok && gd.Tok == token.VAR {
+				for _, spec := range gd.Specs {
+					if vs, ok := spec.(*ast.ValueSpec); ok {
+						for _, name := range vs.Names {
+							if name.Name == counterName {
+								return
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	decl := &ast.DeclStmt{Decl: &ast.GenDecl{
+		Tok: token.VAR,
+		Specs: []ast.Spec{&ast.ValueSpec{
+			Names: []*ast.Ident{ast.NewIdent(counterName)},
+			Type:  ast.NewIdent("int"),
+		}},
+	}}
+	// Keep the entry probe first if present.
+	insertAt := 0
+	if len(body.List) > 0 {
+		if _, ok := body.List[0].(*ast.ExprStmt); ok {
+			insertAt = 1
+		}
+	}
+	rest := append([]ast.Stmt{decl}, body.List[insertAt:]...)
+	body.List = append(body.List[:insertAt:insertAt], rest...)
+}
+
+// insertLoopProbe prepends a loop-body probe: a direct poll, or the
+// amortized counter form when Options.LoopEvery > 1:
+//
+//	if _concordPolls++; _concordPolls%N == 0 { ctx.Poll() }
+func insertLoopProbe(block *ast.BlockStmt, ctxName string, opts Options) bool {
+	if opts.LoopEvery <= 1 {
+		return insertProbe(block, ctxName, opts)
+	}
+	if len(block.List) > 0 && (isProbe(block.List[0], ctxName, opts) || isAmortizedProbe(block.List[0])) {
+		return false
+	}
+	probe := &ast.IfStmt{
+		Init: &ast.IncDecStmt{X: ast.NewIdent(counterName), Tok: token.INC},
+		Cond: &ast.BinaryExpr{
+			X: &ast.BinaryExpr{
+				X:  ast.NewIdent(counterName),
+				Op: token.REM,
+				Y:  &ast.BasicLit{Kind: token.INT, Value: itoa(opts.LoopEvery)},
+			},
+			Op: token.EQL,
+			Y:  &ast.BasicLit{Kind: token.INT, Value: "0"},
+		},
+		Body: &ast.BlockStmt{List: []ast.Stmt{&ast.ExprStmt{X: &ast.CallExpr{
+			Fun: &ast.SelectorExpr{
+				X:   ast.NewIdent(ctxName),
+				Sel: ast.NewIdent(opts.PollMethod),
+			},
+		}}}},
+	}
+	block.List = append([]ast.Stmt{probe}, block.List...)
+	return true
+}
+
+// isAmortizedProbe reports whether stmt is the counter-based probe form.
+func isAmortizedProbe(stmt ast.Stmt) bool {
+	ifs, ok := stmt.(*ast.IfStmt)
+	if !ok || ifs.Init == nil {
+		return false
+	}
+	inc, ok := ifs.Init.(*ast.IncDecStmt)
+	if !ok {
+		return false
+	}
+	id, ok := inc.X.(*ast.Ident)
+	return ok && id.Name == counterName
+}
+
+func itoa(n int) string {
+	return fmt.Sprintf("%d", n)
+}
+
+// insertProbe prepends ctxName.Poll() to the block unless it is already
+// there. It reports whether a probe was added.
+func insertProbe(block *ast.BlockStmt, ctxName string, opts Options) bool {
+	if len(block.List) > 0 && isProbe(block.List[0], ctxName, opts) {
+		return false
+	}
+	probe := &ast.ExprStmt{X: &ast.CallExpr{
+		Fun: &ast.SelectorExpr{
+			X:   ast.NewIdent(ctxName),
+			Sel: ast.NewIdent(opts.PollMethod),
+		},
+	}}
+	block.List = append([]ast.Stmt{probe}, block.List...)
+	return true
+}
+
+// isProbe reports whether stmt is ctxName.Poll().
+func isProbe(stmt ast.Stmt, ctxName string, opts Options) bool {
+	es, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok || len(call.Args) != 0 {
+		return false
+	}
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != opts.PollMethod {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	return ok && id.Name == ctxName
+}

@@ -1,0 +1,307 @@
+package instrument
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+)
+
+const sample = `package app
+
+import "concord/internal/live"
+
+func Handle(ctx *live.Ctx, n int) int {
+	sum := 0
+	for i := 0; i < n; i++ {
+		sum += i
+	}
+	for _, v := range []int{1, 2, 3} {
+		sum += v
+	}
+	return sum
+}
+
+func helper(n int) int { // no ctx: untouched
+	for i := 0; i < n; i++ {
+		n--
+	}
+	return n
+}
+
+//concord:nopreempt
+func critical(ctx *live.Ctx) {
+	for {
+		break
+	}
+}
+
+func withClosure(ctx *live.Ctx) {
+	f := func() {
+		for i := 0; i < 3; i++ {
+			_ = i
+		}
+	}
+	f()
+}
+
+func ownCtx(outer *live.Ctx) {
+	g := func(inner *live.Ctx) {
+		for {
+			break
+		}
+	}
+	g(outer)
+}
+`
+
+func mustInstrument(t *testing.T, src string) (Result, string) {
+	t.Helper()
+	res, err := File("sample.go", []byte(src), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, string(res.Source)
+}
+
+func TestProbesInserted(t *testing.T) {
+	res, out := mustInstrument(t, sample)
+	// Handle: entry + 2 loops = 3. critical: skipped. withClosure:
+	// entry + closure loop = 2. ownCtx: entry + inner entry + inner
+	// loop... inner has own ctx: entry(outer) 1 + inner instrumented as
+	// its own function: entry + loop = 2 -> total for ownCtx = 3.
+	if res.Probes != 3+2+3 {
+		t.Fatalf("probes = %d, want 8\n%s", res.Probes, out)
+	}
+	if res.Functions != 3 {
+		t.Fatalf("functions = %d, want 3", res.Functions)
+	}
+	if got := strings.Count(out, "ctx.Poll()"); got != 5 {
+		t.Fatalf("ctx.Poll() count = %d, want 5\n%s", got, out)
+	}
+	if got := strings.Count(out, "inner.Poll()"); got != 2 {
+		t.Fatalf("inner.Poll() count = %d, want 2\n%s", got, out)
+	}
+	if strings.Count(out, "outer.Poll()") != 1 {
+		t.Fatalf("outer.Poll() missing\n%s", out)
+	}
+}
+
+func TestUntouchedFunctions(t *testing.T) {
+	_, out := mustInstrument(t, sample)
+	// helper has no ctx parameter: its loop must have no probe.
+	helperIdx := strings.Index(out, "func helper")
+	criticalIdx := strings.Index(out, "func critical")
+	helperBody := out[helperIdx:criticalIdx]
+	if strings.Contains(helperBody, "Poll()") {
+		t.Fatalf("helper was instrumented:\n%s", helperBody)
+	}
+	// critical carries the nopreempt directive.
+	rest := out[criticalIdx:strings.Index(out, "func withClosure")]
+	if strings.Contains(rest, "Poll()") {
+		t.Fatalf("nopreempt function was instrumented:\n%s", rest)
+	}
+}
+
+func TestOutputParses(t *testing.T) {
+	_, out := mustInstrument(t, sample)
+	fset := token.NewFileSet()
+	if _, err := parser.ParseFile(fset, "out.go", out, 0); err != nil {
+		t.Fatalf("instrumented output does not parse: %v\n%s", err, out)
+	}
+}
+
+func TestIdempotent(t *testing.T) {
+	_, out1 := mustInstrument(t, sample)
+	res2, out2 := mustInstrument(t, out1)
+	if res2.Probes != 0 {
+		t.Fatalf("second pass inserted %d probes", res2.Probes)
+	}
+	if out1 != out2 {
+		t.Fatal("second pass changed the output")
+	}
+}
+
+func TestProbePlacement(t *testing.T) {
+	_, out := mustInstrument(t, sample)
+	// The entry probe must be the first statement of Handle.
+	idx := strings.Index(out, "func Handle(ctx *live.Ctx, n int) int {")
+	if idx < 0 {
+		t.Fatalf("Handle signature missing:\n%s", out)
+	}
+	after := out[idx:]
+	firstStmt := strings.TrimSpace(strings.SplitN(after, "\n", 3)[1])
+	if firstStmt != "ctx.Poll()" {
+		t.Fatalf("first statement of Handle = %q, want ctx.Poll()", firstStmt)
+	}
+	// Each loop body starts with a probe.
+	for _, loop := range []string{"for i := 0; i < n; i++ {", "for _, v := range []int{1, 2, 3} {"} {
+		li := strings.Index(after, loop)
+		if li < 0 {
+			t.Fatalf("loop %q missing", loop)
+		}
+		next := strings.TrimSpace(strings.SplitN(after[li:], "\n", 3)[1])
+		if next != "ctx.Poll()" {
+			t.Fatalf("loop %q first statement = %q", loop, next)
+		}
+	}
+}
+
+func TestUnderscoreAndMissingCtx(t *testing.T) {
+	src := `package p
+type Ctx struct{}
+func (c *Ctx) Poll() {}
+func a(_ *Ctx) { for { break } }
+func b() { for { break } }
+`
+	res, out := mustInstrument(t, src)
+	if res.Probes != 0 {
+		t.Fatalf("instrumented unnamed/missing ctx: %d probes\n%s", res.Probes, out)
+	}
+}
+
+func TestCustomOptions(t *testing.T) {
+	src := `package p
+func h(rc *RequestContext) {
+	for { break }
+}
+`
+	res, err := File("x.go", []byte(src), Options{CtxTypeSuffix: "Context", PollMethod: "Probe"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(res.Source)
+	if strings.Count(out, "rc.Probe()") != 2 {
+		t.Fatalf("custom options not honored:\n%s", out)
+	}
+}
+
+func TestParseErrorReported(t *testing.T) {
+	if _, err := File("bad.go", []byte("not go code"), Options{}); err == nil {
+		t.Fatal("invalid source did not error")
+	}
+}
+
+func TestValueReceiverCtxByPointerOnly(t *testing.T) {
+	src := `package p
+func h(c Ctx) { for { break } } // value type: not a context param
+type Ctx struct{}
+`
+	res, _ := mustInstrument(t, src)
+	if res.Probes != 0 {
+		t.Fatal("value-typed Ctx parameter was instrumented")
+	}
+}
+
+const loopSample = `package p
+
+func hot(ctx *Ctx, n int) int {
+	sum := 0
+	for i := 0; i < n; i++ {
+		sum += i
+	}
+	return sum
+}
+
+type Ctx struct{}
+
+func (c *Ctx) Poll() {}
+`
+
+func TestAmortizedLoopProbes(t *testing.T) {
+	res, err := File("hot.go", []byte(loopSample), Options{LoopEvery: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := string(res.Source)
+	if !strings.Contains(out, "var _concordPolls int") {
+		t.Fatalf("counter declaration missing:\n%s", out)
+	}
+	if !strings.Contains(out, "if _concordPolls++; _concordPolls%64 == 0 {") {
+		t.Fatalf("amortized probe missing:\n%s", out)
+	}
+	// The entry probe stays a direct poll, before the counter decl.
+	idx := strings.Index(out, "func hot")
+	lines := strings.SplitN(out[idx:], "\n", 4)
+	if strings.TrimSpace(lines[1]) != "ctx.Poll()" {
+		t.Fatalf("entry probe not first: %q", lines[1])
+	}
+	if strings.TrimSpace(lines[2]) != "var _concordPolls int" {
+		t.Fatalf("counter not second: %q", lines[2])
+	}
+	// Output must parse.
+	fset := token.NewFileSet()
+	if _, err := parser.ParseFile(fset, "out.go", out, 0); err != nil {
+		t.Fatalf("amortized output does not parse: %v\n%s", err, out)
+	}
+}
+
+func TestAmortizedIdempotent(t *testing.T) {
+	res1, err := File("hot.go", []byte(loopSample), Options{LoopEvery: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res2, err := File("hot.go", res1.Source, Options{LoopEvery: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Probes != 0 {
+		t.Fatalf("second amortized pass inserted %d probes:\n%s", res2.Probes, res2.Source)
+	}
+	if string(res1.Source) != string(res2.Source) {
+		t.Fatal("second amortized pass changed output")
+	}
+}
+
+func TestNoCounterWithoutLoops(t *testing.T) {
+	src := `package p
+func f(ctx *Ctx) int { return 1 }
+type Ctx struct{}
+func (c *Ctx) Poll() {}
+`
+	res, err := File("x.go", []byte(src), Options{LoopEvery: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(res.Source), "_concordPolls") {
+		t.Fatalf("counter declared despite no loops:\n%s", res.Source)
+	}
+}
+
+// Type-check the instrumented output of a self-contained program: the
+// probes and counters must be semantically valid Go, not just parseable.
+func TestInstrumentedOutputTypeChecks(t *testing.T) {
+	src := `package p
+
+type Ctx struct{ n int }
+
+func (c *Ctx) Poll() { c.n++ }
+
+func handle(ctx *Ctx, data []int) int {
+	sum := 0
+	for _, v := range data {
+		for j := 0; j < v; j++ {
+			sum += j
+		}
+	}
+	return sum
+}
+`
+	for _, every := range []int{0, 32} {
+		res, err := File("p.go", []byte(src), Options{LoopEvery: every})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fset := token.NewFileSet()
+		f, err := parser.ParseFile(fset, "p.go", res.Source, 0)
+		if err != nil {
+			t.Fatalf("every=%d: parse: %v\n%s", every, err, res.Source)
+		}
+		conf := types.Config{}
+		if _, err := conf.Check("p", fset, []*ast.File{f}, nil); err != nil {
+			t.Fatalf("every=%d: type check: %v\n%s", every, err, res.Source)
+		}
+	}
+}

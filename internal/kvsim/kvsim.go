@@ -1,0 +1,92 @@
+// Package kvsim models Google's LevelDB as a service-time distribution,
+// matching the paper's measured setup (§5.3): 15,000 unique keys held in
+// memory via memory-mapped plain tables, where
+//
+//   - GET requests take ≈600ns,
+//   - PUT and DELETE requests take ≈2.3µs,
+//   - SCAN requests over the whole database take ≈500µs.
+//
+// PUT and GET acquire LevelDB's internal mutex, so they carry a
+// critical-section prefix during which Concord's safety-first preemption
+// defers yields (§3.1). The fractions are estimates of the lock-held
+// share of each operation in LevelDB's code (the paper reports adding a
+// 4-line lock counter, not the fractions themselves).
+package kvsim
+
+import (
+	"concord/internal/dist"
+	"concord/internal/server"
+)
+
+// Operation service times in µs (§5.3).
+const (
+	GetUS    = 0.6
+	PutUS    = 2.3
+	DeleteUS = 2.3
+	ScanUS   = 500.0
+)
+
+// Critical-section fractions: the share of each operation spent holding
+// LevelDB's mutex. Scans iterate over an immutable snapshot and hold no
+// lock during the scan body.
+const (
+	GetCritFrac = 0.4
+	PutCritFrac = 0.6
+)
+
+// CritFracByClass returns the per-class lock model shared by all LevelDB
+// workloads.
+func CritFracByClass() map[string]float64 {
+	return map[string]float64{
+		"GET":    GetCritFrac,
+		"PUT":    PutCritFrac,
+		"DELETE": PutCritFrac,
+	}
+}
+
+// Mixed5050 returns the paper's first LevelDB workload: 50% GETs of a
+// single key, 50% SCANs of the entire database (§5.3, Fig. 9). Its
+// service-time dispersion is ≈1000×.
+func Mixed5050() server.Workload {
+	return server.Workload{
+		Dist: dist.NewMixture("LevelDB(50%GET,50%SCAN)",
+			dist.Class{Name: "GET", Weight: 50, Dist: dist.NewFixed(GetUS)},
+			dist.Class{Name: "SCAN", Weight: 50, Dist: dist.NewFixed(ScanUS)},
+		),
+		CritFracByClass: CritFracByClass(),
+	}
+}
+
+// ZippyDB returns the paper's second LevelDB workload, based on Meta's
+// published ZippyDB production traces (§5.3, Fig. 10): 78% GETs, 13%
+// PUTs, 6% DELETEs, 3% SCANs.
+func ZippyDB() server.Workload {
+	return server.Workload{
+		Dist: dist.NewMixture("LevelDB(ZippyDB)",
+			dist.Class{Name: "GET", Weight: 78, Dist: dist.NewFixed(GetUS)},
+			dist.Class{Name: "PUT", Weight: 13, Dist: dist.NewFixed(PutUS)},
+			dist.Class{Name: "DELETE", Weight: 6, Dist: dist.NewFixed(DeleteUS)},
+			dist.Class{Name: "SCAN", Weight: 3, Dist: dist.NewFixed(ScanUS)},
+		),
+		CritFracByClass: CritFracByClass(),
+	}
+}
+
+// LongGetMicrobench returns the §3.1 microbenchmark that exposes
+// Shinjuku's whole-API-call preemption deferral: a mix of short GETs and
+// long-running 100µs GET API calls that acquire the LevelDB lock only
+// briefly. Under Concord's lock-counter approach only the short critical
+// section defers preemption; under Shinjuku's approach the entire 100µs
+// call does.
+func LongGetMicrobench() server.Workload {
+	return server.Workload{
+		Dist: dist.NewMixture("LevelDB(long-GET microbench)",
+			dist.Class{Name: "GET", Weight: 80, Dist: dist.NewFixed(GetUS)},
+			dist.Class{Name: "LONGGET", Weight: 20, Dist: dist.NewFixed(100)},
+		),
+		CritFracByClass: map[string]float64{
+			"GET":     GetCritFrac,
+			"LONGGET": 0.02, // the lock is held ≈2µs of the 100µs call
+		},
+	}
+}

@@ -1,0 +1,102 @@
+package kvsim
+
+import (
+	"math"
+	"testing"
+
+	"concord/internal/sim"
+)
+
+func TestMixed5050Composition(t *testing.T) {
+	wl := Mixed5050()
+	want := 0.5*GetUS + 0.5*ScanUS
+	if got := wl.Dist.Mean(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("mean = %v, want %v", got, want)
+	}
+	r := sim.NewRNG(1)
+	counts := map[string]int{}
+	for i := 0; i < 100000; i++ {
+		s := wl.Dist.Sample(r)
+		counts[s.Class]++
+		switch s.Class {
+		case "GET":
+			if s.ServiceUS != GetUS {
+				t.Fatalf("GET service %v", s.ServiceUS)
+			}
+		case "SCAN":
+			if s.ServiceUS != ScanUS {
+				t.Fatalf("SCAN service %v", s.ServiceUS)
+			}
+		default:
+			t.Fatalf("unexpected class %q", s.Class)
+		}
+	}
+	frac := float64(counts["GET"]) / 100000
+	if math.Abs(frac-0.5) > 0.01 {
+		t.Fatalf("GET fraction %v, want ~0.5", frac)
+	}
+}
+
+func TestZippyDBComposition(t *testing.T) {
+	wl := ZippyDB()
+	// §5.3: 78% GETs, 13% PUTs, 6% DELETEs, 3% SCANs.
+	want := 0.78*GetUS + 0.13*PutUS + 0.06*DeleteUS + 0.03*ScanUS
+	if got := wl.Dist.Mean(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("mean = %v, want %v", got, want)
+	}
+	r := sim.NewRNG(2)
+	counts := map[string]int{}
+	const n = 200000
+	for i := 0; i < n; i++ {
+		counts[wl.Dist.Sample(r).Class]++
+	}
+	for class, wantFrac := range map[string]float64{"GET": 0.78, "PUT": 0.13, "DELETE": 0.06, "SCAN": 0.03} {
+		if got := float64(counts[class]) / n; math.Abs(got-wantFrac) > 0.01 {
+			t.Errorf("%s fraction = %v, want %v", class, got, wantFrac)
+		}
+	}
+}
+
+func TestLockModel(t *testing.T) {
+	for _, wl := range []struct {
+		name string
+		crit map[string]float64
+	}{
+		{"5050", Mixed5050().CritFracByClass},
+		{"zippy", ZippyDB().CritFracByClass},
+	} {
+		if wl.crit["GET"] != GetCritFrac {
+			t.Errorf("%s: GET crit frac %v", wl.name, wl.crit["GET"])
+		}
+		if _, ok := wl.crit["SCAN"]; ok {
+			t.Errorf("%s: SCAN must not hold the mutex", wl.name)
+		}
+	}
+	z := ZippyDB().CritFracByClass
+	if z["PUT"] != PutCritFrac || z["DELETE"] != PutCritFrac {
+		t.Error("writes must hold the mutex")
+	}
+}
+
+func TestLongGetMicrobench(t *testing.T) {
+	wl := LongGetMicrobench()
+	r := sim.NewRNG(3)
+	sawLong := false
+	for i := 0; i < 10000; i++ {
+		s := wl.Dist.Sample(r)
+		if s.Class == "LONGGET" {
+			sawLong = true
+			if s.ServiceUS != 100 {
+				t.Fatalf("LONGGET service %v, want 100µs", s.ServiceUS)
+			}
+		}
+	}
+	if !sawLong {
+		t.Fatal("no LONGGET samples")
+	}
+	// The long GET's critical section must be a small fraction: that is
+	// the whole point of the §3.1 microbenchmark.
+	if f := wl.CritFracByClass["LONGGET"]; f <= 0 || f > 0.1 {
+		t.Fatalf("LONGGET crit frac = %v, want small positive", f)
+	}
+}

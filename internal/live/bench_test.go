@@ -1,0 +1,50 @@
+package live
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkRoundTrip measures the runtime's per-request overhead: a
+// no-work handler through submit, dispatch, JBSQ push, execution, and
+// response delivery.
+func BenchmarkRoundTrip(b *testing.B) {
+	s := New(&spinHandler{}, testOptions(2, 0))
+	s.Start()
+	defer s.Stop()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if resp := s.Do(time.Duration(0)); resp.Err != nil {
+			b.Fatal(resp.Err)
+		}
+	}
+}
+
+// BenchmarkPreemptedRequest measures a 500µs request under a 100µs
+// quantum: the full yield/requeue/redispatch cycle several times over.
+func BenchmarkPreemptedRequest(b *testing.B) {
+	s := New(&spinHandler{}, testOptions(1, 100*time.Microsecond))
+	s.Start()
+	defer s.Stop()
+	b.ResetTimer()
+	preempts := 0
+	for i := 0; i < b.N; i++ {
+		resp := s.Do(500 * time.Microsecond)
+		if resp.Err != nil {
+			b.Fatal(resp.Err)
+		}
+		preempts += resp.Preemptions
+	}
+	b.ReportMetric(float64(preempts)/float64(b.N), "preempts/req")
+}
+
+// BenchmarkPollHot measures the probe cost on the fast path (no flag
+// set): this is the c_proc the instrumentation adds per poll.
+func BenchmarkPollHot(b *testing.B) {
+	ex := &executor{id: 0}
+	c := &Ctx{task: &task{}, ex: ex, yieldEvery: -1}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Poll()
+	}
+}

@@ -1,0 +1,572 @@
+// Package live is a working Go implementation of the Concord runtime: a
+// dispatcher thread plus pinned worker threads serving µs-to-ms-scale
+// requests with
+//
+//   - cooperative preemption via per-worker padded atomic flags that
+//     handler code polls (the paper's compiler-enforced cooperation,
+//     §3.1 — in Go the "compiler pass" is either explicit ctx.Poll()
+//     calls or source instrumentation via cmd/concordc),
+//   - JBSQ(k) bounded per-worker queues fed push-style by the
+//     dispatcher (§3.2), and
+//   - a work-conserving dispatcher that runs requests itself, under
+//     time-based self-preemption, when all worker queues are full
+//     (§3.3); such requests never migrate to workers.
+//
+// Go cannot hold 2µs quanta (timer and scheduler jitter are comparable),
+// so realistic quanta here are ≥ 50µs; the scheduling *structure* is
+// exactly the paper's. Each request runs on its own goroutine that parks
+// cooperatively, mirroring Shinjuku-style user-level contexts.
+package live
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Handler is the application callback interface, mirroring the paper's
+// three-callback API (§4.1): setup(), setup_worker(core), and
+// handle_request(req).
+type Handler interface {
+	// Setup initializes global application state before serving.
+	Setup()
+	// SetupWorker initializes per-worker state; worker -1 is the
+	// dispatcher (it runs application code too when work-conserving).
+	SetupWorker(worker int)
+	// Handle processes one request. Long handlers must call ctx.Poll()
+	// regularly (or be instrumented with cmd/concordc) so preemption
+	// works; they may bracket lock-held regions with ctx.BeginNoPreempt /
+	// ctx.EndNoPreempt.
+	Handle(ctx *Ctx, payload any) (any, error)
+}
+
+// Options configures a Server.
+type Options struct {
+	// Workers is the number of worker goroutines (each pinned to an OS
+	// thread). Default 2.
+	Workers int
+	// Quantum is the scheduling quantum; 0 disables preemption.
+	Quantum time.Duration
+	// QueueBound is k in JBSQ(k), counting the in-service request.
+	// Default 2. 1 degenerates to a synchronous single queue.
+	QueueBound int
+	// WorkConserving lets the dispatcher run requests when every worker
+	// queue is full.
+	WorkConserving bool
+	// DispatcherSlice is how long the dispatcher works on a stolen
+	// request before checking for dispatcher duties. Default: Quantum,
+	// or 100µs if Quantum is 0.
+	DispatcherSlice time.Duration
+	// PinThreads locks workers and dispatcher to OS threads. Default
+	// true; tests disable it to run many servers concurrently.
+	PinThreads bool
+	// CoopTimeshare makes request code call runtime.Gosched every N
+	// polls so the dispatcher and workers make progress when there are
+	// fewer CPUs than runtime threads (the dispatcher otherwise starves
+	// and preemption flags are never written). 0 auto-detects from
+	// GOMAXPROCS; negative disables.
+	CoopTimeshare int
+	// SubmitBuffer is the ingress channel capacity. Default 4096.
+	SubmitBuffer int
+}
+
+func (o Options) withDefaults() Options {
+	if o.Workers <= 0 {
+		o.Workers = 2
+	}
+	if o.QueueBound <= 0 {
+		o.QueueBound = 2
+	}
+	if o.DispatcherSlice <= 0 {
+		if o.Quantum > 0 {
+			o.DispatcherSlice = o.Quantum
+		} else {
+			o.DispatcherSlice = 100 * time.Microsecond
+		}
+	}
+	if o.SubmitBuffer <= 0 {
+		o.SubmitBuffer = 4096
+	}
+	if o.CoopTimeshare == 0 {
+		if runtime.GOMAXPROCS(0) < o.Workers+2 {
+			// Not enough CPUs to run the dispatcher, the workers, and
+			// request code in parallel: timeshare cooperatively.
+			o.CoopTimeshare = 64
+		} else {
+			o.CoopTimeshare = -1
+		}
+	}
+	return o
+}
+
+// Response is the result of one request.
+type Response struct {
+	ID      uint64
+	Payload any
+	Err     error
+	// Latency is the total time at the server (sojourn).
+	Latency time.Duration
+	// Preemptions counts how many times the request yielded.
+	Preemptions int
+	// OnDispatcher reports the request was executed by the
+	// work-conserving dispatcher.
+	OnDispatcher bool
+}
+
+// Stats are cumulative server counters, safe to read while serving.
+type Stats struct {
+	Submitted   uint64
+	Completed   uint64
+	Preemptions uint64
+	Stolen      uint64 // completed by the dispatcher
+}
+
+// errServerStopped is returned for submissions after Stop.
+var errServerStopped = errors.New("live: server stopped")
+
+// cacheLinePad avoids false sharing between per-worker flags.
+const cacheLinePad = 64
+
+// executor is a CPU context a task can run on: a worker or the
+// dispatcher in work-conserving mode.
+type executor struct {
+	id int // worker index, or -1 for the dispatcher
+	// flag is the dedicated "cache line" the dispatcher writes to
+	// request preemption and the task's Poll reads.
+	flag atomic.Uint32
+	_    [cacheLinePad - 4]byte
+	// sliceStart/sliceLen drive time-based self-preemption when the
+	// dispatcher runs tasks (there is nobody to write its flag, §3.3).
+	sliceStart time.Time
+	sliceLen   time.Duration
+}
+
+type parkEvent struct {
+	done bool
+	resp Response
+}
+
+// task is one in-flight request and its suspended continuation.
+type task struct {
+	id      uint64
+	payload any
+	arrival time.Time
+	result  chan Response
+
+	resume chan *executor
+	parked chan parkEvent
+
+	started      bool
+	onDispatcher bool
+	preempts     int
+}
+
+// runInfo is the per-worker "currently running" record the dispatcher
+// reads to detect expired quanta.
+type runInfo struct {
+	epoch uint64
+	start time.Time
+}
+
+// Server is a running Concord scheduling runtime.
+type Server struct {
+	opts    Options
+	handler Handler
+
+	submit  chan *task
+	central []*task // dispatcher-owned FIFO
+	locals  []chan *task
+	occ     []atomic.Int32 // per-worker occupancy incl. in-service
+	workers []*executor
+	running []atomic.Pointer[runInfo]
+
+	dispatcherEx *executor
+	saved        *task
+
+	nextID atomic.Uint64
+	stats  struct {
+		submitted   atomic.Uint64
+		completed   atomic.Uint64
+		preemptions atomic.Uint64
+		stolen      atomic.Uint64
+	}
+
+	stopped atomic.Bool
+	done    chan struct{} // dispatcher exited
+	wg      sync.WaitGroup
+
+	startOnce sync.Once
+	stopOnce  sync.Once
+}
+
+// New builds a server; call Start before submitting.
+func New(h Handler, opts Options) *Server {
+	opts = opts.withDefaults()
+	s := &Server{
+		opts:    opts,
+		handler: h,
+		submit:  make(chan *task, opts.SubmitBuffer),
+		locals:  make([]chan *task, opts.Workers),
+		occ:     make([]atomic.Int32, opts.Workers),
+		workers: make([]*executor, opts.Workers),
+		running: make([]atomic.Pointer[runInfo], opts.Workers),
+		done:    make(chan struct{}),
+	}
+	for i := range s.locals {
+		s.locals[i] = make(chan *task, opts.QueueBound)
+		s.workers[i] = &executor{id: i}
+	}
+	s.dispatcherEx = &executor{id: -1}
+	return s
+}
+
+// Start launches the dispatcher and workers.
+func (s *Server) Start() {
+	s.startOnce.Do(func() {
+		s.handler.Setup()
+		for i := 0; i < s.opts.Workers; i++ {
+			s.wg.Add(1)
+			go s.workerLoop(i)
+		}
+		go s.dispatcherLoop()
+	})
+}
+
+// Stop drains in-flight requests and shuts the server down. Submissions
+// racing with Stop may be rejected with an error response.
+func (s *Server) Stop() {
+	s.stopOnce.Do(func() {
+		s.stopped.Store(true)
+		<-s.done
+		for _, ch := range s.locals {
+			close(ch)
+		}
+		s.wg.Wait()
+	})
+}
+
+// Stats returns a snapshot of the server counters.
+func (s *Server) Stats() Stats {
+	return Stats{
+		Submitted:   s.stats.submitted.Load(),
+		Completed:   s.stats.completed.Load(),
+		Preemptions: s.stats.preemptions.Load(),
+		Stolen:      s.stats.stolen.Load(),
+	}
+}
+
+// Submit enqueues a request and returns a channel that will receive its
+// response. The channel has capacity 1; the caller need not read it
+// immediately.
+func (s *Server) Submit(payload any) <-chan Response {
+	ch := make(chan Response, 1)
+	if s.stopped.Load() {
+		ch <- Response{Err: errServerStopped}
+		return ch
+	}
+	t := &task{
+		id:      s.nextID.Add(1),
+		payload: payload,
+		arrival: time.Now(),
+		result:  ch,
+		resume:  make(chan *executor),
+		parked:  make(chan parkEvent),
+	}
+	s.stats.submitted.Add(1)
+	s.submit <- t
+	return ch
+}
+
+// Do submits a request and waits for its response.
+func (s *Server) Do(payload any) Response {
+	return <-s.Submit(payload)
+}
+
+// ---------- dispatcher ----------
+
+func (s *Server) dispatcherLoop() {
+	if s.opts.PinThreads {
+		runtime.LockOSThread()
+		defer runtime.UnlockOSThread()
+	}
+	s.handler.SetupWorker(-1)
+	lastFlagged := make([]uint64, s.opts.Workers)
+
+	for {
+		progress := false
+
+		// 1. Ingest submissions (bounded batch per iteration, so
+		// preemption signaling stays timely).
+		for i := 0; i < 64; i++ {
+			select {
+			case t := <-s.submit:
+				s.central = append(s.central, t)
+				progress = true
+				continue
+			default:
+			}
+			break
+		}
+
+		// 2. Preemption signaling: write the flag of any worker whose
+		// current request outlived the quantum.
+		if q := s.opts.Quantum; q > 0 {
+			now := time.Now()
+			for w := range s.workers {
+				info := s.running[w].Load()
+				if info == nil || info.epoch == lastFlagged[w] {
+					continue
+				}
+				if now.Sub(info.start) >= q {
+					s.workers[w].flag.Store(1)
+					lastFlagged[w] = info.epoch
+					// If the worker switched tasks while we decided,
+					// retract the stale signal.
+					if cur := s.running[w].Load(); cur == nil || cur.epoch != info.epoch {
+						s.workers[w].flag.Store(0)
+					}
+					progress = true
+				}
+			}
+		}
+
+		// 3. JBSQ push: move requests to the shortest non-full queue.
+		for len(s.central) > 0 {
+			w := s.shortestQueue()
+			if w < 0 {
+				break
+			}
+			t := s.central[0]
+			s.central[0] = nil
+			s.central = s.central[1:]
+			s.occ[w].Add(1)
+			s.locals[w] <- t
+			progress = true
+		}
+
+		// 4. Work conservation.
+		if s.opts.WorkConserving && !progress {
+			if t := s.saved; t != nil {
+				s.saved = nil
+				s.runSlice(t) // re-sets saved if the task parks again
+				progress = true
+			} else if t := s.takeNonStarted(); t != nil {
+				s.runSlice(t)
+				progress = true
+			}
+		}
+
+		if s.stopped.Load() && s.drained() {
+			close(s.done)
+			return
+		}
+		if !progress {
+			runtime.Gosched()
+		}
+	}
+}
+
+func (s *Server) shortestQueue() int {
+	best, bestOcc := -1, int32(s.opts.QueueBound)
+	for w := range s.occ {
+		if o := s.occ[w].Load(); o < bestOcc {
+			best, bestOcc = w, o
+		}
+	}
+	return best
+}
+
+// takeNonStarted pops the first never-started request from the central
+// queue — the only kind the dispatcher may steal (§3.3) — but only when
+// every worker queue is full.
+func (s *Server) takeNonStarted() *task {
+	for w := range s.occ {
+		if s.occ[w].Load() < int32(s.opts.QueueBound) {
+			return nil
+		}
+	}
+	for i, t := range s.central {
+		if !t.started {
+			s.central = append(s.central[:i], s.central[i+1:]...)
+			return t
+		}
+	}
+	return nil
+}
+
+// runSlice executes one dispatcher slice of a stolen task.
+func (s *Server) runSlice(t *task) {
+	ex := s.dispatcherEx
+	ex.sliceStart = time.Now()
+	ex.sliceLen = s.opts.DispatcherSlice
+	if !t.started {
+		t.started = true
+		t.onDispatcher = true
+		s.startTask(t)
+	}
+	t.resume <- ex
+	ev := <-t.parked
+	if ev.done {
+		ev.resp.OnDispatcher = true
+		s.finish(t, ev.resp)
+		s.stats.stolen.Add(1)
+		return
+	}
+	t.preempts++
+	s.stats.preemptions.Add(1)
+	// Stolen requests cannot migrate: park in the dedicated buffer.
+	s.saved = t
+}
+
+func (s *Server) drained() bool {
+	if len(s.central) > 0 || s.saved != nil || len(s.submit) > 0 {
+		return false
+	}
+	for w := range s.occ {
+		if s.occ[w].Load() != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// ---------- workers ----------
+
+func (s *Server) workerLoop(w int) {
+	defer s.wg.Done()
+	if s.opts.PinThreads {
+		runtime.LockOSThread()
+		defer runtime.UnlockOSThread()
+	}
+	s.handler.SetupWorker(w)
+	ex := s.workers[w]
+	var epoch uint64
+	for t := range s.locals[w] {
+		epoch++
+		s.running[w].Store(&runInfo{epoch: epoch, start: time.Now()})
+		ex.flag.Store(0)
+		if !t.started {
+			t.started = true
+			s.startTask(t)
+		}
+		t.resume <- ex
+		ev := <-t.parked
+		s.running[w].Store(nil)
+		s.occ[w].Add(-1)
+		if ev.done {
+			s.finish(t, ev.resp)
+			continue
+		}
+		t.preempts++
+		s.stats.preemptions.Add(1)
+		// Re-place the preempted request on the central queue.
+		s.submit <- t
+	}
+}
+
+// startTask launches the request's goroutine (its user-level context).
+func (s *Server) startTask(t *task) {
+	go func() {
+		ex := <-t.resume
+		ctx := &Ctx{task: t, ex: ex, yieldEvery: s.opts.CoopTimeshare}
+		out, err := func() (out any, err error) {
+			defer func() {
+				if r := recover(); r != nil {
+					err = fmt.Errorf("live: handler panicked: %v", r)
+				}
+			}()
+			return s.handler.Handle(ctx, t.payload)
+		}()
+		t.parked <- parkEvent{done: true, resp: Response{
+			ID:      t.id,
+			Payload: out,
+			Err:     err,
+		}}
+	}()
+}
+
+func (s *Server) finish(t *task, resp Response) {
+	resp.Latency = time.Since(t.arrival)
+	resp.Preemptions = t.preempts
+	resp.OnDispatcher = resp.OnDispatcher || t.onDispatcher
+	s.stats.completed.Add(1)
+	t.result <- resp
+}
+
+// ---------- request context ----------
+
+// Ctx is the per-request context handlers receive. It is only valid on
+// the goroutine running the handler.
+type Ctx struct {
+	task       *task
+	ex         *executor
+	noPreempt  int
+	yieldEvery int
+	polls      int
+	spinSink   uint64
+}
+
+// Worker returns the executor currently running the request: a worker
+// index, or -1 on the dispatcher.
+func (c *Ctx) Worker() int { return c.ex.id }
+
+// Poll is the cooperative preemption probe — the call Concord's compiler
+// pass inserts at function entries and loop back-edges. If the
+// dispatcher has signaled preemption (or the dispatcher's self-check
+// slice has expired) and no no-preempt section is open, the request
+// yields: its goroutine parks and the worker picks up its next request.
+func (c *Ctx) Poll() {
+	if c.yieldEvery > 0 {
+		// On CPU-constrained machines, hand the OS thread over so the
+		// dispatcher can observe quanta and write flags. This does not
+		// yield the request in the scheduling sense.
+		if c.polls++; c.polls >= c.yieldEvery {
+			c.polls = 0
+			runtime.Gosched()
+		}
+	}
+	if c.noPreempt != 0 {
+		return
+	}
+	if c.ex.id >= 0 {
+		if c.ex.flag.Load() == 0 {
+			return
+		}
+		c.ex.flag.Store(0)
+	} else {
+		// Dispatcher slice: self-preempt on elapsed time (§3.3).
+		if time.Since(c.ex.sliceStart) < c.ex.sliceLen {
+			return
+		}
+	}
+	c.task.parked <- parkEvent{done: false}
+	c.ex = <-c.task.resume
+}
+
+// BeginNoPreempt opens a critical section during which Poll will not
+// yield — the paper's lock counter (§3.1). Sections nest.
+func (c *Ctx) BeginNoPreempt() { c.noPreempt++ }
+
+// EndNoPreempt closes a critical section. It panics on underflow.
+func (c *Ctx) EndNoPreempt() {
+	if c.noPreempt == 0 {
+		panic("live: EndNoPreempt without BeginNoPreempt")
+	}
+	c.noPreempt--
+}
+
+// Spin busily consumes CPU for roughly d, polling for preemption at a
+// fine grain. It is the synthetic "spin for the requested service time"
+// workload of §5.1.
+func (c *Ctx) Spin(d time.Duration) {
+	deadline := time.Now().Add(d)
+	for time.Now().Before(deadline) {
+		for i := 0; i < 64; i++ {
+			c.spinSink++
+		}
+		c.Poll()
+	}
+}

@@ -1,0 +1,139 @@
+package logical
+
+import (
+	"math"
+	"testing"
+
+	"concord/internal/cost"
+	"concord/internal/dist"
+	"concord/internal/stats"
+)
+
+func TestAllCompleteAtLowLoad(t *testing.T) {
+	m := cost.Default()
+	cfg := RunToCompletion(m, 4)
+	mach := New(cfg, dist.NewFixed(10), dist.NewPoisson(50000), Params{Requests: 20000, Seed: 1})
+	res := mach.Run()
+	if res.Saturated {
+		t.Fatal("saturated at 12.5% utilization")
+	}
+	if res.Completed != 20000 {
+		t.Fatalf("completed %d of 20000", res.Completed)
+	}
+	if res.Point.P50 < 1 || res.Point.P50 > 1.5 {
+		t.Fatalf("p50 slowdown = %v, want ≈1", res.Point.P50)
+	}
+}
+
+func TestStealingBalancesLoad(t *testing.T) {
+	// Round-robin steering sends requests to all queues; with skewed
+	// service times, stealing must move work to idle workers: the system
+	// behaves like one logical queue rather than n independent ones.
+	m := cost.Default()
+	cfg := RunToCompletion(m, 4)
+	d := dist.Bimodal(75, 1, 25, 100) // mean 25.75µs
+	mach := New(cfg, d, dist.NewPoisson(100000), Params{Requests: 30000, Seed: 3})
+	res := mach.Run()
+	if res.Steals == 0 {
+		t.Fatal("no steals despite skewed per-queue load")
+	}
+	if res.Saturated {
+		t.Fatal("saturated at ~64% utilization")
+	}
+	// Without stealing, a 1µs request stuck behind a 100µs one on its
+	// home queue while other workers idle pushes the tail far higher;
+	// stealing must cut it by a wide margin.
+	noSteal := RunToCompletion(m, 4)
+	noSteal.DisableStealing = true
+	machNS := New(noSteal, d, dist.NewPoisson(100000), Params{Requests: 30000, Seed: 3})
+	resNS := machNS.Run()
+	if !(res.Point.P99 < resNS.Point.P99/2) {
+		t.Fatalf("stealing p99 %v not well below no-stealing %v", res.Point.P99, resNS.Point.P99)
+	}
+	if res.Point.P999 > 3*resNS.Point.P999 {
+		t.Fatalf("stealing made the far tail worse: %v vs %v", res.Point.P999, resNS.Point.P999)
+	}
+}
+
+func TestCoopPreemptionImprovesTail(t *testing.T) {
+	m := cost.Default()
+	d := dist.Bimodal(99.5, 0.5, 0.5, 500)
+	p := Params{Requests: 60000, Seed: 5, MaxQueue: 200000}
+	load := 1200.0 // kRps on 8 workers: ~45% utilization
+
+	rtc := RunAt(RunToCompletion(m, 8), d, load, p)
+	coop := RunAt(CoopPreemption(m, 8, 5), d, load, p)
+	if math.IsInf(coop.P999, 1) {
+		t.Fatal("coop saturated at moderate load")
+	}
+	if coop.Preemptions <= 0 {
+		t.Fatal("no preemptions under the §6 extension")
+	}
+	if !(coop.P999 < rtc.P999/2) {
+		t.Fatalf("coop p999 %v not well below RTC %v on heavy-tailed load", coop.P999, rtc.P999)
+	}
+}
+
+func TestNoDispatcherBottleneck(t *testing.T) {
+	// The whole point of the logical queue (§6): with no serialized
+	// dispatcher, Fixed(1µs) scales to worker capacity, past the ~4 MRps
+	// wall the physical-single-queue dispatcher hits (Fig. 8a).
+	m := cost.Default()
+	cfg := RunToCompletion(m, 8)
+	load := 6000.0 // kRps: 75% of the 8-worker capacity, > 1-dispatcher cap
+	pt := RunAt(cfg, dist.NewFixed(1), load, Params{Requests: 100000, Seed: 7, MaxQueue: 200000})
+	if math.IsInf(pt.P999, 1) {
+		t.Fatal("logical queue saturated below worker capacity")
+	}
+	if pt.P999 > stats.DefaultSLOSlowdown {
+		t.Fatalf("p999 = %v at 75%% utilization", pt.P999)
+	}
+}
+
+func TestPreemptedStaysStealable(t *testing.T) {
+	// A preempted request re-joins its owner's queue and can be stolen:
+	// total completions must be exact and preemption counts sane.
+	m := cost.Default()
+	cfg := CoopPreemption(m, 2, 5)
+	mach := New(cfg, dist.NewFixed(50), dist.NewPoisson(20000), Params{Requests: 5000, Seed: 9})
+	res := mach.Run()
+	if res.Completed != 5000 {
+		t.Fatalf("completed %d of 5000", res.Completed)
+	}
+	// 50µs at q=5µs ≈ 9 preemptions each.
+	if res.Point.Preemptions < 7 || res.Point.Preemptions > 10 {
+		t.Fatalf("preemptions/request = %v, want ≈9", res.Point.Preemptions)
+	}
+}
+
+func TestSweepShapes(t *testing.T) {
+	m := cost.Default()
+	d := dist.Bimodal(99.5, 0.5, 0.5, 500)
+	loads := []float64{300, 900, 1500}
+	c := Sweep(CoopPreemption(m, 8, 5), d, loads, Params{Requests: 30000, Seed: 11, MaxQueue: 200000})
+	if len(c.Points) != 3 {
+		t.Fatalf("sweep returned %d points", len(c.Points))
+	}
+	if c.Points[0].P999 > c.Points[2].P999 {
+		t.Fatalf("p999 not increasing with load: %v", c.Points)
+	}
+}
+
+func TestDeterministicBySeed(t *testing.T) {
+	m := cost.Default()
+	cfg := CoopPreemption(m, 4, 5)
+	a := RunAt(cfg, dist.Bimodal(50, 1, 50, 100), 100, Params{Requests: 8000, Seed: 13})
+	b := RunAt(cfg, dist.Bimodal(50, 1, 50, 100), 100, Params{Requests: 8000, Seed: 13})
+	if a.P999 != b.P999 || a.P50 != b.P50 {
+		t.Fatal("same-seed runs differ")
+	}
+}
+
+func TestPanicsOnBadConfig(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero workers did not panic")
+		}
+	}()
+	New(Config{Workers: 0, Model: cost.Default()}, dist.NewFixed(1), dist.NewPoisson(1000), Params{})
+}

@@ -1,0 +1,144 @@
+// Package mech models the preemption mechanisms compared in the paper:
+//
+//   - IPI: Shinjuku's posted inter-processor interrupts (§2.2.1). Precise
+//     (zero observation delay) but expensive to receive (≈1200 cycles).
+//   - LinuxIPI: standard kernel IPIs, ≈2× the posted-IPI cost.
+//   - UIPI: Intel user-space interrupts (§5.6). Precise, cheaper than
+//     kernel IPIs, still ≈2× Concord's cost.
+//   - Rdtsc: Compiler Interrupts-style self-preemption via rdtsc()
+//     bookkeeping probes (§2.2.1). No notification cost (the worker
+//     observes time itself) but a large, quantum-independent processing
+//     overhead (≈21%).
+//   - CacheLine: Concord's compiler-enforced cooperation (§3.1). The
+//     dispatcher writes a dedicated per-worker cache line; instrumented
+//     code polls it. Cheap probes (≈2 cycles, L1 hit) and a cheap final
+//     observation (≈150-cycle coherence miss), at the price of a small,
+//     one-sided observation delay (imprecise quanta).
+//   - None: no preemption (run-to-completion, e.g. Persephone C-FCFS).
+//
+// Each mechanism answers four questions the server model needs: what does
+// the dispatcher pay to signal, what does the worker pay when it observes,
+// how late is the observation, and what fraction of service time does the
+// mechanism's bookkeeping add.
+package mech
+
+import (
+	"concord/internal/cost"
+	"concord/internal/sim"
+)
+
+// Mechanism describes one preemption mechanism under a given cost model.
+type Mechanism interface {
+	// Name identifies the mechanism in reports.
+	Name() string
+
+	// SignalCost is the dispatcher-side cost of sending one preemption
+	// signal. Zero for self-preempting mechanisms.
+	SignalCost() sim.Cycles
+
+	// NotifyCost is the worker-side cost of observing one preemption
+	// signal (receiving the IPI, or the final probe's coherence miss).
+	NotifyCost() sim.Cycles
+
+	// ObserveDelay returns how long after the signal the worker observes
+	// it. Interrupt mechanisms are (nearly) immediate; cooperative
+	// mechanisms must reach the next probe.
+	ObserveDelay(r *sim.RNG) sim.Cycles
+
+	// ProcOverhead is the mechanism's bookkeeping cost as a fraction of
+	// service time (c_proc in the §2 model), independent of the quantum.
+	ProcOverhead() float64
+
+	// SelfPreempting reports whether the worker preempts itself without a
+	// dispatcher signal (true for rdtsc-based Compiler Interrupts).
+	SelfPreempting() bool
+}
+
+// IPI is Shinjuku's posted-interrupt mechanism.
+type IPI struct{ M cost.Model }
+
+func (i IPI) Name() string                     { return "IPI" }
+func (i IPI) SignalCost() sim.Cycles           { return i.M.IPISend }
+func (i IPI) NotifyCost() sim.Cycles           { return i.M.IPIReceive }
+func (i IPI) ObserveDelay(*sim.RNG) sim.Cycles { return 0 }
+func (i IPI) ProcOverhead() float64            { return i.M.RuntimeOverhead }
+func (i IPI) SelfPreempting() bool             { return false }
+
+// LinuxIPI is a standard (non-posted) kernel IPI, deployable anywhere but
+// twice as expensive to receive.
+type LinuxIPI struct{ M cost.Model }
+
+func (l LinuxIPI) Name() string                     { return "LinuxIPI" }
+func (l LinuxIPI) SignalCost() sim.Cycles           { return l.M.IPISend }
+func (l LinuxIPI) NotifyCost() sim.Cycles           { return l.M.LinuxIPIReceive }
+func (l LinuxIPI) ObserveDelay(*sim.RNG) sim.Cycles { return 0 }
+func (l LinuxIPI) ProcOverhead() float64            { return l.M.RuntimeOverhead }
+func (l LinuxIPI) SelfPreempting() bool             { return false }
+
+// UIPI is Intel's user-space interrupt mechanism (§5.6).
+type UIPI struct{ M cost.Model }
+
+func (u UIPI) Name() string                     { return "UIPI" }
+func (u UIPI) SignalCost() sim.Cycles           { return u.M.IPISend / 2 }
+func (u UIPI) NotifyCost() sim.Cycles           { return u.M.UIPIReceive }
+func (u UIPI) ObserveDelay(*sim.RNG) sim.Cycles { return 0 }
+func (u UIPI) ProcOverhead() float64            { return u.M.RuntimeOverhead }
+func (u UIPI) SelfPreempting() bool             { return false }
+
+// Rdtsc is Compiler Interrupts-style instrumentation: rdtsc() probes at
+// ≈200-IR-instruction intervals let the worker self-preempt.
+type Rdtsc struct{ M cost.Model }
+
+func (r Rdtsc) Name() string           { return "rdtsc" }
+func (r Rdtsc) SignalCost() sim.Cycles { return 0 }
+func (r Rdtsc) NotifyCost() sim.Cycles { return 0 }
+
+// ObserveDelay for self-preemption is the residual until the next probe:
+// uniform in [0, spacing).
+func (r Rdtsc) ObserveDelay(rng *sim.RNG) sim.Cycles {
+	return sim.Cycles(rng.Float64() * float64(r.M.ProbeSpacingCycles))
+}
+func (r Rdtsc) ProcOverhead() float64 {
+	return r.M.RuntimeOverhead + r.M.InstrOverheadRdtsc
+}
+func (r Rdtsc) SelfPreempting() bool { return true }
+
+// CacheLine is Concord's compiler-enforced cooperation.
+type CacheLine struct {
+	M cost.Model
+	// DelayStdDev overrides the model's preemption-lateness standard
+	// deviation when positive (used by the Fig. 5 sensitivity study).
+	DelayStdDev sim.Cycles
+}
+
+func (c CacheLine) Name() string           { return "Concord-coop" }
+func (c CacheLine) SignalCost() sim.Cycles { return c.M.CacheLineWrite }
+func (c CacheLine) NotifyCost() sim.Cycles { return c.M.ProbeMiss }
+
+// ObserveDelay is one-sided (the worker can only observe the flag at or
+// after the write): the paper models it as a one-sided normal (Fig. 5)
+// and measures std-devs of 0.03–1.8µs across 24 benchmarks (Table 1).
+func (c CacheLine) ObserveDelay(rng *sim.RNG) sim.Cycles {
+	sd := c.DelayStdDev
+	if sd == 0 {
+		sd = c.M.PreemptDelayStdDev
+	}
+	if sd <= 0 {
+		return 0
+	}
+	return sim.Cycles(rng.OneSidedNormal(0, float64(sd)))
+}
+func (c CacheLine) ProcOverhead() float64 {
+	return c.M.RuntimeOverhead + c.M.InstrOverheadConcord
+}
+func (c CacheLine) SelfPreempting() bool { return false }
+
+// None disables preemption: requests run to completion.
+type None struct{ M cost.Model }
+
+func (n None) Name() string                     { return "none" }
+func (n None) SignalCost() sim.Cycles           { return 0 }
+func (n None) NotifyCost() sim.Cycles           { return 0 }
+func (n None) ObserveDelay(*sim.RNG) sim.Cycles { return 0 }
+func (n None) ProcOverhead() float64            { return n.M.RuntimeOverhead }
+func (n None) SelfPreempting() bool             { return false }

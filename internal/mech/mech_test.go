@@ -1,0 +1,180 @@
+package mech
+
+import (
+	"math"
+	"testing"
+
+	"concord/internal/cost"
+	"concord/internal/sim"
+)
+
+func TestIPIOverheadMatchesPaperArithmetic(t *testing.T) {
+	m := cost.Default()
+	ipi := IPI{M: m}
+	// §2.2.1: "receiving an IPI in Shinjuku costs ≈1200 cycles which
+	// results in an ≈12% overhead for q = 5µs, and an ≈30% overhead for
+	// q = 2µs, assuming a 2GHz clock". The spin benchmark adds the small
+	// runtime tax on top.
+	s := m.MicrosToCycles(500)
+	at2 := SpinOverhead(ipi, s, m.MicrosToCycles(2))
+	if math.Abs(at2-0.30) > 0.02 {
+		t.Errorf("IPI overhead at 2µs = %.3f, paper says ≈0.30", at2)
+	}
+	at5 := SpinOverhead(ipi, s, m.MicrosToCycles(5))
+	if math.Abs(at5-0.12) > 0.02 {
+		t.Errorf("IPI overhead at 5µs = %.3f, paper says ≈0.12", at5)
+	}
+}
+
+func TestRdtscOverheadFlat(t *testing.T) {
+	m := cost.Default()
+	r := Rdtsc{M: m}
+	s := m.MicrosToCycles(500)
+	var prev float64
+	for i, qus := range []float64{1, 5, 10, 25, 50, 100} {
+		o := SpinOverhead(r, s, m.MicrosToCycles(qus))
+		if math.Abs(o-0.21) > 0.02 {
+			t.Errorf("rdtsc overhead at %gµs = %.3f, paper says ≈0.21 flat", qus, o)
+		}
+		if i > 0 && math.Abs(o-prev) > 1e-9 {
+			t.Errorf("rdtsc overhead varies with quantum: %v vs %v", o, prev)
+		}
+		prev = o
+	}
+}
+
+func TestConcordOverheadLowAndNearFlat(t *testing.T) {
+	m := cost.Default()
+	c := CacheLine{M: m}
+	ipi := IPI{M: m}
+	s := m.MicrosToCycles(500)
+	for _, qus := range []float64{2, 5, 10} {
+		q := m.MicrosToCycles(qus)
+		co, io := SpinOverhead(c, s, q), SpinOverhead(ipi, s, q)
+		if co >= io {
+			t.Errorf("at q=%gµs Concord overhead %.3f not below IPI %.3f", qus, co, io)
+		}
+		if co > 0.06 {
+			t.Errorf("at q=%gµs Concord overhead %.3f too high (paper: low single digits)", qus, co)
+		}
+	}
+	// Concord must be several times cheaper than IPIs at small quanta.
+	q2 := m.MicrosToCycles(2)
+	if ratio := SpinOverhead(ipi, s, q2) / SpinOverhead(c, s, q2); ratio < 4 {
+		t.Errorf("IPI/Concord overhead ratio at 2µs = %.1f, want >= 4 (paper: ≈12)", ratio)
+	}
+}
+
+func TestUIPIBetweenIPIAndConcord(t *testing.T) {
+	m := cost.SapphireRapids()
+	s := m.MicrosToCycles(500)
+	for _, qus := range []float64{1, 2, 5, 10} {
+		q := m.MicrosToCycles(qus)
+		u := SpinOverhead(UIPI{M: m}, s, q)
+		c := SpinOverhead(CacheLine{M: m}, s, q)
+		i := SpinOverhead(IPI{M: m}, s, q)
+		if !(c < u && u < i) {
+			t.Errorf("at q=%gµs want Concord(%.3f) < UIPI(%.3f) < IPI(%.3f)", qus, c, u, i)
+		}
+	}
+	// §5.6: UIPI ≈2× Concord's overhead at small quanta.
+	q := m.MicrosToCycles(2)
+	ratio := SpinOverhead(UIPI{M: m}, s, q) / SpinOverhead(CacheLine{M: m}, s, q)
+	if ratio < 1.4 || ratio > 3 {
+		t.Errorf("UIPI/Concord ratio = %.2f, paper says ≈2", ratio)
+	}
+}
+
+func TestObserveDelays(t *testing.T) {
+	m := cost.Default()
+	rng := sim.NewRNG(1)
+	if d := (IPI{M: m}).ObserveDelay(rng); d != 0 {
+		t.Errorf("IPI delay = %d, want 0 (precise)", d)
+	}
+	if d := (UIPI{M: m}).ObserveDelay(rng); d != 0 {
+		t.Errorf("UIPI delay = %d, want 0 (precise)", d)
+	}
+	// rdtsc: uniform in [0, spacing).
+	r := Rdtsc{M: m}
+	for i := 0; i < 10000; i++ {
+		d := r.ObserveDelay(rng)
+		if d < 0 || d >= m.ProbeSpacingCycles {
+			t.Fatalf("rdtsc delay %d outside [0, %d)", d, m.ProbeSpacingCycles)
+		}
+	}
+	// Concord: one-sided, non-negative, std-dev configurable.
+	c := CacheLine{M: m, DelayStdDev: m.MicrosToCycles(2)}
+	var sum, sumsq float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		d := float64(c.ObserveDelay(rng))
+		if d < 0 {
+			t.Fatalf("Concord delay %v negative", d)
+		}
+		sum += d
+		sumsq += d * d
+	}
+	mean := sum / n
+	if mean <= 0 {
+		t.Fatal("Concord delay mean should be positive")
+	}
+	// |N(0,σ)| has mean σ·sqrt(2/π) ≈ 0.798σ.
+	wantMean := float64(m.MicrosToCycles(2)) * math.Sqrt(2/math.Pi)
+	if math.Abs(mean-wantMean)/wantMean > 0.05 {
+		t.Errorf("one-sided delay mean = %v cycles, want ≈%v", mean, wantMean)
+	}
+}
+
+func TestSelfPreempting(t *testing.T) {
+	m := cost.Default()
+	if !(Rdtsc{M: m}).SelfPreempting() {
+		t.Error("rdtsc must self-preempt")
+	}
+	for _, mm := range []Mechanism{IPI{M: m}, UIPI{M: m}, CacheLine{M: m}, None{M: m}, LinuxIPI{M: m}} {
+		if mm.SelfPreempting() {
+			t.Errorf("%s should not self-preempt", mm.Name())
+		}
+	}
+}
+
+func TestLinuxIPITwicePosted(t *testing.T) {
+	m := cost.Default()
+	if (LinuxIPI{M: m}).NotifyCost() != 2*(IPI{M: m}).NotifyCost() {
+		t.Error("Linux IPI should cost 2× posted IPI")
+	}
+}
+
+func TestPreemptionCycleOverheadDominatedByNext(t *testing.T) {
+	m := cost.Default()
+	s, q := m.MicrosToCycles(500), m.MicrosToCycles(5)
+	c := CacheLine{M: m}
+	withSQ := PreemptionCycleOverhead(c, s, q, m.ContextSwitch, m.NextRequest)
+	withJBSQ := PreemptionCycleOverhead(c, s, q, m.ContextSwitch, m.JBSQLocalPop)
+	if withJBSQ >= withSQ {
+		t.Error("JBSQ should reduce the per-preemption-cycle overhead")
+	}
+	full := IPI{M: m}
+	shinjuku := PreemptionCycleOverhead(full, s, q, m.ContextSwitch, m.NextRequest)
+	// Fig. 12: Concord (coop+JBSQ) reduces preemptive-scheduling overhead
+	// by ≈4× vs Shinjuku (IPI+SQ).
+	if ratio := shinjuku / withJBSQ; ratio < 3 {
+		t.Errorf("Shinjuku/Concord preemption overhead ratio = %.1f, want >= 3 (paper ≈4)", ratio)
+	}
+}
+
+func TestSpinOverheadPanics(t *testing.T) {
+	m := cost.Default()
+	for name, fn := range map[string]func(){
+		"zero service": func() { SpinOverhead(IPI{M: m}, 0, 100) },
+		"zero quantum": func() { SpinOverhead(IPI{M: m}, 100, 0) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		})
+	}
+}

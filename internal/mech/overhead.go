@@ -1,0 +1,37 @@
+package mech
+
+import "concord/internal/sim"
+
+// SpinOverhead computes the throughput overhead of a preemption mechanism
+// for the Fig. 2/12/15 microbenchmark: requests spinning for service
+// cycles, preempted every quantum with a *no-op* handler. Per the paper,
+// this isolates the mechanism cost: it excludes context switches and the
+// time to receive the next request (Eq. 3's c_switch and c_next).
+//
+// The returned value is the fraction of extra cycles over the
+// un-instrumented service time: (floor(S/q)·c_notif)/S + c_proc/S.
+func SpinOverhead(m Mechanism, service, quantum sim.Cycles) float64 {
+	if service <= 0 {
+		panic("mech: non-positive service time")
+	}
+	if quantum <= 0 {
+		panic("mech: non-positive quantum")
+	}
+	preemptions := float64(service / quantum)
+	notif := preemptions * float64(m.NotifyCost())
+	return notif/float64(service) + m.ProcOverhead()
+}
+
+// PreemptionCycleOverhead computes the Fig. 12 variant: the full per-
+// preemption cost including the context switch and waiting for the next
+// request, per Eq. 3: c_pre = floor(S/q)·(c_notif + c_switch + c_next).
+// nextCost is c_next (≈400 cycles for a synchronous single queue, near
+// zero for JBSQ), switchCost is the context-switch cost.
+func PreemptionCycleOverhead(m Mechanism, service, quantum, switchCost, nextCost sim.Cycles) float64 {
+	if service <= 0 || quantum <= 0 {
+		panic("mech: non-positive service time or quantum")
+	}
+	preemptions := float64(service / quantum)
+	perPreempt := float64(m.NotifyCost() + switchCost + nextCost)
+	return preemptions*perPreempt/float64(service) + m.ProcOverhead()
+}

@@ -1,0 +1,226 @@
+package policy
+
+import (
+	"testing"
+	"testing/quick"
+
+	"concord/internal/sim"
+)
+
+type job struct {
+	id        int
+	remaining sim.Cycles
+}
+
+func (j *job) RemainingCycles() sim.Cycles { return j.remaining }
+
+func TestFCFSOrder(t *testing.T) {
+	q := NewFCFS[*job]()
+	for i := 0; i < 100; i++ {
+		q.Push(&job{id: i}, false)
+	}
+	if q.Len() != 100 {
+		t.Fatalf("Len = %d, want 100", q.Len())
+	}
+	for i := 0; i < 100; i++ {
+		j, ok := q.Pop()
+		if !ok || j.id != i {
+			t.Fatalf("pop %d: got %v ok=%v", i, j, ok)
+		}
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("pop from empty queue succeeded")
+	}
+}
+
+func TestFCFSInterleavedPushPop(t *testing.T) {
+	q := NewFCFS[*job]()
+	next := 0
+	pushed := 0
+	for round := 0; round < 50; round++ {
+		for i := 0; i < 7; i++ {
+			q.Push(&job{id: pushed}, false)
+			pushed++
+		}
+		for i := 0; i < 5; i++ {
+			j, ok := q.Pop()
+			if !ok || j.id != next {
+				t.Fatalf("round %d: got id %d, want %d", round, j.id, next)
+			}
+			next++
+		}
+	}
+	for q.Len() > 0 {
+		j, _ := q.Pop()
+		if j.id != next {
+			t.Fatalf("drain: got %d, want %d", j.id, next)
+		}
+		next++
+	}
+	if next != pushed {
+		t.Fatalf("drained %d, pushed %d", next, pushed)
+	}
+}
+
+func TestFCFSPopNonStarted(t *testing.T) {
+	q := NewFCFS[*job]()
+	q.Push(&job{id: 0}, true) // preempted, re-queued
+	q.Push(&job{id: 1}, false)
+	q.Push(&job{id: 2}, true)
+	q.Push(&job{id: 3}, false)
+
+	j, ok := q.PopNonStarted()
+	if !ok || j.id != 1 {
+		t.Fatalf("PopNonStarted = %v, want id 1", j)
+	}
+	// Remaining order must be preserved: 0, 2, 3.
+	want := []int{0, 2, 3}
+	for _, w := range want {
+		j, ok := q.Pop()
+		if !ok || j.id != w {
+			t.Fatalf("after PopNonStarted, got %d want %d", j.id, w)
+		}
+	}
+}
+
+func TestFCFSPopNonStartedNone(t *testing.T) {
+	q := NewFCFS[*job]()
+	q.Push(&job{id: 0}, true)
+	if _, ok := q.PopNonStarted(); ok {
+		t.Fatal("PopNonStarted found a started-only queue entry")
+	}
+	if q.Len() != 1 {
+		t.Fatalf("Len = %d after failed PopNonStarted, want 1", q.Len())
+	}
+}
+
+func TestSRPTOrdersByRemaining(t *testing.T) {
+	q := NewSRPT[*job]()
+	rem := []sim.Cycles{50, 10, 40, 10, 99, 1}
+	for i, r := range rem {
+		q.Push(&job{id: i, remaining: r}, false)
+	}
+	var got []sim.Cycles
+	for q.Len() > 0 {
+		j, _ := q.Pop()
+		got = append(got, j.remaining)
+	}
+	want := []sim.Cycles{1, 10, 10, 40, 50, 99}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("SRPT order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSRPTTieBreaksFIFO(t *testing.T) {
+	q := NewSRPT[*job]()
+	for i := 0; i < 10; i++ {
+		q.Push(&job{id: i, remaining: 5}, false)
+	}
+	for i := 0; i < 10; i++ {
+		j, _ := q.Pop()
+		if j.id != i {
+			t.Fatalf("tie-break not FIFO: got %d at position %d", j.id, i)
+		}
+	}
+}
+
+func TestSRPTPopNonStarted(t *testing.T) {
+	q := NewSRPT[*job]()
+	q.Push(&job{id: 0, remaining: 1}, true)
+	q.Push(&job{id: 1, remaining: 100}, false)
+	q.Push(&job{id: 2, remaining: 50}, false)
+	j, ok := q.PopNonStarted()
+	if !ok || j.id != 2 {
+		t.Fatalf("PopNonStarted = %+v, want shortest non-started id 2", j)
+	}
+	if q.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", q.Len())
+	}
+	// Heap must still be valid: next pop is the started id 0 (remaining 1).
+	n, _ := q.Pop()
+	if n.id != 0 {
+		t.Fatalf("Pop after PopNonStarted = %d, want 0", n.id)
+	}
+}
+
+// Property: SRPT pops are sorted by remaining cycles whatever the input.
+func TestSRPTSortedProperty(t *testing.T) {
+	prop := func(rems []uint16) bool {
+		q := NewSRPT[*job]()
+		for i, r := range rems {
+			q.Push(&job{id: i, remaining: sim.Cycles(r)}, false)
+		}
+		prev := sim.Cycles(-1)
+		for q.Len() > 0 {
+			j, _ := q.Pop()
+			if j.remaining < prev {
+				return false
+			}
+			prev = j.remaining
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: FCFS preserves insertion order whatever the started flags.
+func TestFCFSOrderProperty(t *testing.T) {
+	prop := func(flags []bool) bool {
+		q := NewFCFS[*job]()
+		for i, f := range flags {
+			q.Push(&job{id: i}, f)
+		}
+		prev := -1
+		for q.Len() > 0 {
+			j, _ := q.Pop()
+			if j.id <= prev {
+				return false
+			}
+			prev = j.id
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestShortestQueue(t *testing.T) {
+	cases := []struct {
+		lengths []int
+		bound   int
+		want    int
+	}{
+		{[]int{2, 0, 1}, 2, 1},
+		{[]int{2, 2, 2}, 2, -1},
+		{[]int{1, 1, 0}, 2, 2},
+		{[]int{0, 0}, 2, 0}, // tie prefers lower index
+		{[]int{1}, 1, -1},
+		{[]int{}, 2, -1},
+	}
+	for _, tc := range cases {
+		if got := ShortestQueue(tc.lengths, tc.bound); got != tc.want {
+			t.Errorf("ShortestQueue(%v, %d) = %d, want %d", tc.lengths, tc.bound, got, tc.want)
+		}
+	}
+}
+
+func TestJBSQDepth(t *testing.T) {
+	// §3.2: k = ceil(c_next/S) + 1, floor 2; k=2 suffices for S >= 1µs.
+	if got := JBSQDepth(400, 2000); got != 2 {
+		t.Errorf("JBSQDepth(400cy, 1µs) = %d, want 2", got)
+	}
+	if got := JBSQDepth(400, 100); got != 5 {
+		t.Errorf("JBSQDepth(400cy, 100cy) = %d, want ceil(4)+1 = 5", got)
+	}
+	if got := JBSQDepth(400, 0); got != 2 {
+		t.Errorf("JBSQDepth with zero service = %d, want 2", got)
+	}
+	if got := JBSQDepth(0, 2000); got != 2 {
+		t.Errorf("JBSQDepth with zero c_next = %d, want floor of 2", got)
+	}
+}

@@ -1,0 +1,132 @@
+package probe
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"concord/internal/sim"
+)
+
+func TestSuiteHas24Benchmarks(t *testing.T) {
+	s := Suite()
+	if len(s) != 24 {
+		t.Fatalf("suite has %d benchmarks, Table 1 has 24", len(s))
+	}
+	suites := map[string]int{}
+	names := map[string]bool{}
+	for _, b := range s {
+		suites[b.Suite]++
+		if names[b.Name] {
+			t.Errorf("duplicate benchmark %q", b.Name)
+		}
+		names[b.Name] = true
+		if b.MeanRegionNS <= 0 || b.RegionCV < 0 || b.LoopFrac < 0 || b.LoopFrac > 1 {
+			t.Errorf("%s has invalid parameters: %+v", b.Name, b)
+		}
+	}
+	if suites["Splash-2"] != 12 || suites["Phoenix"] != 6 || suites["Parsec"] != 6 {
+		t.Errorf("suite composition %v, Table 1 has 12/6/6", suites)
+	}
+}
+
+func TestTable1HeadlineNumbers(t *testing.T) {
+	rs := SuiteResults(20000, 1)
+	meanC, meanCI, meanSD, maxC, maxCI, maxSD := Averages(rs)
+
+	// Table 1: Concord average ≈1.04%, CI average ≈13.7%; Concord is
+	// ≈13× lower on average.
+	if meanC < 0 || meanC > 0.03 {
+		t.Errorf("Concord mean overhead = %.4f, Table 1 says ≈0.0104", meanC)
+	}
+	if meanCI < 0.08 || meanCI > 0.3 {
+		t.Errorf("CI mean overhead = %.4f, Table 1 says ≈0.137", meanCI)
+	}
+	if ratio := meanCI / math.Max(meanC, 1e-6); ratio < 8 {
+		t.Errorf("CI/Concord mean ratio = %.1f, Table 1 says ≈13×", ratio)
+	}
+	// Maximums: Concord ≈6.7%, CI ≈37%.
+	if maxC > 0.08 {
+		t.Errorf("Concord max overhead = %.4f, Table 1 max is 6.7%%", maxC)
+	}
+	if maxCI > 0.45 {
+		t.Errorf("CI max overhead = %.4f, Table 1 max is 37%%", maxCI)
+	}
+	// Timeliness: every std-dev < 2µs, average well below 1µs.
+	if maxSD >= 2 {
+		t.Errorf("max quantum std-dev = %.2fµs, paper says < 2µs", maxSD)
+	}
+	if meanSD > 1 {
+		t.Errorf("mean quantum std-dev = %.2fµs, paper reports 0.29µs", meanSD)
+	}
+}
+
+func TestSomeConcordOverheadsNegative(t *testing.T) {
+	// Table 1: "Concord's overhead is often negative due to its loop
+	// unrolling". At least a few benchmarks must show that.
+	rs := SuiteResults(5000, 2)
+	neg := 0
+	for _, r := range rs {
+		if r.ConcordOverhead < 0 {
+			neg++
+		}
+	}
+	if neg < 3 {
+		t.Errorf("only %d benchmarks show negative Concord overhead, Table 1 has several", neg)
+	}
+}
+
+func TestP99WithinThreeSigma(t *testing.T) {
+	// §5.4: "the 99th percentile of the achieved scheduling quanta was
+	// always within 3 standard deviations".
+	rs := SuiteResults(30000, 3)
+	for _, r := range rs {
+		if r.P99WithinSigma > 3.5 {
+			t.Errorf("%s p99 at %.1fσ, paper says within 3σ", r.Benchmark.Name, r.P99WithinSigma)
+		}
+	}
+}
+
+func TestAnalyticMatchesMeasuredOverheads(t *testing.T) {
+	c := DefaultCosts()
+	rng := sim.NewRNG(4)
+	for _, b := range Suite()[:6] {
+		a := Evaluate(b, c)
+		m := EvaluateMeasured(b, c, 20000, rng.Split())
+		// Overheads are computed identically; timeliness differs
+		// (renewal approximation vs Monte-Carlo) but must correlate.
+		if a.ConcordOverhead != m.ConcordOverhead || a.CIOverhead != m.CIOverhead {
+			t.Errorf("%s: overhead mismatch analytic vs measured", b.Name)
+		}
+		if a.StdDevUS <= 0 || m.StdDevUS <= 0 {
+			t.Errorf("%s: non-positive std-dev", b.Name)
+		}
+	}
+}
+
+func TestTimelinessScalesWithRegionLength(t *testing.T) {
+	c := DefaultCosts()
+	rng := sim.NewRNG(5)
+	small := EvaluateMeasured(Benchmark{Name: "s", MeanRegionNS: 50, RegionCV: 0.5}, c, 30000, rng.Split())
+	large := EvaluateMeasured(Benchmark{Name: "l", MeanRegionNS: 2000, RegionCV: 0.5}, c, 30000, rng.Split())
+	if large.StdDevUS <= small.StdDevUS {
+		t.Errorf("longer regions should mean worse timeliness: %v vs %v", large.StdDevUS, small.StdDevUS)
+	}
+}
+
+func TestPercentileHelper(t *testing.T) {
+	v := []float64{5, 1, 4, 2, 3}
+	if got := percentile(v, 0.5); got != 3 {
+		t.Errorf("p50 = %v, want 3", got)
+	}
+	if got := percentile(v, 1.0); got != 5 {
+		t.Errorf("p100 = %v, want 5", got)
+	}
+	// Input must not be mutated.
+	if !sort.Float64sAreSorted([]float64{1, 2, 3, 4, 5}) {
+		t.Fatal("unreachable")
+	}
+	if v[0] != 5 {
+		t.Error("percentile mutated its input")
+	}
+}

@@ -1,0 +1,8 @@
+package server
+
+import "concord/internal/dist"
+
+// poissonAt returns a Poisson arrival process at the given kRps.
+func poissonAt(kRps float64) dist.Arrival {
+	return dist.NewPoisson(kRps * 1000)
+}

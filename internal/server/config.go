@@ -1,0 +1,114 @@
+package server
+
+import (
+	"fmt"
+
+	"concord/internal/cost"
+	"concord/internal/dist"
+	"concord/internal/mech"
+	"concord/internal/sim"
+)
+
+// Config describes one simulated system: the knobs that distinguish
+// Shinjuku, Persephone-FCFS, Concord, and the ablation variants.
+type Config struct {
+	// Name labels the system in reports.
+	Name string
+
+	// Workers is the number of worker threads (the paper uses 14 on the
+	// big testbed and 2 in the 4-core VM study).
+	Workers int
+
+	// QuantumUS is the scheduling quantum in µs; 0 disables preemption.
+	QuantumUS float64
+
+	// Mech is the preemption mechanism. Ignored when QuantumUS == 0.
+	Mech mech.Mechanism
+
+	// Model is the CPU cost model.
+	Model cost.Model
+
+	// QueueBound is k in JBSQ(k): the per-worker occupancy bound counting
+	// the in-service request. 1 is a synchronous single queue.
+	QueueBound int
+
+	// WorkConserving enables the dispatcher to run application code when
+	// it would otherwise idle and all per-worker queues are full (§3.3).
+	WorkConserving bool
+
+	// SRPT switches the central queue from FCFS to shortest-remaining-
+	// processing-time (the §3.1 extension; no evaluated system uses it).
+	SRPT bool
+
+	// DispatchExtra is added to each dispatch operation (e.g. Persephone
+	// runs its networker on the dispatcher thread, slowing each loop).
+	DispatchExtra sim.Cycles
+
+	// DeferWholeRequest models the Shinjuku prototype's LevelDB port: any
+	// request with a critical section disables preemption for its entire
+	// duration, not just the critical section (§3.1).
+	DeferWholeRequest bool
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if c.Workers < 1 {
+		return fmt.Errorf("server: need at least 1 worker, have %d", c.Workers)
+	}
+	if c.QueueBound < 1 {
+		return fmt.Errorf("server: queue bound must be >= 1, have %d", c.QueueBound)
+	}
+	if c.QuantumUS < 0 {
+		return fmt.Errorf("server: negative quantum %v", c.QuantumUS)
+	}
+	if c.QuantumUS > 0 && c.Mech == nil {
+		return fmt.Errorf("server: quantum set but no preemption mechanism")
+	}
+	return nil
+}
+
+// Workload describes the offered load: the service-time distribution, the
+// arrival process, and optional per-class critical-section fractions
+// (the prefix of a request during which it holds an application lock).
+type Workload struct {
+	Dist    dist.Dist
+	Arrival dist.Arrival
+
+	// CritFracByClass maps a request class to the fraction of its service
+	// time spent holding a lock at the start of the request. Classes not
+	// present hold no locks.
+	CritFracByClass map[string]float64
+}
+
+// RunParams controls one simulation run.
+type RunParams struct {
+	// Requests is the number of requests to offer.
+	Requests int
+	// WarmupFrac is the fraction of initial requests discarded from
+	// latency statistics (the paper discards the first 10%).
+	WarmupFrac float64
+	// Seed makes runs reproducible.
+	Seed uint64
+	// DrainSlackUS is extra simulated time allowed after the last arrival
+	// for the system to drain before the run is declared saturated.
+	DrainSlackUS float64
+	// MaxCentralQueue aborts the run (as saturated) when the central
+	// queue exceeds this length; 0 means the default of 1<<20.
+	MaxCentralQueue int
+}
+
+func (p RunParams) withDefaults() RunParams {
+	if p.Requests <= 0 {
+		p.Requests = 200000
+	}
+	if p.WarmupFrac <= 0 {
+		p.WarmupFrac = 0.1
+	}
+	if p.DrainSlackUS <= 0 {
+		p.DrainSlackUS = 100_000 // 100ms
+	}
+	if p.MaxCentralQueue <= 0 {
+		p.MaxCentralQueue = 1 << 20
+	}
+	return p
+}

@@ -1,0 +1,161 @@
+package server
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"concord/internal/cost"
+	"concord/internal/dist"
+)
+
+// TestSlowdownNeverBelowOne: sojourn includes service, so slowdown >= 1
+// for every completed request in every configuration.
+func TestSlowdownNeverBelowOne(t *testing.T) {
+	m := cost.Default()
+	for _, cfg := range []Config{
+		Shinjuku(m, 3, 5),
+		PersephoneFCFS(m, 3),
+		Concord(m, 3, 5),
+	} {
+		wl := Workload{Dist: dist.Bimodal(80, 1, 20, 50)}
+		wl.Arrival = dist.NewPoisson(100000)
+		mach := New(cfg, wl, RunParams{Requests: 20000, Seed: 29, MaxCentralQueue: 100000})
+		mach.OnComplete = func(r *Request) {
+			if r.Done < r.Arrival+r.RemainingCycles() { // remaining is 0 at completion
+				t.Fatalf("%s: request done before arrival+service", cfg.Name)
+			}
+			slow := float64(r.Done-r.Arrival) / math.Max(1, float64(m.MicrosToCycles(r.ServiceUS)))
+			if slow < 0.99 {
+				t.Fatalf("%s: slowdown %v < 1 (service %vµs)", cfg.Name, slow, r.ServiceUS)
+			}
+		}
+		mach.Run()
+	}
+}
+
+// TestFirstStartAfterArrival: requests cannot start before they arrive,
+// and preempted requests keep monotone progress.
+func TestFirstStartAfterArrival(t *testing.T) {
+	m := cost.Default()
+	cfg := Concord(m, 2, 5)
+	wl := Workload{Dist: dist.Bimodal(50, 1, 50, 100)}
+	wl.Arrival = dist.NewPoisson(50000)
+	mach := New(cfg, wl, RunParams{Requests: 10000, Seed: 31, MaxCentralQueue: 100000})
+	mach.OnComplete = func(r *Request) {
+		if r.FirstStart < r.Arrival {
+			t.Fatalf("request started at %d before arrival %d", r.FirstStart, r.Arrival)
+		}
+		if r.Done < r.FirstStart {
+			t.Fatalf("request done at %d before first start %d", r.Done, r.FirstStart)
+		}
+	}
+	mach.Run()
+}
+
+// TestWorkConservationJBSQ: with JBSQ(2) at saturation, workers spend
+// almost no time idle — the §3.2 claim the design exists to deliver.
+func TestWorkConservationJBSQ(t *testing.T) {
+	m := cost.Default()
+	cfg := CoopJBSQ(m, 4, 0)
+	wl := Workload{Dist: dist.NewFixed(10)}
+	wl.Arrival = dist.NewPoisson(480000) // 1.2× the 4-worker capacity
+	res := New(cfg, wl, RunParams{Requests: 40000, Seed: 37, MaxCentralQueue: 200000}).Run()
+	if res.Point.WorkerIdle > 0.02 {
+		t.Fatalf("JBSQ(2) worker idle fraction = %v at saturation, want ~0", res.Point.WorkerIdle)
+	}
+}
+
+// TestFCFSOrderingAtLowLoad: with a single worker, run-to-completion,
+// and well-spaced arrivals, completions preserve arrival order.
+func TestFCFSOrderingAtLowLoad(t *testing.T) {
+	m := cost.Default()
+	cfg := PersephoneFCFS(m, 1)
+	wl := Workload{Dist: dist.NewFixed(5)}
+	wl.Arrival = dist.NewUniform(50000) // 20µs gaps ≫ 5µs service
+	var lastID uint64
+	first := true
+	mach := New(cfg, wl, RunParams{Requests: 5000, Seed: 41})
+	mach.OnComplete = func(r *Request) {
+		if !first && r.ID <= lastID {
+			t.Fatalf("completion order violated: %d after %d", r.ID, lastID)
+		}
+		lastID, first = r.ID, false
+	}
+	mach.Run()
+}
+
+// TestSeedSweepStability: the measured p50 at moderate load is stable
+// across seeds (the simulator is not chaotically sensitive).
+func TestSeedSweepStability(t *testing.T) {
+	m := cost.Default()
+	cfg := Concord(m, 4, 5)
+	wl := Workload{Dist: dist.NewFixed(10)}
+	var p50s []float64
+	for seed := uint64(1); seed <= 5; seed++ {
+		wl.Arrival = dist.NewPoisson(200000)
+		res := New(cfg, wl, RunParams{Requests: 20000, Seed: seed}).Run()
+		p50s = append(p50s, res.Point.P50)
+	}
+	for _, v := range p50s[1:] {
+		if math.Abs(v-p50s[0]) > 0.25*p50s[0] {
+			t.Fatalf("p50 varies wildly across seeds: %v", p50s)
+		}
+	}
+}
+
+// Property: for any small workload mix, every admitted request is
+// eventually completed at sub-saturation load, exactly once.
+func TestAllRequestsCompleteOnceProperty(t *testing.T) {
+	m := cost.Default()
+	prop := func(seed uint16, longPct uint8) bool {
+		pct := float64(longPct%50) + 1
+		wl := Workload{Dist: dist.Bimodal(100-pct, 1, pct, 20)}
+		wl.Arrival = dist.NewPoisson(100000) // far below 3-worker capacity
+		seen := map[uint64]int{}
+		mach := New(Concord(m, 3, 5), wl, RunParams{Requests: 3000, Seed: uint64(seed) + 1})
+		mach.OnComplete = func(r *Request) { seen[r.ID]++ }
+		res := mach.Run()
+		if res.Saturated || res.Completed != res.Admitted {
+			return false
+		}
+		for _, n := range seen {
+			if n != 1 {
+				return false
+			}
+		}
+		return len(seen) == res.Admitted
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPreemptionCountMatchesQuantumArithmetic: an isolated request of
+// length S preempted at quantum q yields ≈ floor(S/q) times (§2, Eq. 3).
+func TestPreemptionCountMatchesQuantumArithmetic(t *testing.T) {
+	m := cost.Default()
+	for _, tc := range []struct {
+		serviceUS, quantumUS float64
+		wantMin, wantMax     int
+	}{
+		{100, 5, 17, 20},
+		{100, 10, 8, 10},
+		{50, 5, 8, 10},
+		{4, 5, 0, 0},
+	} {
+		cfg := Concord(m, 1, tc.quantumUS)
+		cfg.WorkConserving = false
+		wl := Workload{Dist: dist.NewFixed(tc.serviceUS)}
+		wl.Arrival = dist.NewPoisson(500) // one at a time
+		total, n := 0, 0
+		mach := New(cfg, wl, RunParams{Requests: 200, Seed: 43})
+		mach.OnComplete = func(r *Request) { total += r.Preemptions; n++ }
+		mach.Run()
+		avg := float64(total) / float64(n)
+		if avg < float64(tc.wantMin)-0.5 || avg > float64(tc.wantMax)+0.5 {
+			t.Errorf("S=%v q=%v: avg preemptions %v, want in [%d,%d]",
+				tc.serviceUS, tc.quantumUS, avg, tc.wantMin, tc.wantMax)
+		}
+	}
+}

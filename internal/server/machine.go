@@ -1,0 +1,567 @@
+package server
+
+import (
+	"math"
+
+	"concord/internal/policy"
+	"concord/internal/sim"
+	"concord/internal/stats"
+)
+
+// opKind enumerates the dispatcher's serialized operations.
+type opKind int
+
+const (
+	opArrival  opKind = iota // accept + enqueue an incoming request
+	opPush                   // dispatch one request to a worker queue
+	opSignal                 // send a preemption signal to a worker
+	opRequeue                // re-place a preempted request; frees the slot
+	opSlotFree               // notice a completed request left a worker
+)
+
+// op is one unit of dispatcher work.
+type op struct {
+	kind   opKind
+	req    *Request
+	worker int
+	cost   sim.Cycles
+}
+
+// worker models one worker thread.
+type worker struct {
+	id       int
+	local    []*Request // bounded local queue (in-service request not included)
+	cur      *Request
+	runStart sim.Cycles // when the current segment began executing
+	segEnd   sim.Cycles // when the current segment will complete
+	signaled bool
+	idle     bool
+	// transit is true while the worker pays yield overheads (notify +
+	// context switch); it cannot accept a new request until they finish.
+	transit   bool
+	idleSince sim.Cycles
+	totalIdle sim.Cycles
+
+	completionEv *sim.Event
+	quantumEv    *sim.Event
+	yieldEv      *sim.Event
+}
+
+// Machine is one simulated server instance processing one run.
+type Machine struct {
+	cfg Config
+	wl  Workload
+	p   RunParams
+
+	eng     *sim.Engine
+	rng     *sim.RNG
+	central policy.Queue[*Request]
+	workers []*worker
+	occ     []int // dispatcher's view of per-worker occupancy
+
+	ops     []op
+	opsHead int
+	dBusy   bool
+	saved   *Request // work-conserving dispatcher's parked request
+
+	quantum  sim.Cycles
+	workerOv float64 // worker-side c_proc fraction
+	dispOv   float64 // dispatcher-side c_proc fraction (rdtsc instrumentation)
+
+	// run state
+	admitted     int
+	completed    int
+	stolen       int
+	preemptions  int
+	arrivalsDone bool
+	lastArrival  sim.Cycles
+	watchdog     *sim.Event
+	saturated    bool
+	dBusyCycles  sim.Cycles
+
+	collector *stats.Collector
+	// OnComplete, when non-nil, receives every completed request
+	// (including warmup) for trace analysis.
+	OnComplete func(*Request)
+
+	nextID uint64
+}
+
+// Result summarizes one run.
+type Result struct {
+	Point     stats.Point
+	Collector *stats.Collector
+	Saturated bool
+	Completed int
+	Admitted  int
+}
+
+// New builds a machine for the given system, workload, and run
+// parameters. It panics on an invalid Config (use Config.Validate to
+// check first when the config is not statically known).
+func New(cfg Config, wl Workload, p RunParams) *Machine {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	p = p.withDefaults()
+	m := &Machine{
+		cfg:       cfg,
+		wl:        wl,
+		p:         p,
+		eng:       sim.NewEngine(),
+		rng:       sim.NewRNG(p.Seed),
+		collector: stats.NewCollector(p.Requests),
+	}
+	if cfg.SRPT {
+		m.central = policy.NewSRPT[*Request]()
+	} else {
+		m.central = policy.NewFCFS[*Request]()
+	}
+	m.workers = make([]*worker, cfg.Workers)
+	m.occ = make([]int, cfg.Workers)
+	for i := range m.workers {
+		m.workers[i] = &worker{id: i, idle: true}
+	}
+	m.quantum = cfg.Model.MicrosToCycles(cfg.QuantumUS)
+	if cfg.Mech != nil {
+		m.workerOv = cfg.Mech.ProcOverhead()
+	} else {
+		m.workerOv = cfg.Model.RuntimeOverhead
+	}
+	// The dispatcher's stolen work always runs under rdtsc
+	// self-preemption instrumentation (§3.3).
+	m.dispOv = cfg.Model.RuntimeOverhead + cfg.Model.InstrOverheadRdtsc
+	return m
+}
+
+// Run executes the simulation to completion and returns the summary.
+func (m *Machine) Run() Result {
+	m.scheduleArrival(0)
+	m.eng.Run()
+	return m.result()
+}
+
+// ---------- arrivals ----------
+
+func (m *Machine) scheduleArrival(now sim.Cycles) {
+	if m.admitted >= m.p.Requests {
+		m.arrivalsDone = true
+		m.lastArrival = now
+		slack := m.cfg.Model.MicrosToCycles(m.p.DrainSlackUS)
+		m.watchdog = m.eng.At(now+slack, func(sim.Cycles) {
+			m.saturated = true
+			m.eng.Stop()
+		})
+		return
+	}
+	gap := m.cfg.Model.MicrosToCycles(m.wl.Arrival.NextGapUS(m.rng))
+	m.eng.After(gap, func(t sim.Cycles) {
+		req := m.newRequest(t)
+		m.admitted++
+		m.enqueueOp(op{kind: opArrival, req: req, cost: m.cfg.Model.ArrivalCost}, t)
+		m.scheduleArrival(t)
+	})
+}
+
+func (m *Machine) newRequest(now sim.Cycles) *Request {
+	s := m.wl.Dist.Sample(m.rng)
+	sc := m.cfg.Model.MicrosToCycles(s.ServiceUS)
+	if sc < 1 {
+		sc = 1
+	}
+	req := &Request{
+		ID:            m.nextID,
+		Class:         s.Class,
+		ServiceUS:     s.ServiceUS,
+		serviceCycles: sc,
+		remainingBase: sc,
+		Arrival:       now,
+		FirstStart:    -1,
+		warmup:        m.admitted < int(float64(m.p.Requests)*m.p.WarmupFrac),
+	}
+	m.nextID++
+	if frac, ok := m.wl.CritFracByClass[s.Class]; ok && frac > 0 {
+		critBase := sim.Cycles(float64(sc) * frac)
+		req.critWall = wallFor(critBase, m.workerOv)
+	}
+	return req
+}
+
+// ---------- dispatcher ----------
+
+func (m *Machine) enqueueOp(o op, now sim.Cycles) {
+	m.ops = append(m.ops, o)
+	m.kick(now)
+}
+
+func (m *Machine) popOp() (op, bool) {
+	if m.opsHead >= len(m.ops) {
+		return op{}, false
+	}
+	o := m.ops[m.opsHead]
+	m.ops[m.opsHead] = op{}
+	m.opsHead++
+	if m.opsHead == len(m.ops) {
+		m.ops = m.ops[:0]
+		m.opsHead = 0
+	} else if m.opsHead > 1024 && m.opsHead*2 > len(m.ops) {
+		n := copy(m.ops, m.ops[m.opsHead:])
+		for i := n; i < len(m.ops); i++ {
+			m.ops[i] = op{}
+		}
+		m.ops = m.ops[:n]
+		m.opsHead = 0
+	}
+	return o, true
+}
+
+// kick advances the dispatcher if it is idle. Dispatches take priority
+// over pending operations: as in the real dispatch loop, requests flow to
+// free worker slots before new packets are ingested, and the two phases
+// alternate naturally because dispatching drains the central queue while
+// pending arrivals refill it.
+func (m *Machine) kick(now sim.Cycles) {
+	if m.dBusy {
+		return
+	}
+	o, ok := m.generateOp()
+	if !ok {
+		o, ok = m.popOp()
+	}
+	if ok {
+		m.dBusy = true
+		m.eng.After(o.cost, func(t sim.Cycles) {
+			m.dBusy = false
+			m.dBusyCycles += o.cost
+			m.apply(o, t)
+			m.kick(t)
+		})
+		return
+	}
+	if m.cfg.WorkConserving {
+		m.steal(now)
+	}
+}
+
+// generateOp creates a dispatch operation if the central queue has work
+// and some worker queue has room.
+func (m *Machine) generateOp() (op, bool) {
+	if m.central.Len() == 0 {
+		return op{}, false
+	}
+	w := policy.ShortestQueue(m.occ, m.cfg.QueueBound)
+	if w < 0 {
+		return op{}, false
+	}
+	c := m.cfg.Model.DispatchBase + m.cfg.DispatchExtra
+	if m.cfg.QueueBound > 1 {
+		c += m.cfg.Model.DispatchJBSQExtra
+	}
+	return op{kind: opPush, worker: w, cost: c}, true
+}
+
+func (m *Machine) apply(o op, now sim.Cycles) {
+	switch o.kind {
+	case opArrival:
+		m.central.Push(o.req, false)
+		if m.central.Len() > m.p.MaxCentralQueue {
+			m.saturated = true
+			m.eng.Stop()
+		}
+	case opPush:
+		req, ok := m.central.Pop()
+		if !ok {
+			return
+		}
+		w := m.workers[o.worker]
+		m.occ[o.worker]++
+		if w.idle && w.cur == nil && len(w.local) == 0 {
+			// The worker is stalled waiting: it pays the synchronous
+			// handoff's coherence misses (c_next) before it can start.
+			m.eng.After(m.cfg.Model.NextRequest, func(t sim.Cycles) {
+				m.receive(w, req, t)
+			})
+		} else {
+			// Push overlaps with the worker's current execution.
+			m.receive(w, req, now)
+		}
+	case opSignal:
+		m.deliverSignal(o, now)
+	case opRequeue:
+		m.occ[o.worker]--
+		m.central.Push(o.req, true)
+	case opSlotFree:
+		m.occ[o.worker]--
+	}
+}
+
+// ---------- work-conserving dispatcher (§3.3) ----------
+
+func (m *Machine) steal(now sim.Cycles) {
+	req := m.saved
+	if req == nil {
+		if !m.allQueuesFull() {
+			return
+		}
+		var ok bool
+		req, ok = m.central.PopNonStarted()
+		if !ok {
+			return
+		}
+		req.started = true
+		req.onDispatcher = true
+		if req.FirstStart < 0 {
+			req.FirstStart = now
+		}
+	}
+	m.saved = nil
+	wall := wallFor(req.remainingBase, m.dispOv)
+	slice := m.cfg.Model.DispatcherSlice
+	finishes := wall <= slice
+	if finishes {
+		slice = wall
+	}
+	// A context switch into (and, if parking, out of) the request.
+	total := slice + m.cfg.Model.ContextSwitch
+	if total < 1 {
+		total = 1
+	}
+	m.dBusy = true
+	m.eng.After(total, func(t sim.Cycles) {
+		m.dBusy = false
+		m.dBusyCycles += total
+		if finishes {
+			req.remainingBase = 0
+			m.stolen++
+			m.complete(req, t)
+		} else {
+			req.remainingBase -= baseFor(slice, m.dispOv)
+			if req.remainingBase < 1 {
+				req.remainingBase = 1
+			}
+			m.saved = req
+		}
+		m.kick(t)
+	})
+}
+
+func (m *Machine) allQueuesFull() bool {
+	for _, o := range m.occ {
+		if o < m.cfg.QueueBound {
+			return false
+		}
+	}
+	return true
+}
+
+// ---------- workers ----------
+
+func (m *Machine) receive(w *worker, req *Request, now sim.Cycles) {
+	w.local = append(w.local, req)
+	if w.cur == nil && !w.transit {
+		m.acquireNext(w, now)
+	}
+}
+
+func (m *Machine) acquireNext(w *worker, now sim.Cycles) {
+	req := w.local[0]
+	copy(w.local, w.local[1:])
+	w.local = w.local[:len(w.local)-1]
+	if w.idle {
+		w.totalIdle += now - w.idleSince
+		w.idle = false
+	}
+	overhead := m.cfg.Model.JBSQLocalPop + m.cfg.Model.ContextSwitch
+	m.startSegment(w, req, now+overhead)
+}
+
+func (m *Machine) startSegment(w *worker, req *Request, start sim.Cycles) {
+	w.cur = req
+	w.signaled = false
+	w.runStart = start
+	if !req.started {
+		req.started = true
+	}
+	if req.FirstStart < 0 {
+		req.FirstStart = start
+	}
+	wall := wallFor(req.remainingBase, m.workerOv)
+	if req.Preemptions > 0 {
+		// Resuming a preempted request refills its working set.
+		wall += m.cfg.Model.PreemptCacheReload
+	}
+	w.segEnd = start + wall
+	w.completionEv = m.eng.At(w.segEnd, func(t sim.Cycles) {
+		m.completeSegment(w, t)
+	})
+	m.scheduleQuantum(w, req, start)
+}
+
+func (m *Machine) scheduleQuantum(w *worker, req *Request, start sim.Cycles) {
+	if m.quantum <= 0 || m.cfg.Mech == nil {
+		return
+	}
+	if m.cfg.DeferWholeRequest && req.critWall > 0 {
+		// Shinjuku's LevelDB port: preemption disabled for the whole
+		// request when it may take locks.
+		return
+	}
+	expiry := start + m.quantum
+	if expiry >= w.segEnd {
+		return // completes within the quantum
+	}
+	if m.cfg.Mech.SelfPreempting() {
+		observe := expiry + m.cfg.Mech.ObserveDelay(m.rng)
+		if observe >= w.segEnd {
+			return
+		}
+		w.quantumEv = m.eng.At(observe, func(t sim.Cycles) {
+			m.yield(w, req, t)
+		})
+		return
+	}
+	// The dispatcher monitors elapsed time and signals at expiry; the
+	// signal is one of its serialized operations, so it is late when the
+	// dispatcher is busy.
+	w.quantumEv = m.eng.At(expiry, func(t sim.Cycles) {
+		m.enqueueOp(op{
+			kind:   opSignal,
+			req:    req,
+			worker: w.id,
+			cost:   m.cfg.Mech.SignalCost(),
+		}, t)
+	})
+}
+
+func (m *Machine) deliverSignal(o op, now sim.Cycles) {
+	w := m.workers[o.worker]
+	if w.cur != o.req || w.signaled {
+		return // stale: the request already left this worker
+	}
+	w.signaled = true
+	yieldAt := now + m.cfg.Mech.ObserveDelay(m.rng)
+	if o.req.Preemptions == 0 && o.req.critWall > 0 {
+		// Safety-first preemption: defer the yield past the critical
+		// section (§3.1).
+		if critEnd := w.runStart + o.req.critWall; critEnd > yieldAt {
+			yieldAt = critEnd
+		}
+	}
+	if yieldAt >= w.segEnd {
+		return // the request completes before it would yield
+	}
+	w.yieldEv = m.eng.At(yieldAt, func(t sim.Cycles) {
+		m.yield(w, o.req, t)
+	})
+}
+
+func (m *Machine) yield(w *worker, req *Request, now sim.Cycles) {
+	if w.cur != req {
+		return
+	}
+	elapsed := now - w.runStart
+	consumed := baseFor(elapsed, m.workerOv)
+	if consumed >= req.remainingBase {
+		consumed = req.remainingBase - 1
+	}
+	if consumed < 0 {
+		consumed = 0
+	}
+	req.remainingBase -= consumed
+	req.Preemptions++
+	m.preemptions++
+	m.eng.Cancel(w.completionEv)
+	m.eng.Cancel(w.quantumEv)
+	w.cur = nil
+	w.signaled = false
+	w.transit = true
+	m.enqueueOp(op{kind: opRequeue, req: req, worker: w.id, cost: m.cfg.Model.RequeueCost}, now)
+	overhead := m.cfg.Mech.NotifyCost() + m.cfg.Model.ContextSwitch
+	m.eng.After(overhead, func(t sim.Cycles) {
+		w.transit = false
+		m.workerNext(w, t)
+	})
+}
+
+func (m *Machine) completeSegment(w *worker, now sim.Cycles) {
+	req := w.cur
+	req.remainingBase = 0
+	m.eng.Cancel(w.quantumEv)
+	m.eng.Cancel(w.yieldEv)
+	w.cur = nil
+	w.signaled = false
+	m.complete(req, now)
+	m.enqueueOp(op{kind: opSlotFree, worker: w.id, cost: m.cfg.Model.SlotFreeCost}, now)
+	m.workerNext(w, now)
+}
+
+func (m *Machine) workerNext(w *worker, now sim.Cycles) {
+	if len(w.local) > 0 {
+		m.acquireNext(w, now)
+		return
+	}
+	w.idle = true
+	w.idleSince = now
+}
+
+// ---------- completion & results ----------
+
+func (m *Machine) complete(req *Request, now sim.Cycles) {
+	req.Done = now
+	m.completed++
+	if m.OnComplete != nil {
+		m.OnComplete(req)
+	}
+	if !req.warmup {
+		m.collector.Add(stats.Sample{
+			Class:     req.Class,
+			Slowdown:  float64(now-req.Arrival) / float64(req.serviceCycles),
+			SojournUS: m.cfg.Model.CyclesToMicros(now - req.Arrival),
+		})
+	}
+	if m.arrivalsDone && m.completed == m.admitted {
+		m.eng.Cancel(m.watchdog)
+		m.eng.Stop()
+	}
+}
+
+func (m *Machine) result() Result {
+	span := m.eng.Now()
+	if span <= 0 {
+		span = 1
+	}
+	var idle sim.Cycles
+	for _, w := range m.workers {
+		idle += w.totalIdle
+		if w.idle {
+			idle += m.eng.Now() - w.idleSince
+		}
+	}
+	pt := stats.Point{
+		AchievedKRps:   float64(m.completed) / (m.cfg.Model.CyclesToMicros(span) / 1000) / 1000,
+		P50:            m.collector.SlowdownPercentile(50),
+		P99:            m.collector.SlowdownPercentile(99),
+		P999:           m.collector.SlowdownPercentile(99.9),
+		Mean:           m.collector.MeanSlowdown(),
+		Samples:        m.collector.Len(),
+		DispatcherBusy: float64(m.dBusyCycles) / float64(span),
+		WorkerIdle:     float64(idle) / float64(span) / float64(m.cfg.Workers),
+	}
+	if m.completed > 0 {
+		pt.StolenFrac = float64(m.stolen) / float64(m.completed)
+		pt.Preemptions = float64(m.preemptions) / float64(m.completed)
+	}
+	sat := m.saturated || m.completed < m.admitted
+	if sat {
+		// Unfinished requests are worse than anything measured: the tail
+		// metric is unbounded at this load.
+		pt.P999 = math.Inf(1)
+	}
+	return Result{
+		Point:     pt,
+		Collector: m.collector,
+		Saturated: sat,
+		Completed: m.completed,
+		Admitted:  m.admitted,
+	}
+}

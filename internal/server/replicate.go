@@ -1,0 +1,70 @@
+package server
+
+import (
+	"math"
+
+	"concord/internal/stats"
+)
+
+// RunReplicated runs R independent single-dispatcher instances that
+// feed disjoint sets of cores — the scaling escape hatch §6 proposes for
+// when one dispatcher saturates. The configuration's Workers field is
+// the *total* worker count, split evenly across replicas; offered load
+// splits with it (random assignment of a Poisson stream is Poisson
+// thinning, so running each replica at kRps/R is exact).
+//
+// Latency percentiles are computed over the union of the replicas'
+// samples; throughput and utilization are summed/averaged.
+func RunReplicated(cfg Config, wl Workload, kRps float64, replicas int, p RunParams) stats.Point {
+	if replicas < 1 {
+		panic("server: need at least one replica")
+	}
+	if cfg.Workers%replicas != 0 {
+		panic("server: workers must divide evenly across replicas")
+	}
+	sub := cfg
+	sub.Workers = cfg.Workers / replicas
+	subParams := p.withDefaults()
+	subParams.Requests = subParams.Requests / replicas
+	if subParams.Requests < 1 {
+		subParams.Requests = 1
+	}
+
+	merged := stats.NewCollector(subParams.Requests * replicas)
+	var achieved, dBusy, wIdle, stolen, preempts float64
+	saturated := false
+	for r := 0; r < replicas; r++ {
+		rp := subParams
+		rp.Seed = subParams.Seed*31 + uint64(r) + 1
+		wl.Arrival = poissonAt(kRps / float64(replicas))
+		res := New(sub, wl, rp).Run()
+		for _, s := range res.Collector.Samples() {
+			merged.Add(s)
+		}
+		achieved += res.Point.AchievedKRps
+		dBusy += res.Point.DispatcherBusy
+		wIdle += res.Point.WorkerIdle
+		stolen += res.Point.StolenFrac
+		preempts += res.Point.Preemptions
+		saturated = saturated || res.Saturated
+	}
+
+	n := float64(replicas)
+	pt := stats.Point{
+		OfferedKRps:    kRps,
+		AchievedKRps:   achieved,
+		P50:            merged.SlowdownPercentile(50),
+		P99:            merged.SlowdownPercentile(99),
+		P999:           merged.SlowdownPercentile(99.9),
+		Mean:           merged.MeanSlowdown(),
+		Samples:        merged.Len(),
+		DispatcherBusy: dBusy / n,
+		WorkerIdle:     wIdle / n,
+		StolenFrac:     stolen / n,
+		Preemptions:    preempts / n,
+	}
+	if saturated {
+		pt.P999 = math.Inf(1)
+	}
+	return pt
+}

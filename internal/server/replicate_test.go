@@ -1,0 +1,70 @@
+package server
+
+import (
+	"math"
+	"testing"
+
+	"concord/internal/cost"
+	"concord/internal/dist"
+)
+
+func TestReplicatedMatchesSingleAtLowLoad(t *testing.T) {
+	m := cost.Default()
+	cfg := Concord(m, 4, 5)
+	wl := Workload{Dist: dist.NewFixed(10)}
+	p := RunParams{Requests: 20000, Seed: 51, MaxCentralQueue: 100000}
+
+	single := RunReplicated(cfg, wl, 50, 1, p)
+	dual := RunReplicated(cfg, wl, 50, 2, p)
+	if math.IsInf(single.P999, 1) || math.IsInf(dual.P999, 1) {
+		t.Fatal("saturated at trivially low load")
+	}
+	// At 50 kRps on 4 workers at 10µs (12.5% util) replication changes
+	// nothing material.
+	if math.Abs(single.P50-dual.P50) > 0.3*single.P50 {
+		t.Fatalf("p50 differs at low load: single %v vs dual %v", single.P50, dual.P50)
+	}
+}
+
+func TestReplicationRelievesDispatcherBottleneck(t *testing.T) {
+	// Fixed(1µs) saturates the dispatcher far below worker capacity
+	// (Fig. 8a); splitting into two single-dispatcher instances (§6)
+	// roughly doubles the sustainable load.
+	m := cost.Default()
+	cfg := Concord(m, 8, 0)
+	cfg.Mech = nil
+	cfg.QuantumUS = 0
+	cfg.WorkConserving = false
+	wl := Workload{Dist: dist.NewFixed(1)}
+	p := RunParams{Requests: 60000, Seed: 53, MaxCentralQueue: 60000, DrainSlackUS: 20000}
+
+	// ~5 MRps: beyond one dispatcher (~4 MRps) but fine for two.
+	load := 5000.0
+	one := RunReplicated(cfg, wl, load, 1, p)
+	two := RunReplicated(cfg, wl, load, 2, p)
+	if !math.IsInf(one.P999, 1) && one.P999 < 50 {
+		t.Fatalf("single dispatcher unexpectedly healthy at %v kRps: p999=%v", load, one.P999)
+	}
+	if math.IsInf(two.P999, 1) || two.P999 > 50 {
+		t.Fatalf("two dispatchers still saturated at %v kRps: p999=%v", load, two.P999)
+	}
+}
+
+func TestReplicatedValidation(t *testing.T) {
+	m := cost.Default()
+	cfg := Concord(m, 4, 5)
+	wl := Workload{Dist: dist.NewFixed(10)}
+	for name, fn := range map[string]func(){
+		"zero replicas": func() { RunReplicated(cfg, wl, 10, 0, RunParams{Requests: 100}) },
+		"uneven split":  func() { RunReplicated(cfg, wl, 10, 3, RunParams{Requests: 100}) },
+	} {
+		t.Run(name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		})
+	}
+}

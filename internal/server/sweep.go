@@ -1,0 +1,36 @@
+package server
+
+import (
+	"concord/internal/stats"
+)
+
+// Sweep runs one system across a list of offered loads (in kRps) and
+// returns the slowdown-vs-load curve: the data behind one line in the
+// paper's figures. The workload's Arrival field is overridden per load
+// point with a Poisson process at that rate.
+func Sweep(cfg Config, wl Workload, loadsKRps []float64, p RunParams) stats.Curve {
+	curve := stats.Curve{System: cfg.Name}
+	for i, kRps := range loadsKRps {
+		pt := RunAt(cfg, wl, kRps, withSeedOffset(p, uint64(i)))
+		curve.Points = append(curve.Points, pt)
+		// Past saturation every higher load is also saturated; keep
+		// sweeping anyway so the curve shows the cliff, but the runs get
+		// cheap because the queue-cap guard fires early.
+	}
+	return curve
+}
+
+// RunAt runs one system at one offered load and returns its point.
+func RunAt(cfg Config, wl Workload, kRps float64, p RunParams) stats.Point {
+	wl.Arrival = poissonAt(kRps)
+	m := New(cfg, wl, p)
+	res := m.Run()
+	pt := res.Point
+	pt.OfferedKRps = kRps
+	return pt
+}
+
+func withSeedOffset(p RunParams, off uint64) RunParams {
+	p.Seed = p.Seed*1_000_003 + off + 1
+	return p
+}

@@ -1,0 +1,104 @@
+package server
+
+import (
+	"concord/internal/cost"
+	"concord/internal/mech"
+)
+
+// The evaluated systems (§5.1) and the ablation variants of Fig. 11/12.
+// Each constructor takes the cost model, the worker count, and the
+// scheduling quantum in µs.
+
+// Shinjuku is the state-of-the-art baseline: posted IPIs, a synchronous
+// single queue, and a dedicated dispatcher.
+func Shinjuku(m cost.Model, workers int, quantumUS float64) Config {
+	return Config{
+		Name:       "Shinjuku",
+		Workers:    workers,
+		QuantumUS:  quantumUS,
+		Mech:       mech.IPI{M: m},
+		Model:      m,
+		QueueBound: 1,
+	}
+}
+
+// ShinjukuDeferAPI is Shinjuku's LevelDB port, which disables preemption
+// for the entire duration of any request that may acquire a lock (§3.1).
+func ShinjukuDeferAPI(m cost.Model, workers int, quantumUS float64) Config {
+	c := Shinjuku(m, workers, quantumUS)
+	c.Name = "Shinjuku-defer-API"
+	c.DeferWholeRequest = true
+	return c
+}
+
+// PersephoneFCFS is Persephone configured with the blind C-FCFS policy:
+// a single queue, no preemption, networker sharing the dispatcher thread.
+func PersephoneFCFS(m cost.Model, workers int) Config {
+	return Config{
+		Name:          "Persephone-FCFS",
+		Workers:       workers,
+		QuantumUS:     0,
+		Mech:          mech.None{M: m},
+		Model:         m,
+		QueueBound:    1,
+		DispatchExtra: 60, // networker work shares the dispatcher thread
+	}
+}
+
+// Concord combines all three mechanisms: compiler-enforced cooperation,
+// JBSQ(2), and the work-conserving dispatcher.
+func Concord(m cost.Model, workers int, quantumUS float64) Config {
+	return Config{
+		Name:           "Concord",
+		Workers:        workers,
+		QuantumUS:      quantumUS,
+		Mech:           mech.CacheLine{M: m},
+		Model:          m,
+		QueueBound:     2,
+		WorkConserving: true,
+	}
+}
+
+// ConcordNoSteal is Concord with the dispatcher's work stealing disabled
+// (§5.5: users can trade the low-load slowdown increase away).
+func ConcordNoSteal(m cost.Model, workers int, quantumUS float64) Config {
+	c := Concord(m, workers, quantumUS)
+	c.Name = "Concord-no-steal"
+	c.WorkConserving = false
+	return c
+}
+
+// CoopSQ is the Fig. 11/12 ablation step one: compiler-enforced
+// cooperation replacing IPIs, still a synchronous single queue.
+func CoopSQ(m cost.Model, workers int, quantumUS float64) Config {
+	return Config{
+		Name:       "Co-op+SQ",
+		Workers:    workers,
+		QuantumUS:  quantumUS,
+		Mech:       mech.CacheLine{M: m},
+		Model:      m,
+		QueueBound: 1,
+	}
+}
+
+// CoopJBSQ is ablation step two: cooperation plus JBSQ(2), without the
+// work-conserving dispatcher.
+func CoopJBSQ(m cost.Model, workers int, quantumUS float64) Config {
+	return Config{
+		Name:       "Co-op+JBSQ(2)",
+		Workers:    workers,
+		QuantumUS:  quantumUS,
+		Mech:       mech.CacheLine{M: m},
+		Model:      m,
+		QueueBound: 2,
+	}
+}
+
+// ConcordJBSQ returns Concord with an explicit JBSQ depth, for the
+// queue-bound ablation.
+func ConcordJBSQ(m cost.Model, workers int, quantumUS float64, k int) Config {
+	c := Concord(m, workers, quantumUS)
+	c.Name = "Concord-JBSQ(" + string(rune('0'+k)) + ")"
+	c.QueueBound = k
+	return c
+}

@@ -1,0 +1,146 @@
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+)
+
+// Cycles is the simulation time unit: CPU clock cycles. All costs in the
+// model (IPI delivery, cache misses, context switches, service times) are
+// expressed in cycles so that the simulated machine's frequency is a
+// single conversion constant (see internal/cost).
+type Cycles int64
+
+// Event is a scheduled callback. The callback runs when simulated time
+// reaches At; it may schedule further events.
+type Event struct {
+	At Cycles
+	Fn func(now Cycles)
+
+	seq   uint64 // tie-break: FIFO among simultaneous events
+	index int    // heap index, -1 once popped or cancelled
+}
+
+// Cancelled reports whether the event was removed from the queue before
+// firing (or has already fired).
+func (e *Event) Cancelled() bool { return e.index == -1 }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].At != h[j].At {
+		return h[i].At < h[j].At
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].index = i
+	h[j].index = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Engine is a single-threaded discrete-event simulator. Events fire in
+// nondecreasing time order; simultaneous events fire in scheduling order.
+type Engine struct {
+	now     Cycles
+	queue   eventHeap
+	seq     uint64
+	stopped bool
+
+	// Executed counts events fired so far, useful as a runaway guard and
+	// for reporting simulator throughput.
+	Executed uint64
+}
+
+// NewEngine returns an engine with the clock at zero.
+func NewEngine() *Engine {
+	return &Engine{}
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Cycles { return e.now }
+
+// Len returns the number of pending events.
+func (e *Engine) Len() int { return len(e.queue) }
+
+// At schedules fn to run at absolute time at. Scheduling in the past
+// panics: it always indicates a model bug.
+func (e *Engine) At(at Cycles, fn func(now Cycles)) *Event {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", at, e.now))
+	}
+	ev := &Event{At: at, Fn: fn, seq: e.seq}
+	e.seq++
+	heap.Push(&e.queue, ev)
+	return ev
+}
+
+// After schedules fn to run delay cycles from now.
+func (e *Engine) After(delay Cycles, fn func(now Cycles)) *Event {
+	if delay < 0 {
+		panic("sim: negative delay")
+	}
+	return e.At(e.now+delay, fn)
+}
+
+// Cancel removes a pending event from the queue. Cancelling an event that
+// already fired (or was already cancelled) is a no-op.
+func (e *Engine) Cancel(ev *Event) {
+	if ev == nil || ev.index == -1 {
+		return
+	}
+	heap.Remove(&e.queue, ev.index)
+	ev.index = -1
+}
+
+// Stop makes Run/RunUntil return after the current event completes.
+func (e *Engine) Stop() { e.stopped = true }
+
+// Step fires the next event, if any, and reports whether one fired.
+func (e *Engine) Step() bool {
+	if len(e.queue) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.queue).(*Event)
+	e.now = ev.At
+	e.Executed++
+	ev.Fn(e.now)
+	return true
+}
+
+// Run fires events until the queue drains or Stop is called.
+func (e *Engine) Run() {
+	e.stopped = false
+	for !e.stopped && e.Step() {
+	}
+}
+
+// RunUntil fires events with At <= deadline, then advances the clock to
+// the deadline (if the queue drained or only later events remain).
+func (e *Engine) RunUntil(deadline Cycles) {
+	e.stopped = false
+	for !e.stopped {
+		if len(e.queue) == 0 || e.queue[0].At > deadline {
+			break
+		}
+		e.Step()
+	}
+	if e.now < deadline && !e.stopped {
+		e.now = deadline
+	}
+}

@@ -1,0 +1,313 @@
+package sim
+
+import (
+	"math"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEngineFiresInOrder(t *testing.T) {
+	e := NewEngine()
+	var fired []Cycles
+	for _, at := range []Cycles{50, 10, 30, 10, 20} {
+		at := at
+		e.At(at, func(now Cycles) {
+			if now != at {
+				t.Errorf("event scheduled at %d fired at %d", at, now)
+			}
+			fired = append(fired, now)
+		})
+	}
+	e.Run()
+	want := []Cycles{10, 10, 20, 30, 50}
+	if len(fired) != len(want) {
+		t.Fatalf("fired %d events, want %d", len(fired), len(want))
+	}
+	for i := range want {
+		if fired[i] != want[i] {
+			t.Errorf("fired[%d] = %d, want %d", i, fired[i], want[i])
+		}
+	}
+}
+
+func TestEngineSimultaneousEventsFIFO(t *testing.T) {
+	e := NewEngine()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.At(100, func(Cycles) { order = append(order, i) })
+	}
+	e.Run()
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("simultaneous events fired out of scheduling order: %v", order)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	e := NewEngine()
+	var count int
+	var step func(Cycles)
+	step = func(now Cycles) {
+		count++
+		if count < 100 {
+			e.After(7, step)
+		}
+	}
+	e.After(0, step)
+	e.Run()
+	if count != 100 {
+		t.Fatalf("count = %d, want 100", count)
+	}
+	if e.Now() != 99*7 {
+		t.Fatalf("clock = %d, want %d", e.Now(), 99*7)
+	}
+}
+
+func TestEnginePastSchedulingPanics(t *testing.T) {
+	e := NewEngine()
+	e.At(100, func(Cycles) {})
+	e.Run()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past did not panic")
+		}
+	}()
+	e.At(50, func(Cycles) {})
+}
+
+func TestEngineCancel(t *testing.T) {
+	e := NewEngine()
+	fired := false
+	ev := e.At(10, func(Cycles) { fired = true })
+	e.Cancel(ev)
+	e.Cancel(ev) // double-cancel is a no-op
+	e.Run()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if !ev.Cancelled() {
+		t.Fatal("Cancelled() = false after cancel")
+	}
+}
+
+func TestEngineCancelMiddleOfHeap(t *testing.T) {
+	e := NewEngine()
+	var fired []int
+	var events []*Event
+	for i := 0; i < 20; i++ {
+		i := i
+		events = append(events, e.At(Cycles(i*10), func(Cycles) { fired = append(fired, i) }))
+	}
+	// Cancel every third event.
+	for i := 0; i < 20; i += 3 {
+		e.Cancel(events[i])
+	}
+	e.Run()
+	for _, v := range fired {
+		if v%3 == 0 {
+			t.Fatalf("cancelled event %d fired", v)
+		}
+	}
+	if len(fired) != 13 {
+		t.Fatalf("fired %d events, want 13", len(fired))
+	}
+}
+
+func TestEngineStop(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 0; i < 10; i++ {
+		e.At(Cycles(i), func(Cycles) {
+			count++
+			if count == 5 {
+				e.Stop()
+			}
+		})
+	}
+	e.Run()
+	if count != 5 {
+		t.Fatalf("count = %d, want 5 after Stop", count)
+	}
+}
+
+func TestEngineRunUntil(t *testing.T) {
+	e := NewEngine()
+	count := 0
+	for i := 1; i <= 10; i++ {
+		e.At(Cycles(i*10), func(Cycles) { count++ })
+	}
+	e.RunUntil(55)
+	if count != 5 {
+		t.Fatalf("count = %d, want 5", count)
+	}
+	if e.Now() != 55 {
+		t.Fatalf("clock = %d, want 55", e.Now())
+	}
+	e.RunUntil(1000)
+	if count != 10 {
+		t.Fatalf("count = %d, want 10", count)
+	}
+}
+
+// Property: any batch of scheduled times fires in sorted order.
+func TestEngineOrderProperty(t *testing.T) {
+	prop := func(delays []uint16) bool {
+		e := NewEngine()
+		var fired []Cycles
+		for _, d := range delays {
+			e.At(Cycles(d), func(now Cycles) { fired = append(fired, now) })
+		}
+		e.Run()
+		return sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] })
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGDeterminism(t *testing.T) {
+	a, b := NewRNG(42), NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same-seed RNGs diverged")
+		}
+	}
+	c := NewRNG(43)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == c.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different-seed RNGs agree on %d of 1000 outputs", same)
+	}
+}
+
+func TestRNGFloat64Range(t *testing.T) {
+	prop := func(seed uint64) bool {
+		r := NewRNG(seed)
+		for i := 0; i < 100; i++ {
+			f := r.Float64()
+			if f < 0 || f >= 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRNGIntnRange(t *testing.T) {
+	r := NewRNG(7)
+	for n := 1; n < 50; n++ {
+		for i := 0; i < 100; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestRNGIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(1).Intn(0)
+}
+
+func TestRNGExpMean(t *testing.T) {
+	r := NewRNG(11)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += r.Exp(10)
+	}
+	mean := sum / n
+	if math.Abs(mean-10) > 0.2 {
+		t.Fatalf("Exp(10) sample mean = %v, want ~10", mean)
+	}
+}
+
+func TestRNGNormalMoments(t *testing.T) {
+	r := NewRNG(13)
+	const n = 200000
+	sum, sumsq := 0.0, 0.0
+	for i := 0; i < n; i++ {
+		v := r.Normal(5, 2)
+		sum += v
+		sumsq += v * v
+	}
+	mean := sum / n
+	variance := sumsq/n - mean*mean
+	if math.Abs(mean-5) > 0.05 {
+		t.Fatalf("Normal mean = %v, want ~5", mean)
+	}
+	if math.Abs(math.Sqrt(variance)-2) > 0.05 {
+		t.Fatalf("Normal stddev = %v, want ~2", math.Sqrt(variance))
+	}
+}
+
+func TestRNGOneSidedNormal(t *testing.T) {
+	r := NewRNG(17)
+	for i := 0; i < 100000; i++ {
+		if v := r.OneSidedNormal(5, 2); v < 5 {
+			t.Fatalf("OneSidedNormal(5,2) = %v below mean", v)
+		}
+	}
+}
+
+func TestRNGParetoRange(t *testing.T) {
+	r := NewRNG(19)
+	for i := 0; i < 10000; i++ {
+		if v := r.Pareto(1.5, 2); v < 1.5 {
+			t.Fatalf("Pareto(1.5,2) = %v below scale", v)
+		}
+	}
+}
+
+func TestRNGSplitIndependence(t *testing.T) {
+	parent := NewRNG(23)
+	child := parent.Split()
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if parent.Uint64() == child.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("parent and split child agree on %d of 1000 outputs", same)
+	}
+}
+
+func BenchmarkEngineScheduleFire(b *testing.B) {
+	e := NewEngine()
+	var step func(Cycles)
+	n := 0
+	step = func(Cycles) {
+		n++
+		if n < b.N {
+			e.After(3, step)
+		}
+	}
+	b.ResetTimer()
+	e.After(0, step)
+	e.Run()
+}
+
+func BenchmarkRNGUint64(b *testing.B) {
+	r := NewRNG(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += r.Uint64()
+	}
+	_ = sink
+}

@@ -1,0 +1,166 @@
+// Package sim provides a deterministic discrete-event simulation engine
+// used by every simulated experiment in this repository.
+//
+// The engine is deliberately small: a monotonic clock measured in CPU
+// cycles, a binary-heap event queue with stable FIFO ordering for
+// simultaneous events, and a fast deterministic random number generator.
+// All higher-level behaviour (dispatchers, workers, preemption) is built
+// on top of it in internal/server.
+package sim
+
+import "math"
+
+// RNG is a deterministic pseudo-random number generator based on
+// xoshiro256**, seeded via splitmix64. It is not safe for concurrent use;
+// every simulated entity that needs randomness owns its own RNG (or a
+// Split of a parent RNG) so that simulations are reproducible regardless
+// of event interleaving.
+type RNG struct {
+	s [4]uint64
+	// spare holds a cached second normal deviate from the Box-Muller
+	// transform; spareOK reports whether it is valid.
+	spare   float64
+	spareOK bool
+}
+
+// splitmix64 advances the given state and returns the next output. It is
+// used only for seeding, following the xoshiro authors' recommendation.
+func splitmix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// NewRNG returns a generator seeded from the given seed. Two RNGs created
+// with the same seed produce identical streams.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	sm := seed
+	for i := range r.s {
+		r.s[i] = splitmix64(&sm)
+	}
+	// Guard against the theoretically possible all-zero state.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+	return r
+}
+
+// Split derives a new independent generator from r. The child stream is
+// decorrelated from the parent by reseeding through splitmix64.
+func (r *RNG) Split() *RNG {
+	return NewRNG(r.Uint64() ^ 0xa0761d6478bd642f)
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform value in [0, 1) with 53 bits of precision.
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn called with non-positive n")
+	}
+	// Lemire's multiply-shift rejection method.
+	bound := uint64(n)
+	x := r.Uint64()
+	hi, lo := mul64(x, bound)
+	if lo < bound {
+		threshold := -bound % bound
+		for lo < threshold {
+			x = r.Uint64()
+			hi, lo = mul64(x, bound)
+		}
+	}
+	return int(hi)
+}
+
+// mul64 returns the 128-bit product of x and y as (hi, lo).
+func mul64(x, y uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	x0, x1 := x&mask32, x>>32
+	y0, y1 := y&mask32, y>>32
+	w0 := x0 * y0
+	t := x1*y0 + w0>>32
+	w1 := t&mask32 + x0*y1
+	hi = x1*y1 + t>>32 + w1>>32
+	lo = x * y
+	return
+}
+
+// Exp returns an exponentially distributed value with the given mean.
+// It panics if mean is negative; a zero mean returns zero.
+func (r *RNG) Exp(mean float64) float64 {
+	if mean < 0 {
+		panic("sim: Exp called with negative mean")
+	}
+	if mean == 0 {
+		return 0
+	}
+	// -ln(1-U) is Exp(1); 1-Float64() is in (0,1] so the log is finite.
+	return -mean * math.Log(1-r.Float64())
+}
+
+// Normal returns a normally distributed value with the given mean and
+// standard deviation, via the Box-Muller transform.
+func (r *RNG) Normal(mean, stddev float64) float64 {
+	if r.spareOK {
+		r.spareOK = false
+		return mean + stddev*r.spare
+	}
+	var u, v, s float64
+	for {
+		u = 2*r.Float64() - 1
+		v = 2*r.Float64() - 1
+		s = u*u + v*v
+		if s > 0 && s < 1 {
+			break
+		}
+	}
+	m := math.Sqrt(-2 * math.Log(s) / s)
+	r.spare = v * m
+	r.spareOK = true
+	return mean + stddev*u*m
+}
+
+// OneSidedNormal returns max(mean, Normal(mean, stddev)): a normal deviate
+// truncated below at its mean. This models Concord's preemption delay,
+// which never fires before the quantum elapses (§3.1, Fig. 5).
+func (r *RNG) OneSidedNormal(mean, stddev float64) float64 {
+	v := r.Normal(mean, stddev)
+	if v < mean {
+		return 2*mean - v // reflect: preserves the one-sided density shape
+	}
+	return v
+}
+
+// Lognormal returns exp(Normal(mu, sigma)).
+func (r *RNG) Lognormal(mu, sigma float64) float64 {
+	return math.Exp(r.Normal(mu, sigma))
+}
+
+// Pareto returns a Pareto-distributed value with scale xm and shape alpha.
+func (r *RNG) Pareto(xm, alpha float64) float64 {
+	if xm <= 0 || alpha <= 0 {
+		panic("sim: Pareto requires positive scale and shape")
+	}
+	return xm / math.Pow(1-r.Float64(), 1/alpha)
+}

@@ -1,0 +1,185 @@
+// Package stats computes the latency metrics the paper reports: request
+// slowdown (total time at the server over un-instrumented service time),
+// exact percentiles (p50/p99/p99.9), and load-sweep summaries including
+// the maximum throughput sustainable under a tail-slowdown SLO.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// DefaultSLOSlowdown is the paper's service level objective: 99.9th
+// percentile slowdown of 50× the service time (§5.1).
+const DefaultSLOSlowdown = 50.0
+
+// Sample is one completed request's latency record.
+type Sample struct {
+	Class     string
+	Slowdown  float64 // sojourn / uninstrumented service time
+	SojournUS float64 // total time at the server
+}
+
+// Collector accumulates per-request samples for one run.
+type Collector struct {
+	samples []Sample
+	sorted  bool
+}
+
+// NewCollector returns an empty collector with capacity for n samples.
+func NewCollector(n int) *Collector {
+	return &Collector{samples: make([]Sample, 0, n)}
+}
+
+// Add records one completed request.
+func (c *Collector) Add(s Sample) {
+	c.samples = append(c.samples, s)
+	c.sorted = false
+}
+
+// Len returns the number of recorded samples.
+func (c *Collector) Len() int { return len(c.samples) }
+
+// Samples returns the recorded samples (in unspecified order). The
+// returned slice is owned by the collector; callers must not modify it.
+func (c *Collector) Samples() []Sample { return c.samples }
+
+func (c *Collector) ensureSorted() {
+	if !c.sorted {
+		sort.Slice(c.samples, func(i, j int) bool {
+			return c.samples[i].Slowdown < c.samples[j].Slowdown
+		})
+		c.sorted = true
+	}
+}
+
+// SlowdownPercentile returns the p-th percentile slowdown (p in (0,100]),
+// computed exactly by the nearest-rank method. It returns NaN if no
+// samples were recorded.
+func (c *Collector) SlowdownPercentile(p float64) float64 {
+	if len(c.samples) == 0 {
+		return math.NaN()
+	}
+	if p <= 0 || p > 100 {
+		panic(fmt.Sprintf("stats: percentile %v out of range (0,100]", p))
+	}
+	c.ensureSorted()
+	rank := int(math.Ceil(p / 100 * float64(len(c.samples))))
+	if rank < 1 {
+		rank = 1
+	}
+	return c.samples[rank-1].Slowdown
+}
+
+// MeanSlowdown returns the average slowdown, or NaN with no samples.
+func (c *Collector) MeanSlowdown() float64 {
+	if len(c.samples) == 0 {
+		return math.NaN()
+	}
+	sum := 0.0
+	for _, s := range c.samples {
+		sum += s.Slowdown
+	}
+	return sum / float64(len(c.samples))
+}
+
+// ClassPercentile returns the p-th percentile slowdown among samples of
+// one class, or NaN if the class has no samples.
+func (c *Collector) ClassPercentile(class string, p float64) float64 {
+	var vals []float64
+	for _, s := range c.samples {
+		if s.Class == class {
+			vals = append(vals, s.Slowdown)
+		}
+	}
+	if len(vals) == 0 {
+		return math.NaN()
+	}
+	sort.Float64s(vals)
+	rank := int(math.Ceil(p / 100 * float64(len(vals))))
+	if rank < 1 {
+		rank = 1
+	}
+	return vals[rank-1]
+}
+
+// Classes returns the distinct class labels seen, sorted.
+func (c *Collector) Classes() []string {
+	set := map[string]bool{}
+	for _, s := range c.samples {
+		set[s.Class] = true
+	}
+	out := make([]string, 0, len(set))
+	for k := range set {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Point is one load point in a sweep: offered load and measured tail
+// behaviour, mirroring one x-position in the paper's figures.
+type Point struct {
+	OfferedKRps    float64 // offered load in thousand requests/second
+	AchievedKRps   float64 // completed throughput
+	P50            float64 // median slowdown
+	P99            float64
+	P999           float64 // the paper's headline metric
+	Mean           float64
+	Samples        int
+	DispatcherBusy float64 // fraction of time the dispatcher was busy
+	WorkerIdle     float64 // mean fraction of time workers sat idle
+	StolenFrac     float64 // fraction of requests processed by the dispatcher
+	Preemptions    float64 // mean preemptions per request
+}
+
+// Curve is a load sweep for one system: the data behind one line in a
+// slowdown-vs-load figure.
+type Curve struct {
+	System string
+	Points []Point
+}
+
+// MaxLoadUnderSLO returns the largest offered load whose p99.9 slowdown
+// meets the SLO, using linear interpolation between the last passing and
+// first failing points (the paper's "throughput at target slowdown").
+// ok is false if no point meets the SLO.
+func (c Curve) MaxLoadUnderSLO(slo float64) (kRps float64, ok bool) {
+	best := math.NaN()
+	for i, p := range c.Points {
+		if math.IsNaN(p.P999) {
+			continue
+		}
+		if p.P999 <= slo {
+			best = p.OfferedKRps
+			ok = true
+			// Interpolate toward the next failing point, if any.
+			if i+1 < len(c.Points) {
+				n := c.Points[i+1]
+				if !math.IsNaN(n.P999) && n.P999 > slo && n.P999 != p.P999 {
+					frac := (slo - p.P999) / (n.P999 - p.P999)
+					cand := p.OfferedKRps + frac*(n.OfferedKRps-p.OfferedKRps)
+					if cand > best {
+						best = cand
+					}
+				}
+			}
+		}
+	}
+	return best, ok
+}
+
+// Improvement returns the relative throughput gain of curve a over curve
+// b at the given SLO, e.g. 0.52 for "52% greater throughput".
+func Improvement(a, b Curve, slo float64) (float64, error) {
+	la, oka := a.MaxLoadUnderSLO(slo)
+	lb, okb := b.MaxLoadUnderSLO(slo)
+	if !oka || !okb {
+		return 0, fmt.Errorf("stats: curve never meets SLO %.0f (a ok=%v, b ok=%v)", slo, oka, okb)
+	}
+	if lb == 0 {
+		return 0, fmt.Errorf("stats: baseline sustains zero load")
+	}
+	return la/lb - 1, nil
+}

@@ -1,0 +1,196 @@
+// Package trace records per-request latency observations and renders
+// them as CSV or as log-bucketed histograms — the measurement layer the
+// live load generator and the examples share.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Record is one completed request observation.
+type Record struct {
+	Class        string
+	ServiceUS    float64 // intended (un-instrumented) service time
+	SojournUS    float64 // measured time at the server
+	Preemptions  int
+	OnDispatcher bool
+}
+
+// Slowdown returns SojournUS/ServiceUS, the paper's headline metric.
+func (r Record) Slowdown() float64 {
+	if r.ServiceUS <= 0 {
+		return math.NaN()
+	}
+	return r.SojournUS / r.ServiceUS
+}
+
+// Log accumulates records; it is safe for concurrent use.
+type Log struct {
+	mu      sync.Mutex
+	records []Record
+}
+
+// NewLog returns a log with capacity for n records.
+func NewLog(n int) *Log {
+	return &Log{records: make([]Record, 0, n)}
+}
+
+// Add appends one record.
+func (l *Log) Add(r Record) {
+	l.mu.Lock()
+	l.records = append(l.records, r)
+	l.mu.Unlock()
+}
+
+// Len returns the number of records.
+func (l *Log) Len() int {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return len(l.records)
+}
+
+// Snapshot returns a copy of the records.
+func (l *Log) Snapshot() []Record {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]Record, len(l.records))
+	copy(out, l.records)
+	return out
+}
+
+// WriteCSV renders the log as CSV with a header row.
+func (l *Log) WriteCSV(w io.Writer) error {
+	if _, err := io.WriteString(w, "class,service_us,sojourn_us,slowdown,preemptions,on_dispatcher\n"); err != nil {
+		return err
+	}
+	for _, r := range l.Snapshot() {
+		if _, err := fmt.Fprintf(w, "%s,%.3f,%.3f,%.3f,%d,%t\n",
+			r.Class, r.ServiceUS, r.SojournUS, r.Slowdown(), r.Preemptions, r.OnDispatcher); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Summary holds percentile statistics over a set of records.
+type Summary struct {
+	Count               int
+	P50, P90, P99, P999 float64 // slowdown percentiles
+	MeanSlowdown        float64
+	MeanSojournUS       float64
+	MeanPreemptions     float64
+	DispatcherFrac      float64
+}
+
+// Summarize computes slowdown percentiles over the log.
+func (l *Log) Summarize() Summary {
+	recs := l.Snapshot()
+	if len(recs) == 0 {
+		nan := math.NaN()
+		return Summary{P50: nan, P90: nan, P99: nan, P999: nan, MeanSlowdown: nan, MeanSojournUS: nan}
+	}
+	slow := make([]float64, 0, len(recs))
+	var sumSlow, sumSoj, sumPre, disp float64
+	for _, r := range recs {
+		s := r.Slowdown()
+		if !math.IsNaN(s) {
+			slow = append(slow, s)
+			sumSlow += s
+		}
+		sumSoj += r.SojournUS
+		sumPre += float64(r.Preemptions)
+		if r.OnDispatcher {
+			disp++
+		}
+	}
+	sort.Float64s(slow)
+	pct := func(p float64) float64 {
+		if len(slow) == 0 {
+			return math.NaN()
+		}
+		rank := int(math.Ceil(p / 100 * float64(len(slow))))
+		if rank < 1 {
+			rank = 1
+		}
+		return slow[rank-1]
+	}
+	n := float64(len(recs))
+	return Summary{
+		Count:           len(recs),
+		P50:             pct(50),
+		P90:             pct(90),
+		P99:             pct(99),
+		P999:            pct(99.9),
+		MeanSlowdown:    sumSlow / math.Max(1, float64(len(slow))),
+		MeanSojournUS:   sumSoj / n,
+		MeanPreemptions: sumPre / n,
+		DispatcherFrac:  disp / n,
+	}
+}
+
+// String renders the summary on one line.
+func (s Summary) String() string {
+	return fmt.Sprintf(
+		"n=%d p50=%.1f p90=%.1f p99=%.1f p99.9=%.1f mean-slowdown=%.1f mean-sojourn=%.1fµs preempts/req=%.2f dispatcher=%.1f%%",
+		s.Count, s.P50, s.P90, s.P99, s.P999, s.MeanSlowdown, s.MeanSojournUS, s.MeanPreemptions, 100*s.DispatcherFrac)
+}
+
+// Histogram is a base-2 log-bucketed latency histogram.
+type Histogram struct {
+	buckets [64]int
+	count   int
+}
+
+// ObserveUS adds one latency observation in µs.
+func (h *Histogram) ObserveUS(us float64) {
+	if us < 0 {
+		return
+	}
+	b := 0
+	if us >= 1 {
+		b = int(math.Log2(us)) + 1
+		if b >= len(h.buckets) {
+			b = len(h.buckets) - 1
+		}
+	}
+	h.buckets[b]++
+	h.count++
+}
+
+// ObserveDuration adds one latency observation.
+func (h *Histogram) ObserveDuration(d time.Duration) {
+	h.ObserveUS(float64(d) / float64(time.Microsecond))
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int { return h.count }
+
+// String renders non-empty buckets with proportional bars.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	max := 0
+	for _, c := range h.buckets {
+		if c > max {
+			max = c
+		}
+	}
+	for i, c := range h.buckets {
+		if c == 0 {
+			continue
+		}
+		lo, hi := 0.0, 1.0
+		if i > 0 {
+			lo = math.Pow(2, float64(i-1))
+			hi = math.Pow(2, float64(i))
+		}
+		bar := strings.Repeat("#", int(math.Ceil(float64(c)/float64(max)*40)))
+		fmt.Fprintf(&b, "%10.0f-%-10.0fµs %8d %s\n", lo, hi, c, bar)
+	}
+	return b.String()
+}

@@ -1,0 +1,118 @@
+package trace
+
+import (
+	"math"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRecordSlowdown(t *testing.T) {
+	r := Record{ServiceUS: 2, SojournUS: 10}
+	if got := r.Slowdown(); got != 5 {
+		t.Fatalf("slowdown = %v, want 5", got)
+	}
+	if !math.IsNaN((Record{}).Slowdown()) {
+		t.Fatal("zero service time should give NaN slowdown")
+	}
+}
+
+func TestLogSummarize(t *testing.T) {
+	l := NewLog(10)
+	for i := 1; i <= 100; i++ {
+		l.Add(Record{Class: "x", ServiceUS: 1, SojournUS: float64(i), Preemptions: 1})
+	}
+	s := l.Summarize()
+	if s.Count != 100 {
+		t.Fatalf("count = %d", s.Count)
+	}
+	if s.P50 != 50 || s.P99 != 99 || s.P999 != 100 {
+		t.Fatalf("percentiles = %v %v %v", s.P50, s.P99, s.P999)
+	}
+	if s.MeanPreemptions != 1 {
+		t.Fatalf("mean preemptions = %v", s.MeanPreemptions)
+	}
+	if s.MeanSlowdown != 50.5 {
+		t.Fatalf("mean slowdown = %v", s.MeanSlowdown)
+	}
+}
+
+func TestEmptySummary(t *testing.T) {
+	s := NewLog(0).Summarize()
+	if s.Count != 0 || !math.IsNaN(s.P999) {
+		t.Fatalf("empty summary = %+v", s)
+	}
+}
+
+func TestConcurrentAdd(t *testing.T) {
+	l := NewLog(0)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				l.Add(Record{ServiceUS: 1, SojournUS: 2})
+			}
+		}()
+	}
+	wg.Wait()
+	if l.Len() != 8000 {
+		t.Fatalf("len = %d, want 8000", l.Len())
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	l := NewLog(2)
+	l.Add(Record{Class: "GET", ServiceUS: 1, SojournUS: 3, Preemptions: 2, OnDispatcher: true})
+	var b strings.Builder
+	if err := l.WriteCSV(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.HasPrefix(out, "class,service_us") {
+		t.Fatalf("missing header: %q", out)
+	}
+	if !strings.Contains(out, "GET,1.000,3.000,3.000,2,true") {
+		t.Fatalf("row missing: %q", out)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	var h Histogram
+	h.ObserveUS(0.5)  // bucket 0
+	h.ObserveUS(1.5)  // 1-2
+	h.ObserveUS(3)    // 2-4
+	h.ObserveUS(1000) // 512-1024
+	h.ObserveDuration(2 * time.Millisecond)
+	h.ObserveUS(-1) // dropped
+	if h.Count() != 5 {
+		t.Fatalf("count = %d, want 5", h.Count())
+	}
+	out := h.String()
+	if !strings.Contains(out, "#") {
+		t.Fatalf("histogram bars missing:\n%s", out)
+	}
+	lines := strings.Count(out, "\n")
+	if lines != 5 {
+		t.Fatalf("%d non-empty buckets, want 5:\n%s", lines, out)
+	}
+}
+
+func TestHistogramOverflowClamped(t *testing.T) {
+	var h Histogram
+	h.ObserveUS(math.MaxFloat64)
+	if h.Count() != 1 {
+		t.Fatal("overflow observation lost")
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	l := NewLog(1)
+	l.Add(Record{ServiceUS: 1, SojournUS: 2})
+	s := l.Summarize().String()
+	if !strings.Contains(s, "p99.9=") || !strings.Contains(s, "n=1") {
+		t.Fatalf("summary string = %q", s)
+	}
+}

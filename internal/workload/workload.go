@@ -1,0 +1,134 @@
+// Package workload names the service-time setups of the paper's
+// evaluation (§5.1–§5.3) so that figures, benchmarks, and examples refer
+// to them consistently.
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"concord/internal/dist"
+	"concord/internal/kvsim"
+	"concord/internal/server"
+)
+
+// Spec bundles a named workload with the evaluation parameters the paper
+// uses for it: the scheduling quanta studied and the load range swept.
+type Spec struct {
+	// Name is the catalog key.
+	Name string
+	// WL is the service-time distribution plus lock model.
+	WL server.Workload
+	// QuantaUS lists the scheduling quanta the paper evaluates for it.
+	QuantaUS []float64
+	// LoadsKRps is the figure's x-axis: offered loads in kRps.
+	LoadsKRps []float64
+}
+
+// The paper's six evaluation workloads.
+
+// YCSBBimodal is Bimodal(50:1, 50:100), from YCSB workload A (Fig. 6).
+func YCSBBimodal() Spec {
+	return Spec{
+		Name:      "bimodal-ycsb",
+		WL:        server.Workload{Dist: dist.Bimodal(50, 1, 50, 100)},
+		QuantaUS:  []float64{5, 2},
+		LoadsKRps: rangeKRps(20, 260, 13),
+	}
+}
+
+// USRBimodal is Bimodal(99.5:0.5, 0.5:500), from Meta's USR trace (Fig. 7).
+func USRBimodal() Spec {
+	return Spec{
+		Name:      "bimodal-usr",
+		WL:        server.Workload{Dist: dist.Bimodal(99.5, 0.5, 0.5, 500)},
+		QuantaUS:  []float64{5, 2},
+		LoadsKRps: rangeKRps(250, 3250, 13),
+	}
+}
+
+// FixedOne is the Fixed(1µs) low-dispersion workload (Fig. 8 left).
+func FixedOne() Spec {
+	return Spec{
+		Name:      "fixed-1",
+		WL:        server.Workload{Dist: dist.NewFixed(1)},
+		QuantaUS:  []float64{5, 2},
+		LoadsKRps: rangeKRps(300, 4200, 14),
+	}
+}
+
+// TPCC is the TPCC-on-in-memory-DB distribution (Fig. 8 right); the
+// paper uses a 10µs quantum to avoid needless preemptions.
+func TPCC() Spec {
+	return Spec{
+		Name:      "tpcc",
+		WL:        server.Workload{Dist: dist.TPCC()},
+		QuantaUS:  []float64{10},
+		LoadsKRps: rangeKRps(50, 750, 14),
+	}
+}
+
+// LevelDB5050 is the 50% GET / 50% SCAN LevelDB workload (Fig. 9).
+func LevelDB5050() Spec {
+	return Spec{
+		Name:      "leveldb-5050",
+		WL:        kvsim.Mixed5050(),
+		QuantaUS:  []float64{5, 2},
+		LoadsKRps: rangeKRps(6, 58, 14),
+	}
+}
+
+// ZippyDB is the LevelDB workload driven by Meta's ZippyDB traces
+// (Fig. 10); all requests exceed 2µs so only the 5µs quantum is used.
+func ZippyDB() Spec {
+	return Spec{
+		Name:      "zippydb",
+		WL:        kvsim.ZippyDB(),
+		QuantaUS:  []float64{5},
+		LoadsKRps: rangeKRps(40, 400, 13),
+	}
+}
+
+// All returns the full catalog keyed by name.
+func All() map[string]Spec {
+	specs := []Spec{
+		YCSBBimodal(), USRBimodal(), FixedOne(), TPCC(), LevelDB5050(), ZippyDB(),
+	}
+	out := make(map[string]Spec, len(specs))
+	for _, s := range specs {
+		out[s.Name] = s
+	}
+	return out
+}
+
+// Names returns the catalog keys, sorted.
+func Names() []string {
+	var names []string
+	for n := range All() {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Lookup returns the named spec or an error listing valid names.
+func Lookup(name string) (Spec, error) {
+	s, ok := All()[name]
+	if !ok {
+		return Spec{}, fmt.Errorf("workload: unknown %q (valid: %v)", name, Names())
+	}
+	return s, nil
+}
+
+// rangeKRps returns n evenly spaced loads from lo to hi inclusive.
+func rangeKRps(lo, hi float64, n int) []float64 {
+	if n < 2 {
+		return []float64{lo}
+	}
+	out := make([]float64, n)
+	step := (hi - lo) / float64(n-1)
+	for i := range out {
+		out[i] = lo + float64(i)*step
+	}
+	return out
+}
