@@ -1,0 +1,14 @@
+# Tier-1 gate: everything must build and every test must pass.
+tier1:
+	go build ./...
+	go test ./...
+
+# Race hygiene for the packages the parallel runner touches. Slower than
+# tier1; run before merging changes to runner/server/figures.
+race:
+	go test -race ./internal/runner ./internal/server ./internal/figures
+
+bench:
+	go test -run xxx -bench . -benchmem .
+
+.PHONY: tier1 race bench

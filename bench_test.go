@@ -143,6 +143,33 @@ func BenchmarkAblationReplication(b *testing.B) {
 	b.ReportMetric(two, "p999-2dispatchers")
 }
 
+// sweepBench holds the fixed grid both sweep benchmarks run: one system
+// across 8 load points on the YCSB bimodal workload, 8000 requests per
+// point. Serial and parallel produce identical curves (see
+// internal/runner); only wall time differs.
+func sweepBench(b *testing.B, parallel int) {
+	m := cost.Default()
+	cfg := server.Concord(m, 14, 5)
+	wl := server.Workload{Dist: dist.Bimodal(50, 1, 50, 100)}
+	loads := []float64{40, 80, 120, 160, 200, 240, 280, 320}
+	p := server.RunParams{Requests: 8000, Seed: 1, MaxCentralQueue: 150000, DrainSlackUS: 50000}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if parallel == 1 {
+			server.Sweep(cfg, wl, loads, p)
+		} else {
+			server.SweepParallel(cfg, wl, loads, p, parallel)
+		}
+	}
+	b.ReportMetric(float64(len(loads)*b.N)/b.Elapsed().Seconds(), "runs/s")
+}
+
+func BenchmarkSweepSerial(b *testing.B) { sweepBench(b, 1) }
+
+// BenchmarkSweepParallel uses one worker per load point; speedup over
+// BenchmarkSweepSerial tracks available cores (≈1× on a 1-core host).
+func BenchmarkSweepParallel(b *testing.B) { sweepBench(b, 8) }
+
 // BenchmarkSimulatorThroughput measures raw simulator speed: simulated
 // requests per second of wall time on the USR bimodal workload.
 func BenchmarkSimulatorThroughput(b *testing.B) {

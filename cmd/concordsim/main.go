@@ -5,16 +5,20 @@
 //
 //	concordsim -list
 //	concordsim -fig fig6
-//	concordsim -fig all -quick
+//	concordsim -fig all -quick -parallel 8
 //	concordsim -fig fig9 -requests 80000 -workers 14 -seed 7
 //
-// Output is TSV with '#' comment headers, one block per figure.
+// Output is TSV with '#' comment headers, one block per figure, always
+// in figure-ID order regardless of -parallel: parallelism changes
+// wall-clock time only, never the numbers (see internal/runner).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"concord/internal/figures"
@@ -30,6 +34,8 @@ func main() {
 		seed     = flag.Uint64("seed", 0, "random seed (0 = 1)")
 		timing   = flag.Bool("time", false, "print wall-clock time per figure to stderr")
 		plot     = flag.Bool("plot", false, "render ASCII charts instead of TSV")
+		parallel = flag.Int("parallel", 0, "max concurrent simulation runs (0 = GOMAXPROCS, 1 = serial)")
+		profile  = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	)
 	flag.Parse()
 
@@ -44,7 +50,23 @@ func main() {
 		os.Exit(2)
 	}
 
-	opts := figures.Options{Requests: *requests, Workers: *workers, Seed: *seed}
+	if *profile != "" {
+		f, err := os.Create(*profile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "concordsim: %v\n", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "concordsim: %v\n", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
+	}
+
+	opts := figures.Options{
+		Requests: *requests, Workers: *workers, Seed: *seed, Parallel: *parallel,
+	}
 	if *quick {
 		q := figures.Quick()
 		if opts.Requests == 0 {
@@ -65,16 +87,45 @@ func main() {
 		ids = []string{*fig}
 	}
 
-	for _, id := range ids {
-		start := time.Now()
-		t := gens[id](opts)
+	// Generate figures concurrently (bounded by -parallel, like the
+	// per-run pool) but print strictly in figure-ID order. Each figure's
+	// table depends only on its own seeded runs, so interleaving figure
+	// generation cannot change any number.
+	par := *parallel
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par > len(ids) {
+		par = len(ids)
+	}
+	type result struct {
+		table   figures.Table
+		elapsed time.Duration
+	}
+	results := make([]result, len(ids))
+	done := make([]chan struct{}, len(ids))
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+	sem := make(chan struct{}, par)
+	for i, id := range ids {
+		go func(i int, id string) {
+			sem <- struct{}{}
+			defer func() { <-sem }()
+			start := time.Now()
+			results[i] = result{table: gens[id](opts), elapsed: time.Since(start)}
+			close(done[i])
+		}(i, id)
+	}
+	for i, id := range ids {
+		<-done[i]
 		if *timing {
-			fmt.Fprintf(os.Stderr, "%s: %.1fs\n", id, time.Since(start).Seconds())
+			fmt.Fprintf(os.Stderr, "%s: %.1fs\n", id, results[i].elapsed.Seconds())
 		}
 		if *plot {
-			fmt.Print(t.Plot(96, 20))
+			fmt.Print(results[i].table.Plot(96, 20))
 		} else {
-			fmt.Print(t.TSV())
+			fmt.Print(results[i].table.TSV())
 		}
 		fmt.Println()
 	}

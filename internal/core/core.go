@@ -14,6 +14,7 @@ import (
 	"sort"
 
 	"concord/internal/cost"
+	"concord/internal/runner"
 	"concord/internal/server"
 	"concord/internal/stats"
 	"concord/internal/workload"
@@ -38,6 +39,10 @@ type Experiment struct {
 	Params server.RunParams
 	// SLOSlowdown is the tail target; 0 means the paper's 50×.
 	SLOSlowdown float64
+	// Parallel bounds concurrent simulation runs (0 = GOMAXPROCS,
+	// 1 = serial). Results are identical at any setting: per-run seeds
+	// derive from grid coordinates, never from execution order.
+	Parallel int
 }
 
 // Result is the outcome of an experiment.
@@ -88,11 +93,10 @@ func (e Experiment) Run() Result {
 	}
 
 	res := Result{Experiment: e, MaxLoadKRps: map[string]float64{}}
-	for _, cfg := range systems {
-		curve := server.Sweep(cfg, e.Workload.WL, loads, e.Params)
-		res.Curves = append(res.Curves, curve)
+	res.Curves = runner.New(e.Parallel).Sweeps(systems, e.Workload.WL, loads, e.Params)
+	for _, curve := range res.Curves {
 		if max, ok := curve.MaxLoadUnderSLO(slo); ok {
-			res.MaxLoadKRps[cfg.Name] = max
+			res.MaxLoadKRps[curve.System] = max
 		}
 	}
 	return res

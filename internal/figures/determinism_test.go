@@ -1,0 +1,68 @@
+package figures
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestParallelDeterminism is the regression gate for the parallel
+// runner: a figure regenerated at any -parallel setting must be deeply
+// equal — and byte-identical as TSV — to the serial run, and repeat runs
+// must match too. Fig6 exercises the sweep grid path; Fig9 adds the
+// scan-heavy LevelDB workload whose runs finish at very different times,
+// maximizing out-of-order completion.
+func TestParallelDeterminism(t *testing.T) {
+	opts := Options{Requests: 2500, LoadPoints: 3, Seed: 7, Parallel: 1}
+	for _, tc := range []struct {
+		id  string
+		gen Generator
+	}{
+		{"fig6", Fig6},
+		{"fig9", Fig9},
+	} {
+		t.Run(tc.id, func(t *testing.T) {
+			serial := opts
+			serial.Parallel = 1
+			want := tc.gen(serial)
+			wantTSV := want.TSV()
+			for _, par := range []int{1, 2, 8} {
+				po := opts
+				po.Parallel = par
+				got := tc.gen(po)
+				if !reflect.DeepEqual(want, got) {
+					t.Errorf("%s: Parallel=%d table differs from serial", tc.id, par)
+				}
+				if got.TSV() != wantTSV {
+					t.Errorf("%s: Parallel=%d TSV differs from serial", tc.id, par)
+				}
+			}
+			// Same options again: no state leaks between generations.
+			if again := tc.gen(serial); !reflect.DeepEqual(want, again) {
+				t.Errorf("%s: repeated serial run differs", tc.id)
+			}
+		})
+	}
+}
+
+// TestParallelDeterminismAllFigures sweeps every generator at minimal
+// fidelity through serial and parallel execution. Catches any generator
+// that derives a seed from execution order instead of grid coordinates.
+func TestParallelDeterminismAllFigures(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	gens := All()
+	for _, id := range IDs() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			t.Parallel()
+			opts := Options{Requests: 1200, LoadPoints: 2, Seed: 3, Parallel: 1}
+			want := gens[id](opts)
+			opts.Parallel = 3
+			got := gens[id](opts)
+			if !reflect.DeepEqual(want, got) {
+				t.Errorf("%s: Parallel=3 differs from serial", id)
+			}
+		})
+	}
+}

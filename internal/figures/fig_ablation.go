@@ -35,10 +35,7 @@ func Fig11(o Options) Table {
 		Title:   "Cumulative mechanism contributions, LevelDB 50/50, q=2µs",
 		Columns: []string{"load_krps", "persephone_fcfs", "shinjuku_ipi_sq", "coop_sq", "coop_jbsq2", "concord_full"},
 	}
-	var curves []stats.Curve
-	for _, cfg := range cfgs {
-		curves = append(curves, server.Sweep(cfg, spec.WL, loads, p))
-	}
+	curves := o.pool().Sweeps(cfgs, spec.WL, loads, p)
 	for i, load := range loads {
 		row := []float64{load}
 		for _, c := range curves {
@@ -74,8 +71,8 @@ func Fig13(o Options) Table {
 
 	with := server.Concord(m, 2, q)
 	without := server.ConcordNoSteal(m, 2, q)
-	cw := server.Sweep(with, spec.WL, loads, p)
-	cwo := server.Sweep(without, spec.WL, loads, p)
+	curves := o.pool().Sweeps([]server.Config{without, with}, spec.WL, loads, p)
+	cwo, cw := curves[0], curves[1]
 
 	t := Table{
 		ID:      "fig13",
@@ -115,11 +112,11 @@ func AblationJBSQDepth(o Options) Table {
 		Columns: []string{"load_krps", "k1", "k2", "k3", "k4"},
 		Notes:   "§3.2: k=2 suffices for service times >= 1µs; larger k hurts tails without throughput gain.",
 	}
-	var curves []stats.Curve
+	var cfgs []server.Config
 	for k := 1; k <= 4; k++ {
-		cfg := server.ConcordJBSQ(m, workers, q, k)
-		curves = append(curves, server.Sweep(cfg, spec.WL, loads, p))
+		cfgs = append(cfgs, server.ConcordJBSQ(m, workers, q, k))
 	}
+	curves := o.pool().Sweeps(cfgs, spec.WL, loads, p)
 	for i, load := range loads {
 		row := []float64{load}
 		for _, c := range curves {
@@ -147,8 +144,8 @@ func AblationPolicy(o Options) Table {
 	srpt.Name = "Concord-SRPT"
 	srpt.SRPT = true
 
-	cf := server.Sweep(fcfs, spec.WL, loads, p)
-	cs := server.Sweep(srpt, spec.WL, loads, p)
+	curves := o.pool().Sweeps([]server.Config{fcfs, srpt}, spec.WL, loads, p)
+	cf, cs := curves[0], curves[1]
 	t := Table{
 		ID:      "ablation-policy",
 		Title:   "Central-queue policy: FCFS vs SRPT, Bimodal(50:1, 50:100), q=5µs",
@@ -177,8 +174,8 @@ func AblationDeferWholeRequest(o Options) Table {
 	wl := workloadLongGet()
 	shin := server.ShinjukuDeferAPI(m, workers, q)
 	conc := server.Concord(m, workers, q)
-	cs := server.Sweep(shin, wl, loads, p)
-	cc := server.Sweep(conc, wl, loads, p)
+	curves := o.pool().Sweeps([]server.Config{shin, conc}, wl, loads, p)
+	cs, cc := curves[0], curves[1]
 	t := Table{
 		ID:      "ablation-defer",
 		Title:   "Safety-first preemption vs whole-API-call deferral (long-GET microbenchmark)",

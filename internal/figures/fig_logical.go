@@ -31,12 +31,23 @@ func AblationLogicalQueue(o Options) Table {
 	loads := o.thin(spec.LoadsKRps)
 	reqs := o.requests(120000)
 
-	concord := server.Sweep(server.Concord(m, workers, q), spec.WL, loads,
-		server.RunParams{Requests: reqs, Seed: o.seed(), MaxCentralQueue: 150000, DrainSlackUS: 50000})
-
+	// The three systems are independent simulations (two of them on the
+	// logical-queue runtime, which has its own serial sweep); run them as
+	// three parallel tasks. Each writes only its own variable, so results
+	// are identical at any parallelism.
+	var concord, rtc, coop stats.Curve
 	lp := logical.Params{Requests: reqs, Seed: o.seed(), MaxQueue: 150000, DrainSlackUS: 50000}
-	rtc := logical.Sweep(logical.RunToCompletion(m, workers), spec.WL.Dist, loads, lp)
-	coop := logical.Sweep(logical.CoopPreemption(m, workers, q), spec.WL.Dist, loads, lp)
+	o.pool().Do(3, func(i int) {
+		switch i {
+		case 0:
+			concord = server.Sweep(server.Concord(m, workers, q), spec.WL, loads,
+				server.RunParams{Requests: reqs, Seed: o.seed(), MaxCentralQueue: 150000, DrainSlackUS: 50000})
+		case 1:
+			rtc = logical.Sweep(logical.RunToCompletion(m, workers), spec.WL.Dist, loads, lp)
+		case 2:
+			coop = logical.Sweep(logical.CoopPreemption(m, workers, q), spec.WL.Dist, loads, lp)
+		}
+	})
 
 	t := Table{
 		ID:      "ablation-logical",

@@ -4,6 +4,7 @@ import (
 	"concord/internal/cost"
 	"concord/internal/dist"
 	"concord/internal/mech"
+	"concord/internal/runner"
 	"concord/internal/server"
 )
 
@@ -29,21 +30,31 @@ func Fig3(o Options) Table {
 			"JBSQ column: residual idle plus the local pop + quantum-timer start (§3.2: c_next is not zero).",
 	}
 	reqs := o.requests(120000)
-	for _, sUS := range []float64{1, 5, 10, 25, 50, 100} {
+	services := []float64{1, 5, 10, 25, 50, 100}
+	cfgs := []server.Config{
+		server.Shinjuku(m, workers, 0),
+		server.PersephoneFCFS(m, workers),
+		server.CoopJBSQ(m, workers, 0),
+	}
+	// Grid of service times × systems; every cell is an independent run,
+	// seeded by its coordinates and fanned out on the pool.
+	var specs []runner.Spec
+	for si, sUS := range services {
 		loadKRps := 1.25 * float64(workers) / sUS * 1000
 		wl := server.Workload{Dist: dist.NewFixed(sUS)}
-		p := server.RunParams{
-			Requests: reqs, Seed: o.seed(),
-			MaxCentralQueue: 1 << 21, DrainSlackUS: 10_000,
+		for ci, cfg := range cfgs {
+			p := server.RunParams{
+				Requests: reqs, Seed: server.SeedFor(o.seed(), ci, si),
+				MaxCentralQueue: 1 << 21, DrainSlackUS: 10_000,
+			}
+			specs = append(specs, runner.Spec{Cfg: cfg, WL: wl, KRps: loadKRps, Params: p})
 		}
-
-		shin := server.Shinjuku(m, workers, 0)
-		pers := server.PersephoneFCFS(m, workers)
-		conc := server.CoopJBSQ(m, workers, 0)
-
+	}
+	pts := o.pool().Points(specs)
+	for si, sUS := range services {
 		row := []float64{sUS}
-		for _, cfg := range []server.Config{shin, pers, conc} {
-			pt := server.RunAt(cfg, wl, loadKRps, p)
+		for ci, cfg := range cfgs {
+			pt := pts[si*len(cfgs)+ci]
 			overhead := pt.WorkerIdle
 			if cfg.QueueBound > 1 {
 				overhead += float64(m.JBSQLocalPop) / float64(m.MicrosToCycles(sUS))
@@ -91,13 +102,22 @@ func Fig5(o Options) Table {
 
 	fracs := o.thin([]float64{0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.875, 0.95})
 	reqs := o.requests(120000)
-	for _, f := range fracs {
-		load := f * capacityKRps
-		p := server.RunParams{Requests: reqs, Seed: o.seed(), MaxCentralQueue: 1 << 20}
+	cfgs := []server.Config{noPre, mkvar(0), mkvar(1), mkvar(2)}
+	var specs []runner.Spec
+	for ci, cfg := range cfgs {
+		for fi, f := range fracs {
+			p := server.RunParams{
+				Requests: reqs, Seed: server.SeedFor(o.seed(), ci, fi),
+				MaxCentralQueue: 1 << 20,
+			}
+			specs = append(specs, runner.Spec{Cfg: cfg, WL: wl, KRps: f * capacityKRps, Params: p})
+		}
+	}
+	pts := o.pool().Points(specs)
+	for fi, f := range fracs {
 		row := []float64{f}
-		for _, cfg := range []server.Config{noPre, mkvar(0), mkvar(1), mkvar(2)} {
-			pt := server.RunAt(cfg, wl, load, p)
-			row = append(row, pt.P999)
+		for ci := range cfgs {
+			row = append(row, pts[ci*len(fracs)+fi].P999)
 		}
 		t.Rows = append(t.Rows, row)
 	}

@@ -37,14 +37,15 @@ func twoQuanta(id, title string, spec workload.Spec, o Options) Table {
 		Title:   title,
 		Columns: []string{"load_krps", "persephone_fcfs"},
 	}
-	curves := []stats.Curve{server.Sweep(server.PersephoneFCFS(m, workers), spec.WL, loads, p)}
+	cfgs := []server.Config{server.PersephoneFCFS(m, workers)}
 	for _, q := range spec.QuantaUS {
 		for _, mk := range []func(cost.Model, int, float64) server.Config{server.Shinjuku, server.Concord} {
 			cfg := mk(m, workers, q)
 			t.Columns = append(t.Columns, fmt.Sprintf("%s_q%g", sysKey(cfg.Name), q))
-			curves = append(curves, server.Sweep(cfg, spec.WL, loads, p))
+			cfgs = append(cfgs, cfg)
 		}
 	}
+	curves := o.pool().Sweeps(cfgs, spec.WL, loads, p)
 	for i, load := range loads {
 		row := []float64{load}
 		for _, c := range curves {

@@ -9,6 +9,8 @@ import (
 	"fmt"
 	"math"
 	"strings"
+
+	"concord/internal/runner"
 )
 
 // Table is the numeric payload behind one figure or table.
@@ -90,6 +92,12 @@ type Options struct {
 	// LoadPoints, when positive, thins each sweep to about this many
 	// x-positions.
 	LoadPoints int
+	// Parallel bounds the number of concurrent simulation runs while
+	// regenerating a figure (0 = GOMAXPROCS, 1 = serial). Parallelism
+	// never changes a figure's numbers: every run's seed is a pure
+	// function of (Seed, system index, load index) and results are
+	// reassembled in grid order (see internal/runner).
+	Parallel int
 }
 
 // Quick returns options for fast, reduced-fidelity runs (unit tests and
@@ -117,6 +125,11 @@ func (o Options) requests(def int) int {
 		return o.Requests
 	}
 	return def
+}
+
+// pool returns the experiment runner for this fidelity setting.
+func (o Options) pool() *runner.Runner {
+	return runner.New(o.Parallel)
 }
 
 func (o Options) thin(loads []float64) []float64 {

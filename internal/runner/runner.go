@@ -1,0 +1,133 @@
+// Package runner executes independent simulation runs in parallel,
+// deterministically. Every paper figure is a grid of (system, load
+// point) cells whose runs share nothing: each cell owns its Machine,
+// RNG, and collector, and its seed is a pure function of the experiment
+// base seed and the cell's coordinates (server.SeedFor). The runner
+// fans the grid out over a bounded worker pool and reassembles results
+// in spec order, so output is bit-identical to the serial path
+// regardless of pool size or OS scheduling — parallelism changes only
+// wall-clock time, never results.
+//
+// Layering: internal/figures and internal/core submit whole experiment
+// grids here instead of nesting serial sweep loops; cmd/concordsim
+// additionally runs independent figures concurrently on top.
+package runner
+
+import (
+	"runtime"
+	"sync"
+
+	"concord/internal/server"
+	"concord/internal/stats"
+)
+
+// Spec is one fully-determined simulation run: a (system, load point)
+// cell of an experiment grid. Params.Seed must already be the final
+// per-run seed (SweepSpecs derives it via server.SeedFor).
+type Spec struct {
+	Cfg    server.Config
+	WL     server.Workload
+	KRps   float64
+	Params server.RunParams
+}
+
+// Runner is a bounded fan-out executor for independent runs.
+type Runner struct {
+	workers int
+}
+
+// New returns a runner executing at most workers runs concurrently;
+// workers <= 0 means runtime.GOMAXPROCS(0). A runner with one worker
+// executes specs sequentially in order — the serial reference path.
+func New(workers int) *Runner {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Runner{workers: workers}
+}
+
+// Workers returns the pool's concurrency bound.
+func (r *Runner) Workers() int { return r.workers }
+
+// Do runs fn(i) for every i in [0, n), at most Workers() concurrently.
+// fn must confine its writes to per-index state (slot i of a results
+// slice); under that contract the aggregate outcome is order-independent
+// and therefore identical at any pool size.
+func (r *Runner) Do(n int, fn func(int)) {
+	if n <= 0 {
+		return
+	}
+	par := r.workers
+	if par > n {
+		par = n
+	}
+	if par <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var mu sync.Mutex
+	next := 0
+	var wg sync.WaitGroup
+	for g := 0; g < par; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				mu.Lock()
+				i := next
+				next++
+				mu.Unlock()
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// Points executes every spec via server.RunAt and returns the measured
+// points in spec order, regardless of completion order.
+func (r *Runner) Points(specs []Spec) []stats.Point {
+	out := make([]stats.Point, len(specs))
+	r.Do(len(specs), func(i int) {
+		s := specs[i]
+		out[i] = server.RunAt(s.Cfg, s.WL, s.KRps, s.Params)
+	})
+	return out
+}
+
+// SweepSpecs builds the spec grid for an experiment: every system in
+// cfgs crossed with every load point, seeded per cell with
+// server.SeedFor(p.Seed, systemIndex, loadIndex). Specs are ordered
+// system-major (all of cfgs[0]'s loads first).
+func SweepSpecs(cfgs []server.Config, wl server.Workload, loadsKRps []float64, p server.RunParams) []Spec {
+	specs := make([]Spec, 0, len(cfgs)*len(loadsKRps))
+	for si, cfg := range cfgs {
+		for li, kRps := range loadsKRps {
+			sp := p
+			sp.Seed = server.SeedFor(p.Seed, si, li)
+			specs = append(specs, Spec{Cfg: cfg, WL: wl, KRps: kRps, Params: sp})
+		}
+	}
+	return specs
+}
+
+// Sweeps runs the full systems×loads grid in parallel and reassembles
+// one curve per system, in cfgs order. The result is bit-identical to
+// calling server.SweepIndexed(cfgs[i], wl, loads, i, p) for each system
+// serially.
+func (r *Runner) Sweeps(cfgs []server.Config, wl server.Workload, loadsKRps []float64, p server.RunParams) []stats.Curve {
+	pts := r.Points(SweepSpecs(cfgs, wl, loadsKRps, p))
+	curves := make([]stats.Curve, len(cfgs))
+	for si, cfg := range cfgs {
+		curves[si] = stats.Curve{
+			System: cfg.Name,
+			Points: pts[si*len(loadsKRps) : (si+1)*len(loadsKRps)],
+		}
+	}
+	return curves
+}

@@ -1,0 +1,87 @@
+package runner
+
+import (
+	"reflect"
+	"sync/atomic"
+	"testing"
+
+	"concord/internal/cost"
+	"concord/internal/dist"
+	"concord/internal/server"
+)
+
+// TestDoCoversAllIndices checks the parallel-for visits every index
+// exactly once at several worker counts.
+func TestDoCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 32} {
+		const n = 100
+		var hits [n]int32
+		New(workers).Do(n, func(i int) { atomic.AddInt32(&hits[i], 1) })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d visited %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+// TestPointsOrderIndependent checks results land in spec order no matter
+// how many goroutines execute the grid.
+func TestPointsOrderIndependent(t *testing.T) {
+	m := cost.Default()
+	wl := server.Workload{Dist: dist.Bimodal(50, 1, 50, 100)}
+	base := server.RunParams{Requests: 2000, MaxCentralQueue: 100000, DrainSlackUS: 50_000}
+
+	var specs []Spec
+	for si, cfg := range []server.Config{server.Concord(m, 4, 5), server.Shinjuku(m, 4, 5)} {
+		for li, load := range []float64{30, 60, 90} {
+			p := base
+			p.Seed = server.SeedFor(3, si, li)
+			specs = append(specs, Spec{Cfg: cfg, WL: wl, KRps: load, Params: p})
+		}
+	}
+
+	want := New(1).Points(specs)
+	if len(want) != len(specs) {
+		t.Fatalf("got %d points for %d specs", len(want), len(specs))
+	}
+	for _, workers := range []int{2, 4, 16} {
+		got := New(workers).Points(specs)
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("Points with %d workers differs from serial", workers)
+		}
+	}
+}
+
+// TestSweepsMatchesServerSweep checks the grid fan-out agrees with the
+// per-system serial reference path.
+func TestSweepsMatchesServerSweep(t *testing.T) {
+	m := cost.Default()
+	cfgs := []server.Config{server.PersephoneFCFS(m, 4), server.Concord(m, 4, 5)}
+	wl := server.Workload{Dist: dist.Bimodal(50, 1, 50, 100)}
+	loads := []float64{30, 60, 90}
+	p := server.RunParams{Requests: 2000, Seed: 5, MaxCentralQueue: 100000, DrainSlackUS: 50_000}
+
+	got := New(4).Sweeps(cfgs, wl, loads, p)
+	if len(got) != len(cfgs) {
+		t.Fatalf("got %d curves for %d systems", len(got), len(cfgs))
+	}
+	for si, cfg := range cfgs {
+		want := server.SweepIndexed(cfg, wl, loads, si, p)
+		if !reflect.DeepEqual(want, got[si]) {
+			t.Errorf("curve %d (%s) differs from serial SweepIndexed", si, cfg.Name)
+		}
+	}
+}
+
+func TestWorkersDefault(t *testing.T) {
+	if w := New(0).Workers(); w < 1 {
+		t.Fatalf("New(0).Workers() = %d, want >= 1", w)
+	}
+	if w := New(-3).Workers(); w < 1 {
+		t.Fatalf("New(-3).Workers() = %d, want >= 1", w)
+	}
+	if w := New(6).Workers(); w != 6 {
+		t.Fatalf("New(6).Workers() = %d, want 6", w)
+	}
+}

@@ -95,6 +95,13 @@ type RunParams struct {
 	// MaxCentralQueue aborts the run (as saturated) when the central
 	// queue exceeds this length; 0 means the default of 1<<20.
 	MaxCentralQueue int
+	// ExactSamples forces the run's collector to retain every
+	// per-request sample (exact percentiles at O(Requests) memory). By
+	// default runs longer than stats.DefaultReservoirSize samples use
+	// deterministic reservoir sampling for percentiles; counts and means
+	// are exact either way. Callers that consume Collector.Samples()
+	// wholesale (e.g. RunReplicated's merge) must set this.
+	ExactSamples bool
 }
 
 func (p RunParams) withDefaults() RunParams {

@@ -23,6 +23,7 @@ const (
 type op struct {
 	kind   opKind
 	req    *Request
+	epoch  uint32 // req's epoch at enqueue time; guards against pooled reuse
 	worker int
 	cost   sim.Cycles
 }
@@ -45,6 +46,16 @@ type worker struct {
 	completionEv *sim.Event
 	quantumEv    *sim.Event
 	yieldEv      *sim.Event
+
+	// Callbacks bound once at machine construction so the hot path
+	// schedules events without allocating a fresh closure per segment.
+	// Each nils its own event handle on fire — required by the engine's
+	// event pooling (a fired event's handle must never be Cancelled).
+	completeFn func(sim.Cycles)
+	observeFn  func(sim.Cycles) // self-preemption quantum observation
+	signalFn   func(sim.Cycles) // dispatcher-monitored quantum expiry
+	yieldFn    func(sim.Cycles)
+	transitFn  func(sim.Cycles)
 }
 
 // Machine is one simulated server instance processing one run.
@@ -63,6 +74,25 @@ type Machine struct {
 	opsHead int
 	dBusy   bool
 	saved   *Request // work-conserving dispatcher's parked request
+
+	// pending is the dispatcher operation currently paying its cost;
+	// dBusy serializes the dispatcher so one slot suffices. Keeping it in
+	// a field (with a bound dispatchFn) avoids a closure per operation.
+	pending    op
+	dispatchFn func(sim.Cycles)
+	arrivalFn  func(sim.Cycles)
+	stealFn    func(sim.Cycles)
+
+	// In-flight work-conserving steal state (single slot, like pending).
+	stealReq      *Request
+	stealSlice    sim.Cycles
+	stealTotal    sim.Cycles
+	stealFinishes bool
+
+	// freeReqs recycles completed Request objects; in steady state the
+	// allocation rate drops from one per request to one per unit of peak
+	// concurrency. Disabled when OnComplete is set (callers may retain).
+	freeReqs []*Request
 
 	quantum  sim.Cycles
 	workerOv float64 // worker-side c_proc fraction
@@ -105,12 +135,18 @@ func New(cfg Config, wl Workload, p RunParams) *Machine {
 	}
 	p = p.withDefaults()
 	m := &Machine{
-		cfg:       cfg,
-		wl:        wl,
-		p:         p,
-		eng:       sim.NewEngine(),
-		rng:       sim.NewRNG(p.Seed),
-		collector: stats.NewCollector(p.Requests),
+		cfg: cfg,
+		wl:  wl,
+		p:   p,
+		eng: sim.NewEngineSized(64 + 4*cfg.Workers),
+		rng: sim.NewRNG(p.Seed),
+		ops: make([]op, 0, 256),
+	}
+	m.eng.EnablePooling()
+	if p.ExactSamples {
+		m.collector = stats.NewCollector(p.Requests)
+	} else {
+		m.collector = stats.NewReservoir(stats.DefaultReservoirSize, p.Seed)
 	}
 	if cfg.SRPT {
 		m.central = policy.NewSRPT[*Request]()
@@ -120,8 +156,50 @@ func New(cfg Config, wl Workload, p RunParams) *Machine {
 	m.workers = make([]*worker, cfg.Workers)
 	m.occ = make([]int, cfg.Workers)
 	for i := range m.workers {
-		m.workers[i] = &worker{id: i, idle: true}
+		w := &worker{
+			id:    i,
+			idle:  true,
+			local: make([]*Request, 0, cfg.QueueBound),
+		}
+		w.completeFn = func(t sim.Cycles) {
+			w.completionEv = nil
+			m.completeSegment(w, t)
+		}
+		w.observeFn = func(t sim.Cycles) {
+			w.quantumEv = nil
+			if w.cur != nil {
+				m.yield(w, w.cur, t)
+			}
+		}
+		w.signalFn = func(t sim.Cycles) {
+			w.quantumEv = nil
+			req := w.cur
+			if req == nil {
+				return
+			}
+			m.enqueueOp(op{
+				kind:   opSignal,
+				req:    req,
+				epoch:  req.epoch,
+				worker: w.id,
+				cost:   m.cfg.Mech.SignalCost(),
+			}, t)
+		}
+		w.yieldFn = func(t sim.Cycles) {
+			w.yieldEv = nil
+			if w.cur != nil {
+				m.yield(w, w.cur, t)
+			}
+		}
+		w.transitFn = func(t sim.Cycles) {
+			w.transit = false
+			m.workerNext(w, t)
+		}
+		m.workers[i] = w
 	}
+	m.dispatchFn = m.dispatchDone
+	m.arrivalFn = m.arrive
+	m.stealFn = m.stealDone
 	m.quantum = cfg.Model.MicrosToCycles(cfg.QuantumUS)
 	if cfg.Mech != nil {
 		m.workerOv = cfg.Mech.ProcOverhead()
@@ -149,18 +227,21 @@ func (m *Machine) scheduleArrival(now sim.Cycles) {
 		m.lastArrival = now
 		slack := m.cfg.Model.MicrosToCycles(m.p.DrainSlackUS)
 		m.watchdog = m.eng.At(now+slack, func(sim.Cycles) {
+			m.watchdog = nil
 			m.saturated = true
 			m.eng.Stop()
 		})
 		return
 	}
 	gap := m.cfg.Model.MicrosToCycles(m.wl.Arrival.NextGapUS(m.rng))
-	m.eng.After(gap, func(t sim.Cycles) {
-		req := m.newRequest(t)
-		m.admitted++
-		m.enqueueOp(op{kind: opArrival, req: req, cost: m.cfg.Model.ArrivalCost}, t)
-		m.scheduleArrival(t)
-	})
+	m.eng.After(gap, m.arrivalFn)
+}
+
+func (m *Machine) arrive(t sim.Cycles) {
+	req := m.newRequest(t)
+	m.admitted++
+	m.enqueueOp(op{kind: opArrival, req: req, epoch: req.epoch, cost: m.cfg.Model.ArrivalCost}, t)
+	m.scheduleArrival(t)
 }
 
 func (m *Machine) newRequest(now sim.Cycles) *Request {
@@ -169,16 +250,23 @@ func (m *Machine) newRequest(now sim.Cycles) *Request {
 	if sc < 1 {
 		sc = 1
 	}
-	req := &Request{
-		ID:            m.nextID,
-		Class:         s.Class,
-		ServiceUS:     s.ServiceUS,
-		serviceCycles: sc,
-		remainingBase: sc,
-		Arrival:       now,
-		FirstStart:    -1,
-		warmup:        m.admitted < int(float64(m.p.Requests)*m.p.WarmupFrac),
+	var req *Request
+	if n := len(m.freeReqs); n > 0 {
+		req = m.freeReqs[n-1]
+		m.freeReqs[n-1] = nil
+		m.freeReqs = m.freeReqs[:n-1]
+		*req = Request{epoch: req.epoch}
+	} else {
+		req = &Request{}
 	}
+	req.ID = m.nextID
+	req.Class = s.Class
+	req.ServiceUS = s.ServiceUS
+	req.serviceCycles = sc
+	req.remainingBase = sc
+	req.Arrival = now
+	req.FirstStart = -1
+	req.warmup = m.admitted < int(float64(m.p.Requests)*m.p.WarmupFrac)
 	m.nextID++
 	if frac, ok := m.wl.CritFracByClass[s.Class]; ok && frac > 0 {
 		critBase := sim.Cycles(float64(sc) * frac)
@@ -230,17 +318,22 @@ func (m *Machine) kick(now sim.Cycles) {
 	}
 	if ok {
 		m.dBusy = true
-		m.eng.After(o.cost, func(t sim.Cycles) {
-			m.dBusy = false
-			m.dBusyCycles += o.cost
-			m.apply(o, t)
-			m.kick(t)
-		})
+		m.pending = o
+		m.eng.After(o.cost, m.dispatchFn)
 		return
 	}
 	if m.cfg.WorkConserving {
 		m.steal(now)
 	}
+}
+
+func (m *Machine) dispatchDone(t sim.Cycles) {
+	o := m.pending
+	m.pending = op{}
+	m.dBusy = false
+	m.dBusyCycles += o.cost
+	m.apply(o, t)
+	m.kick(t)
 }
 
 // generateOp creates a dispatch operation if the central queue has work
@@ -327,22 +420,30 @@ func (m *Machine) steal(now sim.Cycles) {
 		total = 1
 	}
 	m.dBusy = true
-	m.eng.After(total, func(t sim.Cycles) {
-		m.dBusy = false
-		m.dBusyCycles += total
-		if finishes {
-			req.remainingBase = 0
-			m.stolen++
-			m.complete(req, t)
-		} else {
-			req.remainingBase -= baseFor(slice, m.dispOv)
-			if req.remainingBase < 1 {
-				req.remainingBase = 1
-			}
-			m.saved = req
+	m.stealReq = req
+	m.stealSlice = slice
+	m.stealTotal = total
+	m.stealFinishes = finishes
+	m.eng.After(total, m.stealFn)
+}
+
+func (m *Machine) stealDone(t sim.Cycles) {
+	req, slice, total, finishes := m.stealReq, m.stealSlice, m.stealTotal, m.stealFinishes
+	m.stealReq = nil
+	m.dBusy = false
+	m.dBusyCycles += total
+	if finishes {
+		req.remainingBase = 0
+		m.stolen++
+		m.complete(req, t)
+	} else {
+		req.remainingBase -= baseFor(slice, m.dispOv)
+		if req.remainingBase < 1 {
+			req.remainingBase = 1
 		}
-		m.kick(t)
-	})
+		m.saved = req
+	}
+	m.kick(t)
 }
 
 func (m *Machine) allQueuesFull() bool {
@@ -366,6 +467,7 @@ func (m *Machine) receive(w *worker, req *Request, now sim.Cycles) {
 func (m *Machine) acquireNext(w *worker, now sim.Cycles) {
 	req := w.local[0]
 	copy(w.local, w.local[1:])
+	w.local[len(w.local)-1] = nil
 	w.local = w.local[:len(w.local)-1]
 	if w.idle {
 		w.totalIdle += now - w.idleSince
@@ -391,9 +493,7 @@ func (m *Machine) startSegment(w *worker, req *Request, start sim.Cycles) {
 		wall += m.cfg.Model.PreemptCacheReload
 	}
 	w.segEnd = start + wall
-	w.completionEv = m.eng.At(w.segEnd, func(t sim.Cycles) {
-		m.completeSegment(w, t)
-	})
+	w.completionEv = m.eng.At(w.segEnd, w.completeFn)
 	m.scheduleQuantum(w, req, start)
 }
 
@@ -415,27 +515,18 @@ func (m *Machine) scheduleQuantum(w *worker, req *Request, start sim.Cycles) {
 		if observe >= w.segEnd {
 			return
 		}
-		w.quantumEv = m.eng.At(observe, func(t sim.Cycles) {
-			m.yield(w, req, t)
-		})
+		w.quantumEv = m.eng.At(observe, w.observeFn)
 		return
 	}
 	// The dispatcher monitors elapsed time and signals at expiry; the
 	// signal is one of its serialized operations, so it is late when the
 	// dispatcher is busy.
-	w.quantumEv = m.eng.At(expiry, func(t sim.Cycles) {
-		m.enqueueOp(op{
-			kind:   opSignal,
-			req:    req,
-			worker: w.id,
-			cost:   m.cfg.Mech.SignalCost(),
-		}, t)
-	})
+	w.quantumEv = m.eng.At(expiry, w.signalFn)
 }
 
 func (m *Machine) deliverSignal(o op, now sim.Cycles) {
 	w := m.workers[o.worker]
-	if w.cur != o.req || w.signaled {
+	if w.cur != o.req || o.req.epoch != o.epoch || w.signaled {
 		return // stale: the request already left this worker
 	}
 	w.signaled = true
@@ -450,9 +541,7 @@ func (m *Machine) deliverSignal(o op, now sim.Cycles) {
 	if yieldAt >= w.segEnd {
 		return // the request completes before it would yield
 	}
-	w.yieldEv = m.eng.At(yieldAt, func(t sim.Cycles) {
-		m.yield(w, o.req, t)
-	})
+	w.yieldEv = m.eng.At(yieldAt, w.yieldFn)
 }
 
 func (m *Machine) yield(w *worker, req *Request, now sim.Cycles) {
@@ -471,23 +560,24 @@ func (m *Machine) yield(w *worker, req *Request, now sim.Cycles) {
 	req.Preemptions++
 	m.preemptions++
 	m.eng.Cancel(w.completionEv)
+	w.completionEv = nil
 	m.eng.Cancel(w.quantumEv)
+	w.quantumEv = nil
 	w.cur = nil
 	w.signaled = false
 	w.transit = true
-	m.enqueueOp(op{kind: opRequeue, req: req, worker: w.id, cost: m.cfg.Model.RequeueCost}, now)
+	m.enqueueOp(op{kind: opRequeue, req: req, epoch: req.epoch, worker: w.id, cost: m.cfg.Model.RequeueCost}, now)
 	overhead := m.cfg.Mech.NotifyCost() + m.cfg.Model.ContextSwitch
-	m.eng.After(overhead, func(t sim.Cycles) {
-		w.transit = false
-		m.workerNext(w, t)
-	})
+	m.eng.After(overhead, w.transitFn)
 }
 
 func (m *Machine) completeSegment(w *worker, now sim.Cycles) {
 	req := w.cur
 	req.remainingBase = 0
 	m.eng.Cancel(w.quantumEv)
+	w.quantumEv = nil
 	m.eng.Cancel(w.yieldEv)
+	w.yieldEv = nil
 	w.cur = nil
 	w.signaled = false
 	m.complete(req, now)
@@ -521,7 +611,15 @@ func (m *Machine) complete(req *Request, now sim.Cycles) {
 	}
 	if m.arrivalsDone && m.completed == m.admitted {
 		m.eng.Cancel(m.watchdog)
+		m.watchdog = nil
 		m.eng.Stop()
+	}
+	if m.OnComplete == nil {
+		// Recycle: nothing outside the machine can retain the request.
+		// Bump the epoch now so any still-queued dispatcher op for the
+		// finished lifetime is recognizably stale.
+		req.epoch++
+		m.freeReqs = append(m.freeReqs, req)
 	}
 }
 

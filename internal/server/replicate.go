@@ -25,6 +25,9 @@ func RunReplicated(cfg Config, wl Workload, kRps float64, replicas int, p RunPar
 	sub := cfg
 	sub.Workers = cfg.Workers / replicas
 	subParams := p.withDefaults()
+	// The merge below consumes every per-replica sample, so replicas must
+	// retain them all rather than reservoir-sample.
+	subParams.ExactSamples = true
 	subParams.Requests = subParams.Requests / replicas
 	if subParams.Requests < 1 {
 		subParams.Requests = 1

@@ -53,6 +53,12 @@ type Request struct {
 	onDispatcher bool
 	// warmup marks requests in the discarded warmup window.
 	warmup bool
+	// epoch increments each time this Request object is recycled through
+	// the machine's freelist; pending dispatcher ops carry the epoch they
+	// were enqueued under so stale ops for a completed-and-reused request
+	// are recognized and dropped (pointer identity alone is not enough
+	// once objects are pooled).
+	epoch uint32
 }
 
 // RemainingCycles implements policy.Item.

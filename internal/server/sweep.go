@@ -1,23 +1,92 @@
 package server
 
 import (
+	"runtime"
+	"sync"
+
+	"concord/internal/sim"
 	"concord/internal/stats"
 )
+
+// SeedFor derives the RNG seed for one cell of an experiment grid from a
+// base seed, the system's index within the experiment, and the load
+// point's index within the sweep. It mixes all three through splitmix64
+// (sim.Mix64), so distinct cells get decorrelated streams even across
+// sweeps that share a base seed — unlike the previous affine derivation
+// (seed*1_000_003+off+1), which collided whenever two sweeps' offsets
+// differed by a multiple pattern of the base. The mapping is pinned by a
+// golden test; changing it changes every simulated figure.
+func SeedFor(base uint64, system, load int) uint64 {
+	return sim.Mix64(base, uint64(system), uint64(load))
+}
 
 // Sweep runs one system across a list of offered loads (in kRps) and
 // returns the slowdown-vs-load curve: the data behind one line in the
 // paper's figures. The workload's Arrival field is overridden per load
-// point with a Poisson process at that rate.
+// point with a Poisson process at that rate. Seeds derive from
+// SeedFor(p.Seed, 0, i); multi-system experiments that want distinct
+// per-system streams use SweepIndexed or internal/runner.
 func Sweep(cfg Config, wl Workload, loadsKRps []float64, p RunParams) stats.Curve {
-	curve := stats.Curve{System: cfg.Name}
+	return SweepIndexed(cfg, wl, loadsKRps, 0, p)
+}
+
+// SweepIndexed is Sweep with an explicit system index for seed
+// derivation. It is the serial reference implementation: the parallel
+// paths (SweepParallel, internal/runner) must produce bit-identical
+// curves.
+func SweepIndexed(cfg Config, wl Workload, loadsKRps []float64, system int, p RunParams) stats.Curve {
+	curve := stats.Curve{System: cfg.Name, Points: make([]stats.Point, 0, len(loadsKRps))}
 	for i, kRps := range loadsKRps {
-		pt := RunAt(cfg, wl, kRps, withSeedOffset(p, uint64(i)))
+		pt := RunAt(cfg, wl, kRps, withSeedFor(p, system, i))
 		curve.Points = append(curve.Points, pt)
 		// Past saturation every higher load is also saturated; keep
 		// sweeping anyway so the curve shows the cliff, but the runs get
 		// cheap because the queue-cap guard fires early.
 	}
 	return curve
+}
+
+// SweepParallel runs the sweep's load points concurrently on up to par
+// goroutines (GOMAXPROCS when par <= 0) and returns a curve identical to
+// Sweep's: every run's seed is a pure function of (p.Seed, load index),
+// each run owns its Machine and RNG, and points are reassembled in load
+// order, so the result is independent of scheduling order.
+func SweepParallel(cfg Config, wl Workload, loadsKRps []float64, p RunParams, par int) stats.Curve {
+	if par <= 0 {
+		par = runtime.GOMAXPROCS(0)
+	}
+	if par > len(loadsKRps) {
+		par = len(loadsKRps)
+	}
+	if par <= 1 {
+		return Sweep(cfg, wl, loadsKRps, p)
+	}
+	points := make([]stats.Point, len(loadsKRps))
+	var next int
+	var mu sync.Mutex
+	take := func() int {
+		mu.Lock()
+		i := next
+		next++
+		mu.Unlock()
+		return i
+	}
+	var wg sync.WaitGroup
+	for g := 0; g < par; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := take()
+				if i >= len(loadsKRps) {
+					return
+				}
+				points[i] = RunAt(cfg, wl, loadsKRps[i], withSeedFor(p, 0, i))
+			}
+		}()
+	}
+	wg.Wait()
+	return stats.Curve{System: cfg.Name, Points: points}
 }
 
 // RunAt runs one system at one offered load and returns its point.
@@ -30,7 +99,7 @@ func RunAt(cfg Config, wl Workload, kRps float64, p RunParams) stats.Point {
 	return pt
 }
 
-func withSeedOffset(p RunParams, off uint64) RunParams {
-	p.Seed = p.Seed*1_000_003 + off + 1
+func withSeedFor(p RunParams, system, load int) RunParams {
+	p.Seed = SeedFor(p.Seed, system, load)
 	return p
 }

@@ -1,0 +1,71 @@
+package server
+
+import (
+	"reflect"
+	"testing"
+
+	"concord/internal/cost"
+	"concord/internal/dist"
+)
+
+// TestSeedForGolden pins the seed-derivation function. These values are
+// load-bearing: every figure's numbers depend on them, and the parallel
+// runner relies on seeds being a pure function of grid coordinates. Any
+// change here silently shifts every published table.
+func TestSeedForGolden(t *testing.T) {
+	cases := []struct {
+		base         uint64
+		system, load int
+		want         uint64
+	}{
+		{1, 0, 0, 0x35aa233257ed720d},
+		{1, 0, 1, 0x2d8ba0bbf2dedaf7},
+		{1, 1, 0, 0x0ff428b25743d371},
+		{1, 2, 7, 0x618f5b611e1e791a},
+		{7, 0, 0, 0xcb2209f1f72ad2b9},
+		{7, 3, 5, 0xc5fc8dddbad0b0cc},
+		{12345, 9, 41, 0xeafb448f56c60318},
+	}
+	for _, c := range cases {
+		if got := SeedFor(c.base, c.system, c.load); got != c.want {
+			t.Errorf("SeedFor(%d, %d, %d) = %#016x, want %#016x",
+				c.base, c.system, c.load, got, c.want)
+		}
+	}
+	// Distinct coordinates must yield distinct seeds (the old linear
+	// seed*1e6+offset scheme collided across systems).
+	seen := map[uint64][2]int{}
+	for s := 0; s < 8; s++ {
+		for l := 0; l < 64; l++ {
+			v := SeedFor(1, s, l)
+			if prev, dup := seen[v]; dup {
+				t.Fatalf("seed collision: (%d,%d) and (%d,%d) both map to %#x",
+					s, l, prev[0], prev[1], v)
+			}
+			seen[v] = [2]int{s, l}
+		}
+	}
+}
+
+// TestSweepParallelMatchesSerial checks the core determinism contract:
+// SweepParallel produces exactly the serial Sweep's curve at any worker
+// count, including counts exceeding the number of load points.
+func TestSweepParallelMatchesSerial(t *testing.T) {
+	m := cost.Default()
+	cfg := Concord(m, 4, 5)
+	wl := Workload{Dist: dist.Bimodal(50, 1, 50, 100)}
+	loads := []float64{20, 40, 60, 80}
+	p := RunParams{Requests: 3000, Seed: 11, MaxCentralQueue: 100000, DrainSlackUS: 50_000}
+
+	want := Sweep(cfg, wl, loads, p)
+	for _, par := range []int{1, 2, 3, 8} {
+		got := SweepParallel(cfg, wl, loads, p, par)
+		if !reflect.DeepEqual(want, got) {
+			t.Errorf("SweepParallel(par=%d) differs from serial Sweep", par)
+		}
+	}
+	// Repeat runs must also be identical (no hidden global state).
+	if again := SweepParallel(cfg, wl, loads, p, 2); !reflect.DeepEqual(want, again) {
+		t.Errorf("repeated SweepParallel(par=2) differs from first run")
+	}
+}

@@ -61,6 +61,8 @@ type Engine struct {
 	queue   eventHeap
 	seq     uint64
 	stopped bool
+	free    []*Event // recycled events when pooling is enabled
+	pooling bool
 
 	// Executed counts events fired so far, useful as a runaway guard and
 	// for reporting simulator throughput.
@@ -70,6 +72,39 @@ type Engine struct {
 // NewEngine returns an engine with the clock at zero.
 func NewEngine() *Engine {
 	return &Engine{}
+}
+
+// NewEngineSized returns an engine whose event queue is preallocated for
+// about hint pending events, avoiding heap regrowth in steady state.
+func NewEngineSized(hint int) *Engine {
+	if hint < 0 {
+		hint = 0
+	}
+	return &Engine{queue: make(eventHeap, 0, hint)}
+}
+
+// EnablePooling makes the engine recycle Event objects: an event is
+// returned to a freelist as soon as it fires or is cancelled, and later
+// At/After calls reuse it. This eliminates the per-event allocation in
+// hot simulation loops, but callers MUST drop (or overwrite) every
+// retained *Event handle once the event has fired or been cancelled —
+// calling Cancel on a stale handle may cancel an unrelated reused event.
+// internal/server follows that discipline; leave pooling off otherwise.
+func (e *Engine) EnablePooling() { e.pooling = true }
+
+func (e *Engine) alloc() *Event {
+	if n := len(e.free); n > 0 {
+		ev := e.free[n-1]
+		e.free[n-1] = nil
+		e.free = e.free[:n-1]
+		return ev
+	}
+	return &Event{}
+}
+
+func (e *Engine) release(ev *Event) {
+	ev.Fn = nil
+	e.free = append(e.free, ev)
 }
 
 // Now returns the current simulated time.
@@ -84,7 +119,13 @@ func (e *Engine) At(at Cycles, fn func(now Cycles)) *Event {
 	if at < e.now {
 		panic(fmt.Sprintf("sim: scheduling event at %d before now %d", at, e.now))
 	}
-	ev := &Event{At: at, Fn: fn, seq: e.seq}
+	var ev *Event
+	if e.pooling {
+		ev = e.alloc()
+		ev.At, ev.Fn, ev.seq = at, fn, e.seq
+	} else {
+		ev = &Event{At: at, Fn: fn, seq: e.seq}
+	}
 	e.seq++
 	heap.Push(&e.queue, ev)
 	return ev
@@ -106,6 +147,9 @@ func (e *Engine) Cancel(ev *Event) {
 	}
 	heap.Remove(&e.queue, ev.index)
 	ev.index = -1
+	if e.pooling {
+		e.release(ev)
+	}
 }
 
 // Stop makes Run/RunUntil return after the current event completes.
@@ -120,6 +164,9 @@ func (e *Engine) Step() bool {
 	e.now = ev.At
 	e.Executed++
 	ev.Fn(e.now)
+	if e.pooling {
+		e.release(ev)
+	}
 	return true
 }
 

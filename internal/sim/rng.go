@@ -33,6 +33,21 @@ func splitmix64(state *uint64) uint64 {
 	return z ^ (z >> 31)
 }
 
+// Mix64 hashes a sequence of 64-bit values into one well-distributed
+// 64-bit value by absorbing each word through a splitmix64 round. It is
+// the seed-derivation primitive for sweeps: deriving per-run seeds as
+// Mix64(base, systemIndex, loadIndex) guarantees distinct, decorrelated
+// streams for every cell of an experiment grid, unlike affine schemes
+// (seed*K+off) that collide across sweeps sharing a base seed.
+func Mix64(vs ...uint64) uint64 {
+	h := uint64(0x9e3779b97f4a7c15)
+	for _, v := range vs {
+		s := h ^ v
+		h = splitmix64(&s)
+	}
+	return h
+}
+
 // NewRNG returns a generator seeded from the given seed. Two RNGs created
 // with the same seed produce identical streams.
 func NewRNG(seed uint64) *RNG {

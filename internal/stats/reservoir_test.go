@@ -1,0 +1,86 @@
+package stats
+
+import (
+	"math"
+	"reflect"
+	"testing"
+)
+
+// TestReservoirExactBelowCap: until the cap is reached the reservoir IS
+// the exact sample set, so quick-fidelity runs lose nothing.
+func TestReservoirExactBelowCap(t *testing.T) {
+	r := NewReservoir(100, 1)
+	e := NewCollector(50)
+	for i := 0; i < 50; i++ {
+		s := Sample{Class: "x", Slowdown: float64(i + 1)}
+		r.Add(s)
+		e.Add(s)
+	}
+	if r.Retained() != 50 || r.Len() != 50 {
+		t.Fatalf("retained=%d len=%d, want 50/50", r.Retained(), r.Len())
+	}
+	if !r.Exact() {
+		t.Fatal("below cap the reservoir should report Exact()")
+	}
+	for _, p := range []float64{1, 50, 99, 99.9, 100} {
+		if r.SlowdownPercentile(p) != e.SlowdownPercentile(p) {
+			t.Fatalf("p%v: reservoir %v != exact %v", p, r.SlowdownPercentile(p), e.SlowdownPercentile(p))
+		}
+	}
+	if r.MeanSlowdown() != e.MeanSlowdown() {
+		t.Fatal("mean differs below cap")
+	}
+}
+
+// TestReservoirBoundedRetention: past the cap, retention stays at the
+// cap while count and mean remain exact over the full stream.
+func TestReservoirBoundedRetention(t *testing.T) {
+	const cap, n = 64, 10000
+	r := NewReservoir(cap, 42)
+	var sum float64
+	for i := 0; i < n; i++ {
+		v := float64(i%100) + 1
+		sum += v
+		r.Add(Sample{Slowdown: v})
+	}
+	if r.Retained() != cap {
+		t.Fatalf("retained = %d, want %d", r.Retained(), cap)
+	}
+	if r.Len() != n {
+		t.Fatalf("Len() = %d, want %d (total count, not retained)", r.Len(), n)
+	}
+	if r.Exact() {
+		t.Fatal("past cap the reservoir must not report Exact()")
+	}
+	if got := r.MeanSlowdown(); math.Abs(got-sum/n) > 1e-9 {
+		t.Fatalf("mean = %v, want exact %v", got, sum/n)
+	}
+	// Percentiles come from the retained subset: must be legal values.
+	for _, p := range []float64{50, 99, 100} {
+		v := r.SlowdownPercentile(p)
+		if v < 1 || v > 100 {
+			t.Fatalf("p%v = %v outside the input range", p, v)
+		}
+	}
+}
+
+// TestReservoirDeterministic: same seed and stream → identical retained
+// samples; a different seed evicts differently. This is what makes
+// reservoir mode safe under the parallel runner.
+func TestReservoirDeterministic(t *testing.T) {
+	stream := func(r *Collector) {
+		for i := 0; i < 5000; i++ {
+			r.Add(Sample{Slowdown: float64(i)})
+		}
+	}
+	a, b, c := NewReservoir(32, 9), NewReservoir(32, 9), NewReservoir(32, 10)
+	stream(a)
+	stream(b)
+	stream(c)
+	if !reflect.DeepEqual(a.Samples(), b.Samples()) {
+		t.Fatal("same seed produced different reservoirs")
+	}
+	if reflect.DeepEqual(a.Samples(), c.Samples()) {
+		t.Fatal("different seeds produced identical reservoirs (suspicious)")
+	}
+}

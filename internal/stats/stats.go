@@ -1,18 +1,30 @@
 // Package stats computes the latency metrics the paper reports: request
 // slowdown (total time at the server over un-instrumented service time),
-// exact percentiles (p50/p99/p99.9), and load-sweep summaries including
-// the maximum throughput sustainable under a tail-slowdown SLO.
+// percentiles (p50/p99/p99.9) — exact or reservoir-sampled — and
+// load-sweep summaries including the maximum throughput sustainable
+// under a tail-slowdown SLO.
 package stats
 
 import (
 	"fmt"
 	"math"
 	"sort"
+
+	"concord/internal/sim"
 )
 
 // DefaultSLOSlowdown is the paper's service level objective: 99.9th
 // percentile slowdown of 50× the service time (§5.1).
 const DefaultSLOSlowdown = 50.0
+
+// DefaultReservoirSize is the retained-sample bound for streaming
+// collectors. Runs at or below the bound retain every sample and are
+// therefore exact; the bound sits above the paper-fidelity 120k
+// requests per load point, so subsampling only kicks in for larger
+// custom runs (where ~131 retained tail points still resolve p99.9)
+// and SLO crossings near flat curve regions are not perturbed at
+// standard fidelity.
+const DefaultReservoirSize = 1 << 17
 
 // Sample is one completed request's latency record.
 type Sample struct {
@@ -22,26 +34,78 @@ type Sample struct {
 }
 
 // Collector accumulates per-request samples for one run.
+//
+// In exact mode (NewCollector) every sample is retained and percentiles
+// are exact. In reservoir mode (NewReservoir) at most `limit` samples
+// are retained via Vitter's algorithm R with a deterministic, seeded
+// RNG, so a long run no longer holds every per-request record; counts
+// and the mean remain exact, percentiles become sampled estimates once
+// the reservoir overflows. Determinism: the retained set is a pure
+// function of the seed and the Add sequence.
 type Collector struct {
 	samples []Sample
 	sorted  bool
+
+	count int     // total samples offered to Add
+	sum   float64 // running slowdown sum over ALL samples
+
+	limit int      // 0 = exact mode (retain everything)
+	rng   *sim.RNG // eviction choices in reservoir mode
 }
 
-// NewCollector returns an empty collector with capacity for n samples.
+// NewCollector returns an exact collector with capacity for n samples.
 func NewCollector(n int) *Collector {
+	if n < 0 {
+		n = 0
+	}
 	return &Collector{samples: make([]Sample, 0, n)}
+}
+
+// NewReservoir returns a streaming collector retaining at most limit
+// samples (DefaultReservoirSize if limit <= 0). The seed makes the
+// sampled retained set reproducible.
+func NewReservoir(limit int, seed uint64) *Collector {
+	if limit <= 0 {
+		limit = DefaultReservoirSize
+	}
+	return &Collector{
+		samples: make([]Sample, 0, min(limit, 4096)),
+		limit:   limit,
+		rng:     sim.NewRNG(sim.Mix64(seed, 0x57a75)),
+	}
 }
 
 // Add records one completed request.
 func (c *Collector) Add(s Sample) {
-	c.samples = append(c.samples, s)
-	c.sorted = false
+	c.count++
+	c.sum += s.Slowdown
+	if c.limit == 0 || len(c.samples) < c.limit {
+		c.samples = append(c.samples, s)
+		c.sorted = false
+		return
+	}
+	// Algorithm R: keep the new sample with probability limit/count,
+	// evicting a uniformly random retained one.
+	if j := c.rng.Intn(c.count); j < c.limit {
+		c.samples[j] = s
+		c.sorted = false
+	}
 }
 
-// Len returns the number of recorded samples.
-func (c *Collector) Len() int { return len(c.samples) }
+// Len returns the number of samples offered to the collector (not the
+// number retained; see Retained).
+func (c *Collector) Len() int { return c.count }
 
-// Samples returns the recorded samples (in unspecified order). The
+// Retained returns the number of samples currently held. It equals
+// Len() for exact collectors and for reservoir collectors that have not
+// overflowed.
+func (c *Collector) Retained() int { return len(c.samples) }
+
+// Exact reports whether the collector still holds every sample it was
+// offered (always true in exact mode).
+func (c *Collector) Exact() bool { return c.count == len(c.samples) }
+
+// Samples returns the retained samples (in unspecified order). The
 // returned slice is owned by the collector; callers must not modify it.
 func (c *Collector) Samples() []Sample { return c.samples }
 
@@ -55,8 +119,9 @@ func (c *Collector) ensureSorted() {
 }
 
 // SlowdownPercentile returns the p-th percentile slowdown (p in (0,100]),
-// computed exactly by the nearest-rank method. It returns NaN if no
-// samples were recorded.
+// computed by the nearest-rank method over the retained samples (exact
+// unless the reservoir overflowed). It returns NaN if no samples were
+// recorded.
 func (c *Collector) SlowdownPercentile(p float64) float64 {
 	if len(c.samples) == 0 {
 		return math.NaN()
@@ -72,20 +137,17 @@ func (c *Collector) SlowdownPercentile(p float64) float64 {
 	return c.samples[rank-1].Slowdown
 }
 
-// MeanSlowdown returns the average slowdown, or NaN with no samples.
+// MeanSlowdown returns the average slowdown over every sample offered
+// (exact in both modes), or NaN with no samples.
 func (c *Collector) MeanSlowdown() float64 {
-	if len(c.samples) == 0 {
+	if c.count == 0 {
 		return math.NaN()
 	}
-	sum := 0.0
-	for _, s := range c.samples {
-		sum += s.Slowdown
-	}
-	return sum / float64(len(c.samples))
+	return c.sum / float64(c.count)
 }
 
-// ClassPercentile returns the p-th percentile slowdown among samples of
-// one class, or NaN if the class has no samples.
+// ClassPercentile returns the p-th percentile slowdown among retained
+// samples of one class, or NaN if the class has no samples.
 func (c *Collector) ClassPercentile(class string, p float64) float64 {
 	var vals []float64
 	for _, s := range c.samples {
@@ -104,7 +166,8 @@ func (c *Collector) ClassPercentile(class string, p float64) float64 {
 	return vals[rank-1]
 }
 
-// Classes returns the distinct class labels seen, sorted.
+// Classes returns the distinct class labels seen among retained
+// samples, sorted.
 func (c *Collector) Classes() []string {
 	set := map[string]bool{}
 	for _, s := range c.samples {
