@@ -3,12 +3,17 @@ tier1:
 	go build ./...
 	go test ./...
 
-# Race hygiene for the packages the parallel runner touches. Slower than
-# tier1; run before merging changes to runner/server/figures.
+# Race hygiene for the concurrent packages: the parallel runner stack
+# and the live serving path (runtime lifecycle + load-generator
+# measurement). Slower than tier1; run before merging changes to any of
+# these.
 race:
-	go test -race ./internal/runner ./internal/server ./internal/figures
+	go test -race ./internal/runner ./internal/server ./internal/figures ./internal/live ./internal/trace
+
+vet:
+	go vet ./...
 
 bench:
 	go test -run xxx -bench . -benchmem .
 
-.PHONY: tier1 race bench
+.PHONY: tier1 race vet bench

@@ -9,7 +9,15 @@
 //	DEL <key>            -> OK | NOTFOUND
 //	SCAN                 -> COUNT <n>
 //	SPIN <micros>        -> OK            (synthetic spin request)
-//	STATS                -> completed/preemptions/stolen counters
+//	STATS                -> submitted/completed/rejected/... counters
+//
+// Failure responses are single tokens clients can branch on: DEADLINE
+// (request timeout exceeded), OVERLOADED (submit queue full), STOPPED
+// (server draining), or ERR <msg> for everything else.
+//
+// On SIGINT/SIGTERM the server stops accepting, drains in-flight
+// requests (bounded by -drain), answers late requests with STOPPED, and
+// exits cleanly.
 //
 // Flags choose worker count, quantum, JBSQ depth, and work conservation;
 // defaults mirror the paper's Concord configuration scaled to small
@@ -18,12 +26,17 @@ package main
 
 import (
 	"bufio"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net"
+	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"sync"
+	"syscall"
 	"time"
 
 	"concord/internal/kv"
@@ -100,14 +113,17 @@ func (h *kvHandler) Handle(ctx *live.Ctx, payload any) (any, error) {
 
 func main() {
 	var (
-		addr     = flag.String("addr", "127.0.0.1:7070", "listen address")
-		workers  = flag.Int("workers", 2, "worker threads")
-		quantum  = flag.Duration("quantum", 200*time.Microsecond, "scheduling quantum (0 disables preemption)")
-		bound    = flag.Int("k", 2, "JBSQ queue bound")
-		steal    = flag.Bool("steal", true, "work-conserving dispatcher")
-		keys     = flag.Int("keys", 15000, "pre-populated unique keys (paper: 15,000)")
-		valSize  = flag.Int("valsize", 64, "value size in bytes")
-		scanStep = flag.Int("scanbatch", 256, "keys per scan batch between preemption polls")
+		addr       = flag.String("addr", "127.0.0.1:7070", "listen address")
+		workers    = flag.Int("workers", 2, "worker threads")
+		quantum    = flag.Duration("quantum", 200*time.Microsecond, "scheduling quantum (0 disables preemption)")
+		bound      = flag.Int("k", 2, "JBSQ queue bound")
+		steal      = flag.Bool("steal", true, "work-conserving dispatcher")
+		keys       = flag.Int("keys", 15000, "pre-populated unique keys (paper: 15,000)")
+		valSize    = flag.Int("valsize", 64, "value size in bytes")
+		scanStep   = flag.Int("scanbatch", 256, "keys per scan batch between preemption polls")
+		reqTimeout = flag.Duration("reqtimeout", 0, "per-request deadline; expired requests answer DEADLINE (0 disables)")
+		drain      = flag.Duration("drain", 5*time.Second, "graceful-drain bound on shutdown (0 waits for all in-flight)")
+		wtimeout   = flag.Duration("wtimeout", 5*time.Second, "per-response connection write deadline (0 disables)")
 	)
 	flag.Parse()
 
@@ -122,9 +138,10 @@ func main() {
 		Quantum:        *quantum,
 		QueueBound:     *bound,
 		WorkConserving: *steal,
+		RequestTimeout: *reqTimeout,
+		DrainTimeout:   *drain,
 	})
 	srv.Start()
-	defer srv.Stop()
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -133,43 +150,105 @@ func main() {
 	log.Printf("concord-kvd on %s: %d workers, quantum %v, JBSQ(%d), steal=%v, %d keys",
 		*addr, *workers, *quantum, *bound, *steal, *keys)
 
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig := <-sigCh
+		log.Printf("received %v: draining (bound %v)", sig, *drain)
+		ln.Close() // unblocks Accept; the loop below starts the drain
+	}()
+
+	var (
+		connMu sync.Mutex
+		conns  = make(map[net.Conn]struct{})
+		connWG sync.WaitGroup
+	)
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
-			log.Printf("accept: %v", err)
-			continue
+			break // listener closed by the signal handler
 		}
-		go serveConn(conn, srv)
+		connMu.Lock()
+		conns[conn] = struct{}{}
+		connMu.Unlock()
+		connWG.Add(1)
+		go func() {
+			defer connWG.Done()
+			serveConn(conn, srv, *wtimeout)
+			connMu.Lock()
+			delete(conns, conn)
+			connMu.Unlock()
+		}()
 	}
+
+	// Drain: complete every accepted request (bounded by -drain; late
+	// submissions answer STOPPED), then give connection readers a short
+	// grace window — requests already in flight from clients get a
+	// STOPPED response instead of a connection reset — and wait for
+	// them to finish writing their final responses.
+	srv.Stop()
+	connMu.Lock()
+	for c := range conns {
+		c.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
+	}
+	connMu.Unlock()
+	connWG.Wait()
+	st := srv.Stats()
+	log.Printf("drained: submitted=%d completed=%d rejected=%d expired=%d aborted=%d",
+		st.Submitted, st.Completed, st.Rejected, st.Expired, st.Aborted)
 }
 
-func serveConn(conn net.Conn, srv *live.Server) {
+func serveConn(conn net.Conn, srv *live.Server, wtimeout time.Duration) {
 	defer conn.Close()
 	sc := bufio.NewScanner(conn)
 	sc.Buffer(make([]byte, 1<<16), 1<<20)
 	out := bufio.NewWriter(conn)
+	// flush writes the buffered response under a write deadline so a
+	// client that stops reading cannot pin this goroutine forever.
+	flush := func() bool {
+		if wtimeout > 0 {
+			conn.SetWriteDeadline(time.Now().Add(wtimeout))
+		}
+		if err := out.Flush(); err != nil {
+			return false
+		}
+		return true
+	}
 	for sc.Scan() {
 		line := sc.Text()
 		if line == "STATS" {
 			st := srv.Stats()
-			fmt.Fprintf(out, "STATS completed=%d preemptions=%d stolen=%d\n",
-				st.Completed, st.Preemptions, st.Stolen)
-			out.Flush()
+			fmt.Fprintf(out, "STATS submitted=%d completed=%d rejected=%d expired=%d aborted=%d preemptions=%d stolen=%d\n",
+				st.Submitted, st.Completed, st.Rejected, st.Expired, st.Aborted, st.Preemptions, st.Stolen)
+			if !flush() {
+				return
+			}
 			continue
 		}
 		req, err := parse(line)
 		if err != nil {
 			fmt.Fprintf(out, "ERR %v\n", err)
-			out.Flush()
+			if !flush() {
+				return
+			}
 			continue
 		}
 		resp := srv.Do(req)
-		if resp.Err != nil {
-			fmt.Fprintf(out, "ERR %v\n", resp.Err)
-		} else {
+		switch {
+		case resp.Err == nil:
 			fmt.Fprintf(out, "%s\n", resp.Payload)
+		case errors.Is(resp.Err, live.ErrDeadlineExceeded):
+			fmt.Fprintln(out, "DEADLINE")
+		case errors.Is(resp.Err, live.ErrQueueFull):
+			fmt.Fprintln(out, "OVERLOADED")
+		case errors.Is(resp.Err, live.ErrServerStopped):
+			fmt.Fprintln(out, "STOPPED")
+		default:
+			fmt.Fprintf(out, "ERR %v\n", resp.Err)
 		}
-		out.Flush()
+		if !flush() {
+			return
+		}
 	}
 }
 

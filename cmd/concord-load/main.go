@@ -22,10 +22,50 @@ import (
 	"net"
 	"os"
 	"strings"
+	"sync/atomic"
 	"time"
 
 	"concord/internal/trace"
 )
+
+// failures tallies unsuccessful requests by kind; incremented from
+// per-request goroutines.
+type failures struct {
+	deadline   atomic.Int64 // server replied DEADLINE
+	overloaded atomic.Int64 // server replied OVERLOADED
+	stopped    atomic.Int64 // server replied STOPPED
+	other      atomic.Int64 // transport errors and ERR replies
+	logged     atomic.Int64
+}
+
+func (f *failures) total() int64 {
+	return f.deadline.Load() + f.overloaded.Load() + f.stopped.Load() + f.other.Load()
+}
+
+// record classifies one failed request; the first few are logged.
+func (f *failures) record(err error, resp string) {
+	switch {
+	case err == nil && strings.HasPrefix(resp, "DEADLINE"):
+		f.deadline.Add(1)
+	case err == nil && strings.HasPrefix(resp, "OVERLOADED"):
+		f.overloaded.Add(1)
+	case err == nil && strings.HasPrefix(resp, "STOPPED"):
+		f.stopped.Add(1)
+	default:
+		f.other.Add(1)
+	}
+	if f.logged.Add(1) <= 5 {
+		log.Printf("request failed: %v %s", err, strings.TrimSpace(resp))
+	}
+}
+
+// failed reports whether a reply line is a failure token.
+func failed(resp string) bool {
+	return strings.HasPrefix(resp, "ERR") ||
+		strings.HasPrefix(resp, "DEADLINE") ||
+		strings.HasPrefix(resp, "OVERLOADED") ||
+		strings.HasPrefix(resp, "STOPPED")
+}
 
 type op struct {
 	line      string
@@ -110,6 +150,7 @@ func main() {
 
 	lg := trace.NewLog(int(*rate * duration.Seconds()))
 	var hist trace.Histogram
+	var fails failures
 	rng := rand.New(rand.NewSource(*seed))
 	deadline := time.Now().Add(*duration)
 	launched := 0
@@ -130,8 +171,8 @@ func main() {
 			rw.Flush()
 			resp, err := rw.ReadString('\n')
 			lat := time.Since(start)
-			if err != nil || strings.HasPrefix(resp, "ERR") {
-				log.Printf("request failed: %v %s", err, resp)
+			if err != nil || failed(resp) {
+				fails.record(err, resp)
 				return
 			}
 			lg.Add(trace.Record{
@@ -164,8 +205,17 @@ func main() {
 		steady.Add(r)
 	}
 	sum := steady.Summarize()
-	achieved := float64(launched) / duration.Seconds()
-	fmt.Printf("offered %.0f rps, launched %d (%.0f rps achieved)\n", *rate, launched, achieved)
+	completed := len(all)
+	nfail := fails.total()
+	// Achieved throughput counts only completed requests: failures got
+	// no service, and counting them overstated capacity.
+	achieved := float64(completed) / duration.Seconds()
+	fmt.Printf("offered %.0f rps, launched %d, completed %d (%.0f rps achieved), failed %d\n",
+		*rate, launched, completed, achieved, nfail)
+	if nfail > 0 {
+		fmt.Printf("failures: deadline=%d overloaded=%d stopped=%d other=%d\n",
+			fails.deadline.Load(), fails.overloaded.Load(), fails.stopped.Load(), fails.other.Load())
+	}
 	fmt.Printf("steady-state: %s\n", sum)
 	if !math.IsNaN(sum.P999) {
 		fmt.Printf("p99.9 slowdown %.1fx %s the 50x SLO\n", sum.P999, meets(sum.P999))
@@ -178,10 +228,12 @@ func main() {
 			log.Fatal(err)
 		}
 		defer f.Close()
-		if err := lg.WriteCSV(f); err != nil {
+		// The CSV gets the same warmup discard as the printed summary,
+		// so offline analysis matches the report.
+		if err := steady.WriteCSV(f); err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("wrote %d records to %s\n", lg.Len(), *csvPath)
+		fmt.Printf("wrote %d records to %s (%d warmup samples discarded)\n", steady.Len(), *csvPath, skip)
 	}
 }
 

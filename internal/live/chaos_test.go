@@ -1,0 +1,182 @@
+package live
+
+// Fault-injection harness for the live runtime: randomly panicking
+// handlers, handlers that never Poll, slow clients that delay reading
+// responses, clients that batch-submit without reading, and Stop racing
+// mid-request — all under one invariant, checked per submission and in
+// aggregate: every Submit channel delivers exactly one response, and
+// after Stop, Submitted == Completed (no accepted request is ever
+// dropped). Run with -race; see `make race`.
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+)
+
+// chaosReq drives one misbehaving (or well-behaved) request.
+type chaosReq struct {
+	kind string // "quick", "spin", "nopoll", "panic"
+	d    time.Duration
+}
+
+type chaosHandler struct{}
+
+func (chaosHandler) Setup()          {}
+func (chaosHandler) SetupWorker(int) {}
+func (chaosHandler) Handle(ctx *Ctx, payload any) (any, error) {
+	req := payload.(chaosReq)
+	switch req.kind {
+	case "panic":
+		panic("chaos: handler panic")
+	case "nopoll":
+		// Burn CPU without ever polling: preemption signals and drain
+		// aborts must tolerate a handler that ignores them.
+		sink := 0
+		until := time.Now().Add(req.d)
+		for time.Now().Before(until) {
+			sink++
+		}
+		return sink, nil
+	case "spin":
+		ctx.Spin(req.d)
+		return "spun", nil
+	default:
+		return "ok", nil
+	}
+}
+
+func randomChaosReq(rng *rand.Rand) chaosReq {
+	switch v := rng.Float64(); {
+	case v < 0.05:
+		return chaosReq{kind: "panic"}
+	case v < 0.20:
+		return chaosReq{kind: "nopoll", d: time.Duration(10+rng.Intn(40)) * time.Microsecond}
+	case v < 0.50:
+		return chaosReq{kind: "spin", d: time.Duration(50+rng.Intn(250)) * time.Microsecond}
+	default:
+		return chaosReq{kind: "quick"}
+	}
+}
+
+// receiveExactlyOne asserts the submission channel yields one response
+// and no second one.
+func receiveExactlyOne(t *testing.T, ch <-chan Response) bool {
+	t.Helper()
+	select {
+	case <-ch:
+		select {
+		case <-ch:
+			t.Error("chaos: second response on one submission")
+			return false
+		default:
+		}
+		return true
+	case <-time.After(15 * time.Second):
+		t.Error("chaos: submission never answered")
+		return false
+	}
+}
+
+func TestChaosLifecycle(t *testing.T) {
+	configs := []struct {
+		name string
+		opts Options
+	}{
+		{"k1-steal", Options{Workers: 1, Quantum: 100 * time.Microsecond, QueueBound: 1,
+			WorkConserving: true, DrainTimeout: 500 * time.Millisecond, PinThreads: false}},
+		{"w4", Options{Workers: 4, Quantum: 100 * time.Microsecond, QueueBound: 2,
+			DrainTimeout: 500 * time.Millisecond, PinThreads: false}},
+		{"no-preempt", Options{Workers: 2, Quantum: 0,
+			DrainTimeout: 500 * time.Millisecond, PinThreads: false}},
+		{"tiny-buffer", Options{Workers: 2, Quantum: 50 * time.Microsecond, SubmitBuffer: 4,
+			DrainTimeout: 500 * time.Millisecond, PinThreads: false}},
+	}
+
+	for _, cfg := range configs {
+		t.Run(cfg.name, func(t *testing.T) {
+			s := New(chaosHandler{}, cfg.opts)
+			s.Start()
+
+			const clients, perClient = 8, 40
+			var wg sync.WaitGroup
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func(c int) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(int64(c)*7919 + 1))
+					if c%3 == 0 {
+						// Abusive client: batch-submit everything, then
+						// read late — responses must not be lost while
+						// nobody is listening (result channels buffer).
+						var chans []<-chan Response
+						for i := 0; i < perClient; i++ {
+							chans = append(chans, s.Submit(randomChaosReq(rng)))
+						}
+						time.Sleep(time.Duration(rng.Intn(3)) * time.Millisecond)
+						for _, ch := range chans {
+							if !receiveExactlyOne(t, ch) {
+								return
+							}
+						}
+						return
+					}
+					// Closed-loop client with random think/read delays.
+					for i := 0; i < perClient; i++ {
+						ch := s.Submit(randomChaosReq(rng))
+						if rng.Intn(4) == 0 {
+							time.Sleep(time.Duration(rng.Intn(200)) * time.Microsecond)
+						}
+						if !receiveExactlyOne(t, ch) {
+							return
+						}
+					}
+				}(c)
+			}
+
+			// Stop mid-flight: some submissions are in queues, some are
+			// running, some haven't been made yet (those get rejected).
+			time.Sleep(2 * time.Millisecond)
+			stopDone := make(chan struct{})
+			go func() { s.Stop(); close(stopDone) }()
+			wg.Wait()
+			select {
+			case <-stopDone:
+			case <-time.After(15 * time.Second):
+				t.Fatal("chaos: Stop hung")
+			}
+
+			st := s.Stats()
+			if st.Submitted != st.Completed {
+				t.Fatalf("chaos: submitted %d != completed %d (accepted request dropped); stats %+v",
+					st.Submitted, st.Completed, st)
+			}
+		})
+	}
+}
+
+// TestChaosRepeatedStopIdempotent: concurrent and repeated Stops are
+// safe and all return.
+func TestChaosRepeatedStopIdempotent(t *testing.T) {
+	s := New(chaosHandler{}, Options{Workers: 2, Quantum: 100 * time.Microsecond, PinThreads: false})
+	s.Start()
+	for i := 0; i < 20; i++ {
+		s.Submit(chaosReq{kind: "spin", d: 100 * time.Microsecond})
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			s.Stop()
+		}()
+	}
+	done := make(chan struct{})
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(15 * time.Second):
+		t.Fatal("concurrent Stops hung")
+	}
+}

@@ -16,6 +16,20 @@
 // so realistic quanta here are ≥ 50µs; the scheduling *structure* is
 // exactly the paper's. Each request runs on its own goroutine that parks
 // cooperatively, mirroring Shinjuku-style user-level contexts.
+//
+// # Lifecycle
+//
+// A Server moves through three states: serving, draining, stopped.
+// Submit never blocks: it either accepts a request (exactly one
+// Response is always delivered for an accepted request) or rejects it
+// immediately with ErrServerStopped (after Stop has begun) or
+// ErrQueueFull (submit buffer full — explicit backpressure instead of
+// unbounded blocking). Stop drains every accepted request before
+// returning; Options.DrainTimeout bounds the drain, after which queued
+// and parked requests are completed with ErrServerStopped and running
+// requests are aborted at their next Poll. Options.RequestTimeout gives
+// every request a deadline; requests that expire while queued or parked
+// are completed with ErrDeadlineExceeded.
 package live
 
 import (
@@ -69,8 +83,20 @@ type Options struct {
 	// and preemption flags are never written). 0 auto-detects from
 	// GOMAXPROCS; negative disables.
 	CoopTimeshare int
-	// SubmitBuffer is the ingress channel capacity. Default 4096.
+	// SubmitBuffer is the ingress channel capacity. Default 4096. When
+	// the buffer is full, Submit rejects with ErrQueueFull rather than
+	// blocking.
 	SubmitBuffer int
+	// RequestTimeout bounds each request's total time at the server.
+	// Requests that expire while queued or parked are completed with
+	// ErrDeadlineExceeded; a request actively running handler code is
+	// not interrupted (it is cooperative, like preemption). 0 disables.
+	RequestTimeout time.Duration
+	// DrainTimeout bounds Stop's graceful drain. When it expires,
+	// queued and parked requests are completed with ErrServerStopped
+	// and running requests are aborted at their next Poll. 0 waits for
+	// every accepted request to finish.
+	DrainTimeout time.Duration
 }
 
 func (o Options) withDefaults() Options {
@@ -117,27 +143,61 @@ type Response struct {
 }
 
 // Stats are cumulative server counters, safe to read while serving.
+// Completed counts delivered responses, including error responses for
+// expired or aborted requests, so Submitted == Completed after Stop.
 type Stats struct {
 	Submitted   uint64
 	Completed   uint64
+	Rejected    uint64 // never accepted: queue full or server stopped
+	Expired     uint64 // completed with ErrDeadlineExceeded
+	Aborted     uint64 // completed with ErrServerStopped by drain abort
 	Preemptions uint64
 	Stolen      uint64 // completed by the dispatcher
 }
 
-// errServerStopped is returned for submissions after Stop.
-var errServerStopped = errors.New("live: server stopped")
+// Sentinel errors. Compare with errors.Is.
+var (
+	// ErrServerStopped is returned for submissions after Stop has begun
+	// and for accepted requests abandoned when DrainTimeout expires.
+	ErrServerStopped = errors.New("live: server stopped")
+	// ErrQueueFull is returned when the submit buffer is full.
+	ErrQueueFull = errors.New("live: submit queue full")
+	// ErrDeadlineExceeded is returned when a request's RequestTimeout
+	// expires before it completes.
+	ErrDeadlineExceeded = errors.New("live: request deadline exceeded")
+)
 
 // cacheLinePad avoids false sharing between per-worker flags.
 const cacheLinePad = 64
+
+// Test-only scheduling gates. When non-nil they run at the two
+// historically racy hand-off points, widening windows that are a few
+// instructions wide (and unobservable on single-CPU machines) so the
+// lifecycle regression tests can exercise them deterministically.
+var (
+	testSubmitGate  func() // between Submit's stop check and its enqueue
+	testRequeueGate func() // between a preemption park and its re-submit
+)
+
+// deadlineSweep is how often the dispatcher scans the central queue for
+// expired requests (expiry is also checked on every dispatch).
+const deadlineSweep = time.Millisecond
 
 // executor is a CPU context a task can run on: a worker or the
 // dispatcher in work-conserving mode.
 type executor struct {
 	id int // worker index, or -1 for the dispatcher
 	// flag is the dedicated "cache line" the dispatcher writes to
-	// request preemption and the task's Poll reads.
-	flag atomic.Uint32
-	_    [cacheLinePad - 4]byte
+	// request preemption and the task's Poll reads. It holds the epoch
+	// being preempted (never 0): a request yields only when the flag
+	// matches its own epoch, so a signal aimed at one request can never
+	// hit its successor and no retraction handshake is needed.
+	flag atomic.Uint64
+	_    [cacheLinePad - 8]byte
+	// epoch is the worker's current scheduling epoch. Written by the
+	// worker loop between requests, read by the request goroutine; the
+	// resume/parked channel handshake orders the accesses.
+	epoch uint64
 	// sliceStart/sliceLen drive time-based self-preemption when the
 	// dispatcher runs tasks (there is nobody to write its flag, §3.3).
 	sliceStart time.Time
@@ -151,18 +211,32 @@ type parkEvent struct {
 
 // task is one in-flight request and its suspended continuation.
 type task struct {
-	id      uint64
-	payload any
-	arrival time.Time
-	result  chan Response
+	id       uint64
+	payload  any
+	arrival  time.Time
+	deadline time.Time // zero = none
+	result   chan Response
 
 	resume chan *executor
 	parked chan parkEvent
+
+	// abortErr, when set before a resume, makes the request unwind with
+	// this error at the resume point instead of continuing. Written
+	// before the resume send, read after the resume receive.
+	abortErr error
 
 	started      bool
 	onDispatcher bool
 	preempts     int
 }
+
+func (t *task) expired(now time.Time) bool {
+	return !t.deadline.IsZero() && now.After(t.deadline)
+}
+
+// taskAbort is the panic payload used to unwind an aborted request's
+// handler; startTask's recover converts it to a Response error.
+type taskAbort struct{ err error }
 
 // runInfo is the per-worker "currently running" record the dispatcher
 // reads to detect expired quanta.
@@ -190,11 +264,24 @@ type Server struct {
 	stats  struct {
 		submitted   atomic.Uint64
 		completed   atomic.Uint64
+		rejected    atomic.Uint64
+		expired     atomic.Uint64
+		aborted     atomic.Uint64
 		preemptions atomic.Uint64
 		stolen      atomic.Uint64
 	}
 
-	stopped atomic.Bool
+	// submitMu orders Submit against Stop: Submit holds the read lock
+	// across the stopping check and the enqueue, so once Stop has taken
+	// the write lock and set stopping, no further task can enter the
+	// submit buffer and every later Submit deterministically returns
+	// ErrServerStopped.
+	submitMu sync.RWMutex
+	stopping bool // guarded by submitMu
+
+	started atomic.Bool
+	stopped atomic.Bool // dispatcher-visible mirror of stopping
+	abort   atomic.Bool // drain deadline expired: fail pending work
 	done    chan struct{} // dispatcher exited
 	wg      sync.WaitGroup
 
@@ -226,6 +313,7 @@ func New(h Handler, opts Options) *Server {
 // Start launches the dispatcher and workers.
 func (s *Server) Start() {
 	s.startOnce.Do(func() {
+		s.started.Store(true)
 		s.handler.Setup()
 		for i := 0; i < s.opts.Workers; i++ {
 			s.wg.Add(1)
@@ -235,12 +323,33 @@ func (s *Server) Start() {
 	})
 }
 
-// Stop drains in-flight requests and shuts the server down. Submissions
-// racing with Stop may be rejected with an error response.
+// Stop drains the server and shuts it down. Every request accepted
+// before Stop gets exactly one response: with no DrainTimeout, Stop
+// waits for all of them to complete; with one, requests still queued or
+// parked when it expires are completed with ErrServerStopped and
+// running requests are aborted at their next Poll. Submissions after
+// Stop begins are rejected with ErrServerStopped. Stop is idempotent.
 func (s *Server) Stop() {
 	s.stopOnce.Do(func() {
+		s.submitMu.Lock()
+		s.stopping = true
+		s.submitMu.Unlock()
 		s.stopped.Store(true)
-		<-s.done
+		if !s.started.Load() {
+			return // never started: nothing to drain
+		}
+		if d := s.opts.DrainTimeout; d > 0 {
+			timer := time.NewTimer(d)
+			select {
+			case <-s.done:
+				timer.Stop()
+			case <-timer.C:
+				s.abort.Store(true)
+				<-s.done
+			}
+		} else {
+			<-s.done
+		}
 		for _, ch := range s.locals {
 			close(ch)
 		}
@@ -253,20 +362,21 @@ func (s *Server) Stats() Stats {
 	return Stats{
 		Submitted:   s.stats.submitted.Load(),
 		Completed:   s.stats.completed.Load(),
+		Rejected:    s.stats.rejected.Load(),
+		Expired:     s.stats.expired.Load(),
+		Aborted:     s.stats.aborted.Load(),
 		Preemptions: s.stats.preemptions.Load(),
 		Stolen:      s.stats.stolen.Load(),
 	}
 }
 
-// Submit enqueues a request and returns a channel that will receive its
-// response. The channel has capacity 1; the caller need not read it
-// immediately.
+// Submit enqueues a request and returns a channel that will receive
+// exactly one response. The channel has capacity 1; the caller need not
+// read it immediately. Submit never blocks: after Stop has begun it
+// responds ErrServerStopped, and when the submit buffer is full it
+// responds ErrQueueFull.
 func (s *Server) Submit(payload any) <-chan Response {
 	ch := make(chan Response, 1)
-	if s.stopped.Load() {
-		ch <- Response{Err: errServerStopped}
-		return ch
-	}
 	t := &task{
 		id:      s.nextID.Add(1),
 		payload: payload,
@@ -275,8 +385,28 @@ func (s *Server) Submit(payload any) <-chan Response {
 		resume:  make(chan *executor),
 		parked:  make(chan parkEvent),
 	}
-	s.stats.submitted.Add(1)
-	s.submit <- t
+	if d := s.opts.RequestTimeout; d > 0 {
+		t.deadline = t.arrival.Add(d)
+	}
+	s.submitMu.RLock()
+	if s.stopping {
+		s.submitMu.RUnlock()
+		s.stats.rejected.Add(1)
+		ch <- Response{ID: t.id, Err: ErrServerStopped}
+		return ch
+	}
+	if testSubmitGate != nil {
+		testSubmitGate()
+	}
+	select {
+	case s.submit <- t:
+		s.stats.submitted.Add(1)
+		s.submitMu.RUnlock()
+	default:
+		s.submitMu.RUnlock()
+		s.stats.rejected.Add(1)
+		ch <- Response{ID: t.id, Err: ErrQueueFull}
+	}
 	return ch
 }
 
@@ -294,12 +424,16 @@ func (s *Server) dispatcherLoop() {
 	}
 	s.handler.SetupWorker(-1)
 	lastFlagged := make([]uint64, s.opts.Workers)
+	var lastSweep time.Time
 
 	for {
 		progress := false
+		aborting := s.abort.Load()
 
 		// 1. Ingest submissions (bounded batch per iteration, so
-		// preemption signaling stays timely).
+		// preemption signaling stays timely). Runs in abort mode too:
+		// workers re-submit preempted tasks here and must never be
+		// stranded against a departed dispatcher.
 		for i := 0; i < 64; i++ {
 			select {
 			case t := <-s.submit:
@@ -311,51 +445,97 @@ func (s *Server) dispatcherLoop() {
 			break
 		}
 
-		// 2. Preemption signaling: write the flag of any worker whose
-		// current request outlived the quantum.
-		if q := s.opts.Quantum; q > 0 {
-			now := time.Now()
+		if aborting {
+			// Drain deadline expired: fail everything queued or parked,
+			// and signal every running request so it parks (and is then
+			// failed by its worker) at its next Poll.
 			for w := range s.workers {
-				info := s.running[w].Load()
-				if info == nil || info.epoch == lastFlagged[w] {
+				if info := s.running[w].Load(); info != nil {
+					s.workers[w].flag.Store(info.epoch)
+				}
+			}
+			if s.failPending() {
+				progress = true
+			}
+		} else {
+			// 2. Preemption signaling: write the flag of any worker
+			// whose current request outlived the quantum. The flag
+			// carries the epoch being preempted, so a signal aimed at a
+			// finished request is inert for its successor — no
+			// check-then-act retraction window.
+			if q := s.opts.Quantum; q > 0 {
+				now := time.Now()
+				for w := range s.workers {
+					info := s.running[w].Load()
+					if info == nil || info.epoch == lastFlagged[w] {
+						continue
+					}
+					if now.Sub(info.start) >= q {
+						s.workers[w].flag.Store(info.epoch)
+						lastFlagged[w] = info.epoch
+						progress = true
+					}
+				}
+			}
+
+			// 2b. Coarse deadline sweep over the central queue, so
+			// requests stuck behind full worker queues still expire.
+			if s.opts.RequestTimeout > 0 && len(s.central) > 0 {
+				if now := time.Now(); now.Sub(lastSweep) >= deadlineSweep {
+					lastSweep = now
+					kept := s.central[:0]
+					for _, t := range s.central {
+						if t.expired(now) {
+							s.expire(t)
+							progress = true
+						} else {
+							kept = append(kept, t)
+						}
+					}
+					for i := len(kept); i < len(s.central); i++ {
+						s.central[i] = nil
+					}
+					s.central = kept
+				}
+			}
+
+			// 3. JBSQ push: move requests to the shortest non-full
+			// queue, expiring lazily at the head.
+			for len(s.central) > 0 {
+				t := s.central[0]
+				if !t.deadline.IsZero() && t.expired(time.Now()) {
+					s.central[0] = nil
+					s.central = s.central[1:]
+					s.expire(t)
+					progress = true
 					continue
 				}
-				if now.Sub(info.start) >= q {
-					s.workers[w].flag.Store(1)
-					lastFlagged[w] = info.epoch
-					// If the worker switched tasks while we decided,
-					// retract the stale signal.
-					if cur := s.running[w].Load(); cur == nil || cur.epoch != info.epoch {
-						s.workers[w].flag.Store(0)
+				w := s.shortestQueue()
+				if w < 0 {
+					break
+				}
+				s.central[0] = nil
+				s.central = s.central[1:]
+				s.occ[w].Add(1)
+				s.locals[w] <- t
+				progress = true
+			}
+
+			// 4. Work conservation (also during graceful drain — the
+			// dispatcher helping finishes the backlog sooner).
+			if s.opts.WorkConserving && !progress {
+				if t := s.saved; t != nil {
+					s.saved = nil
+					if t.expired(time.Now()) {
+						s.expire(t)
+					} else {
+						s.runSlice(t) // re-sets saved if the task parks again
 					}
 					progress = true
+				} else if t := s.takeNonStarted(); t != nil {
+					s.runSlice(t)
+					progress = true
 				}
-			}
-		}
-
-		// 3. JBSQ push: move requests to the shortest non-full queue.
-		for len(s.central) > 0 {
-			w := s.shortestQueue()
-			if w < 0 {
-				break
-			}
-			t := s.central[0]
-			s.central[0] = nil
-			s.central = s.central[1:]
-			s.occ[w].Add(1)
-			s.locals[w] <- t
-			progress = true
-		}
-
-		// 4. Work conservation.
-		if s.opts.WorkConserving && !progress {
-			if t := s.saved; t != nil {
-				s.saved = nil
-				s.runSlice(t) // re-sets saved if the task parks again
-				progress = true
-			} else if t := s.takeNonStarted(); t != nil {
-				s.runSlice(t)
-				progress = true
 			}
 		}
 
@@ -381,18 +561,27 @@ func (s *Server) shortestQueue() int {
 
 // takeNonStarted pops the first never-started request from the central
 // queue — the only kind the dispatcher may steal (§3.3) — but only when
-// every worker queue is full.
+// every worker queue is full. Expired requests found on the way are
+// completed with ErrDeadlineExceeded.
 func (s *Server) takeNonStarted() *task {
 	for w := range s.occ {
 		if s.occ[w].Load() < int32(s.opts.QueueBound) {
 			return nil
 		}
 	}
-	for i, t := range s.central {
+	now := time.Now()
+	for i := 0; i < len(s.central); {
+		t := s.central[i]
+		if t.expired(now) {
+			s.central = append(s.central[:i], s.central[i+1:]...)
+			s.expire(t)
+			continue
+		}
 		if !t.started {
 			s.central = append(s.central[:i], s.central[i+1:]...)
 			return t
 		}
+		i++
 	}
 	return nil
 }
@@ -421,6 +610,46 @@ func (s *Server) runSlice(t *task) {
 	s.saved = t
 }
 
+// failPending completes every queued or parked request with
+// ErrServerStopped; it reports whether it failed anything.
+func (s *Server) failPending() bool {
+	failed := false
+	for _, t := range s.central {
+		s.failTask(t, ErrServerStopped, s.dispatcherEx)
+		s.stats.aborted.Add(1)
+		failed = true
+	}
+	s.central = nil
+	if t := s.saved; t != nil {
+		s.saved = nil
+		s.failTask(t, ErrServerStopped, s.dispatcherEx)
+		s.stats.aborted.Add(1)
+		failed = true
+	}
+	return failed
+}
+
+// expire completes a queued or parked request with ErrDeadlineExceeded.
+func (s *Server) expire(t *task) {
+	s.stats.expired.Add(1)
+	s.failTask(t, ErrDeadlineExceeded, s.dispatcherEx)
+}
+
+// failTask completes a request that is not currently running with err.
+// A never-started task gets a direct error response; a parked task is
+// resumed with abortErr set so its goroutine unwinds (handler defers
+// run) and delivers the error itself.
+func (s *Server) failTask(t *task, err error, ex *executor) {
+	if !t.started {
+		s.finish(t, Response{ID: t.id, Err: err})
+		return
+	}
+	t.abortErr = err
+	t.resume <- ex
+	ev := <-t.parked
+	s.finish(t, ev.resp)
+}
+
 func (s *Server) drained() bool {
 	if len(s.central) > 0 || s.saved != nil || len(s.submit) > 0 {
 		return false
@@ -445,9 +674,15 @@ func (s *Server) workerLoop(w int) {
 	ex := s.workers[w]
 	var epoch uint64
 	for t := range s.locals[w] {
-		epoch++
+		if s.abort.Load() {
+			s.failTask(t, ErrServerStopped, ex)
+			s.stats.aborted.Add(1)
+			s.occ[w].Add(-1)
+			continue
+		}
+		epoch++ // epochs start at 1; flag value 0 means "no signal"
+		ex.epoch = epoch
 		s.running[w].Store(&runInfo{epoch: epoch, start: time.Now()})
-		ex.flag.Store(0)
 		if !t.started {
 			t.started = true
 			s.startTask(t)
@@ -455,15 +690,29 @@ func (s *Server) workerLoop(w int) {
 		t.resume <- ex
 		ev := <-t.parked
 		s.running[w].Store(nil)
-		s.occ[w].Add(-1)
 		if ev.done {
 			s.finish(t, ev.resp)
+			s.occ[w].Add(-1)
 			continue
 		}
 		t.preempts++
 		s.stats.preemptions.Add(1)
-		// Re-place the preempted request on the central queue.
+		if s.abort.Load() {
+			s.failTask(t, ErrServerStopped, ex)
+			s.stats.aborted.Add(1)
+			s.occ[w].Add(-1)
+			continue
+		}
+		// Re-place the preempted request on the central queue. occ is
+		// held across the hand-off so drained() can never observe an
+		// idle server while the task is between queues — releasing occ
+		// first opened a window where the dispatcher shut down and the
+		// task was lost (and this send blocked forever).
+		if testRequeueGate != nil {
+			testRequeueGate()
+		}
 		s.submit <- t
+		s.occ[w].Add(-1)
 	}
 }
 
@@ -471,11 +720,19 @@ func (s *Server) workerLoop(w int) {
 func (s *Server) startTask(t *task) {
 	go func() {
 		ex := <-t.resume
+		if err := t.abortErr; err != nil {
+			t.parked <- parkEvent{done: true, resp: Response{ID: t.id, Err: err}}
+			return
+		}
 		ctx := &Ctx{task: t, ex: ex, yieldEvery: s.opts.CoopTimeshare}
 		out, err := func() (out any, err error) {
 			defer func() {
 				if r := recover(); r != nil {
-					err = fmt.Errorf("live: handler panicked: %v", r)
+					if ab, ok := r.(taskAbort); ok {
+						err = ab.err
+					} else {
+						err = fmt.Errorf("live: handler panicked: %v", r)
+					}
 				}
 			}()
 			return s.handler.Handle(ctx, t.payload)
@@ -515,9 +772,13 @@ func (c *Ctx) Worker() int { return c.ex.id }
 
 // Poll is the cooperative preemption probe — the call Concord's compiler
 // pass inserts at function entries and loop back-edges. If the
-// dispatcher has signaled preemption (or the dispatcher's self-check
-// slice has expired) and no no-preempt section is open, the request
-// yields: its goroutine parks and the worker picks up its next request.
+// dispatcher has signaled preemption of this request's epoch (or the
+// dispatcher's self-check slice has expired) and no no-preempt section
+// is open, the request yields: its goroutine parks and the worker picks
+// up its next request. If the server aborted the request while it was
+// parked (drain deadline or request deadline), Poll panics with an
+// internal value that unwinds the handler — its defers run — and
+// becomes the response error.
 func (c *Ctx) Poll() {
 	if c.yieldEvery > 0 {
 		// On CPU-constrained machines, hand the OS thread over so the
@@ -532,10 +793,10 @@ func (c *Ctx) Poll() {
 		return
 	}
 	if c.ex.id >= 0 {
-		if c.ex.flag.Load() == 0 {
-			return
+		f := c.ex.flag.Load()
+		if f == 0 || f != c.ex.epoch {
+			return // no signal, or a stale signal for a predecessor
 		}
-		c.ex.flag.Store(0)
 	} else {
 		// Dispatcher slice: self-preempt on elapsed time (§3.3).
 		if time.Since(c.ex.sliceStart) < c.ex.sliceLen {
@@ -544,6 +805,9 @@ func (c *Ctx) Poll() {
 	}
 	c.task.parked <- parkEvent{done: false}
 	c.ex = <-c.task.resume
+	if err := c.task.abortErr; err != nil {
+		panic(taskAbort{err})
+	}
 }
 
 // BeginNoPreempt opens a critical section during which Poll will not

@@ -141,8 +141,10 @@ func (s Summary) String() string {
 		s.Count, s.P50, s.P90, s.P99, s.P999, s.MeanSlowdown, s.MeanSojournUS, s.MeanPreemptions, 100*s.DispatcherFrac)
 }
 
-// Histogram is a base-2 log-bucketed latency histogram.
+// Histogram is a base-2 log-bucketed latency histogram. It is safe for
+// concurrent use: load generators observe from per-request goroutines.
 type Histogram struct {
+	mu      sync.Mutex
 	buckets [64]int
 	count   int
 }
@@ -159,8 +161,10 @@ func (h *Histogram) ObserveUS(us float64) {
 			b = len(h.buckets) - 1
 		}
 	}
+	h.mu.Lock()
 	h.buckets[b]++
 	h.count++
+	h.mu.Unlock()
 }
 
 // ObserveDuration adds one latency observation.
@@ -169,18 +173,25 @@ func (h *Histogram) ObserveDuration(d time.Duration) {
 }
 
 // Count returns the number of observations.
-func (h *Histogram) Count() int { return h.count }
+func (h *Histogram) Count() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
 
 // String renders non-empty buckets with proportional bars.
 func (h *Histogram) String() string {
+	h.mu.Lock()
+	buckets := h.buckets
+	h.mu.Unlock()
 	var b strings.Builder
 	max := 0
-	for _, c := range h.buckets {
+	for _, c := range buckets {
 		if c > max {
 			max = c
 		}
 	}
-	for i, c := range h.buckets {
+	for i, c := range buckets {
 		if c == 0 {
 			continue
 		}

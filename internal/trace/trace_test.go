@@ -116,3 +116,29 @@ func TestSummaryString(t *testing.T) {
 		t.Fatalf("summary string = %q", s)
 	}
 }
+
+// TestHistogramConcurrentObserve is the regression test for the
+// concord-load data race: per-request goroutines observe into one
+// histogram. Pre-fix, ObserveUS had no synchronization — this test
+// fails under -race and typically undercounts.
+func TestHistogramConcurrentObserve(t *testing.T) {
+	var h Histogram
+	const goroutines, perG = 8, 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				h.ObserveUS(float64((g*perG + i) % 4096))
+			}
+		}(g)
+	}
+	wg.Wait()
+	if got := h.Count(); got != goroutines*perG {
+		t.Fatalf("Count = %d after %d concurrent observations", got, goroutines*perG)
+	}
+	if h.String() == "" {
+		t.Fatal("histogram rendered empty")
+	}
+}
