@@ -8,7 +8,7 @@ tier1:
 # measurement). Slower than tier1; run before merging changes to any of
 # these.
 race:
-	go test -race ./internal/runner ./internal/server ./internal/figures ./internal/live ./internal/trace
+	go test -race ./internal/runner ./internal/server ./internal/figures ./internal/live ./internal/trace ./internal/obs
 
 vet:
 	go vet ./...
@@ -16,4 +16,11 @@ vet:
 bench:
 	go test -run xxx -bench . -benchmem .
 
-.PHONY: tier1 race vet bench
+# End-to-end observability smoke: builds concord-kvd and concord-load,
+# boots the server with -obs, scrapes /metrics and pprof, pulls a TRACE,
+# and runs a -breakdown load. Out-of-process, so kept behind a build tag
+# rather than in tier1.
+obs-smoke:
+	go test -tags obssmoke -run TestObsSmoke -v -timeout 120s ./internal/obs/smoke
+
+.PHONY: tier1 race vet bench obs-smoke

@@ -9,7 +9,17 @@
 //	DEL <key>            -> OK | NOTFOUND
 //	SCAN                 -> COUNT <n>
 //	SPIN <micros>        -> OK            (synthetic spin request)
-//	STATS                -> submitted/completed/rejected/... counters
+//	STATS                -> lifetime counters + live queue depths
+//	OBS ON|OFF           -> OK            (append |OBS latency-breakdown
+//	                                       trailers to this connection's
+//	                                       responses; needs -obs)
+//	TRACE <n>            -> last n request timelines, terminated by END
+//
+// With -obs ADDR the server also serves HTTP on ADDR: /metrics is
+// Prometheus text exposition of all counters, queue depths, and per-op
+// latency-component histograms; /debug/pprof/* is net/http/pprof. The
+// same flag enables the in-process lifecycle tracer that backs TRACE
+// and the |OBS trailers; without it tracing costs one branch per event.
 //
 // Failure responses are single tokens clients can branch on: DEADLINE
 // (request timeout exceeded), OVERLOADED (submit queue full), STOPPED
@@ -31,6 +41,8 @@ import (
 	"fmt"
 	"log"
 	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
 	"os"
 	"os/signal"
 	"strconv"
@@ -41,6 +53,8 @@ import (
 
 	"concord/internal/kv"
 	"concord/internal/live"
+	"concord/internal/obs"
+	"concord/internal/trace"
 )
 
 // kvHandler adapts the store to the live runtime's Handler interface.
@@ -124,6 +138,9 @@ func main() {
 		reqTimeout = flag.Duration("reqtimeout", 0, "per-request deadline; expired requests answer DEADLINE (0 disables)")
 		drain      = flag.Duration("drain", 5*time.Second, "graceful-drain bound on shutdown (0 waits for all in-flight)")
 		wtimeout   = flag.Duration("wtimeout", 5*time.Second, "per-response connection write deadline (0 disables)")
+		obsAddr    = flag.String("obs", "", "serve Prometheus /metrics and /debug/pprof on this address and enable lifecycle tracing (empty disables)")
+		traceBuf   = flag.Int("tracebuf", 4096, "per-writer trace ring capacity in events (rounded up to a power of two)")
+		traceDump  = flag.String("tracedump", "", "on shutdown, write the trace rings as Chrome trace_event JSON (Perfetto-loadable) to this file; needs -obs")
 	)
 	flag.Parse()
 
@@ -133,6 +150,10 @@ func main() {
 		store.Put([]byte(fmt.Sprintf("key%08d", i)), []byte(val))
 	}
 
+	var tracer *obs.Tracer
+	if *obsAddr != "" {
+		tracer = obs.NewTracer(*workers, *traceBuf)
+	}
 	srv := live.New(&kvHandler{store: store, scanBatch: *scanStep}, live.Options{
 		Workers:        *workers,
 		Quantum:        *quantum,
@@ -140,15 +161,32 @@ func main() {
 		WorkConserving: *steal,
 		RequestTimeout: *reqTimeout,
 		DrainTimeout:   *drain,
+		Tracer:         tracer,
 	})
 	srv.Start()
+
+	var ob *kvObs
+	if tracer != nil {
+		ob = newKVObs(tracer, srv, *workers)
+		obsLn, err := net.Listen("tcp", *obsAddr)
+		if err != nil {
+			log.Fatalf("obs listen: %v", err)
+		}
+		http.Handle("/metrics", ob.metrics)
+		go func() {
+			if err := http.Serve(obsLn, nil); err != nil {
+				log.Printf("obs server: %v", err)
+			}
+		}()
+		log.Printf("obs: metrics+pprof on %s, trace rings %d events/writer", obsLn.Addr(), *traceBuf)
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
 		log.Fatalf("listen: %v", err)
 	}
 	log.Printf("concord-kvd on %s: %d workers, quantum %v, JBSQ(%d), steal=%v, %d keys",
-		*addr, *workers, *quantum, *bound, *steal, *keys)
+		ln.Addr(), *workers, *quantum, *bound, *steal, *keys)
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
@@ -174,7 +212,7 @@ func main() {
 		connWG.Add(1)
 		go func() {
 			defer connWG.Done()
-			serveConn(conn, srv, *wtimeout)
+			serveConn(conn, srv, *wtimeout, ob)
 			connMu.Lock()
 			delete(conns, conn)
 			connMu.Unlock()
@@ -196,13 +234,112 @@ func main() {
 	st := srv.Stats()
 	log.Printf("drained: submitted=%d completed=%d rejected=%d expired=%d aborted=%d",
 		st.Submitted, st.Completed, st.Rejected, st.Expired, st.Aborted)
+	if tracer != nil && *traceDump != "" {
+		f, err := os.Create(*traceDump)
+		if err != nil {
+			log.Fatalf("tracedump: %v", err)
+		}
+		events := tracer.Snapshot()
+		if err := obs.WriteChromeTrace(f, events); err != nil {
+			log.Fatalf("tracedump: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("tracedump: %v", err)
+		}
+		log.Printf("tracedump: wrote %d events to %s (open in https://ui.perfetto.dev)", len(events), *traceDump)
+	}
 }
 
-func serveConn(conn net.Conn, srv *live.Server, wtimeout time.Duration) {
+// kvObs bundles the optional observability surface: the lifecycle
+// tracer, the metrics registry, and per-op latency-component
+// histograms fed from completed responses.
+type kvObs struct {
+	tracer  *obs.Tracer
+	metrics *obs.Metrics
+	perOp   map[string]*opHists // fixed key set; read-only after init
+}
+
+type opHists struct {
+	total, handoff, queue, service, preempted trace.Histogram
+}
+
+func newKVObs(tracer *obs.Tracer, srv *live.Server, workers int) *kvObs {
+	ob := &kvObs{tracer: tracer, metrics: &obs.Metrics{}, perOp: map[string]*opHists{}}
+	m := ob.metrics
+	counter := func(name, help string, f func(live.Stats) uint64) {
+		m.RegisterCounter(name, help, func() float64 { return float64(f(srv.Stats())) })
+	}
+	counter("concord_submitted_total", "requests accepted", func(s live.Stats) uint64 { return s.Submitted })
+	counter("concord_completed_total", "responses delivered", func(s live.Stats) uint64 { return s.Completed })
+	counter("concord_rejected_total", "requests never accepted", func(s live.Stats) uint64 { return s.Rejected })
+	counter("concord_expired_total", "requests past their deadline", func(s live.Stats) uint64 { return s.Expired })
+	counter("concord_aborted_total", "requests failed by drain abort", func(s live.Stats) uint64 { return s.Aborted })
+	counter("concord_preemptions_total", "request yields", func(s live.Stats) uint64 { return s.Preemptions })
+	counter("concord_stolen_total", "requests completed by the dispatcher", func(s live.Stats) uint64 { return s.Stolen })
+	m.RegisterGauge(`concord_queue_depth{queue="submit"}`, "live queue occupancy",
+		func() float64 { return float64(srv.Depths().Submit) })
+	m.RegisterGauge(`concord_queue_depth{queue="central"}`, "live queue occupancy",
+		func() float64 { return float64(srv.Depths().Central) })
+	for w := 0; w < workers; w++ {
+		w := w
+		m.RegisterGauge(fmt.Sprintf(`concord_worker_occupancy{worker="%d"}`, w),
+			"JBSQ occupancy incl. in-service", func() float64 { return float64(srv.Depths().Workers[w]) })
+	}
+	for _, op := range []string{"GET", "PUT", "DEL", "SCAN", "SPIN"} {
+		h := &opHists{}
+		ob.perOp[op] = h
+		lop := strings.ToLower(op)
+		m.RegisterHistogram(fmt.Sprintf(`concord_request_us{op="%s",component="total"}`, lop),
+			"per-op latency components in microseconds", &h.total)
+		m.RegisterHistogram(fmt.Sprintf(`concord_request_us{op="%s",component="handoff"}`, lop),
+			"per-op latency components in microseconds", &h.handoff)
+		m.RegisterHistogram(fmt.Sprintf(`concord_request_us{op="%s",component="queue"}`, lop),
+			"per-op latency components in microseconds", &h.queue)
+		m.RegisterHistogram(fmt.Sprintf(`concord_request_us{op="%s",component="service"}`, lop),
+			"per-op latency components in microseconds", &h.service)
+		m.RegisterHistogram(fmt.Sprintf(`concord_request_us{op="%s",component="preempted"}`, lop),
+			"per-op latency components in microseconds", &h.preempted)
+	}
+	return ob
+}
+
+// observe feeds one completed response into the per-op histograms.
+func (ob *kvObs) observe(op string, resp live.Response) {
+	h := ob.perOp[op]
+	if h == nil || resp.Breakdown == nil {
+		return
+	}
+	us := func(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+	h.total.ObserveDuration(resp.Latency)
+	h.handoff.ObserveUS(us(resp.Breakdown.Handoff))
+	h.queue.ObserveUS(us(resp.Breakdown.Queue))
+	h.service.ObserveUS(us(resp.Breakdown.Service))
+	h.preempted.ObserveUS(us(resp.Breakdown.Preempted))
+}
+
+// obsTrailer renders the per-request breakdown clients opt into with
+// OBS ON. Times are µs; n is the preemption count, d=1 when the
+// work-conserving dispatcher ran the request.
+func obsTrailer(resp live.Response) string {
+	b := resp.Breakdown
+	if b == nil {
+		return ""
+	}
+	us := func(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+	disp := 0
+	if resp.OnDispatcher {
+		disp = 1
+	}
+	return fmt.Sprintf(" |OBS h=%.1f q=%.1f s=%.1f p=%.1f n=%d d=%d",
+		us(b.Handoff), us(b.Queue), us(b.Service), us(b.Preempted), resp.Preemptions, disp)
+}
+
+func serveConn(conn net.Conn, srv *live.Server, wtimeout time.Duration, ob *kvObs) {
 	defer conn.Close()
 	sc := bufio.NewScanner(conn)
 	sc.Buffer(make([]byte, 1<<16), 1<<20)
 	out := bufio.NewWriter(conn)
+	obsOn := false
 	// flush writes the buffered response under a write deadline so a
 	// client that stops reading cannot pin this goroutine forever.
 	flush := func() bool {
@@ -216,10 +353,7 @@ func serveConn(conn net.Conn, srv *live.Server, wtimeout time.Duration) {
 	}
 	for sc.Scan() {
 		line := sc.Text()
-		if line == "STATS" {
-			st := srv.Stats()
-			fmt.Fprintf(out, "STATS submitted=%d completed=%d rejected=%d expired=%d aborted=%d preemptions=%d stolen=%d\n",
-				st.Submitted, st.Completed, st.Rejected, st.Expired, st.Aborted, st.Preemptions, st.Stolen)
+		if handled := serveControl(out, line, srv, ob, &obsOn); handled {
 			if !flush() {
 				return
 			}
@@ -234,22 +368,77 @@ func serveConn(conn net.Conn, srv *live.Server, wtimeout time.Duration) {
 			continue
 		}
 		resp := srv.Do(req)
+		if ob != nil {
+			ob.observe(req.op, resp)
+		}
+		trailer := ""
+		if obsOn {
+			trailer = obsTrailer(resp)
+		}
 		switch {
 		case resp.Err == nil:
-			fmt.Fprintf(out, "%s\n", resp.Payload)
+			fmt.Fprintf(out, "%s%s\n", resp.Payload, trailer)
 		case errors.Is(resp.Err, live.ErrDeadlineExceeded):
-			fmt.Fprintln(out, "DEADLINE")
+			fmt.Fprintf(out, "DEADLINE%s\n", trailer)
 		case errors.Is(resp.Err, live.ErrQueueFull):
-			fmt.Fprintln(out, "OVERLOADED")
+			fmt.Fprintf(out, "OVERLOADED%s\n", trailer)
 		case errors.Is(resp.Err, live.ErrServerStopped):
-			fmt.Fprintln(out, "STOPPED")
+			fmt.Fprintf(out, "STOPPED%s\n", trailer)
 		default:
-			fmt.Fprintf(out, "ERR %v\n", resp.Err)
+			fmt.Fprintf(out, "ERR %v%s\n", resp.Err, trailer)
 		}
 		if !flush() {
 			return
 		}
 	}
+}
+
+// serveControl handles the non-request protocol commands (STATS, TRACE,
+// OBS); it reports whether the line was one of them.
+func serveControl(out *bufio.Writer, line string, srv *live.Server, ob *kvObs, obsOn *bool) bool {
+	switch {
+	case line == "STATS":
+		st := srv.Stats()
+		d := srv.Depths()
+		occ := make([]string, len(d.Workers))
+		for i, o := range d.Workers {
+			occ[i] = strconv.Itoa(o)
+		}
+		fmt.Fprintf(out, "STATS submitted=%d completed=%d rejected=%d expired=%d aborted=%d preemptions=%d stolen=%d central=%d submitq=%d occ=%s\n",
+			st.Submitted, st.Completed, st.Rejected, st.Expired, st.Aborted, st.Preemptions, st.Stolen,
+			d.Central, d.Submit, strings.Join(occ, ","))
+		return true
+	case line == "TRACE" || strings.HasPrefix(line, "TRACE "):
+		if ob == nil {
+			fmt.Fprintln(out, "ERR tracing disabled (start with -obs)")
+			return true
+		}
+		n := 10
+		if rest := strings.TrimPrefix(line, "TRACE"); strings.TrimSpace(rest) != "" {
+			v, err := strconv.Atoi(strings.TrimSpace(rest))
+			if err != nil || v <= 0 {
+				fmt.Fprintf(out, "ERR bad TRACE count %q\n", strings.TrimSpace(rest))
+				return true
+			}
+			n = v
+		}
+		printed := obs.WriteTimelines(out, ob.tracer.Snapshot(), n)
+		fmt.Fprintf(out, "END %d\n", printed)
+		return true
+	case line == "OBS ON":
+		if ob == nil {
+			fmt.Fprintln(out, "ERR tracing disabled (start with -obs)")
+			return true
+		}
+		*obsOn = true
+		fmt.Fprintln(out, "OK")
+		return true
+	case line == "OBS OFF":
+		*obsOn = false
+		fmt.Fprintln(out, "OK")
+		return true
+	}
+	return false
 }
 
 func parse(line string) (request, error) {

@@ -10,6 +10,11 @@
 //	-mix zippy  78% GET, 13% PUT, 6% DEL, 3% SCAN
 //	-mix get    100% GET
 //	-mix spin   synthetic spins, bimodal 99.5% x 5µs / 0.5% x 500µs
+//
+// With -breakdown (server started with -obs) every response carries a
+// server-measured latency decomposition; the report adds a
+// Table-1-style per-class component table (p50/p99/p99.9 of queueing,
+// service, preemption, hand-off) and the CSV gains component columns.
 package main
 
 import (
@@ -21,6 +26,7 @@ import (
 	"math/rand"
 	"net"
 	"os"
+	"sort"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -127,6 +133,7 @@ func main() {
 		seed     = flag.Int64("seed", 1, "random seed")
 		csvPath  = flag.String("csv", "", "write per-request records to this CSV file")
 		warmup   = flag.Float64("warmup", 0.1, "fraction of samples to discard")
+		brkdown  = flag.Bool("breakdown", false, "request per-request latency breakdowns (server must run with -obs) and print a per-component table")
 	)
 	flag.Parse()
 
@@ -145,7 +152,18 @@ func main() {
 			log.Fatalf("dial %s: %v", *addr, err)
 		}
 		defer c.Close()
-		pool <- bufio.NewReadWriter(bufio.NewReader(c), bufio.NewWriter(c))
+		rw := bufio.NewReadWriter(bufio.NewReader(c), bufio.NewWriter(c))
+		if *brkdown {
+			// Opt this connection into |OBS latency-breakdown trailers.
+			fmt.Fprintf(rw, "OBS ON\n")
+			rw.Flush()
+			resp, err := rw.ReadString('\n')
+			if err != nil || !strings.HasPrefix(resp, "OK") {
+				log.Fatalf("-breakdown needs a server started with -obs: OBS ON replied %q, %v",
+					strings.TrimSpace(resp), err)
+			}
+		}
+		pool <- rw
 	}
 
 	lg := trace.NewLog(int(*rate * duration.Seconds()))
@@ -175,11 +193,17 @@ func main() {
 				fails.record(err, resp)
 				return
 			}
-			lg.Add(trace.Record{
+			r := trace.Record{
 				Class:     o.class,
 				ServiceUS: o.serviceUS,
 				SojournUS: float64(lat) / float64(time.Microsecond),
-			})
+			}
+			if b, ok := parseObsTrailer(resp); ok {
+				r.HasBreakdown = true
+				r.HandoffUS, r.QueueUS, r.RunUS, r.PreemptedUS = b.handoff, b.queue, b.service, b.preempted
+				r.Preemptions, r.OnDispatcher = b.preempts, b.dispatcher
+			}
+			lg.Add(r)
 			hist.ObserveDuration(lat)
 		}(o, rw, time.Now())
 		// Reap completions without blocking the arrival process.
@@ -221,6 +245,9 @@ func main() {
 		fmt.Printf("p99.9 slowdown %.1fx %s the 50x SLO\n", sum.P999, meets(sum.P999))
 	}
 	fmt.Print(hist.String())
+	if *brkdown {
+		printBreakdown(steady.Snapshot())
+	}
 
 	if *csvPath != "" {
 		f, err := os.Create(*csvPath)
@@ -242,4 +269,93 @@ func meets(p999 float64) string {
 		return "meets"
 	}
 	return "MISSES"
+}
+
+// obsTrailer is one parsed |OBS response suffix (µs components).
+type obsTrailer struct {
+	handoff, queue, service, preempted float64
+	preempts                           int
+	dispatcher                         bool
+}
+
+// parseObsTrailer extracts the server's breakdown trailer, if present:
+//
+//	VALUE xyz |OBS h=0.8 q=12.3 s=4.5 p=0.0 n=1 d=0
+func parseObsTrailer(resp string) (obsTrailer, bool) {
+	i := strings.LastIndex(resp, " |OBS ")
+	if i < 0 {
+		return obsTrailer{}, false
+	}
+	var b obsTrailer
+	var d int
+	_, err := fmt.Sscanf(strings.TrimSpace(resp[i+len(" |OBS "):]),
+		"h=%f q=%f s=%f p=%f n=%d d=%d",
+		&b.handoff, &b.queue, &b.service, &b.preempted, &b.preempts, &d)
+	if err != nil {
+		return obsTrailer{}, false
+	}
+	b.dispatcher = d == 1
+	return b, true
+}
+
+// printBreakdown renders the Table-1-style per-class component table
+// from server-measured breakdowns, aggregated into log-2 histograms so
+// the quantiles match what the server's /metrics endpoint exposes.
+func printBreakdown(recs []trace.Record) {
+	type comps struct {
+		total, handoff, queue, service, preempted trace.Histogram
+		preempts, n                               int
+	}
+	byClass := map[string]*comps{}
+	var classes []string
+	for _, r := range recs {
+		if !r.HasBreakdown {
+			continue
+		}
+		c := byClass[r.Class]
+		if c == nil {
+			c = &comps{}
+			byClass[r.Class] = c
+			classes = append(classes, r.Class)
+		}
+		// Server-side total, so the component rows sum to it; the
+		// client-measured sojourn (which adds network + client-side
+		// open-loop wait) is in the latency summary above.
+		c.total.ObserveUS(r.HandoffUS + r.QueueUS + r.RunUS + r.PreemptedUS)
+		c.handoff.ObserveUS(r.HandoffUS)
+		c.queue.ObserveUS(r.QueueUS)
+		c.service.ObserveUS(r.RunUS)
+		c.preempted.ObserveUS(r.PreemptedUS)
+		c.preempts += r.Preemptions
+		c.n++
+	}
+	if len(classes) == 0 {
+		fmt.Println("no breakdown data (server not started with -obs?)")
+		return
+	}
+	sort.Strings(classes)
+	fmt.Println("component breakdown (µs, from server-side tracing):")
+	fmt.Printf("%-8s %-10s %10s %10s %10s %10s\n", "class", "component", "p50", "p99", "p99.9", "mean")
+	for _, cl := range classes {
+		c := byClass[cl]
+		for _, row := range []struct {
+			name string
+			h    *trace.Histogram
+		}{
+			{"total", &c.total},
+			{"handoff", &c.handoff},
+			{"queueing", &c.queue},
+			{"service", &c.service},
+			{"preempted", &c.preempted},
+		} {
+			s := row.h.Snapshot()
+			mean := 0.0
+			if s.Count > 0 {
+				mean = s.SumUS / float64(s.Count)
+			}
+			fmt.Printf("%-8s %-10s %10.1f %10.1f %10.1f %10.1f\n",
+				cl, row.name, s.Quantile(0.50), s.Quantile(0.99), s.Quantile(0.999), mean)
+		}
+		fmt.Printf("%-8s %-10s %10.2f preempts/req over %d requests\n", cl, "preempt", float64(c.preempts)/float64(c.n), c.n)
+	}
 }

@@ -20,6 +20,21 @@ func BenchmarkRoundTrip(b *testing.B) {
 	}
 }
 
+// BenchmarkRoundTripTraced is BenchmarkRoundTrip with the obs tracer
+// enabled: the delta is the full per-request cost of lifecycle tracing
+// (ring records plus breakdown timestamps).
+func BenchmarkRoundTripTraced(b *testing.B) {
+	s := New(&spinHandler{}, tracedOptions(2, 0, 1<<14))
+	s.Start()
+	defer s.Stop()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if resp := s.Do(time.Duration(0)); resp.Err != nil {
+			b.Fatal(resp.Err)
+		}
+	}
+}
+
 // BenchmarkPreemptedRequest measures a 500µs request under a 100µs
 // quantum: the full yield/requeue/redispatch cycle several times over.
 func BenchmarkPreemptedRequest(b *testing.B) {

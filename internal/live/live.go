@@ -39,6 +39,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"concord/internal/obs"
 )
 
 // Handler is the application callback interface, mirroring the paper's
@@ -97,6 +99,14 @@ type Options struct {
 	// and running requests are aborted at their next Poll. 0 waits for
 	// every accepted request to finish.
 	DrainTimeout time.Duration
+	// Tracer, when non-nil, receives a lifecycle event at every request
+	// state transition (submit, enqueue, dispatch, start, preempt
+	// signal, yield, requeue, resume, completion) and enables per-request
+	// latency Breakdown on every Response. It must be built with
+	// obs.NewTracer for the same worker count as this server. When nil,
+	// the cost at each instrumentation point is a single predictable
+	// branch.
+	Tracer *obs.Tracer
 }
 
 func (o Options) withDefaults() Options {
@@ -140,6 +150,24 @@ type Response struct {
 	// OnDispatcher reports the request was executed by the
 	// work-conserving dispatcher.
 	OnDispatcher bool
+	// Breakdown attributes Latency to lifecycle components. It is
+	// non-nil only when the server runs with Options.Tracer set.
+	Breakdown *Breakdown
+}
+
+// Breakdown decomposes one request's sojourn into the paper's Table-1
+// components. Handoff + Queue + Service + Preempted == Latency by
+// construction (Preempted absorbs the remainder: requeue gaps plus
+// scheduling jitter between timestamps).
+type Breakdown struct {
+	// Handoff is submit → dispatcher ingest (notification cost).
+	Handoff time.Duration
+	// Queue is ingest → first time on a CPU (central + JBSQ queueing).
+	Queue time.Duration
+	// Service is time actually executing handler code.
+	Service time.Duration
+	// Preempted is time parked between a yield and the next resume.
+	Preempted time.Duration
 }
 
 // Stats are cumulative server counters, safe to read while serving.
@@ -228,6 +256,14 @@ type task struct {
 	started      bool
 	onDispatcher bool
 	preempts     int
+
+	// Observability timestamps, written only when the server has a
+	// tracer. All writes happen on the goroutine that owns the task at
+	// that moment; the channel hand-offs order them.
+	enqueueTS  time.Time // first dispatcher ingest
+	firstRunTS time.Time // first CPU hand-off
+	runStart   time.Time // current running interval's start
+	runNS      int64     // accumulated running time
 }
 
 func (t *task) expired(now time.Time) bool {
@@ -242,6 +278,7 @@ type taskAbort struct{ err error }
 // reads to detect expired quanta.
 type runInfo struct {
 	epoch uint64
+	id    uint64 // request id, for preempt-signal attribution
 	start time.Time
 }
 
@@ -259,6 +296,13 @@ type Server struct {
 
 	dispatcherEx *executor
 	saved        *task
+
+	// tr is Options.Tracer, kept as a concrete pointer so the disabled
+	// path is one nil-check branch per event site.
+	tr *obs.Tracer
+	// centralLen mirrors len(central) (dispatcher-owned) once per
+	// dispatcher iteration so Depths can read it from any goroutine.
+	centralLen atomic.Int64
 
 	nextID atomic.Uint64
 	stats  struct {
@@ -289,11 +333,17 @@ type Server struct {
 	stopOnce  sync.Once
 }
 
-// New builds a server; call Start before submitting.
+// New builds a server; call Start before submitting. It panics when
+// Options.Tracer was built for a different worker count.
 func New(h Handler, opts Options) *Server {
 	opts = opts.withDefaults()
+	if opts.Tracer != nil && opts.Tracer.Workers() != opts.Workers {
+		panic(fmt.Sprintf("live: tracer built for %d workers, server has %d",
+			opts.Tracer.Workers(), opts.Workers))
+	}
 	s := &Server{
 		opts:    opts,
+		tr:      opts.Tracer,
 		handler: h,
 		submit:  make(chan *task, opts.SubmitBuffer),
 		locals:  make([]chan *task, opts.Workers),
@@ -357,6 +407,34 @@ func (s *Server) Stop() {
 	})
 }
 
+// Depths is a point-in-time queue-occupancy snapshot: momentary
+// overload that lifetime counters cannot show.
+type Depths struct {
+	// Submit is the ingress buffer occupancy (accepted, not yet
+	// ingested by the dispatcher).
+	Submit int
+	// Central is the dispatcher FIFO length, mirrored once per
+	// dispatcher iteration (so it can lag by one iteration).
+	Central int
+	// Workers is per-worker JBSQ occupancy including the in-service
+	// request.
+	Workers []int
+}
+
+// Depths returns a live queue-depth snapshot. Safe to call while
+// serving.
+func (s *Server) Depths() Depths {
+	d := Depths{
+		Submit:  len(s.submit),
+		Central: int(s.centralLen.Load()),
+		Workers: make([]int, len(s.occ)),
+	}
+	for w := range s.occ {
+		d.Workers[w] = int(s.occ[w].Load())
+	}
+	return d
+}
+
 // Stats returns a snapshot of the server counters.
 func (s *Server) Stats() Stats {
 	return Stats{
@@ -392,6 +470,9 @@ func (s *Server) Submit(payload any) <-chan Response {
 	if s.stopping {
 		s.submitMu.RUnlock()
 		s.stats.rejected.Add(1)
+		if s.tr != nil {
+			s.tr.Record(obs.WriterClient, obs.EvReject, t.id, obs.StatusStopped)
+		}
 		ch <- Response{ID: t.id, Err: ErrServerStopped}
 		return ch
 	}
@@ -401,10 +482,16 @@ func (s *Server) Submit(payload any) <-chan Response {
 	select {
 	case s.submit <- t:
 		s.stats.submitted.Add(1)
+		if s.tr != nil {
+			s.tr.Record(obs.WriterClient, obs.EvSubmit, t.id, 0)
+		}
 		s.submitMu.RUnlock()
 	default:
 		s.submitMu.RUnlock()
 		s.stats.rejected.Add(1)
+		if s.tr != nil {
+			s.tr.Record(obs.WriterClient, obs.EvReject, t.id, obs.StatusQueueFull)
+		}
 		ch <- Response{ID: t.id, Err: ErrQueueFull}
 	}
 	return ch
@@ -438,6 +525,12 @@ func (s *Server) dispatcherLoop() {
 			select {
 			case t := <-s.submit:
 				s.central = append(s.central, t)
+				if s.tr != nil {
+					if t.enqueueTS.IsZero() {
+						t.enqueueTS = time.Now()
+					}
+					s.tr.Record(obs.WriterDispatcher, obs.EvEnqueueCentral, t.id, 0)
+				}
 				progress = true
 				continue
 			default:
@@ -452,6 +545,10 @@ func (s *Server) dispatcherLoop() {
 			for w := range s.workers {
 				if info := s.running[w].Load(); info != nil {
 					s.workers[w].flag.Store(info.epoch)
+					if s.tr != nil && info.epoch != lastFlagged[w] {
+						lastFlagged[w] = info.epoch
+						s.tr.Record(obs.WriterDispatcher, obs.EvPreemptSignal, info.id, int64(w))
+					}
 				}
 			}
 			if s.failPending() {
@@ -473,6 +570,9 @@ func (s *Server) dispatcherLoop() {
 					if now.Sub(info.start) >= q {
 						s.workers[w].flag.Store(info.epoch)
 						lastFlagged[w] = info.epoch
+						if s.tr != nil {
+							s.tr.Record(obs.WriterDispatcher, obs.EvPreemptSignal, info.id, int64(w))
+						}
 						progress = true
 					}
 				}
@@ -517,6 +617,9 @@ func (s *Server) dispatcherLoop() {
 				s.central[0] = nil
 				s.central = s.central[1:]
 				s.occ[w].Add(1)
+				if s.tr != nil {
+					s.tr.Record(obs.WriterDispatcher, obs.EvDispatch, t.id, int64(w))
+				}
 				s.locals[w] <- t
 				progress = true
 			}
@@ -539,6 +642,7 @@ func (s *Server) dispatcherLoop() {
 			}
 		}
 
+		s.centralLen.Store(int64(len(s.central)))
 		if s.stopped.Load() && s.drained() {
 			close(s.done)
 			return
@@ -591,21 +695,39 @@ func (s *Server) runSlice(t *task) {
 	ex := s.dispatcherEx
 	ex.sliceStart = time.Now()
 	ex.sliceLen = s.opts.DispatcherSlice
+	first := !t.started
 	if !t.started {
 		t.started = true
 		t.onDispatcher = true
 		s.startTask(t)
 	}
+	if s.tr != nil {
+		if t.firstRunTS.IsZero() {
+			t.firstRunTS = ex.sliceStart
+		}
+		t.runStart = ex.sliceStart
+		kind := obs.EvResume
+		if first {
+			kind = obs.EvStart
+		}
+		s.tr.Record(obs.WriterDispatcher, kind, t.id, 0)
+	}
 	t.resume <- ex
 	ev := <-t.parked
+	if s.tr != nil {
+		t.runNS += int64(time.Since(t.runStart))
+	}
 	if ev.done {
 		ev.resp.OnDispatcher = true
-		s.finish(t, ev.resp)
+		s.finish(obs.WriterDispatcher, t, ev.resp)
 		s.stats.stolen.Add(1)
 		return
 	}
 	t.preempts++
 	s.stats.preemptions.Add(1)
+	if s.tr != nil {
+		s.tr.Record(obs.WriterDispatcher, obs.EvYield, t.id, 0)
+	}
 	// Stolen requests cannot migrate: park in the dedicated buffer.
 	s.saved = t
 }
@@ -638,16 +760,17 @@ func (s *Server) expire(t *task) {
 // failTask completes a request that is not currently running with err.
 // A never-started task gets a direct error response; a parked task is
 // resumed with abortErr set so its goroutine unwinds (handler defers
-// run) and delivers the error itself.
+// run) and delivers the error itself. The unwind is not counted as
+// service time.
 func (s *Server) failTask(t *task, err error, ex *executor) {
 	if !t.started {
-		s.finish(t, Response{ID: t.id, Err: err})
+		s.finish(ex.id, t, Response{ID: t.id, Err: err})
 		return
 	}
 	t.abortErr = err
 	t.resume <- ex
 	ev := <-t.parked
-	s.finish(t, ev.resp)
+	s.finish(ex.id, t, ev.resp)
 }
 
 func (s *Server) drained() bool {
@@ -682,21 +805,40 @@ func (s *Server) workerLoop(w int) {
 		}
 		epoch++ // epochs start at 1; flag value 0 means "no signal"
 		ex.epoch = epoch
-		s.running[w].Store(&runInfo{epoch: epoch, start: time.Now()})
+		now := time.Now()
+		s.running[w].Store(&runInfo{epoch: epoch, id: t.id, start: now})
+		first := !t.started
 		if !t.started {
 			t.started = true
 			s.startTask(t)
 		}
+		if s.tr != nil {
+			if t.firstRunTS.IsZero() {
+				t.firstRunTS = now
+			}
+			t.runStart = now
+			kind := obs.EvResume
+			if first {
+				kind = obs.EvStart
+			}
+			s.tr.Record(w, kind, t.id, int64(epoch))
+		}
 		t.resume <- ex
 		ev := <-t.parked
 		s.running[w].Store(nil)
+		if s.tr != nil {
+			t.runNS += int64(time.Since(t.runStart))
+		}
 		if ev.done {
-			s.finish(t, ev.resp)
+			s.finish(w, t, ev.resp)
 			s.occ[w].Add(-1)
 			continue
 		}
 		t.preempts++
 		s.stats.preemptions.Add(1)
+		if s.tr != nil {
+			s.tr.Record(w, obs.EvYield, t.id, 0)
+		}
 		if s.abort.Load() {
 			s.failTask(t, ErrServerStopped, ex)
 			s.stats.aborted.Add(1)
@@ -710,6 +852,9 @@ func (s *Server) workerLoop(w int) {
 		// task was lost (and this send blocked forever).
 		if testRequeueGate != nil {
 			testRequeueGate()
+		}
+		if s.tr != nil {
+			s.tr.Record(w, obs.EvRequeue, t.id, 0)
 		}
 		s.submit <- t
 		s.occ[w].Add(-1)
@@ -745,12 +890,59 @@ func (s *Server) startTask(t *task) {
 	}()
 }
 
-func (s *Server) finish(t *task, resp Response) {
-	resp.Latency = time.Since(t.arrival)
+// finish delivers a request's single response; ring identifies the
+// executor completing it (a worker index or obs.WriterDispatcher) for
+// event attribution.
+func (s *Server) finish(ring int, t *task, resp Response) {
 	resp.Preemptions = t.preempts
 	resp.OnDispatcher = resp.OnDispatcher || t.onDispatcher
+	if s.tr != nil {
+		end := time.Now()
+		resp.Latency = end.Sub(t.arrival)
+		resp.Breakdown = t.breakdown(end, resp.Latency)
+		kind, status := completionEvent(resp.Err)
+		s.tr.Record(ring, kind, t.id, status)
+	} else {
+		resp.Latency = time.Since(t.arrival)
+	}
 	s.stats.completed.Add(1)
 	t.result <- resp
+}
+
+// breakdown attributes the sojourn to components from the task's
+// observability timestamps. Preempted absorbs the remainder, so the
+// four components always sum exactly to total.
+func (t *task) breakdown(end time.Time, total time.Duration) *Breakdown {
+	b := &Breakdown{}
+	if !t.enqueueTS.IsZero() {
+		b.Handoff = t.enqueueTS.Sub(t.arrival)
+		if !t.firstRunTS.IsZero() {
+			b.Queue = t.firstRunTS.Sub(t.enqueueTS)
+		} else {
+			// Never ran: died queued (expired or aborted).
+			b.Queue = end.Sub(t.enqueueTS)
+		}
+	}
+	b.Service = time.Duration(t.runNS)
+	if rest := total - b.Handoff - b.Queue - b.Service; rest > 0 {
+		b.Preempted = rest
+	}
+	return b
+}
+
+// completionEvent maps a response error onto the terminal event kind
+// and status code.
+func completionEvent(err error) (obs.Kind, int64) {
+	switch {
+	case err == nil:
+		return obs.EvComplete, obs.StatusOK
+	case errors.Is(err, ErrDeadlineExceeded):
+		return obs.EvExpire, obs.StatusDeadline
+	case errors.Is(err, ErrServerStopped):
+		return obs.EvAbort, obs.StatusStopped
+	default:
+		return obs.EvComplete, obs.StatusError
+	}
 }
 
 // ---------- request context ----------

@@ -1,0 +1,165 @@
+// Latency-breakdown attribution: turn a merged event stream into
+// per-request component times (the paper's Table-1 decomposition).
+package obs
+
+import (
+	"sort"
+	"time"
+)
+
+// Breakdown attributes one request's end-to-end latency to lifecycle
+// components. For a request with a full event sequence the components
+// partition the total exactly:
+//
+//	Total = Handoff + Queue + Service + Preempted
+//
+// Handoff is submit → first enqueue-central (dispatcher ingest delay),
+// Queue is first enqueue-central → first CPU hand-off (central + JBSQ
+// queueing), Service is the sum of running intervals, and Preempted is
+// the time parked between a yield and the next resume (requeue plus
+// re-queueing) including a final parked interval before an abort or
+// expiry.
+type Breakdown struct {
+	Req         uint64
+	SubmitTS    time.Duration // first event's timestamp (tracer epoch)
+	EndTS       time.Duration // terminal event's timestamp
+	HandoffUS   float64
+	QueueUS     float64
+	ServiceUS   float64
+	PreemptedUS float64
+	Preemptions int
+	Outcome     Kind  // EvComplete, EvExpire, EvAbort, or EvReject
+	Status      int64 // Status* arg of the terminal event
+	Partial     bool  // ring wraparound lost this request's submit event
+}
+
+// TotalUS is the end-to-end latency derived from the event stream.
+func (b Breakdown) TotalUS() float64 {
+	return float64(b.EndTS-b.SubmitTS) / float64(time.Microsecond)
+}
+
+// SumUS is the sum of the four components; for a non-partial request it
+// equals TotalUS up to float rounding.
+func (b Breakdown) SumUS() float64 {
+	return b.HandoffUS + b.QueueUS + b.ServiceUS + b.PreemptedUS
+}
+
+// OutcomeString renders the terminal state for reports.
+func (b Breakdown) OutcomeString() string {
+	switch b.Outcome {
+	case EvComplete:
+		if b.Status == StatusOK {
+			return "ok"
+		}
+		return "error"
+	case EvExpire:
+		return "expired"
+	case EvAbort:
+		return "aborted"
+	case EvReject:
+		if b.Status == StatusQueueFull {
+			return "rejected-full"
+		}
+		return "rejected-stopped"
+	}
+	return "in-flight"
+}
+
+// group collects each request's events in time order, preserving the
+// merged stream's ordering, and returns request ids ordered by the
+// request's last event.
+func group(events []Event) (map[uint64][]Event, []uint64) {
+	byReq := make(map[uint64][]Event)
+	for _, e := range events {
+		if e.Kind == EvPreemptSignal && e.Req == 0 {
+			continue // signal raced a finishing request; unattributed
+		}
+		byReq[e.Req] = append(byReq[e.Req], e)
+	}
+	ids := make([]uint64, 0, len(byReq))
+	for id := range byReq {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool {
+		ei, ej := byReq[ids[i]], byReq[ids[j]]
+		li, lj := ei[len(ei)-1].TS, ej[len(ej)-1].TS
+		if li != lj {
+			return li < lj
+		}
+		return ids[i] < ids[j]
+	})
+	return byReq, ids
+}
+
+// analyzeOne walks one request's events (time-ordered) through the
+// lifecycle state machine. Requests without a terminal event return
+// ok=false.
+func analyzeOne(id uint64, evs []Event) (Breakdown, bool) {
+	b := Breakdown{Req: id, SubmitTS: evs[0].TS, Partial: evs[0].Kind != EvSubmit}
+	us := func(d time.Duration) float64 { return float64(d) / float64(time.Microsecond) }
+	var (
+		enqueueTS  time.Duration
+		hasEnqueue bool
+		runStart   time.Duration
+		running    bool
+		firstRun   bool
+		yieldTS    time.Duration
+		yielded    bool
+	)
+	for _, e := range evs {
+		switch e.Kind {
+		case EvEnqueueCentral:
+			if !hasEnqueue {
+				hasEnqueue = true
+				enqueueTS = e.TS
+				b.HandoffUS = us(e.TS - b.SubmitTS)
+			}
+		case EvStart, EvResume:
+			if !firstRun {
+				firstRun = true
+				if hasEnqueue {
+					b.QueueUS = us(e.TS - enqueueTS)
+				}
+			} else if yielded {
+				b.PreemptedUS += us(e.TS - yieldTS)
+			}
+			running, yielded = true, false
+			runStart = e.TS
+		case EvYield:
+			if running {
+				b.ServiceUS += us(e.TS - runStart)
+				running = false
+			}
+			yielded, yieldTS = true, e.TS
+			b.Preemptions++
+		case EvComplete, EvExpire, EvAbort, EvReject:
+			b.Outcome, b.Status, b.EndTS = e.Kind, e.Arg, e.TS
+			switch {
+			case running:
+				b.ServiceUS += us(e.TS - runStart)
+			case yielded:
+				b.PreemptedUS += us(e.TS - yieldTS)
+			case hasEnqueue && !firstRun:
+				// Died queued (expired or aborted before first run).
+				b.QueueUS = us(e.TS - enqueueTS)
+			}
+			return b, true
+		}
+	}
+	return b, false
+}
+
+// Analyze derives per-request breakdowns from a time-ordered event
+// stream (as returned by Tracer.Snapshot). Requests still in flight —
+// no terminal event in the snapshot — are omitted. Results are ordered
+// by completion time.
+func Analyze(events []Event) []Breakdown {
+	byReq, ids := group(events)
+	out := make([]Breakdown, 0, len(ids))
+	for _, id := range ids {
+		if b, ok := analyzeOne(id, byReq[id]); ok {
+			out = append(out, b)
+		}
+	}
+	return out
+}

@@ -1,0 +1,89 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestChromeTraceGolden freezes the exact trace_event JSON for a known
+// event stream. Run with -update to regenerate after an intentional
+// format change.
+func TestChromeTraceGolden(t *testing.T) {
+	events := append(preemptedLifecycle(42),
+		evt(90, 43, EvSubmit, WriterClient, 0),
+		evt(95, 43, EvReject, WriterClient, StatusQueueFull),
+	)
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	golden := filepath.Join("testdata", "chrome_trace.golden.json")
+	if *updateGolden {
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run go test -run ChromeTraceGolden -update ./internal/obs)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("chrome trace drifted from golden.\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestChromeTraceShape validates the structural contract Perfetto
+// relies on, independent of the golden bytes.
+func TestChromeTraceShape(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, preemptedLifecycle(7)); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("no trace events")
+	}
+	var phases = map[string]int{}
+	for _, e := range doc.TraceEvents {
+		ph, _ := e["ph"].(string)
+		phases[ph]++
+		if _, ok := e["ts"].(float64); !ok && ph != "M" {
+			t.Fatalf("event missing numeric ts: %v", e)
+		}
+		if _, ok := e["pid"].(float64); !ok {
+			t.Fatalf("event missing pid: %v", e)
+		}
+	}
+	// One async span (b/e), two run slices (X), instants (i), and
+	// thread-name metadata (M).
+	if phases["b"] != 1 || phases["e"] != 1 {
+		t.Fatalf("async span events = %v", phases)
+	}
+	if phases["X"] != 2 {
+		t.Fatalf("run slices = %d, want 2 (start→yield, resume→complete)", phases["X"])
+	}
+	if phases["i"] == 0 || phases["M"] == 0 {
+		t.Fatalf("instants/metadata missing: %v", phases)
+	}
+}
+
+func TestChromeTraceEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if !json.Valid(buf.Bytes()) {
+		t.Fatalf("empty export invalid: %s", buf.Bytes())
+	}
+}

@@ -1,0 +1,158 @@
+// A minimal Prometheus-text-exposition metrics registry. No external
+// dependency: counters and gauges are registered as callbacks sampled
+// at scrape time, histograms are *trace.Histogram snapshots rendered as
+// cumulative le-buckets.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+
+	"concord/internal/trace"
+)
+
+// SampleFunc is sampled at scrape time for counters and gauges.
+type SampleFunc func() float64
+
+type metricKind uint8
+
+const (
+	counterMetric metricKind = iota
+	gaugeMetric
+)
+
+type sampled struct {
+	name, help string
+	kind       metricKind
+	fn         SampleFunc
+}
+
+type histEntry struct {
+	name, help string
+	h          *trace.Histogram
+}
+
+// Metrics is a scrape-time registry. Registration is not hot-path;
+// scraping takes the registry lock but samples callbacks outside any
+// application lock the caller doesn't hold.
+type Metrics struct {
+	mu      sync.Mutex
+	samples []sampled
+	hists   []histEntry
+}
+
+// RegisterCounter registers a monotonically non-decreasing sample.
+func (m *Metrics) RegisterCounter(name, help string, fn SampleFunc) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.samples = append(m.samples, sampled{name, help, counterMetric, fn})
+}
+
+// RegisterGauge registers a point-in-time sample.
+func (m *Metrics) RegisterGauge(name, help string, fn SampleFunc) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.samples = append(m.samples, sampled{name, help, gaugeMetric, fn})
+}
+
+// RegisterHistogram registers a live histogram; scrapes snapshot it.
+// Bucket bounds are the histogram's log-2 µs boundaries.
+func (m *Metrics) RegisterHistogram(name, help string, h *trace.Histogram) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.hists = append(m.hists, histEntry{name, help, h})
+}
+
+// baseName strips a {label="..."} suffix for TYPE/HELP lines, so
+// several registrations sharing a metric family render one header.
+func baseName(name string) string {
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		return name[:i]
+	}
+	return name
+}
+
+// WritePrometheus renders every registered metric in the Prometheus
+// text exposition format (version 0.0.4).
+func (m *Metrics) WritePrometheus(w io.Writer) {
+	m.mu.Lock()
+	samples := append([]sampled(nil), m.samples...)
+	hists := append([]histEntry(nil), m.hists...)
+	m.mu.Unlock()
+
+	headerDone := map[string]bool{}
+	header := func(name, help, typ string) {
+		base := baseName(name)
+		if headerDone[base] {
+			return
+		}
+		headerDone[base] = true
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n", base, help, base, typ)
+	}
+	for _, s := range samples {
+		typ := "counter"
+		if s.kind == gaugeMetric {
+			typ = "gauge"
+		}
+		header(s.name, s.help, typ)
+		fmt.Fprintf(w, "%s %g\n", s.name, s.fn())
+	}
+	for _, h := range hists {
+		header(h.name, h.help, "histogram")
+		snap := h.h.Snapshot()
+		cum := 0
+		for i, c := range snap.Buckets {
+			cum += c
+			// Only emit boundaries up to the last non-empty bucket to
+			// keep the exposition small; +Inf carries the rest.
+			if cum == 0 || (c == 0 && cum == snap.Count) {
+				continue
+			}
+			fmt.Fprintf(w, "%s %d\n", suffixed(h.name, "_bucket", fmt.Sprintf("%g", trace.BucketUpperUS(i))), cum)
+		}
+		fmt.Fprintf(w, "%s %d\n", suffixed(h.name, "_bucket", "+Inf"), snap.Count)
+		fmt.Fprintf(w, "%s %g\n", suffixed(h.name, "_sum", ""), snap.SumUS)
+		fmt.Fprintf(w, "%s %d\n", suffixed(h.name, "_count", ""), snap.Count)
+	}
+}
+
+// suffixed splices a histogram suffix before any label set and, when le
+// is non-empty, merges the le label into it:
+//
+//	suffixed(`h{op="get"}`, "_bucket", "4") = `h_bucket{op="get",le="4"}`
+func suffixed(name, suffix, le string) string {
+	labels := ""
+	if i := strings.IndexByte(name, '{'); i >= 0 {
+		labels = name[i+1 : len(name)-1]
+		name = name[:i]
+	}
+	if le != "" {
+		if labels != "" {
+			labels += ","
+		}
+		labels += `le="` + le + `"`
+	}
+	if labels == "" {
+		return name + suffix
+	}
+	return name + suffix + "{" + labels + "}"
+}
+
+// ServeHTTP makes the registry an http.Handler for /metrics.
+func (m *Metrics) ServeHTTP(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	m.WritePrometheus(w)
+}
+
+// sortSamplesForTest orders registrations by name; used by tests to get
+// deterministic output regardless of registration order.
+func (m *Metrics) sortSamplesForTest() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	sort.Slice(m.samples, func(i, j int) bool { return m.samples[i].name < m.samples[j].name })
+	sort.Slice(m.hists, func(i, j int) bool { return m.hists[i].name < m.hists[j].name })
+}

@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"concord/internal/trace"
+)
+
+func TestWritePrometheus(t *testing.T) {
+	m := &Metrics{}
+	m.RegisterCounter("concord_submitted_total", "requests accepted", func() float64 { return 42 })
+	m.RegisterGauge(`concord_queue_depth{queue="central"}`, "live queue occupancy", func() float64 { return 3 })
+	m.RegisterGauge(`concord_queue_depth{queue="submit"}`, "live queue occupancy", func() float64 { return 1 })
+	var h trace.Histogram
+	h.ObserveUS(0.5) // bucket 0, le=1
+	h.ObserveUS(3)   // bucket 2, le=4
+	h.ObserveUS(3)
+	m.RegisterHistogram(`concord_request_us{op="get",component="total"}`, "per-op latency", &h)
+	m.sortSamplesForTest()
+
+	var b strings.Builder
+	m.WritePrometheus(&b)
+	out := b.String()
+
+	for _, want := range []string{
+		"# HELP concord_submitted_total requests accepted",
+		"# TYPE concord_submitted_total counter",
+		"concord_submitted_total 42",
+		"# TYPE concord_queue_depth gauge",
+		`concord_queue_depth{queue="central"} 3`,
+		`concord_queue_depth{queue="submit"} 1`,
+		"# TYPE concord_request_us histogram",
+		`concord_request_us_bucket{op="get",component="total",le="1"} 1`,
+		`concord_request_us_bucket{op="get",component="total",le="4"} 3`,
+		`concord_request_us_bucket{op="get",component="total",le="+Inf"} 3`,
+		`concord_request_us_sum{op="get",component="total"} 6.5`,
+		`concord_request_us_count{op="get",component="total"} 3`,
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Fatalf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// The shared family header must appear exactly once.
+	if strings.Count(out, "# TYPE concord_queue_depth gauge") != 1 {
+		t.Fatalf("family header duplicated:\n%s", out)
+	}
+	// Cumulative monotonicity: le=2 bucket (empty) is elided, not reset.
+	if strings.Contains(out, `le="2"} 0`) {
+		t.Fatalf("empty mid-bucket should carry cumulative count:\n%s", out)
+	}
+}
+
+func TestMetricsServeHTTP(t *testing.T) {
+	m := &Metrics{}
+	m.RegisterCounter("x_total", "x", func() float64 { return 1 })
+	rec := httptest.NewRecorder()
+	m.ServeHTTP(rec, httptest.NewRequest("GET", "/metrics", nil))
+	if ct := rec.Header().Get("Content-Type"); !strings.HasPrefix(ct, "text/plain") {
+		t.Fatalf("content type = %q", ct)
+	}
+	if !strings.Contains(rec.Body.String(), "x_total 1") {
+		t.Fatalf("body = %q", rec.Body.String())
+	}
+}

@@ -1,0 +1,152 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestKindStrings(t *testing.T) {
+	for k := Kind(1); k < kindMax; k++ {
+		if k.String() == "unknown" {
+			t.Fatalf("kind %d has no name", k)
+		}
+	}
+	if Kind(0).String() != "unknown" || Kind(200).String() != "unknown" {
+		t.Fatal("out-of-range kinds should render unknown")
+	}
+	if !EvComplete.Terminal() || !EvReject.Terminal() || EvYield.Terminal() {
+		t.Fatal("Terminal misclassifies")
+	}
+}
+
+func TestRecordSnapshotRoundTrip(t *testing.T) {
+	tr := NewTracer(2, 64)
+	tr.Record(0, EvStart, 7, 3)
+	tr.Record(1, EvYield, 8, 0)
+	tr.Record(WriterDispatcher, EvDispatch, 7, 1)
+	tr.Record(WriterClient, EvSubmit, 9, -2)
+	evs := tr.Snapshot()
+	if len(evs) != 4 {
+		t.Fatalf("got %d events, want 4", len(evs))
+	}
+	rings := map[int]bool{}
+	for _, e := range evs {
+		rings[e.Ring] = true
+	}
+	for _, want := range []int{0, 1, WriterDispatcher, WriterClient} {
+		if !rings[want] {
+			t.Fatalf("missing events from writer %d: %+v", want, evs)
+		}
+	}
+	for _, e := range evs {
+		if e.Ring == WriterClient {
+			if e.Kind != EvSubmit || e.Req != 9 || e.Arg != -2 {
+				t.Fatalf("client event corrupted: %+v (negative arg must sign-extend)", e)
+			}
+		}
+	}
+	for i := 1; i < len(evs); i++ {
+		if evs[i].TS < evs[i-1].TS {
+			t.Fatalf("snapshot not time-ordered: %+v", evs)
+		}
+	}
+}
+
+// TestRingWraparound overfills one writer's ring and checks the
+// snapshot keeps only the newest events, all intact.
+func TestRingWraparound(t *testing.T) {
+	tr := NewTracer(1, 8) // ring capacity 8
+	const total = 20
+	for i := 1; i <= total; i++ {
+		tr.Record(0, EvComplete, uint64(i), int64(i))
+	}
+	evs := tr.Snapshot()
+	if len(evs) != 8 {
+		t.Fatalf("got %d events after wraparound, want 8", len(evs))
+	}
+	for i, e := range evs {
+		wantReq := uint64(total - 8 + 1 + i)
+		if e.Req != wantReq || e.Arg != int64(wantReq) {
+			t.Fatalf("event %d = %+v, want req %d (oldest events must be the dropped ones)", i, e, wantReq)
+		}
+	}
+}
+
+func TestRingSizeRounding(t *testing.T) {
+	tr := NewTracer(0, 5) // workers clamped to 1, size rounded to 8
+	if tr.Workers() != 1 {
+		t.Fatalf("workers = %d", tr.Workers())
+	}
+	for i := 0; i < 8; i++ {
+		tr.Record(0, EvSubmit, uint64(i+1), 0)
+	}
+	if got := len(tr.Snapshot()); got != 8 {
+		t.Fatalf("rounded ring kept %d events, want 8", got)
+	}
+}
+
+// TestConcurrentWritersSnapshot hammers the shared client ring and the
+// worker rings from many goroutines while a reader snapshots
+// continuously. Run under -race this validates the seqlock scheme:
+// readers never block writers, and every event a snapshot returns is
+// internally consistent (req encodes the expected arg).
+func TestConcurrentWritersSnapshot(t *testing.T) {
+	tr := NewTracer(4, 128)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			writer := WriterClient
+			if g < 4 {
+				writer = g // worker rings get one goroutine each
+			}
+			for i := 1; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				req := uint64(g)<<32 | uint64(i)
+				tr.Record(writer, EvSubmit, req, int64(req&0xffff))
+			}
+		}(g)
+	}
+	deadline := time.Now().Add(200 * time.Millisecond)
+	snaps := 0
+	for time.Now().Before(deadline) {
+		evs := tr.Snapshot()
+		snaps++
+		for _, e := range evs {
+			if e.Kind != EvSubmit {
+				t.Fatalf("torn event: kind %v", e.Kind)
+			}
+			if e.Arg != int64(e.Req&0xffff) {
+				t.Fatalf("torn event: req %d arg %d", e.Req, e.Arg)
+			}
+		}
+		for i := 1; i < len(evs); i++ {
+			if evs[i].TS < evs[i-1].TS {
+				t.Fatal("snapshot not sorted")
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if snaps == 0 {
+		t.Fatal("no snapshots taken")
+	}
+}
+
+func BenchmarkRecord(b *testing.B) {
+	tr := NewTracer(1, 4096)
+	b.RunParallel(func(pb *testing.PB) {
+		i := uint64(0)
+		for pb.Next() {
+			i++
+			tr.Record(WriterClient, EvSubmit, i, 0)
+		}
+	})
+}

@@ -1,0 +1,6 @@
+// Package smoke holds the end-to-end observability smoke test: it
+// builds concord-kvd and concord-load, boots the server with -obs,
+// scrapes /metrics, pulls a TRACE, and checks the -breakdown client
+// path. The test is behind the obssmoke build tag (run via
+// `make obs-smoke`) so plain `go test ./...` stays fast.
+package smoke

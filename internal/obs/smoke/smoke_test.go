@@ -1,0 +1,217 @@
+//go:build obssmoke
+
+package smoke
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+)
+
+// TestObsSmoke is the `make obs-smoke` CI job: a full out-of-process
+// round trip through the observability surface.
+func TestObsSmoke(t *testing.T) {
+	dir := t.TempDir()
+	kvd := filepath.Join(dir, "concord-kvd")
+	load := filepath.Join(dir, "concord-load")
+	for bin, pkg := range map[string]string{kvd: "concord/cmd/concord-kvd", load: "concord/cmd/concord-load"} {
+		if out, err := exec.Command("go", "build", "-o", bin, pkg).CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", pkg, err, out)
+		}
+	}
+
+	traceJSON := filepath.Join(dir, "trace.json")
+	srv := exec.Command(kvd,
+		"-addr", "127.0.0.1:0", "-obs", "127.0.0.1:0",
+		"-workers", "2", "-quantum", "200us", "-keys", "2000", "-drain", "2s",
+		"-tracedump", traceJSON)
+	stderr, err := srv.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		srv.Process.Signal(syscall.SIGTERM)
+		done := make(chan error, 1)
+		go func() { done <- srv.Wait() }()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			srv.Process.Kill()
+			t.Error("server did not drain after SIGTERM")
+			return
+		}
+		// The drain wrote the Chrome trace; it must be JSON Perfetto
+		// accepts: an object with a non-empty traceEvents array.
+		raw, err := os.ReadFile(traceJSON)
+		if err != nil {
+			t.Errorf("tracedump missing: %v", err)
+			return
+		}
+		var doc struct {
+			TraceEvents []map[string]any `json:"traceEvents"`
+		}
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			t.Errorf("tracedump is not valid JSON: %v", err)
+			return
+		}
+		if len(doc.TraceEvents) < 10 {
+			t.Errorf("tracedump has only %d events", len(doc.TraceEvents))
+		}
+	}()
+
+	// The server logs its chosen addresses; -addr/-obs use port 0.
+	kvAddr, obsAddr := parseAddrs(t, stderr)
+	t.Logf("kv on %s, obs on %s", kvAddr, obsAddr)
+
+	// Drive some traffic with breakdowns enabled; the report must show
+	// the per-component table.
+	loadOut, err := exec.Command(load,
+		"-addr", kvAddr, "-rate", "2000", "-duration", "2s",
+		"-conns", "8", "-mix", "get", "-keys", "2000", "-breakdown").CombinedOutput()
+	if err != nil {
+		t.Fatalf("concord-load: %v\n%s", err, loadOut)
+	}
+	for _, want := range []string{"component breakdown", "queueing", "service", "p99.9"} {
+		if !strings.Contains(string(loadOut), want) {
+			t.Fatalf("load report missing %q:\n%s", want, loadOut)
+		}
+	}
+
+	// Scrape the metrics endpoint.
+	body := httpGet(t, "http://"+obsAddr+"/metrics")
+	for _, want := range []string{
+		"concord_submitted_total", "concord_completed_total",
+		"concord_queue_depth", "concord_worker_occupancy",
+		`concord_request_us_bucket{op="get",component="service",le="`,
+		"_sum", "_count",
+	} {
+		if !strings.Contains(body, want) {
+			t.Fatalf("/metrics missing %q; got:\n%.2000s", want, body)
+		}
+	}
+	// pprof must be mounted on the same listener.
+	if pprof := httpGet(t, "http://"+obsAddr+"/debug/pprof/cmdline"); !strings.Contains(pprof, "concord-kvd") {
+		t.Fatalf("pprof cmdline = %q", pprof)
+	}
+
+	// Text protocol: STATS depths, OBS trailers, and TRACE timelines.
+	conn, err := net.Dial("tcp", kvAddr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	rw := bufio.NewReadWriter(bufio.NewReader(conn), bufio.NewWriter(conn))
+	ask := func(req string) string {
+		fmt.Fprintf(rw, "%s\n", req)
+		rw.Flush()
+		resp, err := rw.ReadString('\n')
+		if err != nil {
+			t.Fatalf("%s: %v", req, err)
+		}
+		return strings.TrimSpace(resp)
+	}
+	if got := ask("STATS"); !strings.Contains(got, "central=") || !strings.Contains(got, "occ=") {
+		t.Fatalf("STATS missing live depths: %q", got)
+	}
+	if got := ask("OBS ON"); got != "OK" {
+		t.Fatalf("OBS ON = %q", got)
+	}
+	if got := ask("GET key00000001"); !strings.Contains(got, "|OBS ") || !strings.Contains(got, "s=") {
+		t.Fatalf("breakdown trailer missing: %q", got)
+	}
+	fmt.Fprintf(rw, "TRACE 5\n")
+	rw.Flush()
+	var traceLines []string
+	for {
+		line, err := rw.ReadString('\n')
+		if err != nil {
+			t.Fatalf("TRACE read: %v", err)
+		}
+		line = strings.TrimSpace(line)
+		if strings.HasPrefix(line, "END") {
+			traceLines = append(traceLines, line)
+			break
+		}
+		traceLines = append(traceLines, line)
+	}
+	joined := strings.Join(traceLines, "\n")
+	for _, want := range []string{"REQ ", "total=", "submit", "complete", "END"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("TRACE output missing %q:\n%s", want, joined)
+		}
+	}
+}
+
+func parseAddrs(t *testing.T, stderr io.Reader) (kvAddr, obsAddr string) {
+	t.Helper()
+	kvRe := regexp.MustCompile(`concord-kvd on ([^ ]+): \d+ workers`)
+	obsRe := regexp.MustCompile(`metrics\+pprof on ([^,]+),`)
+	sc := bufio.NewScanner(stderr)
+	deadline := time.After(10 * time.Second)
+	lines := make(chan string)
+	go func() {
+		for sc.Scan() {
+			lines <- sc.Text()
+		}
+		close(lines)
+	}()
+	// Keep draining stderr in the background after we have what we
+	// need so the server never blocks on a full pipe.
+	defer func() {
+		go func() {
+			for range lines {
+			}
+		}()
+	}()
+	for {
+		select {
+		case line, ok := <-lines:
+			if !ok {
+				t.Fatalf("server exited before logging addresses (kv=%q obs=%q)", kvAddr, obsAddr)
+			}
+			if m := kvRe.FindStringSubmatch(line); m != nil {
+				kvAddr = m[1]
+			}
+			if m := obsRe.FindStringSubmatch(line); m != nil {
+				obsAddr = m[1]
+			}
+			if kvAddr != "" && obsAddr != "" {
+				return kvAddr, obsAddr
+			}
+		case <-deadline:
+			t.Fatalf("timed out waiting for server addresses (kv=%q obs=%q)", kvAddr, obsAddr)
+		}
+	}
+}
+
+func httpGet(t *testing.T, url string) string {
+	t.Helper()
+	client := &http.Client{Timeout: 5 * time.Second}
+	resp, err := client.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	b, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}

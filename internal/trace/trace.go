@@ -13,13 +13,22 @@ import (
 	"time"
 )
 
-// Record is one completed request observation.
+// Record is one completed request observation. The breakdown fields
+// are populated only when the server reported per-request component
+// times (HasBreakdown); they decompose SojournUS into dispatcher
+// hand-off, queueing, measured service, and preempted-parked time.
 type Record struct {
 	Class        string
 	ServiceUS    float64 // intended (un-instrumented) service time
 	SojournUS    float64 // measured time at the server
 	Preemptions  int
 	OnDispatcher bool
+
+	HasBreakdown bool
+	HandoffUS    float64
+	QueueUS      float64
+	RunUS        float64 // measured service time
+	PreemptedUS  float64
 }
 
 // Slowdown returns SojournUS/ServiceUS, the paper's headline metric.
@@ -64,14 +73,17 @@ func (l *Log) Snapshot() []Record {
 	return out
 }
 
-// WriteCSV renders the log as CSV with a header row.
+// WriteCSV renders the log as CSV with a header row. The trailing
+// component columns hold server-measured breakdowns and are zero for
+// records without one (preempt_count then repeats preemptions).
 func (l *Log) WriteCSV(w io.Writer) error {
-	if _, err := io.WriteString(w, "class,service_us,sojourn_us,slowdown,preemptions,on_dispatcher\n"); err != nil {
+	if _, err := io.WriteString(w, "class,service_us,sojourn_us,slowdown,preemptions,on_dispatcher,handoff_us,queueing_us,service_meas_us,preempted_us,preempt_count\n"); err != nil {
 		return err
 	}
 	for _, r := range l.Snapshot() {
-		if _, err := fmt.Fprintf(w, "%s,%.3f,%.3f,%.3f,%d,%t\n",
-			r.Class, r.ServiceUS, r.SojournUS, r.Slowdown(), r.Preemptions, r.OnDispatcher); err != nil {
+		if _, err := fmt.Fprintf(w, "%s,%.3f,%.3f,%.3f,%d,%t,%.3f,%.3f,%.3f,%.3f,%d\n",
+			r.Class, r.ServiceUS, r.SojournUS, r.Slowdown(), r.Preemptions, r.OnDispatcher,
+			r.HandoffUS, r.QueueUS, r.RunUS, r.PreemptedUS, r.Preemptions); err != nil {
 			return err
 		}
 	}
@@ -147,6 +159,7 @@ type Histogram struct {
 	mu      sync.Mutex
 	buckets [64]int
 	count   int
+	sum     float64
 }
 
 // ObserveUS adds one latency observation in µs.
@@ -164,6 +177,7 @@ func (h *Histogram) ObserveUS(us float64) {
 	h.mu.Lock()
 	h.buckets[b]++
 	h.count++
+	h.sum += us
 	h.mu.Unlock()
 }
 
@@ -177,6 +191,67 @@ func (h *Histogram) Count() int {
 	h.mu.Lock()
 	defer h.mu.Unlock()
 	return h.count
+}
+
+// HistSnapshot is a consistent point-in-time copy of a Histogram,
+// suitable for quantile queries and metrics export without holding the
+// histogram lock.
+type HistSnapshot struct {
+	Buckets [64]int
+	Count   int
+	SumUS   float64
+}
+
+// Snapshot copies the histogram state under the lock.
+func (h *Histogram) Snapshot() HistSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return HistSnapshot{Buckets: h.buckets, Count: h.count, SumUS: h.sum}
+}
+
+// BucketUpperUS returns bucket i's upper bound in µs: bucket 0 covers
+// [0,1) and bucket i covers [2^(i-1), 2^i).
+func BucketUpperUS(i int) float64 {
+	if i <= 0 {
+		return 1
+	}
+	return math.Pow(2, float64(i))
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) in µs by linear
+// interpolation inside the log-2 bucket containing the target rank.
+// The estimate is exact to within the bucket's width. It returns NaN
+// for an empty snapshot; q is clamped to [0,1].
+func (s HistSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 {
+		return math.NaN()
+	}
+	q = math.Min(1, math.Max(0, q))
+	target := q * float64(s.Count)
+	if target < 1 {
+		target = 1
+	}
+	cum := 0.0
+	for i, c := range s.Buckets {
+		if c == 0 {
+			continue
+		}
+		if cum+float64(c) >= target {
+			lo := 0.0
+			if i > 0 {
+				lo = math.Pow(2, float64(i-1))
+			}
+			hi := BucketUpperUS(i)
+			return lo + (hi-lo)*(target-cum)/float64(c)
+		}
+		cum += float64(c)
+	}
+	return BucketUpperUS(len(s.Buckets) - 1)
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) of the live histogram.
+func (h *Histogram) Quantile(q float64) float64 {
+	return h.Snapshot().Quantile(q)
 }
 
 // String renders non-empty buckets with proportional bars.

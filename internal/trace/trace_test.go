@@ -117,6 +117,97 @@ func TestSummaryString(t *testing.T) {
 	}
 }
 
+func TestHistogramSnapshot(t *testing.T) {
+	var h Histogram
+	h.ObserveUS(0.5)
+	h.ObserveUS(3)
+	h.ObserveUS(100)
+	s := h.Snapshot()
+	if s.Count != 3 {
+		t.Fatalf("snapshot count = %d", s.Count)
+	}
+	if s.SumUS != 103.5 {
+		t.Fatalf("snapshot sum = %v, want 103.5", s.SumUS)
+	}
+	total := 0
+	for _, c := range s.Buckets {
+		total += c
+	}
+	if total != 3 {
+		t.Fatalf("bucket counts sum to %d", total)
+	}
+	// Snapshot is a copy: further observations don't mutate it.
+	h.ObserveUS(1)
+	if s.Count != 3 {
+		t.Fatal("snapshot aliased live histogram")
+	}
+}
+
+func TestBucketUpperUS(t *testing.T) {
+	if BucketUpperUS(0) != 1 || BucketUpperUS(1) != 2 || BucketUpperUS(10) != 1024 {
+		t.Fatalf("bucket bounds: %v %v %v", BucketUpperUS(0), BucketUpperUS(1), BucketUpperUS(10))
+	}
+}
+
+// TestQuantileKnownDistributions checks Quantile against distributions
+// whose true quantiles are known. Log-2 bucketing bounds the error by
+// the bucket width: an estimate must land within a factor of 2 of the
+// true value, and interpolation keeps it inside the right bucket.
+func TestQuantileKnownDistributions(t *testing.T) {
+	if !math.IsNaN((HistSnapshot{}).Quantile(0.5)) {
+		t.Fatal("empty snapshot must give NaN")
+	}
+
+	// Point mass: every observation is 100µs → bucket [64,128).
+	var point Histogram
+	for i := 0; i < 1000; i++ {
+		point.ObserveUS(100)
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		got := point.Quantile(q)
+		if got < 64 || got > 128 {
+			t.Fatalf("point-mass Quantile(%v) = %v, want within bucket [64,128]", q, got)
+		}
+	}
+
+	// Uniform integers 1..1024: true quantile(q) = 1024q.
+	var uni Histogram
+	for i := 1; i <= 1024; i++ {
+		uni.ObserveUS(float64(i))
+	}
+	for _, q := range []float64{0.25, 0.5, 0.9, 0.99} {
+		truth := 1024 * q
+		got := uni.Quantile(q)
+		if got < truth/2 || got > truth*2 {
+			t.Fatalf("uniform Quantile(%v) = %v, want within factor 2 of %v", q, got, truth)
+		}
+	}
+
+	// Bimodal 99% at 5µs, 1% at 500µs: p50 in the short mode's bucket
+	// [4,8], p99.9 in the long mode's bucket (256,512].
+	var bi Histogram
+	for i := 0; i < 990; i++ {
+		bi.ObserveUS(5)
+	}
+	for i := 0; i < 10; i++ {
+		bi.ObserveUS(500)
+	}
+	if p50 := bi.Quantile(0.5); p50 < 4 || p50 > 8 {
+		t.Fatalf("bimodal p50 = %v, want in [4,8]", p50)
+	}
+	if p999 := bi.Quantile(0.999); p999 < 256 || p999 > 512 {
+		t.Fatalf("bimodal p99.9 = %v, want in (256,512]", p999)
+	}
+
+	// Monotonicity and clamping.
+	if bi.Quantile(0.1) > bi.Quantile(0.9) {
+		t.Fatal("quantiles not monotone")
+	}
+	if bi.Quantile(-1) > bi.Quantile(2) {
+		t.Fatal("out-of-range q not clamped")
+	}
+}
+
 // TestHistogramConcurrentObserve is the regression test for the
 // concord-load data race: per-request goroutines observe into one
 // histogram. Pre-fix, ObserveUS had no synchronization — this test
