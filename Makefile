@@ -8,7 +8,7 @@ tier1:
 # measurement). Slower than tier1; run before merging changes to any of
 # these.
 race:
-	go test -race ./internal/runner ./internal/server ./internal/figures ./internal/live ./internal/trace ./internal/obs
+	go test -race ./internal/runner ./internal/server ./internal/figures ./internal/live ./internal/trace ./internal/obs ./internal/bench
 
 vet:
 	go vet ./...
@@ -23,4 +23,18 @@ bench:
 obs-smoke:
 	go test -tags obssmoke -run TestObsSmoke -v -timeout 120s ./internal/obs/smoke
 
-.PHONY: tier1 race vet bench obs-smoke
+# Continuous benchmark harness: full run of the standardized scenario
+# suite, refreshing the checked-in BENCH_*.json baselines.
+bench-json:
+	go run ./cmd/concord-bench -reps 5 -warmup 1 -outdir .
+
+# Short-rep suite run compared against the checked-in baselines on the
+# hermetic metrics only (deterministic simulator quantiles, allocation
+# counts — safe across machines). Exits non-zero on a regression beyond
+# the noise band; machine-bound movements print as advisory.
+bench-smoke:
+	go run ./cmd/concord-bench -short -outdir bench-out
+	go run ./cmd/concord-bench -compare -hermetic BENCH_core.json bench-out/BENCH_core.json
+	go run ./cmd/concord-bench -compare -hermetic BENCH_live.json bench-out/BENCH_live.json
+
+.PHONY: tier1 race vet bench obs-smoke bench-json bench-smoke

@@ -21,6 +21,14 @@
 // same flag enables the in-process lifecycle tracer that backs TRACE
 // and the |OBS trailers; without it tracing costs one branch per event.
 //
+// -obs also turns on time-windowed tail tracking: rolling
+// p50/p99/p99.9 latency over the -windows horizons (default
+// 1s/10s/60s) and SLO error-budget accounting against -slotarget /
+// -sloobjective with Google-SRE-style multi-window (5m+1h) burn rates.
+// Both surface as gauges on /metrics (concord_rolling_latency_us,
+// concord_slo_*) and as extra STATS fields (p50_1s=..., burn_short=,
+// burn_long=, slo_alerting=).
+//
 // Failure responses are single tokens clients can branch on: DEADLINE
 // (request timeout exceeded), OVERLOADED (submit queue full), STOPPED
 // (server draining), or ERR <msg> for everything else.
@@ -141,6 +149,10 @@ func main() {
 		obsAddr    = flag.String("obs", "", "serve Prometheus /metrics and /debug/pprof on this address and enable lifecycle tracing (empty disables)")
 		traceBuf   = flag.Int("tracebuf", 4096, "per-writer trace ring capacity in events (rounded up to a power of two)")
 		traceDump  = flag.String("tracedump", "", "on shutdown, write the trace rings as Chrome trace_event JSON (Perfetto-loadable) to this file; needs -obs")
+		windows    = flag.String("windows", "1s,10s,60s", "rolling tail-quantile windows, comma-separated durations (needs -obs)")
+		sloTarget  = flag.Duration("slotarget", 200*time.Microsecond, "SLO latency target: requests served within it count good (0 disables SLO tracking; needs -obs)")
+		sloObj     = flag.Float64("sloobjective", 0.999, "SLO good-ratio objective; the error budget is 1-objective")
+		sloBurn    = flag.Float64("sloburn", 14.4, "SLO burn-rate alert threshold over the 5m+1h windows")
 	)
 	flag.Parse()
 
@@ -151,8 +163,22 @@ func main() {
 	}
 
 	var tracer *obs.Tracer
+	var tail *obs.TailTracker
 	if *obsAddr != "" {
 		tracer = obs.NewTracer(*workers, *traceBuf)
+		wins, err := parseWindows(*windows)
+		if err != nil {
+			log.Fatalf("-windows: %v", err)
+		}
+		var slo *obs.SLOTracker
+		if *sloTarget > 0 {
+			slo = obs.NewSLOTracker(obs.SLOConfig{
+				Target:    *sloTarget,
+				Objective: *sloObj,
+				BurnAlert: *sloBurn,
+			})
+		}
+		tail = obs.NewTailTracker(wins, slo)
 	}
 	srv := live.New(&kvHandler{store: store, scanBatch: *scanStep}, live.Options{
 		Workers:        *workers,
@@ -162,12 +188,13 @@ func main() {
 		RequestTimeout: *reqTimeout,
 		DrainTimeout:   *drain,
 		Tracer:         tracer,
+		Tail:           tail,
 	})
 	srv.Start()
 
 	var ob *kvObs
 	if tracer != nil {
-		ob = newKVObs(tracer, srv, *workers)
+		ob = newKVObs(tracer, tail, srv, *workers)
 		obsLn, err := net.Listen("tcp", *obsAddr)
 		if err != nil {
 			log.Fatalf("obs listen: %v", err)
@@ -250,11 +277,39 @@ func main() {
 	}
 }
 
+// parseWindows parses a comma-separated duration list, ascending
+// de-dup not required (obs sorts); empty entries are rejected.
+func parseWindows(s string) ([]time.Duration, error) {
+	var out []time.Duration
+	for _, part := range strings.Split(s, ",") {
+		d, err := time.ParseDuration(strings.TrimSpace(part))
+		if err != nil {
+			return nil, err
+		}
+		if d <= 0 {
+			return nil, fmt.Errorf("window %q must be positive", part)
+		}
+		out = append(out, d)
+	}
+	return out, nil
+}
+
+// fmtWindow renders a window for STATS keys and metric labels: whole
+// seconds as "10s"/"60s" (time.Duration.String would say "1m0s"),
+// anything else via Duration.String.
+func fmtWindow(d time.Duration) string {
+	if d%time.Second == 0 {
+		return fmt.Sprintf("%ds", int(d/time.Second))
+	}
+	return d.String()
+}
+
 // kvObs bundles the optional observability surface: the lifecycle
-// tracer, the metrics registry, and per-op latency-component
-// histograms fed from completed responses.
+// tracer, the rolling tail/SLO tracker, the metrics registry, and
+// per-op latency-component histograms fed from completed responses.
 type kvObs struct {
 	tracer  *obs.Tracer
+	tail    *obs.TailTracker
 	metrics *obs.Metrics
 	perOp   map[string]*opHists // fixed key set; read-only after init
 }
@@ -263,8 +318,8 @@ type opHists struct {
 	total, handoff, queue, service, preempted trace.Histogram
 }
 
-func newKVObs(tracer *obs.Tracer, srv *live.Server, workers int) *kvObs {
-	ob := &kvObs{tracer: tracer, metrics: &obs.Metrics{}, perOp: map[string]*opHists{}}
+func newKVObs(tracer *obs.Tracer, tail *obs.TailTracker, srv *live.Server, workers int) *kvObs {
+	ob := &kvObs{tracer: tracer, tail: tail, metrics: &obs.Metrics{}, perOp: map[string]*opHists{}}
 	m := ob.metrics
 	counter := func(name, help string, f func(live.Stats) uint64) {
 		m.RegisterCounter(name, help, func() float64 { return float64(f(srv.Stats())) })
@@ -284,6 +339,49 @@ func newKVObs(tracer *obs.Tracer, srv *live.Server, workers int) *kvObs {
 		w := w
 		m.RegisterGauge(fmt.Sprintf(`concord_worker_occupancy{worker="%d"}`, w),
 			"JBSQ occupancy incl. in-service", func() float64 { return float64(srv.Depths().Workers[w]) })
+	}
+	if tail != nil {
+		for _, w := range tail.Windows() {
+			w := w
+			for _, q := range []struct {
+				label string
+				q     float64
+			}{{"p50", 0.50}, {"p99", 0.99}, {"p999", 0.999}} {
+				q := q
+				m.RegisterGauge(
+					fmt.Sprintf(`concord_rolling_latency_us{window="%s",quantile="%s"}`, fmtWindow(w), q.label),
+					"rolling latency quantiles over trailing windows in microseconds",
+					func() float64 { return tail.Quantile(w, q.q) })
+			}
+		}
+		if slo := tail.SLO(); slo != nil {
+			m.RegisterGauge(`concord_slo_burn_rate{window="short"}`,
+				"SLO error-budget burn rate (bad ratio / budget) over the short and long windows",
+				func() float64 { return slo.Snapshot().ShortBurn })
+			m.RegisterGauge(`concord_slo_burn_rate{window="long"}`,
+				"SLO error-budget burn rate (bad ratio / budget) over the short and long windows",
+				func() float64 { return slo.Snapshot().LongBurn })
+			m.RegisterGauge(`concord_slo_requests{window="short",result="good"}`,
+				"windowed SLO request counts",
+				func() float64 { return float64(slo.Snapshot().ShortGood) })
+			m.RegisterGauge(`concord_slo_requests{window="short",result="total"}`,
+				"windowed SLO request counts",
+				func() float64 { return float64(slo.Snapshot().ShortTotal) })
+			m.RegisterGauge(`concord_slo_requests{window="long",result="good"}`,
+				"windowed SLO request counts",
+				func() float64 { return float64(slo.Snapshot().LongGood) })
+			m.RegisterGauge(`concord_slo_requests{window="long",result="total"}`,
+				"windowed SLO request counts",
+				func() float64 { return float64(slo.Snapshot().LongTotal) })
+			m.RegisterGauge("concord_slo_alerting",
+				"1 while both burn-rate windows exceed the alert threshold",
+				func() float64 {
+					if slo.Snapshot().Alerting {
+						return 1
+					}
+					return 0
+				})
+		}
 	}
 	for _, op := range []string{"GET", "PUT", "DEL", "SCAN", "SPIN"} {
 		h := &opHists{}
@@ -398,15 +496,7 @@ func serveConn(conn net.Conn, srv *live.Server, wtimeout time.Duration, ob *kvOb
 func serveControl(out *bufio.Writer, line string, srv *live.Server, ob *kvObs, obsOn *bool) bool {
 	switch {
 	case line == "STATS":
-		st := srv.Stats()
-		d := srv.Depths()
-		occ := make([]string, len(d.Workers))
-		for i, o := range d.Workers {
-			occ[i] = strconv.Itoa(o)
-		}
-		fmt.Fprintf(out, "STATS submitted=%d completed=%d rejected=%d expired=%d aborted=%d preemptions=%d stolen=%d central=%d submitq=%d occ=%s\n",
-			st.Submitted, st.Completed, st.Rejected, st.Expired, st.Aborted, st.Preemptions, st.Stolen,
-			d.Central, d.Submit, strings.Join(occ, ","))
+		fmt.Fprintf(out, "%s\n", statsLine(srv, ob))
 		return true
 	case line == "TRACE" || strings.HasPrefix(line, "TRACE "):
 		if ob == nil {
@@ -439,6 +529,79 @@ func serveControl(out *bufio.Writer, line string, srv *live.Server, ob *kvObs, o
 		return true
 	}
 	return false
+}
+
+// statsLine renders the STATS response. Every key here must map to a
+// /metrics family via metricFamilyForStatsKey — the consistency test
+// asserts it, so the text protocol and the Prometheus surface cannot
+// drift apart.
+func statsLine(srv *live.Server, ob *kvObs) string {
+	st := srv.Stats()
+	d := srv.Depths()
+	occ := make([]string, len(d.Workers))
+	for i, o := range d.Workers {
+		occ[i] = strconv.Itoa(o)
+	}
+	var b strings.Builder
+	b.WriteString("STATS")
+	field := func(key, val string) {
+		b.WriteByte(' ')
+		b.WriteString(key)
+		b.WriteByte('=')
+		b.WriteString(val)
+	}
+	u := func(v uint64) string { return strconv.FormatUint(v, 10) }
+	field("submitted", u(st.Submitted))
+	field("completed", u(st.Completed))
+	field("rejected", u(st.Rejected))
+	field("expired", u(st.Expired))
+	field("aborted", u(st.Aborted))
+	field("preemptions", u(st.Preemptions))
+	field("stolen", u(st.Stolen))
+	field("central", strconv.Itoa(d.Central))
+	field("submitq", strconv.Itoa(d.Submit))
+	field("occ", strings.Join(occ, ","))
+	if ob != nil && ob.tail != nil {
+		for _, w := range ob.tail.Windows() {
+			suffix := fmtWindow(w)
+			field("p50_"+suffix, fmt.Sprintf("%.1f", ob.tail.Quantile(w, 0.50)))
+			field("p99_"+suffix, fmt.Sprintf("%.1f", ob.tail.Quantile(w, 0.99)))
+			field("p999_"+suffix, fmt.Sprintf("%.1f", ob.tail.Quantile(w, 0.999)))
+		}
+		if slo := ob.tail.SLO(); slo != nil {
+			s := slo.Snapshot()
+			field("burn_short", fmt.Sprintf("%.2f", s.ShortBurn))
+			field("burn_long", fmt.Sprintf("%.2f", s.LongBurn))
+			alerting := "0"
+			if s.Alerting {
+				alerting = "1"
+			}
+			field("slo_alerting", alerting)
+		}
+	}
+	return b.String()
+}
+
+// metricFamilyForStatsKey maps a STATS field to the /metrics family
+// exposing the same quantity; "" means unmapped (a drift bug the
+// consistency test turns into a failure).
+func metricFamilyForStatsKey(key string) string {
+	switch key {
+	case "submitted", "completed", "rejected", "expired", "aborted", "preemptions", "stolen":
+		return "concord_" + key + "_total"
+	case "central", "submitq":
+		return "concord_queue_depth"
+	case "occ":
+		return "concord_worker_occupancy"
+	case "burn_short", "burn_long":
+		return "concord_slo_burn_rate"
+	case "slo_alerting":
+		return "concord_slo_alerting"
+	}
+	if strings.HasPrefix(key, "p50_") || strings.HasPrefix(key, "p99_") || strings.HasPrefix(key, "p999_") {
+		return "concord_rolling_latency_us"
+	}
+	return ""
 }
 
 func parse(line string) (request, error) {

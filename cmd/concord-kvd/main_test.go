@@ -1,0 +1,130 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"concord/internal/kv"
+	"concord/internal/live"
+	"concord/internal/obs"
+)
+
+// newTestObs boots an in-process server with the full observability
+// surface, exactly as main wires it.
+func newTestObs(t *testing.T) (*live.Server, *kvObs) {
+	t.Helper()
+	const workers = 2
+	tracer := obs.NewTracer(workers, 1024)
+	slo := obs.NewSLOTracker(obs.SLOConfig{Target: 200 * time.Microsecond, Objective: 0.999})
+	tail := obs.NewTailTracker(nil, slo)
+	srv := live.New(&kvHandler{store: kv.New(), scanBatch: 64}, live.Options{
+		Workers:    workers,
+		PinThreads: false,
+		Tracer:     tracer,
+		Tail:       tail,
+	})
+	srv.Start()
+	t.Cleanup(srv.Stop)
+	return srv, newKVObs(tracer, tail, srv, workers)
+}
+
+// TestStatsMetricsConsistency asserts every STATS field has a /metrics
+// counterpart: the drift that used to require cross-referencing
+// central=/submitq= by hand now fails the build.
+func TestStatsMetricsConsistency(t *testing.T) {
+	srv, ob := newTestObs(t)
+	if resp := srv.Do(request{op: "PUT", key: []byte("k"), value: []byte("v")}); resp.Err != nil {
+		t.Fatal(resp.Err)
+	}
+
+	line := statsLine(srv, ob)
+	if !strings.HasPrefix(line, "STATS ") {
+		t.Fatalf("statsLine = %q", line)
+	}
+	var sb strings.Builder
+	ob.metrics.WritePrometheus(&sb)
+	exposition := sb.String()
+
+	fields := strings.Fields(line)[1:]
+	if len(fields) < 15 {
+		t.Fatalf("expected the full field set (counters+depths+windows+slo), got %d: %v", len(fields), fields)
+	}
+	for _, f := range fields {
+		key, _, okSplit := strings.Cut(f, "=")
+		if !okSplit {
+			t.Fatalf("malformed STATS field %q", f)
+		}
+		family := metricFamilyForStatsKey(key)
+		if family == "" {
+			t.Errorf("STATS field %q has no /metrics family mapping", key)
+			continue
+		}
+		if !strings.Contains(exposition, "# TYPE "+family+" ") {
+			t.Errorf("STATS field %q maps to family %q, absent from /metrics exposition", key, family)
+		}
+	}
+}
+
+// TestStatsLineWindowedFields: rolling quantiles and burn rates show up
+// in STATS once traffic has flowed, keyed per configured window.
+func TestStatsLineWindowedFields(t *testing.T) {
+	srv, ob := newTestObs(t)
+	for i := 0; i < 20; i++ {
+		if resp := srv.Do(request{op: "GET", key: []byte("nope")}); resp.Err != nil {
+			t.Fatal(resp.Err)
+		}
+	}
+	line := statsLine(srv, ob)
+	for _, want := range []string{"p50_1s=", "p99_10s=", "p999_60s=", "burn_short=", "burn_long=", "slo_alerting=0"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("STATS line missing %q: %s", want, line)
+		}
+	}
+	// Without the obs surface the windowed fields must be absent but
+	// the counter fields still render.
+	bare := statsLine(srv, nil)
+	if strings.Contains(bare, "p50_") || strings.Contains(bare, "burn_") {
+		t.Errorf("bare STATS line has windowed fields: %s", bare)
+	}
+	if !strings.Contains(bare, "submitted=") || !strings.Contains(bare, "occ=") {
+		t.Errorf("bare STATS line missing counters: %s", bare)
+	}
+}
+
+func TestParseWindows(t *testing.T) {
+	got, err := parseWindows("1s, 10s,60s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []time.Duration{time.Second, 10 * time.Second, time.Minute}
+	if len(got) != len(want) {
+		t.Fatalf("parseWindows = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("parseWindows = %v, want %v", got, want)
+		}
+	}
+	for _, bad := range []string{"", "1s,", "0s", "-5s", "1s,banana"} {
+		if _, err := parseWindows(bad); err == nil {
+			t.Errorf("parseWindows(%q) accepted", bad)
+		}
+	}
+}
+
+func TestFmtWindow(t *testing.T) {
+	for _, tc := range []struct {
+		d    time.Duration
+		want string
+	}{
+		{time.Second, "1s"},
+		{10 * time.Second, "10s"},
+		{time.Minute, "60s"},
+		{500 * time.Millisecond, "500ms"},
+	} {
+		if got := fmtWindow(tc.d); got != tc.want {
+			t.Errorf("fmtWindow(%v) = %q, want %q", tc.d, got, tc.want)
+		}
+	}
+}

@@ -19,6 +19,7 @@ package main
 
 import (
 	"bufio"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -134,6 +135,7 @@ func main() {
 		csvPath  = flag.String("csv", "", "write per-request records to this CSV file")
 		warmup   = flag.Float64("warmup", 0.1, "fraction of samples to discard")
 		brkdown  = flag.Bool("breakdown", false, "request per-request latency breakdowns (server must run with -obs) and print a per-component table")
+		sumJSON  = flag.String("summaryjson", "", "write the end-of-run summary as JSON to this file (machine-readable mirror of the stdout report)")
 	)
 	flag.Parse()
 
@@ -262,6 +264,140 @@ func main() {
 		}
 		fmt.Printf("wrote %d records to %s (%d warmup samples discarded)\n", steady.Len(), *csvPath, skip)
 	}
+	if *sumJSON != "" {
+		s := runSummary{
+			Schema:          1,
+			Mix:             *mix,
+			DurationSec:     duration.Seconds(),
+			OfferedRPS:      *rate,
+			AchievedRPS:     achieved,
+			Launched:        launched,
+			Completed:       completed,
+			WarmupDiscarded: skip,
+			Failed: failCounts{
+				Deadline:   fails.deadline.Load(),
+				Overloaded: fails.overloaded.Load(),
+				Stopped:    fails.stopped.Load(),
+				Other:      fails.other.Load(),
+			},
+			Steady: steadyStats{
+				Count:           sum.Count,
+				P50Slowdown:     sum.P50,
+				P90Slowdown:     sum.P90,
+				P99Slowdown:     sum.P99,
+				P999Slowdown:    sum.P999,
+				MeanSlowdown:    sum.MeanSlowdown,
+				MeanSojournUS:   sum.MeanSojournUS,
+				MeanPreemptions: sum.MeanPreemptions,
+				DispatcherFrac:  sum.DispatcherFrac,
+			},
+			Classes: classStats(steady.Snapshot()),
+		}
+		if err := writeSummaryJSON(*sumJSON, s); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote summary to %s\n", *sumJSON)
+	}
+}
+
+// runSummary is the -summaryjson schema (version 1): the stdout report
+// in machine-readable form. Latency statistics carry the same warmup
+// discard as the printed steady-state summary.
+type runSummary struct {
+	Schema          int                  `json:"schema"`
+	Mix             string               `json:"mix"`
+	DurationSec     float64              `json:"duration_sec"`
+	OfferedRPS      float64              `json:"offered_rps"`
+	AchievedRPS     float64              `json:"achieved_rps"`
+	Launched        int                  `json:"launched"`
+	Completed       int                  `json:"completed"`
+	WarmupDiscarded int                  `json:"warmup_discarded"`
+	Failed          failCounts           `json:"failed"`
+	Steady          steadyStats          `json:"steady"`
+	Classes         map[string]classStat `json:"classes"`
+}
+
+type failCounts struct {
+	Deadline   int64 `json:"deadline"`
+	Overloaded int64 `json:"overloaded"`
+	Stopped    int64 `json:"stopped"`
+	Other      int64 `json:"other"`
+}
+
+type steadyStats struct {
+	Count           int     `json:"count"`
+	P50Slowdown     float64 `json:"p50_slowdown"`
+	P90Slowdown     float64 `json:"p90_slowdown"`
+	P99Slowdown     float64 `json:"p99_slowdown"`
+	P999Slowdown    float64 `json:"p999_slowdown"`
+	MeanSlowdown    float64 `json:"mean_slowdown"`
+	MeanSojournUS   float64 `json:"mean_sojourn_us"`
+	MeanPreemptions float64 `json:"mean_preemptions"`
+	DispatcherFrac  float64 `json:"dispatcher_frac"`
+}
+
+type classStat struct {
+	Count  int     `json:"count"`
+	P50US  float64 `json:"p50_us"`
+	P99US  float64 `json:"p99_us"`
+	P999US float64 `json:"p999_us"`
+	MeanUS float64 `json:"mean_us"`
+}
+
+// classStats computes exact per-class sojourn quantiles (sorted
+// samples, not histogram buckets — the record set is already in
+// memory).
+func classStats(recs []trace.Record) map[string]classStat {
+	byClass := map[string][]float64{}
+	for _, r := range recs {
+		byClass[r.Class] = append(byClass[r.Class], r.SojournUS)
+	}
+	out := make(map[string]classStat, len(byClass))
+	for cl, us := range byClass {
+		sort.Float64s(us)
+		pct := func(p float64) float64 {
+			rank := int(math.Ceil(p / 100 * float64(len(us))))
+			if rank < 1 {
+				rank = 1
+			}
+			return us[rank-1]
+		}
+		sum := 0.0
+		for _, v := range us {
+			sum += v
+		}
+		out[cl] = classStat{
+			Count:  len(us),
+			P50US:  pct(50),
+			P99US:  pct(99),
+			P999US: pct(99.9),
+			MeanUS: sum / float64(len(us)),
+		}
+	}
+	return out
+}
+
+// writeSummaryJSON writes the summary. NaN/Inf (empty-run percentiles)
+// are not representable in JSON and would fail Marshal outright, so
+// they are scrubbed to the -1 sentinel.
+func writeSummaryJSON(path string, s runSummary) error {
+	scrub := func(f *float64) {
+		if math.IsNaN(*f) || math.IsInf(*f, 0) {
+			*f = -1
+		}
+	}
+	for _, f := range []*float64{
+		&s.Steady.P50Slowdown, &s.Steady.P90Slowdown, &s.Steady.P99Slowdown,
+		&s.Steady.P999Slowdown, &s.Steady.MeanSlowdown, &s.Steady.MeanSojournUS,
+	} {
+		scrub(f)
+	}
+	b, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	return os.WriteFile(path, b, 0o644)
 }
 
 func meets(p999 float64) string {

@@ -3,6 +3,8 @@ package live
 import (
 	"testing"
 	"time"
+
+	"concord/internal/obs"
 )
 
 // BenchmarkRoundTrip measures the runtime's per-request overhead: a
@@ -25,6 +27,24 @@ func BenchmarkRoundTrip(b *testing.B) {
 // (ring records plus breakdown timestamps).
 func BenchmarkRoundTripTraced(b *testing.B) {
 	s := New(&spinHandler{}, tracedOptions(2, 0, 1<<14))
+	s.Start()
+	defer s.Stop()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if resp := s.Do(time.Duration(0)); resp.Err != nil {
+			b.Fatal(resp.Err)
+		}
+	}
+}
+
+// BenchmarkRoundTripTailTracked is BenchmarkRoundTrip with the rolling
+// tail window and SLO accounting enabled: the delta is the enabled cost
+// of windowed tail tracking per request (one mutexed histogram insert
+// plus one SLO count).
+func BenchmarkRoundTripTailTracked(b *testing.B) {
+	o := testOptions(2, 0)
+	o.Tail = obs.NewTailTracker(nil, obs.NewSLOTracker(obs.SLOConfig{Target: 200 * time.Microsecond}))
+	s := New(&spinHandler{}, o)
 	s.Start()
 	defer s.Stop()
 	b.ResetTimer()

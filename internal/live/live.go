@@ -107,6 +107,11 @@ type Options struct {
 	// the cost at each instrumentation point is a single predictable
 	// branch.
 	Tracer *obs.Tracer
+	// Tail, when non-nil, receives every delivered response's latency
+	// and success at completion, feeding rolling-window tail quantiles
+	// and SLO burn-rate accounting. Independent of Tracer. When nil,
+	// the cost is a single nil-check branch per completion.
+	Tail *obs.TailTracker
 }
 
 func (o Options) withDefaults() Options {
@@ -298,8 +303,10 @@ type Server struct {
 	saved        *task
 
 	// tr is Options.Tracer, kept as a concrete pointer so the disabled
-	// path is one nil-check branch per event site.
-	tr *obs.Tracer
+	// path is one nil-check branch per event site. tail is Options.Tail
+	// under the same contract: one nil check per completion.
+	tr   *obs.Tracer
+	tail *obs.TailTracker
 	// centralLen mirrors len(central) (dispatcher-owned) once per
 	// dispatcher iteration so Depths can read it from any goroutine.
 	centralLen atomic.Int64
@@ -324,8 +331,8 @@ type Server struct {
 	stopping bool // guarded by submitMu
 
 	started atomic.Bool
-	stopped atomic.Bool // dispatcher-visible mirror of stopping
-	abort   atomic.Bool // drain deadline expired: fail pending work
+	stopped atomic.Bool   // dispatcher-visible mirror of stopping
+	abort   atomic.Bool   // drain deadline expired: fail pending work
 	done    chan struct{} // dispatcher exited
 	wg      sync.WaitGroup
 
@@ -344,6 +351,7 @@ func New(h Handler, opts Options) *Server {
 	s := &Server{
 		opts:    opts,
 		tr:      opts.Tracer,
+		tail:    opts.Tail,
 		handler: h,
 		submit:  make(chan *task, opts.SubmitBuffer),
 		locals:  make([]chan *task, opts.Workers),
@@ -473,6 +481,9 @@ func (s *Server) Submit(payload any) <-chan Response {
 		if s.tr != nil {
 			s.tr.Record(obs.WriterClient, obs.EvReject, t.id, obs.StatusStopped)
 		}
+		if s.tail != nil {
+			s.tail.ObserveRejected()
+		}
 		ch <- Response{ID: t.id, Err: ErrServerStopped}
 		return ch
 	}
@@ -491,6 +502,9 @@ func (s *Server) Submit(payload any) <-chan Response {
 		s.stats.rejected.Add(1)
 		if s.tr != nil {
 			s.tr.Record(obs.WriterClient, obs.EvReject, t.id, obs.StatusQueueFull)
+		}
+		if s.tail != nil {
+			s.tail.ObserveRejected()
 		}
 		ch <- Response{ID: t.id, Err: ErrQueueFull}
 	}
@@ -904,6 +918,9 @@ func (s *Server) finish(ring int, t *task, resp Response) {
 		s.tr.Record(ring, kind, t.id, status)
 	} else {
 		resp.Latency = time.Since(t.arrival)
+	}
+	if s.tail != nil {
+		s.tail.Observe(resp.Latency, resp.Err == nil)
 	}
 	s.stats.completed.Add(1)
 	t.result <- resp

@@ -1,0 +1,78 @@
+package live
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"concord/internal/obs"
+)
+
+// TestTailTrackerWiring: every delivered response lands in the rolling
+// window, and the SLO accounts good vs bad against the latency target.
+func TestTailTrackerWiring(t *testing.T) {
+	slo := obs.NewSLOTracker(obs.SLOConfig{Target: 250 * time.Microsecond, Objective: 0.99})
+	tail := obs.NewTailTracker([]time.Duration{time.Second, 10 * time.Second}, slo)
+	o := testOptions(2, 0)
+	o.Tail = tail
+	s := New(&spinHandler{}, o)
+	s.Start()
+
+	const short, long = 40, 10
+	for i := 0; i < short; i++ {
+		if resp := s.Do(20 * time.Microsecond); resp.Err != nil {
+			t.Fatal(resp.Err)
+		}
+	}
+	for i := 0; i < long; i++ {
+		// Far over the 250µs SLO target: counted served but bad.
+		if resp := s.Do(2 * time.Millisecond); resp.Err != nil {
+			t.Fatal(resp.Err)
+		}
+	}
+	s.Stop()
+
+	if got := tail.Window().WindowSnapshot(10 * time.Second).Count; got != short+long {
+		t.Fatalf("window Count = %d, want %d (every response observed)", got, short+long)
+	}
+	// The rolling p99.9 must reflect the 2ms class, the p50 the 20µs one.
+	if q := tail.Quantile(10*time.Second, 0.999); q < 1000 {
+		t.Fatalf("rolling p99.9 = %vµs, want ≥1000 (the slow class)", q)
+	}
+	if q := tail.Quantile(10*time.Second, 0.5); math.IsNaN(q) || q > 1000 {
+		t.Fatalf("rolling p50 = %vµs, want the fast class", q)
+	}
+	snap := slo.Snapshot()
+	if snap.ShortTotal != short+long {
+		t.Fatalf("SLO total = %d, want %d", snap.ShortTotal, short+long)
+	}
+	if snap.ShortGood != short {
+		t.Fatalf("SLO good = %d, want %d (2ms requests breach the 250µs target)", snap.ShortGood, short)
+	}
+}
+
+// TestTailTrackerCountsRejections: a rejected submission is SLO-bad but
+// never pollutes the latency window.
+func TestTailTrackerCountsRejections(t *testing.T) {
+	slo := obs.NewSLOTracker(obs.SLOConfig{Target: time.Second, Objective: 0.99})
+	tail := obs.NewTailTracker(nil, slo)
+	o := testOptions(1, 0)
+	o.Tail = tail
+	s := New(&spinHandler{}, o)
+	s.Start()
+	if resp := s.Do(time.Microsecond); resp.Err != nil {
+		t.Fatal(resp.Err)
+	}
+	s.Stop()
+	// Post-stop submissions are rejected with ErrServerStopped.
+	if resp := s.Do(time.Microsecond); resp.Err == nil {
+		t.Fatal("submission after Stop succeeded")
+	}
+	snap := slo.Snapshot()
+	if snap.ShortTotal != 2 || snap.ShortGood != 1 {
+		t.Fatalf("SLO good/total = %d/%d, want 1/2 (rejection counted bad)", snap.ShortGood, snap.ShortTotal)
+	}
+	if got := tail.Window().WindowSnapshot(time.Minute).Count; got != 1 {
+		t.Fatalf("window Count = %d, want 1 (rejections stay out of the latency window)", got)
+	}
+}

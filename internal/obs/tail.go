@@ -1,0 +1,75 @@
+// TailTracker is the single hook the serving path carries for the
+// time-windowed observability layer: one Observe per delivered response
+// feeds both the rolling-window latency histogram and the SLO
+// burn-rate accounting. The live runtime guards the call with one nil
+// check, the same disabled-cost contract as the lifecycle tracer.
+package obs
+
+import (
+	"sort"
+	"time"
+)
+
+// DefaultWindows are the rolling horizons surfaced when none are
+// configured: the "right now" view, the smoothing view, and the
+// minute trend.
+func DefaultWindows() []time.Duration {
+	return []time.Duration{time.Second, 10 * time.Second, time.Minute}
+}
+
+// TailTracker bundles a WindowedHistogram sized to a set of query
+// windows with an optional SLOTracker. It is safe for concurrent use.
+type TailTracker struct {
+	win     *WindowedHistogram
+	windows []time.Duration
+	slo     *SLOTracker
+}
+
+// NewTailTracker builds a tracker for the given query windows (nil
+// means DefaultWindows) and an optional SLO. The backing ring's epoch
+// is a quarter of the shortest window and its span the longest one;
+// the SLO horizons live in the SLOTracker's own (counts-only) ring.
+func NewTailTracker(windows []time.Duration, slo *SLOTracker) *TailTracker {
+	if len(windows) == 0 {
+		windows = DefaultWindows()
+	}
+	windows = append([]time.Duration(nil), windows...)
+	sort.Slice(windows, func(i, j int) bool { return windows[i] < windows[j] })
+	return &TailTracker{
+		win:     NewWindowedHistogram(windows[0]/4, windows[len(windows)-1]),
+		windows: windows,
+		slo:     slo,
+	}
+}
+
+// Windows returns the configured query horizons, ascending.
+func (t *TailTracker) Windows() []time.Duration { return t.windows }
+
+// SLO returns the tracker's SLO accounting, or nil.
+func (t *TailTracker) SLO() *SLOTracker { return t.slo }
+
+// Window returns the backing rolling histogram.
+func (t *TailTracker) Window() *WindowedHistogram { return t.win }
+
+// Observe accounts one delivered response.
+func (t *TailTracker) Observe(latency time.Duration, ok bool) {
+	t.win.ObserveDuration(latency)
+	if t.slo != nil {
+		t.slo.Observe(latency, ok)
+	}
+}
+
+// ObserveRejected accounts a rejected submission as an SLO-bad event
+// without touching the latency window: the request was never served,
+// so it has no meaningful latency, but it certainly did not meet the
+// objective.
+func (t *TailTracker) ObserveRejected() {
+	if t.slo != nil {
+		t.slo.Observe(0, false)
+	}
+}
+
+// Quantile estimates the q-quantile in µs over the trailing window.
+func (t *TailTracker) Quantile(window time.Duration, q float64) float64 {
+	return t.win.Quantile(window, q)
+}

@@ -1,0 +1,145 @@
+// Time-windowed tail estimation: a rolling latency histogram built from
+// a ring of rotating trace.Histogram epochs. Cumulative histograms
+// answer "what has the tail been since process start"; WindowedHistogram
+// answers "what is p99.9 *right now*" — the real-time estimate that
+// microsecond-scale scheduling decisions (RackSched, LibPreemptible) and
+// SLO burn-rate accounting both need.
+package obs
+
+import (
+	"math"
+	"sync"
+	"time"
+
+	"concord/internal/trace"
+)
+
+// procStart anchors the package's monotonic clock; readings are
+// nanoseconds since an arbitrary epoch and never go backwards.
+var procStart = time.Now()
+
+// monotonicNS is the default clock for windowed estimators.
+func monotonicNS() int64 { return int64(time.Since(procStart)) }
+
+// winEpoch is one rotation slot: the absolute epoch number it currently
+// holds (-1 when never used) and that epoch's observations. Slots are
+// reused in place — rotation resets a stale slot rather than allocating,
+// so the steady state allocates nothing.
+type winEpoch struct {
+	num  int64
+	hist trace.Histogram
+}
+
+// WindowedHistogram is a rolling log-2 latency histogram: observations
+// land in the epoch covering "now", and a window snapshot merges the
+// epochs spanning the window, dropping anything older. Epochs stale
+// after an idle gap are discarded lazily on reuse, so idle periods cost
+// nothing and never leak old samples into fresh windows.
+//
+// The estimate is conservative in time: a window of W merges the
+// ceil(W/epoch) most recent epochs including the partially-filled
+// current one, so it covers between W-epoch and W of history (mean
+// W-epoch/2). Choose the epoch duration a small fraction of the
+// shortest window queried (NewTailTracker uses a quarter).
+//
+// It is safe for concurrent use.
+type WindowedHistogram struct {
+	mu      sync.Mutex
+	epochNS int64
+	ring    []winEpoch
+	now     func() int64 // monotonic ns; injected by tests
+}
+
+// NewWindowedHistogram returns a rolling histogram with the given epoch
+// granularity covering at least span of history. Epoch is clamped to
+// ≥1ms; span to ≥epoch.
+func NewWindowedHistogram(epoch, span time.Duration) *WindowedHistogram {
+	if epoch < time.Millisecond {
+		epoch = time.Millisecond
+	}
+	if span < epoch {
+		span = epoch
+	}
+	// +1 slot so the current partial epoch never evicts a slot still
+	// inside the longest window.
+	n := int(span/epoch) + 1
+	w := &WindowedHistogram{epochNS: int64(epoch), ring: make([]winEpoch, n), now: monotonicNS}
+	for i := range w.ring {
+		w.ring[i].num = -1
+	}
+	return w
+}
+
+// Epoch returns the rotation granularity.
+func (w *WindowedHistogram) Epoch() time.Duration { return time.Duration(w.epochNS) }
+
+// Span returns the longest history the ring can cover.
+func (w *WindowedHistogram) Span() time.Duration {
+	return time.Duration(int64(len(w.ring)-1) * w.epochNS)
+}
+
+// slot returns the ring slot for absolute epoch e, resetting it in
+// place if it still holds an older epoch. Callers hold w.mu.
+func (w *WindowedHistogram) slot(e int64) *winEpoch {
+	s := &w.ring[e%int64(len(w.ring))]
+	if s.num != e {
+		s.hist.Reset()
+		s.num = e
+	}
+	return s
+}
+
+// ObserveUS adds one latency observation in µs to the current epoch.
+func (w *WindowedHistogram) ObserveUS(us float64) {
+	w.mu.Lock()
+	w.slot(w.now() / w.epochNS).hist.ObserveUS(us)
+	w.mu.Unlock()
+}
+
+// ObserveDuration adds one latency observation to the current epoch.
+func (w *WindowedHistogram) ObserveDuration(d time.Duration) {
+	w.ObserveUS(float64(d) / float64(time.Microsecond))
+}
+
+// WindowSnapshot merges the epochs covering the trailing window into
+// one snapshot. A window longer than Span() is clamped to it; an idle
+// window yields an empty snapshot (Count 0, NaN quantiles).
+func (w *WindowedHistogram) WindowSnapshot(window time.Duration) trace.HistSnapshot {
+	k := (int64(window) + w.epochNS - 1) / w.epochNS
+	if k < 1 {
+		k = 1
+	}
+	if max := int64(len(w.ring)); k > max {
+		k = max
+	}
+	var merged trace.Histogram
+	w.mu.Lock()
+	e := w.now() / w.epochNS
+	for i := e - k + 1; i <= e; i++ {
+		if i < 0 {
+			continue
+		}
+		s := &w.ring[i%int64(len(w.ring))]
+		if s.num == i {
+			merged.Merge(s.hist.Snapshot())
+		}
+	}
+	w.mu.Unlock()
+	return merged.Snapshot()
+}
+
+// Quantile estimates the q-quantile (q in [0,1]) in µs over the
+// trailing window; NaN when the window holds no observations.
+func (w *WindowedHistogram) Quantile(window time.Duration, q float64) float64 {
+	return w.WindowSnapshot(window).Quantile(q)
+}
+
+// Rate returns the observation throughput over the trailing window in
+// events/second (count divided by the window, so a partially idle
+// window reads low rather than extrapolating).
+func (w *WindowedHistogram) Rate(window time.Duration) float64 {
+	if window <= 0 {
+		return math.NaN()
+	}
+	return float64(w.WindowSnapshot(window).Count) / window.Seconds()
+}

@@ -1,0 +1,232 @@
+package obs
+
+import (
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"concord/internal/trace"
+)
+
+// fakeClock is a hand-advanced monotonic clock for window tests.
+type fakeClock struct {
+	mu sync.Mutex
+	ns int64
+}
+
+func (c *fakeClock) now() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.ns
+}
+
+func (c *fakeClock) advance(d time.Duration) {
+	c.mu.Lock()
+	c.ns += int64(d)
+	c.mu.Unlock()
+}
+
+func newClockedWindow(epoch, span time.Duration) (*WindowedHistogram, *fakeClock) {
+	w := NewWindowedHistogram(epoch, span)
+	clk := &fakeClock{}
+	w.now = clk.now
+	return w, clk
+}
+
+func TestWindowedHistogramEmpty(t *testing.T) {
+	w, _ := newClockedWindow(250*time.Millisecond, time.Minute)
+	s := w.WindowSnapshot(10 * time.Second)
+	if s.Count != 0 {
+		t.Fatalf("empty window Count = %d", s.Count)
+	}
+	if q := w.Quantile(10*time.Second, 0.999); !math.IsNaN(q) {
+		t.Fatalf("empty window quantile = %v, want NaN", q)
+	}
+	if r := w.Rate(10 * time.Second); r != 0 {
+		t.Fatalf("empty window rate = %v, want 0", r)
+	}
+}
+
+// TestWindowedHistogramRotation: observations age out of short windows
+// while remaining visible in longer ones.
+func TestWindowedHistogramRotation(t *testing.T) {
+	w, clk := newClockedWindow(250*time.Millisecond, time.Minute)
+	for i := 0; i < 100; i++ {
+		w.ObserveUS(100)
+	}
+	clk.advance(2 * time.Second)
+	for i := 0; i < 50; i++ {
+		w.ObserveUS(3000)
+	}
+
+	if got := w.WindowSnapshot(time.Second).Count; got != 50 {
+		t.Fatalf("1s window Count = %d, want only the recent 50", got)
+	}
+	if got := w.WindowSnapshot(10 * time.Second).Count; got != 150 {
+		t.Fatalf("10s window Count = %d, want all 150", got)
+	}
+	// The 1s view must not see the old 100µs mass at all.
+	if q := w.Quantile(time.Second, 0.5); q < 2048 || q > 4096 {
+		t.Fatalf("1s p50 = %v, want within the 3000µs bucket (2048,4096]", q)
+	}
+}
+
+// TestWindowedHistogramIdleGap: after an idle gap longer than the span,
+// every window is empty again, and stale slots reused after wraparound
+// never leak old observations into fresh windows.
+func TestWindowedHistogramIdleGap(t *testing.T) {
+	w, clk := newClockedWindow(250*time.Millisecond, 10*time.Second)
+	for i := 0; i < 100; i++ {
+		w.ObserveUS(42)
+	}
+	clk.advance(time.Hour) // idle gap, many full ring wraparounds
+	if got := w.WindowSnapshot(10 * time.Second).Count; got != 0 {
+		t.Fatalf("post-gap window Count = %d, want 0 (stale epochs must drop)", got)
+	}
+	w.ObserveUS(7)
+	s := w.WindowSnapshot(10 * time.Second)
+	if s.Count != 1 || s.SumUS != 7 {
+		t.Fatalf("post-gap observation: Count=%d SumUS=%v, want 1/7", s.Count, s.SumUS)
+	}
+}
+
+// TestWindowedHistogramSteadyLoad: under steady load the windowed
+// quantiles agree with a cumulative histogram of the same distribution
+// (both are log-2 bucketed, so agreement is exact per bucket).
+func TestWindowedHistogramSteadyLoad(t *testing.T) {
+	w, clk := newClockedWindow(250*time.Millisecond, time.Minute)
+	var cum trace.Histogram
+	// 20s of steady bimodal load at 100 req/s: 98% at ~10µs, 2% at
+	// ~1ms. (2%, not 1%: the tested quantiles must sit in bucket
+	// interiors, away from the distribution breakpoint where subsample
+	// phase flips the containing bucket.)
+	for tick := 0; tick < 200; tick++ {
+		for i := 0; i < 10; i++ {
+			us := 10.0
+			if (tick*10+i)%100 >= 98 {
+				us = 1000
+			}
+			w.ObserveUS(us)
+			cum.ObserveUS(us)
+		}
+		clk.advance(100 * time.Millisecond)
+	}
+	for _, q := range []float64{0.50, 0.99, 0.999} {
+		got := w.Quantile(15*time.Second, q)
+		want := cum.Quantile(q)
+		// The window holds a large steady subsample of the same
+		// distribution: quantiles must land in the same log-2 bucket,
+		// i.e. within 2x (and typically much closer).
+		if got < want/2 || got > want*2 {
+			t.Fatalf("steady-load q%v: windowed %v vs cumulative %v", q, got, want)
+		}
+	}
+	// The full-span view holds every sample still in range; the count
+	// over 60s is everything (only 20s elapsed).
+	if got, want := w.WindowSnapshot(time.Minute).Count, cum.Count(); got != want {
+		t.Fatalf("60s window Count = %d, cumulative = %d", got, want)
+	}
+}
+
+// TestWindowedHistogramPartialEpochCoverage: a window merges the
+// current partial epoch plus enough whole epochs to cover it.
+func TestWindowedHistogramPartialEpochCoverage(t *testing.T) {
+	w, clk := newClockedWindow(time.Second, time.Minute)
+	w.ObserveUS(1) // epoch 0
+	clk.advance(1100 * time.Millisecond)
+	w.ObserveUS(2) // epoch 1
+	// Now at t=1.1s: a 1s window spans epochs 1 and 0... epoch 0 is
+	// within ceil(1s/1s)=1 epoch back including current, so only
+	// epoch 1 is merged.
+	if got := w.WindowSnapshot(time.Second).Count; got != 1 {
+		t.Fatalf("1s window Count = %d, want 1 (current epoch only)", got)
+	}
+	if got := w.WindowSnapshot(2 * time.Second).Count; got != 2 {
+		t.Fatalf("2s window Count = %d, want 2", got)
+	}
+}
+
+func TestWindowedHistogramClamps(t *testing.T) {
+	w := NewWindowedHistogram(0, 0)
+	if w.Epoch() < time.Millisecond {
+		t.Fatalf("epoch not clamped: %v", w.Epoch())
+	}
+	if len(w.ring) < 2 {
+		t.Fatalf("ring too small: %d", len(w.ring))
+	}
+	// A window far beyond the span is clamped, not a panic.
+	w.ObserveUS(5)
+	if got := w.WindowSnapshot(time.Hour).Count; got != 1 {
+		t.Fatalf("over-span window Count = %d, want 1", got)
+	}
+}
+
+// TestWindowedHistogramConcurrent exercises concurrent observers and
+// readers across rotations under -race.
+func TestWindowedHistogramConcurrent(t *testing.T) {
+	w := NewWindowedHistogram(time.Millisecond, 50*time.Millisecond)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 5000; i++ {
+				w.ObserveUS(float64(i % 1000))
+			}
+		}(g)
+	}
+	go func() {
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+				w.WindowSnapshot(25 * time.Millisecond)
+				w.Quantile(10*time.Millisecond, 0.99)
+			}
+		}
+	}()
+	wg.Wait()
+	close(stop)
+}
+
+func TestTailTrackerDefaults(t *testing.T) {
+	tt := NewTailTracker(nil, nil)
+	want := DefaultWindows()
+	got := tt.Windows()
+	if len(got) != len(want) {
+		t.Fatalf("Windows() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Windows() = %v, want %v", got, want)
+		}
+	}
+	if tt.SLO() != nil {
+		t.Fatal("unexpected SLO tracker")
+	}
+	if e := tt.Window().Epoch(); e != want[0]/4 {
+		t.Fatalf("epoch = %v, want %v", e, want[0]/4)
+	}
+	tt.Observe(100*time.Microsecond, true)
+	if got := tt.Window().WindowSnapshot(time.Minute).Count; got != 1 {
+		t.Fatalf("observation not recorded: Count = %d", got)
+	}
+	if q := tt.Quantile(time.Minute, 0.5); q < 64 || q > 128 {
+		t.Fatalf("p50 = %v, want within the 100µs bucket (64,128]", q)
+	}
+}
+
+func TestTailTrackerWithSLO(t *testing.T) {
+	slo := NewSLOTracker(SLOConfig{Target: 200 * time.Microsecond, Objective: 0.99})
+	tt := NewTailTracker([]time.Duration{time.Second}, slo)
+	tt.Observe(100*time.Microsecond, true)  // good
+	tt.Observe(500*time.Microsecond, true)  // bad: over target
+	tt.Observe(100*time.Microsecond, false) // bad: errored
+	s := slo.Snapshot()
+	if s.ShortTotal != 3 || s.ShortGood != 1 {
+		t.Fatalf("SLO counts good/total = %d/%d, want 1/3", s.ShortGood, s.ShortTotal)
+	}
+}

@@ -209,6 +209,30 @@ func (h *Histogram) Snapshot() HistSnapshot {
 	return HistSnapshot{Buckets: h.buckets, Count: h.count, SumUS: h.sum}
 }
 
+// Merge folds a snapshot into the histogram, bucket by bucket. It is
+// how per-worker or per-epoch histograms combine into one view: the
+// merged count, sum, and quantiles are those of the union of the two
+// observation sets.
+func (h *Histogram) Merge(s HistSnapshot) {
+	h.mu.Lock()
+	for i, c := range s.Buckets {
+		h.buckets[i] += c
+	}
+	h.count += s.Count
+	h.sum += s.SumUS
+	h.mu.Unlock()
+}
+
+// Reset discards every observation, returning the histogram to its
+// zero state. Used by windowed estimators that rotate epochs in place.
+func (h *Histogram) Reset() {
+	h.mu.Lock()
+	h.buckets = [64]int{}
+	h.count = 0
+	h.sum = 0
+	h.mu.Unlock()
+}
+
 // BucketUpperUS returns bucket i's upper bound in µs: bucket 0 covers
 // [0,1) and bucket i covers [2^(i-1), 2^i).
 func BucketUpperUS(i int) float64 {

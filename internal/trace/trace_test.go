@@ -233,3 +233,120 @@ func TestHistogramConcurrentObserve(t *testing.T) {
 		t.Fatal("histogram rendered empty")
 	}
 }
+
+// TestHistogramMerge checks that merging two histograms preserves the
+// union's count, sum, and per-bucket totals: merged quantiles are those
+// of observing both sample sets into one histogram.
+func TestHistogramMerge(t *testing.T) {
+	var a, b, union Histogram
+	for i := 0; i < 1000; i++ {
+		us := float64(i % 100)
+		a.ObserveUS(us)
+		union.ObserveUS(us)
+	}
+	for i := 0; i < 500; i++ {
+		us := float64(1000 + i%4000)
+		b.ObserveUS(us)
+		union.ObserveUS(us)
+	}
+	a.Merge(b.Snapshot())
+
+	got, want := a.Snapshot(), union.Snapshot()
+	if got.Count != want.Count {
+		t.Fatalf("merged Count = %d, want %d", got.Count, want.Count)
+	}
+	if math.Abs(got.SumUS-want.SumUS) > 1e-6 {
+		t.Fatalf("merged SumUS = %v, want %v", got.SumUS, want.SumUS)
+	}
+	if got.Buckets != want.Buckets {
+		t.Fatalf("merged buckets differ from union:\n got %v\nwant %v", got.Buckets, want.Buckets)
+	}
+	for _, q := range []float64{0.5, 0.99, 0.999} {
+		if g, w := got.Quantile(q), want.Quantile(q); g != w {
+			t.Fatalf("merged Quantile(%v) = %v, union = %v", q, g, w)
+		}
+	}
+}
+
+// TestHistogramMergeEmpty: merging an empty snapshot is a no-op, and
+// merging into an empty histogram reproduces the source exactly.
+func TestHistogramMergeEmpty(t *testing.T) {
+	var src, dst, empty Histogram
+	for i := 0; i < 100; i++ {
+		src.ObserveUS(float64(i))
+	}
+	before := src.Snapshot()
+	src.Merge(empty.Snapshot())
+	if after := src.Snapshot(); after != before {
+		t.Fatal("merging an empty snapshot changed the histogram")
+	}
+	dst.Merge(before)
+	if got := dst.Snapshot(); got != before {
+		t.Fatal("merge into empty histogram did not reproduce the source")
+	}
+}
+
+// TestHistogramReset returns the histogram to its zero state; the
+// count/sum invariants hold across an observe-reset-observe cycle.
+func TestHistogramReset(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 100; i++ {
+		h.ObserveUS(float64(i))
+	}
+	h.Reset()
+	s := h.Snapshot()
+	if s.Count != 0 || s.SumUS != 0 {
+		t.Fatalf("after Reset: Count=%d SumUS=%v, want zeros", s.Count, s.SumUS)
+	}
+	if s.Buckets != ([64]int{}) {
+		t.Fatalf("after Reset: non-empty buckets %v", s.Buckets)
+	}
+	if !math.IsNaN(s.Quantile(0.5)) {
+		t.Fatal("quantile of reset histogram should be NaN")
+	}
+	h.ObserveUS(7)
+	if got := h.Snapshot(); got.Count != 1 || got.SumUS != 7 {
+		t.Fatalf("observe after Reset: Count=%d SumUS=%v, want 1/7", got.Count, got.SumUS)
+	}
+}
+
+// TestHistogramConcurrentMergeReset exercises Merge/Reset racing with
+// observers under -race. Note snapshot-then-reset is inherently lossy
+// while observers run (a window between the two calls drops samples —
+// windowed estimators avoid the pattern by resetting only epochs that
+// are out of the observation path), so concurrent-phase merges assert
+// sanity bounds only; the exact invariant is checked after quiescence.
+func TestHistogramConcurrentMergeReset(t *testing.T) {
+	var h, agg Histogram
+	const goroutines, perG = 4, 2000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				h.ObserveUS(float64(i % 512))
+			}
+		}()
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 50; i++ {
+			agg.Merge(h.Snapshot())
+			h.Reset()
+		}
+	}()
+	wg.Wait()
+	<-done
+	if got := agg.Count(); got > goroutines*perG {
+		t.Fatalf("aggregate Count = %d exceeds %d observations", got, goroutines*perG)
+	}
+	// Quiesced: one more drain must account for exactly the remainder.
+	before := agg.Count()
+	rest := h.Snapshot()
+	agg.Merge(rest)
+	if got := agg.Count(); got != before+rest.Count {
+		t.Fatalf("quiesced merge: Count = %d, want %d", got, before+rest.Count)
+	}
+}
