@@ -1,7 +1,8 @@
-# Tier-1 gate: everything must build and every test must pass.
+# Tier-1 gate: everything must build and every test must pass. Tests
+# run in shuffled order so inter-test ordering dependencies can't hide.
 tier1:
 	go build ./...
-	go test ./...
+	go test -shuffle=on ./...
 
 # Race hygiene for the concurrent packages: the parallel runner stack
 # and the live serving path (runtime lifecycle + load-generator
@@ -36,5 +37,6 @@ bench-smoke:
 	go run ./cmd/concord-bench -short -outdir bench-out
 	go run ./cmd/concord-bench -compare -hermetic BENCH_core.json bench-out/BENCH_core.json
 	go run ./cmd/concord-bench -compare -hermetic BENCH_live.json bench-out/BENCH_live.json
+	go run ./cmd/concord-bench -compare -hermetic BENCH_live_sharded.json bench-out/BENCH_live_sharded.json
 
 .PHONY: tier1 race vet bench obs-smoke bench-json bench-smoke

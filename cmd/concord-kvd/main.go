@@ -39,7 +39,15 @@
 //
 // Flags choose worker count, quantum, JBSQ depth, and work conservation;
 // defaults mirror the paper's Concord configuration scaled to small
-// machines.
+// machines. -shards splits the dispatcher into N shards, each owning a
+// disjoint worker subset with its own central queue (idle shards steal
+// never-started requests from the longest sibling queue), and -policy
+// picks the central-queue discipline: fcfs, or srpt ordered by each
+// op's service-time estimate (SPIN hints its requested duration).
+// Per-shard queue depth and occupancy surface as
+// concord_shard_queue_depth / concord_shard_occupancy gauges and as the
+// shardq=/shardocc= STATS fields; cross-shard migrations count in
+// concord_steals_total / steals=.
 package main
 
 import (
@@ -78,6 +86,23 @@ func (h *kvHandler) SetupWorker(int) {}
 type request struct {
 	op         string
 	key, value []byte
+	spin       time.Duration // SPIN only, precomputed at parse time
+}
+
+// ServiceHint estimates the request's service time for SRPT ordering
+// (live.Hinted). Point ops are a few µs of lock-bracketed map work;
+// SCAN walks the whole store; SPIN declares its duration outright. The
+// estimates only need the right relative order — a wrong hint reorders
+// the queue but never affects correctness.
+func (r request) ServiceHint() time.Duration {
+	switch r.op {
+	case "SPIN":
+		return r.spin
+	case "SCAN":
+		return 500 * time.Microsecond
+	default: // GET, PUT, DEL
+		return 2 * time.Microsecond
+	}
 }
 
 func (h *kvHandler) Handle(ctx *live.Ctx, payload any) (any, error) {
@@ -122,11 +147,7 @@ func (h *kvHandler) Handle(ctx *live.Ctx, payload any) (any, error) {
 			ctx.Poll()
 		}
 	case "SPIN":
-		us, err := strconv.Atoi(string(req.key))
-		if err != nil || us < 0 {
-			return nil, fmt.Errorf("bad SPIN duration %q", req.key)
-		}
-		ctx.Spin(time.Duration(us) * time.Microsecond)
+		ctx.Spin(req.spin)
 		return "OK", nil
 	default:
 		return nil, fmt.Errorf("unknown op %q", req.op)
@@ -139,6 +160,8 @@ func main() {
 		workers    = flag.Int("workers", 2, "worker threads")
 		quantum    = flag.Duration("quantum", 200*time.Microsecond, "scheduling quantum (0 disables preemption)")
 		bound      = flag.Int("k", 2, "JBSQ queue bound")
+		shards     = flag.Int("shards", 1, "dispatcher shards, each owning a disjoint worker subset (clamped to [1,workers])")
+		policyName = flag.String("policy", live.PolicyFCFS, "central-queue discipline: fcfs or srpt (srpt orders by per-op service hints)")
 		steal      = flag.Bool("steal", true, "work-conserving dispatcher")
 		keys       = flag.Int("keys", 15000, "pre-populated unique keys (paper: 15,000)")
 		valSize    = flag.Int("valsize", 64, "value size in bytes")
@@ -156,6 +179,19 @@ func main() {
 	)
 	flag.Parse()
 
+	if *policyName != live.PolicyFCFS && *policyName != live.PolicySRPT {
+		log.Fatalf("-policy: unknown discipline %q (have fcfs, srpt)", *policyName)
+	}
+	// The server clamps Shards to [1,Workers]; mirror that here so the
+	// tracer's ring layout matches the shard count live actually uses.
+	effShards := *shards
+	if effShards < 1 {
+		effShards = 1
+	}
+	if *workers > 0 && effShards > *workers {
+		effShards = *workers
+	}
+
 	store := kv.New()
 	val := strings.Repeat("v", *valSize)
 	for i := 0; i < *keys; i++ {
@@ -165,7 +201,7 @@ func main() {
 	var tracer *obs.Tracer
 	var tail *obs.TailTracker
 	if *obsAddr != "" {
-		tracer = obs.NewTracer(*workers, *traceBuf)
+		tracer = obs.NewTracerSharded(*workers, effShards, *traceBuf)
 		wins, err := parseWindows(*windows)
 		if err != nil {
 			log.Fatalf("-windows: %v", err)
@@ -182,6 +218,8 @@ func main() {
 	}
 	srv := live.New(&kvHandler{store: store, scanBatch: *scanStep}, live.Options{
 		Workers:        *workers,
+		Shards:         effShards,
+		Policy:         *policyName,
 		Quantum:        *quantum,
 		QueueBound:     *bound,
 		WorkConserving: *steal,
@@ -194,7 +232,7 @@ func main() {
 
 	var ob *kvObs
 	if tracer != nil {
-		ob = newKVObs(tracer, tail, srv, *workers)
+		ob = newKVObs(tracer, tail, srv, *workers, effShards)
 		obsLn, err := net.Listen("tcp", *obsAddr)
 		if err != nil {
 			log.Fatalf("obs listen: %v", err)
@@ -212,8 +250,8 @@ func main() {
 	if err != nil {
 		log.Fatalf("listen: %v", err)
 	}
-	log.Printf("concord-kvd on %s: %d workers, quantum %v, JBSQ(%d), steal=%v, %d keys",
-		ln.Addr(), *workers, *quantum, *bound, *steal, *keys)
+	log.Printf("concord-kvd on %s: %d workers, %d shards, policy %s, quantum %v, JBSQ(%d), steal=%v, %d keys",
+		ln.Addr(), *workers, effShards, *policyName, *quantum, *bound, *steal, *keys)
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
@@ -318,7 +356,7 @@ type opHists struct {
 	total, handoff, queue, service, preempted trace.Histogram
 }
 
-func newKVObs(tracer *obs.Tracer, tail *obs.TailTracker, srv *live.Server, workers int) *kvObs {
+func newKVObs(tracer *obs.Tracer, tail *obs.TailTracker, srv *live.Server, workers, shards int) *kvObs {
 	ob := &kvObs{tracer: tracer, tail: tail, metrics: &obs.Metrics{}, perOp: map[string]*opHists{}}
 	m := ob.metrics
 	counter := func(name, help string, f func(live.Stats) uint64) {
@@ -331,6 +369,7 @@ func newKVObs(tracer *obs.Tracer, tail *obs.TailTracker, srv *live.Server, worke
 	counter("concord_aborted_total", "requests failed by drain abort", func(s live.Stats) uint64 { return s.Aborted })
 	counter("concord_preemptions_total", "request yields", func(s live.Stats) uint64 { return s.Preemptions })
 	counter("concord_stolen_total", "requests completed by the dispatcher", func(s live.Stats) uint64 { return s.Stolen })
+	counter("concord_steals_total", "never-started requests migrated between shards", func(s live.Stats) uint64 { return s.Steals })
 	m.RegisterGauge(`concord_queue_depth{queue="submit"}`, "live queue occupancy",
 		func() float64 { return float64(srv.Depths().Submit) })
 	m.RegisterGauge(`concord_queue_depth{queue="central"}`, "live queue occupancy",
@@ -339,6 +378,13 @@ func newKVObs(tracer *obs.Tracer, tail *obs.TailTracker, srv *live.Server, worke
 		w := w
 		m.RegisterGauge(fmt.Sprintf(`concord_worker_occupancy{worker="%d"}`, w),
 			"JBSQ occupancy incl. in-service", func() float64 { return float64(srv.Depths().Workers[w]) })
+	}
+	for sh := 0; sh < shards; sh++ {
+		sh := sh
+		m.RegisterGauge(fmt.Sprintf(`concord_shard_queue_depth{shard="%d"}`, sh),
+			"per-shard central-queue length", func() float64 { return float64(srv.Depths().ShardQueues[sh]) })
+		m.RegisterGauge(fmt.Sprintf(`concord_shard_occupancy{shard="%d"}`, sh),
+			"per-shard sum of worker JBSQ occupancy", func() float64 { return float64(srv.Depths().ShardOcc[sh]) })
 	}
 	if tail != nil {
 		for _, w := range tail.Windows() {
@@ -558,9 +604,18 @@ func statsLine(srv *live.Server, ob *kvObs) string {
 	field("aborted", u(st.Aborted))
 	field("preemptions", u(st.Preemptions))
 	field("stolen", u(st.Stolen))
+	field("steals", u(st.Steals))
 	field("central", strconv.Itoa(d.Central))
 	field("submitq", strconv.Itoa(d.Submit))
 	field("occ", strings.Join(occ, ","))
+	shardq := make([]string, len(d.ShardQueues))
+	shardocc := make([]string, len(d.ShardOcc))
+	for i := range d.ShardQueues {
+		shardq[i] = strconv.Itoa(d.ShardQueues[i])
+		shardocc[i] = strconv.Itoa(d.ShardOcc[i])
+	}
+	field("shardq", strings.Join(shardq, ","))
+	field("shardocc", strings.Join(shardocc, ","))
 	if ob != nil && ob.tail != nil {
 		for _, w := range ob.tail.Windows() {
 			suffix := fmtWindow(w)
@@ -587,12 +642,16 @@ func statsLine(srv *live.Server, ob *kvObs) string {
 // consistency test turns into a failure).
 func metricFamilyForStatsKey(key string) string {
 	switch key {
-	case "submitted", "completed", "rejected", "expired", "aborted", "preemptions", "stolen":
+	case "submitted", "completed", "rejected", "expired", "aborted", "preemptions", "stolen", "steals":
 		return "concord_" + key + "_total"
 	case "central", "submitq":
 		return "concord_queue_depth"
 	case "occ":
 		return "concord_worker_occupancy"
+	case "shardq":
+		return "concord_shard_queue_depth"
+	case "shardocc":
+		return "concord_shard_occupancy"
 	case "burn_short", "burn_long":
 		return "concord_slo_burn_rate"
 	case "slo_alerting":
@@ -608,11 +667,22 @@ func parse(line string) (request, error) {
 	parts := strings.SplitN(line, " ", 3)
 	op := strings.ToUpper(parts[0])
 	switch op {
-	case "GET", "DEL", "SPIN":
+	case "GET", "DEL":
 		if len(parts) < 2 {
 			return request{}, fmt.Errorf("%s needs a key", op)
 		}
 		return request{op: op, key: []byte(parts[1])}, nil
+	case "SPIN":
+		if len(parts) < 2 {
+			return request{}, fmt.Errorf("SPIN needs a duration")
+		}
+		// Parsed here, not in Handle: the duration doubles as the SRPT
+		// service hint, which must exist before the request is queued.
+		us, err := strconv.Atoi(parts[1])
+		if err != nil || us < 0 {
+			return request{}, fmt.Errorf("bad SPIN duration %q", parts[1])
+		}
+		return request{op: op, key: []byte(parts[1]), spin: time.Duration(us) * time.Microsecond}, nil
 	case "PUT":
 		if len(parts) < 3 {
 			return request{}, fmt.Errorf("PUT needs key and value")

@@ -13,20 +13,25 @@ import (
 // newTestObs boots an in-process server with the full observability
 // surface, exactly as main wires it.
 func newTestObs(t *testing.T) (*live.Server, *kvObs) {
+	return newTestObsSharded(t, 1)
+}
+
+func newTestObsSharded(t *testing.T, shards int) (*live.Server, *kvObs) {
 	t.Helper()
 	const workers = 2
-	tracer := obs.NewTracer(workers, 1024)
+	tracer := obs.NewTracerSharded(workers, shards, 1024)
 	slo := obs.NewSLOTracker(obs.SLOConfig{Target: 200 * time.Microsecond, Objective: 0.999})
 	tail := obs.NewTailTracker(nil, slo)
 	srv := live.New(&kvHandler{store: kv.New(), scanBatch: 64}, live.Options{
 		Workers:    workers,
+		Shards:     shards,
 		PinThreads: false,
 		Tracer:     tracer,
 		Tail:       tail,
 	})
 	srv.Start()
 	t.Cleanup(srv.Stop)
-	return srv, newKVObs(tracer, tail, srv, workers)
+	return srv, newKVObs(tracer, tail, srv, workers, shards)
 }
 
 // TestStatsMetricsConsistency asserts every STATS field has a /metrics
@@ -89,6 +94,59 @@ func TestStatsLineWindowedFields(t *testing.T) {
 	}
 	if !strings.Contains(bare, "submitted=") || !strings.Contains(bare, "occ=") {
 		t.Errorf("bare STATS line missing counters: %s", bare)
+	}
+}
+
+// TestStatsShardedFields: with two shards the STATS line carries one
+// comma-separated slot per shard, the steals counter renders, and every
+// new key maps to a /metrics family (consistency loop above only checks
+// the keys present, so sharded keys get their own pass here).
+func TestStatsShardedFields(t *testing.T) {
+	srv, ob := newTestObsSharded(t, 2)
+	if resp := srv.Do(request{op: "PUT", key: []byte("k"), value: []byte("v")}); resp.Err != nil {
+		t.Fatal(resp.Err)
+	}
+	line := statsLine(srv, ob)
+	for _, want := range []string{"steals=0", "shardq=0,0", "shardocc=0,0"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("STATS line missing %q: %s", want, line)
+		}
+	}
+	var sb strings.Builder
+	ob.metrics.WritePrometheus(&sb)
+	exposition := sb.String()
+	for _, family := range []string{
+		"concord_steals_total",
+		`concord_shard_queue_depth{shard="0"}`,
+		`concord_shard_queue_depth{shard="1"}`,
+		`concord_shard_occupancy{shard="1"}`,
+	} {
+		if !strings.Contains(exposition, family) {
+			t.Errorf("/metrics missing %q", family)
+		}
+	}
+}
+
+// TestServiceHints: every op yields a positive hint, SPIN's equals its
+// parsed duration, and relative order matches relative cost.
+func TestServiceHints(t *testing.T) {
+	spin, err := parse("SPIN 250")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spin.ServiceHint() != 250*time.Microsecond {
+		t.Fatalf("SPIN hint = %v, want 250µs", spin.ServiceHint())
+	}
+	if _, err := parse("SPIN banana"); err == nil {
+		t.Fatal("bad SPIN duration accepted at parse time")
+	}
+	get, _ := parse("GET k")
+	scan, _ := parse("SCAN")
+	if get.ServiceHint() <= 0 || scan.ServiceHint() <= 0 {
+		t.Fatal("non-positive service hint")
+	}
+	if !(get.ServiceHint() < scan.ServiceHint()) {
+		t.Fatal("GET hinted costlier than SCAN")
 	}
 }
 

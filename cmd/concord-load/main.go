@@ -15,6 +15,11 @@
 // server-measured latency decomposition; the report adds a
 // Table-1-style per-class component table (p50/p99/p99.9 of queueing,
 // service, preemption, hand-off) and the CSV gains component columns.
+//
+// With -statsevery a side connection polls the server's STATS line and
+// records per-shard queue depth and occupancy plus the cross-shard
+// steal counter: -statscsv writes the time series (one shardq/shardocc
+// column per shard) and -summaryjson gains a shard_depths section.
 package main
 
 import (
@@ -136,8 +141,13 @@ func main() {
 		warmup   = flag.Float64("warmup", 0.1, "fraction of samples to discard")
 		brkdown  = flag.Bool("breakdown", false, "request per-request latency breakdowns (server must run with -obs) and print a per-component table")
 		sumJSON  = flag.String("summaryjson", "", "write the end-of-run summary as JSON to this file (machine-readable mirror of the stdout report)")
+		statsEvr = flag.Duration("statsevery", 0, "poll server STATS on a side connection at this interval: per-shard depths and steals (0 disables)")
+		statsCSV = flag.String("statscsv", "", "write the polled STATS depth time series as CSV, one shardq/shardocc column per shard (needs -statsevery)")
 	)
 	flag.Parse()
+	if *statsCSV != "" && *statsEvr <= 0 {
+		log.Fatal("-statscsv needs -statsevery")
+	}
 
 	gen, err := mixFor(*mix, *keys)
 	if err != nil {
@@ -166,6 +176,11 @@ func main() {
 			}
 		}
 		pool <- rw
+	}
+
+	var poller *statsPoller
+	if *statsEvr > 0 {
+		poller = startStatsPoller(*addr, *statsEvr)
 	}
 
 	lg := trace.NewLog(int(*rate * duration.Seconds()))
@@ -224,6 +239,15 @@ func main() {
 		inflight--
 	}
 
+	var depthSamples []statsSample
+	if poller != nil {
+		samples, err := poller.finish()
+		if err != nil {
+			log.Printf("stats poller: %v (depth series dropped)", err)
+		}
+		depthSamples = samples
+	}
+
 	all := lg.Snapshot()
 	skip := int(*warmup * float64(len(all)))
 	steady := trace.NewLog(len(all) - skip)
@@ -264,6 +288,23 @@ func main() {
 		}
 		fmt.Printf("wrote %d records to %s (%d warmup samples discarded)\n", steady.Len(), *csvPath, skip)
 	}
+	if *statsCSV != "" && len(depthSamples) > 0 {
+		f, err := os.Create(*statsCSV)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := writeStatsCSV(f, depthSamples); err != nil {
+			log.Fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("wrote %d depth samples to %s\n", len(depthSamples), *statsCSV)
+	}
+	if ds := summarizeShardDepths(depthSamples); ds != nil {
+		fmt.Printf("server depths over %d samples: central mean %.1f max %d, steals %d, per-shard q mean %v\n",
+			ds.Samples, ds.CentralMean, ds.CentralMax, ds.Steals, ds.ShardQMean)
+	}
 	if *sumJSON != "" {
 		s := runSummary{
 			Schema:          1,
@@ -291,7 +332,8 @@ func main() {
 				MeanPreemptions: sum.MeanPreemptions,
 				DispatcherFrac:  sum.DispatcherFrac,
 			},
-			Classes: classStats(steady.Snapshot()),
+			Classes:     classStats(steady.Snapshot()),
+			ShardDepths: summarizeShardDepths(depthSamples),
 		}
 		if err := writeSummaryJSON(*sumJSON, s); err != nil {
 			log.Fatal(err)
@@ -315,6 +357,9 @@ type runSummary struct {
 	Failed          failCounts           `json:"failed"`
 	Steady          steadyStats          `json:"steady"`
 	Classes         map[string]classStat `json:"classes"`
+	// ShardDepths is present when -statsevery polled the server: the
+	// per-shard depth series condensed (additive; schema stays 1).
+	ShardDepths *shardDepthStats `json:"shard_depths,omitempty"`
 }
 
 type failCounts struct {

@@ -1,0 +1,257 @@
+// Server-side depth sampling: a side connection polls the kvd STATS
+// line at -statsevery, so a load run records how the dispatcher shards
+// behaved (per-shard queue depth and occupancy, cross-shard steals)
+// alongside the client-observed latencies. Samples go to -statscsv as a
+// time series with one column per shard and are condensed into the
+// shard_depths section of -summaryjson.
+package main
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"net"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// statsSample is one parsed STATS reply.
+type statsSample struct {
+	atMS      float64 // time since poller start
+	submitted uint64
+	completed uint64
+	steals    uint64
+	central   int
+	submitq   int
+	shardQ    []int
+	shardOcc  []int
+}
+
+// parseStatsLine parses a kvd STATS reply into a sample. Unknown keys
+// are ignored so the poller tolerates server-side additions; absent
+// shard keys (an older server) leave the slices nil.
+func parseStatsLine(line string) (statsSample, error) {
+	var s statsSample
+	line = strings.TrimSpace(line)
+	rest, ok := strings.CutPrefix(line, "STATS")
+	if !ok {
+		return s, fmt.Errorf("not a STATS reply: %q", line)
+	}
+	for _, f := range strings.Fields(rest) {
+		key, val, ok := strings.Cut(f, "=")
+		if !ok {
+			return s, fmt.Errorf("malformed STATS field %q", f)
+		}
+		switch key {
+		case "submitted":
+			s.submitted, _ = strconv.ParseUint(val, 10, 64)
+		case "completed":
+			s.completed, _ = strconv.ParseUint(val, 10, 64)
+		case "steals":
+			s.steals, _ = strconv.ParseUint(val, 10, 64)
+		case "central":
+			s.central, _ = strconv.Atoi(val)
+		case "submitq":
+			s.submitq, _ = strconv.Atoi(val)
+		case "shardq":
+			s.shardQ = parseIntList(val)
+		case "shardocc":
+			s.shardOcc = parseIntList(val)
+		}
+	}
+	return s, nil
+}
+
+func parseIntList(val string) []int {
+	parts := strings.Split(val, ",")
+	out := make([]int, 0, len(parts))
+	for _, p := range parts {
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			return nil
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+// statsPoller samples STATS on its own connection until stopped, so the
+// measurement never competes with load-bearing connections for a reply
+// slot.
+type statsPoller struct {
+	samples []statsSample
+	err     error
+	stop    chan struct{}
+	done    chan struct{}
+}
+
+func startStatsPoller(addr string, every time.Duration) *statsPoller {
+	p := &statsPoller{stop: make(chan struct{}), done: make(chan struct{})}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		p.err = err
+		close(p.done)
+		return p
+	}
+	go func() {
+		defer close(p.done)
+		defer conn.Close()
+		rw := bufio.NewReadWriter(bufio.NewReader(conn), bufio.NewWriter(conn))
+		start := time.Now()
+		tick := time.NewTicker(every)
+		defer tick.Stop()
+		for {
+			select {
+			case <-p.stop:
+				return
+			case <-tick.C:
+			}
+			fmt.Fprintln(rw, "STATS")
+			if err := rw.Flush(); err != nil {
+				p.err = err
+				return
+			}
+			line, err := rw.ReadString('\n')
+			if err != nil {
+				p.err = err
+				return
+			}
+			s, err := parseStatsLine(line)
+			if err != nil {
+				p.err = err
+				return
+			}
+			s.atMS = float64(time.Since(start)) / float64(time.Millisecond)
+			p.samples = append(p.samples, s)
+		}
+	}()
+	return p
+}
+
+// finish stops the poller and returns its samples (nil with the error
+// when polling failed).
+func (p *statsPoller) finish() ([]statsSample, error) {
+	close(p.stop)
+	<-p.done
+	if p.err != nil {
+		return nil, p.err
+	}
+	return p.samples, nil
+}
+
+// shardWidth is the widest shard slice seen across samples (constant in
+// practice; defensive against a mid-run server restart).
+func shardWidth(samples []statsSample) int {
+	w := 0
+	for _, s := range samples {
+		if len(s.shardQ) > w {
+			w = len(s.shardQ)
+		}
+		if len(s.shardOcc) > w {
+			w = len(s.shardOcc)
+		}
+	}
+	return w
+}
+
+// writeStatsCSV renders the depth time series: one row per sample, one
+// shardq/shardocc column pair per shard.
+func writeStatsCSV(w io.Writer, samples []statsSample) error {
+	shards := shardWidth(samples)
+	cols := []string{"time_ms", "submitted", "completed", "steals", "central", "submitq"}
+	for i := 0; i < shards; i++ {
+		cols = append(cols, fmt.Sprintf("shardq%d", i))
+	}
+	for i := 0; i < shards; i++ {
+		cols = append(cols, fmt.Sprintf("shardocc%d", i))
+	}
+	if _, err := fmt.Fprintln(w, strings.Join(cols, ",")); err != nil {
+		return err
+	}
+	at := func(vals []int, i int) int {
+		if i < len(vals) {
+			return vals[i]
+		}
+		return 0
+	}
+	for _, s := range samples {
+		row := []string{
+			fmt.Sprintf("%.1f", s.atMS),
+			strconv.FormatUint(s.submitted, 10),
+			strconv.FormatUint(s.completed, 10),
+			strconv.FormatUint(s.steals, 10),
+			strconv.Itoa(s.central),
+			strconv.Itoa(s.submitq),
+		}
+		for i := 0; i < shards; i++ {
+			row = append(row, strconv.Itoa(at(s.shardQ, i)))
+		}
+		for i := 0; i < shards; i++ {
+			row = append(row, strconv.Itoa(at(s.shardOcc, i)))
+		}
+		if _, err := fmt.Fprintln(w, strings.Join(row, ",")); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// shardDepthStats is the -summaryjson shard_depths section: per-shard
+// central-queue and occupancy statistics over the polled samples, plus
+// the steal counter's growth across the run.
+type shardDepthStats struct {
+	Shards       int       `json:"shards"`
+	Samples      int       `json:"samples"`
+	Steals       uint64    `json:"steals"`
+	ShardQMean   []float64 `json:"shardq_mean"`
+	ShardQMax    []int     `json:"shardq_max"`
+	ShardOccMean []float64 `json:"shardocc_mean"`
+	CentralMean  float64   `json:"central_mean"`
+	CentralMax   int       `json:"central_max"`
+	SubmitqMean  float64   `json:"submitq_mean"`
+}
+
+// summarizeShardDepths condenses the sample series; nil when there is
+// nothing to report.
+func summarizeShardDepths(samples []statsSample) *shardDepthStats {
+	if len(samples) == 0 {
+		return nil
+	}
+	shards := shardWidth(samples)
+	out := &shardDepthStats{
+		Shards:       shards,
+		Samples:      len(samples),
+		ShardQMean:   make([]float64, shards),
+		ShardQMax:    make([]int, shards),
+		ShardOccMean: make([]float64, shards),
+	}
+	for _, s := range samples {
+		out.CentralMean += float64(s.central)
+		out.SubmitqMean += float64(s.submitq)
+		if s.central > out.CentralMax {
+			out.CentralMax = s.central
+		}
+		for i := 0; i < shards; i++ {
+			if i < len(s.shardQ) {
+				out.ShardQMean[i] += float64(s.shardQ[i])
+				if s.shardQ[i] > out.ShardQMax[i] {
+					out.ShardQMax[i] = s.shardQ[i]
+				}
+			}
+			if i < len(s.shardOcc) {
+				out.ShardOccMean[i] += float64(s.shardOcc[i])
+			}
+		}
+	}
+	n := float64(len(samples))
+	out.CentralMean /= n
+	out.SubmitqMean /= n
+	for i := 0; i < shards; i++ {
+		out.ShardQMean[i] /= n
+		out.ShardOccMean[i] /= n
+	}
+	first, last := samples[0], samples[len(samples)-1]
+	out.Steals = last.steals - first.steals
+	return out
+}

@@ -40,7 +40,19 @@ const (
 	liveReqsPerCli = 8000
 	liveLongEvery  = 20
 	liveLongSpin   = 500 * time.Microsecond
+
+	// Sharded live scenario: the same loopback harness pointed at a
+	// sharded dispatcher. Zero-work requests isolate the dispatch path
+	// (submit → policy queue → JBSQ placement → response) so the shard
+	// sweep measures dispatcher throughput, not handler execution.
+	shardedWorkers    = 4
+	shardedQuantum    = 200 * time.Microsecond
+	shardedClients    = 8
+	shardedReqsPerCli = 2000
 )
+
+// shardedSweep is the dispatcher shard counts measured per repetition.
+var shardedSweep = []int{1, 2, 4}
 
 // coreLoads is the swept offered load in kRps. The top points bracket
 // Concord's SLO crossing so max_load_slo_krps interpolates inside the
@@ -49,7 +61,7 @@ var coreLoads = []float64{60, 120, 180, 240, 300}
 
 // Scenarios returns the standard suite in run order.
 func Scenarios() []Scenario {
-	return []Scenario{CoreScenario(), LiveScenario()}
+	return []Scenario{CoreScenario(), LiveScenario(), LiveShardedScenario()}
 }
 
 // ByName resolves a scenario by its report name.
@@ -222,4 +234,84 @@ func runLive() (map[string]float64, error) {
 		"p999_us":        quantileSorted(lats, 0.999),
 		"allocs_per_req": float64(after.Mallocs-before.Mallocs) / float64(total),
 	}, nil
+}
+
+// LiveShardedScenario sweeps the dispatcher shard count over the same
+// in-process loopback: one throughput point per shard count in
+// shardedSweep, plus a single hermetic allocation count over the whole
+// sweep (the per-request code path is shard-count independent, so any
+// shift means the dispatch path grew an allocation).
+//
+// Throughput points are machine-bound. On hosts with cores to spare the
+// sweep should rise monotonically with shards; on a single-core host
+// the extra dispatcher loops contend instead, and the points record
+// that honestly rather than gating on a shape the hardware cannot show.
+func LiveShardedScenario() Scenario {
+	return Scenario{
+		Name: "live_sharded",
+		Describe: fmt.Sprintf("in-process loopback, %d workers, shard sweep %v, %d closed-loop clients × %d zero-work requests per point",
+			shardedWorkers, shardedSweep, shardedClients, shardedReqsPerCli),
+		Metrics: map[string]MetricMeta{
+			"throughput_rps_shards1": {Unit: "req/s", Better: "higher", Hermetic: false},
+			"throughput_rps_shards2": {Unit: "req/s", Better: "higher", Hermetic: false},
+			"throughput_rps_shards4": {Unit: "req/s", Better: "higher", Hermetic: false},
+			"allocs_per_req":         {Unit: "allocs", Better: "lower", Hermetic: true},
+		},
+		Run: runLiveSharded,
+	}
+}
+
+func runLiveSharded() (map[string]float64, error) {
+	out := make(map[string]float64, len(shardedSweep)+1)
+	var mallocs, total uint64
+	for _, shards := range shardedSweep {
+		rps, m, n, err := runShardedPoint(shards)
+		if err != nil {
+			return nil, err
+		}
+		out[fmt.Sprintf("throughput_rps_shards%d", shards)] = rps
+		mallocs += m
+		total += n
+	}
+	out["allocs_per_req"] = float64(mallocs) / float64(total)
+	return out, nil
+}
+
+// runShardedPoint runs one closed-loop loopback at the given shard
+// count and returns its throughput plus the raw allocation tally.
+func runShardedPoint(shards int) (rps float64, mallocs, requests uint64, err error) {
+	s := live.New(benchSpin{}, live.Options{
+		Workers:    shardedWorkers,
+		Shards:     shards,
+		Quantum:    shardedQuantum,
+		PinThreads: false,
+	})
+	s.Start()
+	defer s.Stop()
+
+	var failed atomic.Int64
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < shardedClients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < shardedReqsPerCli; i++ {
+				if resp := s.Do(time.Duration(0)); resp.Err != nil {
+					failed.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+
+	if n := failed.Load(); n > 0 {
+		return 0, 0, 0, fmt.Errorf("bench: live_sharded shards=%d had %d failed requests", shards, n)
+	}
+	requests = uint64(shardedClients) * uint64(shardedReqsPerCli)
+	return float64(requests) / wall.Seconds(), after.Mallocs - before.Mallocs, requests, nil
 }

@@ -1,0 +1,328 @@
+// Dispatch layer: per-shard dispatcher loops. Each shard owns a
+// disjoint worker subset and its own central queue; its loop ingests
+// submissions, signals preemption for its workers, expires deadlines,
+// JBSQ-pushes to the shortest local queue (§3.2), steals never-started
+// requests from the longest sibling queue when it would otherwise idle,
+// and runs requests itself under time-based self-preemption when every
+// local queue is full (§3.3). One shard is exactly the paper's single
+// dispatcher.
+package live
+
+import (
+	"runtime"
+	"time"
+
+	"concord/internal/obs"
+)
+
+// shard is one dispatcher: policy queue, ingress buffer, worker subset,
+// and the work-conserving executor state.
+type shard struct {
+	id     int
+	writer int // obs writer id for this shard's dispatcher ring
+	q      *centralQueue
+	submit chan *task
+	// workers holds the global indices of the workers this shard owns.
+	workers []int
+	// ex is the dispatcher-as-executor identity for work conservation.
+	ex *executor
+	// saved parks a preempted dispatcher-run request between slices;
+	// such requests never migrate (§3.3).
+	saved *task
+	// lastFlagged dedups preemption signals per local worker (parallel
+	// to workers).
+	lastFlagged []uint64
+	done        chan struct{} // this shard's dispatcher exited
+}
+
+func (s *Server) dispatcherLoop(sh *shard) {
+	if s.opts.PinThreads {
+		runtime.LockOSThread()
+		defer runtime.UnlockOSThread()
+	}
+	s.handler.SetupWorker(sh.ex.id)
+	multi := len(s.shards) > 1
+
+	for {
+		progress := false
+		aborting := s.abort.Load()
+
+		// 1. Ingest submissions (bounded batch per iteration, so
+		// preemption signaling stays timely). Runs in abort mode too:
+		// workers re-submit preempted tasks here and must never be
+		// stranded against a departed dispatcher.
+		for i := 0; i < 64; i++ {
+			select {
+			case t := <-sh.submit:
+				if s.tr != nil {
+					if t.enqueueTS.IsZero() {
+						t.enqueueTS = time.Now()
+					}
+					s.tr.Record(sh.writer, obs.EvEnqueueCentral, t.id, 0)
+				}
+				sh.q.Push(t)
+				progress = true
+				continue
+			default:
+			}
+			break
+		}
+
+		if aborting {
+			// Drain deadline expired: fail everything queued or parked,
+			// and signal every running local request so it parks (and is
+			// then failed by its worker) at its next Poll.
+			for i, w := range sh.workers {
+				if info := s.running[w].Load(); info != nil {
+					s.workers[w].flag.Store(info.epoch)
+					if s.tr != nil && info.epoch != sh.lastFlagged[i] {
+						sh.lastFlagged[i] = info.epoch
+						s.tr.Record(sh.writer, obs.EvPreemptSignal, info.id, int64(w))
+					}
+				}
+			}
+			if s.failPending(sh) {
+				progress = true
+			}
+		} else {
+			// 2. Preemption signaling: write the flag of any local
+			// worker whose current request outlived the quantum. The
+			// flag carries the epoch being preempted, so a signal aimed
+			// at a finished request is inert for its successor — no
+			// check-then-act retraction window.
+			if q := s.opts.Quantum; q > 0 {
+				now := time.Now()
+				for i, w := range sh.workers {
+					info := s.running[w].Load()
+					if info == nil || info.epoch == sh.lastFlagged[i] {
+						continue
+					}
+					if now.Sub(info.start) >= q {
+						s.workers[w].flag.Store(info.epoch)
+						sh.lastFlagged[i] = info.epoch
+						if s.tr != nil {
+							s.tr.Record(sh.writer, obs.EvPreemptSignal, info.id, int64(w))
+						}
+						progress = true
+					}
+				}
+			}
+
+			// 2b. Deadline sweep: requests stuck behind full worker
+			// queues still expire. The heap head check is O(1), so this
+			// runs every iteration instead of on a coarse timer.
+			if s.opts.RequestTimeout > 0 && sh.q.Len() > 0 {
+				for _, t := range sh.q.SweepExpired(time.Now()) {
+					s.expire(sh, t)
+					progress = true
+				}
+			}
+
+			// 3. JBSQ push: move requests to the shortest non-full
+			// local queue, expiring lazily at the pop, stealing from
+			// the longest sibling when the local queue runs dry.
+			for {
+				w := s.shortestQueue(sh)
+				if w < 0 {
+					break
+				}
+				t, ok := sh.q.Pop()
+				if !ok && multi {
+					t, ok = s.steal(sh)
+				}
+				if !ok {
+					break
+				}
+				if !t.deadline.IsZero() && t.expired(time.Now()) {
+					s.expire(sh, t)
+					progress = true
+					continue
+				}
+				s.occ[w].Add(1)
+				if s.tr != nil {
+					s.tr.Record(sh.writer, obs.EvDispatch, t.id, int64(w))
+				}
+				s.locals[w] <- t
+				progress = true
+			}
+
+			// 4. Work conservation (also during graceful drain — the
+			// dispatcher helping finishes the backlog sooner).
+			if s.opts.WorkConserving && !progress {
+				if t := sh.saved; t != nil {
+					sh.saved = nil
+					if t.expired(time.Now()) {
+						s.expire(sh, t)
+					} else {
+						s.runSlice(sh, t) // re-sets saved if the task parks again
+					}
+					progress = true
+				} else if t := s.takeNonStarted(sh); t != nil {
+					s.runSlice(sh, t)
+					progress = true
+				}
+			}
+		}
+
+		if s.stopped.Load() && s.drained(sh) {
+			close(sh.done)
+			return
+		}
+		if !progress {
+			runtime.Gosched()
+		}
+	}
+}
+
+// shortestQueue returns the shard-local worker with the fewest queued
+// requests, or -1 when every local queue is at the JBSQ bound.
+func (s *Server) shortestQueue(sh *shard) int {
+	best, bestOcc := -1, int32(s.opts.QueueBound)
+	for _, w := range sh.workers {
+		if o := s.occ[w].Load(); o < bestOcc {
+			best, bestOcc = w, o
+		}
+	}
+	return best
+}
+
+// steal pops one never-started request from the longest sibling queue.
+// Only never-started requests migrate: once a request has run on a
+// shard's worker its requeue path and epoch bookkeeping stay with that
+// shard, mirroring the paper's rule that dispatcher-run requests never
+// migrate (§3.3). The thief dispatches the stolen task on this same
+// loop iteration — before its own drained check — so a steal racing
+// Stop can never strand the task.
+func (s *Server) steal(sh *shard) (*task, bool) {
+	var victim *shard
+	best := 0
+	for _, sib := range s.shards {
+		if sib == sh {
+			continue
+		}
+		if l := sib.q.Len(); l > best {
+			best, victim = l, sib
+		}
+	}
+	if victim == nil {
+		return nil, false
+	}
+	t, ok := victim.q.PopNonStarted()
+	if !ok {
+		return nil, false
+	}
+	if testStealGate != nil {
+		testStealGate()
+	}
+	s.stats.steals.Add(1)
+	return t, true
+}
+
+// takeNonStarted pops the next never-started request from the shard's
+// queue — the only kind the dispatcher may run itself (§3.3) — but only
+// when every local worker queue is full. Expired requests found on the
+// way are completed with ErrDeadlineExceeded.
+func (s *Server) takeNonStarted(sh *shard) *task {
+	for _, w := range sh.workers {
+		if s.occ[w].Load() < int32(s.opts.QueueBound) {
+			return nil
+		}
+	}
+	now := time.Now()
+	for {
+		t, ok := sh.q.PopNonStarted()
+		if !ok {
+			return nil
+		}
+		if t.expired(now) {
+			s.expire(sh, t)
+			continue
+		}
+		return t
+	}
+}
+
+// runSlice executes one dispatcher slice of a stolen task.
+func (s *Server) runSlice(sh *shard, t *task) {
+	ex := sh.ex
+	ex.sliceStart = time.Now()
+	ex.sliceLen = s.opts.DispatcherSlice
+	first := !t.started
+	if !t.started {
+		t.started = true
+		t.onDispatcher = true
+		s.startTask(t)
+	}
+	if s.tr != nil {
+		if t.firstRunTS.IsZero() {
+			t.firstRunTS = ex.sliceStart
+		}
+		kind := obs.EvResume
+		if first {
+			kind = obs.EvStart
+		}
+		s.tr.Record(sh.writer, kind, t.id, 0)
+	}
+	if s.trackRun {
+		t.runStart = ex.sliceStart
+	}
+	t.resume <- ex
+	ev := <-t.parked
+	if s.trackRun {
+		t.runNS += int64(time.Since(t.runStart))
+	}
+	if ev.done {
+		ev.resp.OnDispatcher = true
+		s.finish(sh.writer, t, ev.resp)
+		s.stats.stolen.Add(1)
+		return
+	}
+	t.preempts++
+	s.stats.preemptions.Add(1)
+	if s.tr != nil {
+		s.tr.Record(sh.writer, obs.EvYield, t.id, 0)
+	}
+	// Dispatcher-run requests cannot migrate: park in the dedicated
+	// buffer.
+	sh.saved = t
+}
+
+// failPending completes every queued or parked request of this shard
+// with ErrServerStopped; it reports whether it failed anything.
+func (s *Server) failPending(sh *shard) bool {
+	failed := false
+	for _, t := range sh.q.DrainAll() {
+		s.failTask(t, ErrServerStopped, sh.ex)
+		s.stats.aborted.Add(1)
+		failed = true
+	}
+	if t := sh.saved; t != nil {
+		sh.saved = nil
+		s.failTask(t, ErrServerStopped, sh.ex)
+		s.stats.aborted.Add(1)
+		failed = true
+	}
+	return failed
+}
+
+// expire completes a queued or parked request with ErrDeadlineExceeded.
+func (s *Server) expire(sh *shard, t *task) {
+	s.stats.expired.Add(1)
+	s.failTask(t, ErrDeadlineExceeded, sh.ex)
+}
+
+// drained reports whether this shard has no pending work anywhere:
+// ingress, central queue, saved slot, or local worker queues. A stolen
+// task never floats unaccounted between shards (see steal), so every
+// shard observing its own drain implies the server has drained.
+func (s *Server) drained(sh *shard) bool {
+	if len(sh.submit) > 0 || sh.q.Len() > 0 || sh.saved != nil {
+		return false
+	}
+	for _, w := range sh.workers {
+		if s.occ[w].Load() != 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,98 @@
+// Ingest layer: admission control. Submit builds the task, applies the
+// deadline, captures the SRPT service hint, checks the stop gate, and
+// places the task on a shard's ingress buffer — round-robin across
+// shards with fallback to any sibling with room, rejecting with
+// ErrQueueFull only when every buffer is full.
+package live
+
+import (
+	"time"
+
+	"concord/internal/obs"
+)
+
+// Submit enqueues a request and returns a channel that will receive
+// exactly one response. The channel has capacity 1; the caller need not
+// read it immediately. Submit never blocks: after Stop has begun it
+// responds ErrServerStopped, and when every shard's submit buffer is
+// full it responds ErrQueueFull.
+func (s *Server) Submit(payload any) <-chan Response {
+	ch := make(chan Response, 1)
+	t := &task{
+		id:      s.nextID.Add(1),
+		payload: payload,
+		arrival: time.Now(),
+		result:  ch,
+		resume:  make(chan *executor),
+		parked:  make(chan parkEvent),
+	}
+	if d := s.opts.RequestTimeout; d > 0 {
+		t.deadline = t.arrival.Add(d)
+	}
+	if s.hinted {
+		if h, ok := payload.(Hinted); ok {
+			if hint := int64(h.ServiceHint()); hint > 0 {
+				t.hintNS = hint
+			}
+		}
+	}
+	s.submitMu.RLock()
+	if s.stopping {
+		s.submitMu.RUnlock()
+		s.stats.rejected.Add(1)
+		if s.tr != nil {
+			s.tr.Record(obs.WriterClient, obs.EvReject, t.id, obs.StatusStopped)
+		}
+		if s.tail != nil {
+			s.tail.ObserveRejected()
+		}
+		ch <- Response{ID: t.id, Err: ErrServerStopped}
+		return ch
+	}
+	if testSubmitGate != nil {
+		testSubmitGate()
+	}
+	if s.enqueue(t) {
+		s.stats.submitted.Add(1)
+		if s.tr != nil {
+			s.tr.Record(obs.WriterClient, obs.EvSubmit, t.id, 0)
+		}
+		s.submitMu.RUnlock()
+	} else {
+		s.submitMu.RUnlock()
+		s.stats.rejected.Add(1)
+		if s.tr != nil {
+			s.tr.Record(obs.WriterClient, obs.EvReject, t.id, obs.StatusQueueFull)
+		}
+		if s.tail != nil {
+			s.tail.ObserveRejected()
+		}
+		ch <- Response{ID: t.id, Err: ErrQueueFull}
+	}
+	return ch
+}
+
+// enqueue places t on a shard's ingress buffer and reports whether it
+// found room. Single-shard servers keep the historical one-select fast
+// path; multi-shard servers start at the round-robin cursor and fall
+// back to each sibling once.
+func (s *Server) enqueue(t *task) bool {
+	if len(s.shards) == 1 {
+		select {
+		case s.shards[0].submit <- t:
+			return true
+		default:
+			return false
+		}
+	}
+	n := uint64(len(s.shards))
+	start := s.rr.Add(1)
+	for i := uint64(0); i < n; i++ {
+		select {
+		case s.shards[(start+i)%n].submit <- t:
+			return true
+		default:
+		}
+	}
+	return false
+}

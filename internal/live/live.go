@@ -17,13 +17,40 @@
 // exactly the paper's. Each request runs on its own goroutine that parks
 // cooperatively, mirroring Shinjuku-style user-level contexts.
 //
+// # Layering
+//
+// The runtime is four layers, one file each, with the request flowing
+// top to bottom:
+//
+//	ingest (ingest.go)      Submit: admission, backpressure, deadlines,
+//	                        shard selection (round-robin with fallback)
+//	policy (queue.go)       the central queue: an internal/policy
+//	                        Queue[*task] — FCFS or SRPT via
+//	                        Options.Policy — behind a small concurrency
+//	                        adapter with a deadline heap
+//	dispatch (dispatch.go)  per-shard dispatcher loops: JBSQ placement,
+//	                        preemption signaling, work conservation,
+//	                        cross-shard stealing
+//	execution (exec.go)     worker loops, request goroutines, Ctx and
+//	                        its Poll probe
+//
+// live.go holds the public surface (Options, Server lifecycle, Stats)
+// and task.go the request object that flows through the layers.
+//
+// Dispatch generalizes the paper's single dispatcher to N shards
+// (Options.Shards), RackSched-style: each shard owns a disjoint worker
+// subset and its own policy queue, ingest round-robins across shards,
+// and a shard whose queue is empty steals never-started requests from
+// the longest sibling queue, so work conservation (§3.3) holds
+// globally. Shards: 1 is the paper's architecture unchanged.
+//
 // # Lifecycle
 //
 // A Server moves through three states: serving, draining, stopped.
 // Submit never blocks: it either accepts a request (exactly one
 // Response is always delivered for an accepted request) or rejects it
 // immediately with ErrServerStopped (after Stop has begun) or
-// ErrQueueFull (submit buffer full — explicit backpressure instead of
+// ErrQueueFull (submit buffers full — explicit backpressure instead of
 // unbounded blocking). Stop drains every accepted request before
 // returning; Options.DrainTimeout bounds the drain, after which queued
 // and parked requests are completed with ErrServerStopped and running
@@ -49,8 +76,10 @@ import (
 type Handler interface {
 	// Setup initializes global application state before serving.
 	Setup()
-	// SetupWorker initializes per-worker state; worker -1 is the
-	// dispatcher (it runs application code too when work-conserving).
+	// SetupWorker initializes per-worker state; negative workers are
+	// dispatchers (they run application code too when work-conserving):
+	// -1 for shard 0 — the only dispatcher at Shards 1 — and -(s+1) for
+	// shard s.
 	SetupWorker(worker int)
 	// Handle processes one request. Long handlers must call ctx.Poll()
 	// regularly (or be instrumented with cmd/concordc) so preemption
@@ -59,35 +88,55 @@ type Handler interface {
 	Handle(ctx *Ctx, payload any) (any, error)
 }
 
+// Central-queue disciplines for Options.Policy, resolved through
+// policy.NewQueue.
+const (
+	PolicyFCFS = "fcfs"
+	PolicySRPT = "srpt"
+)
+
 // Options configures a Server.
 type Options struct {
 	// Workers is the number of worker goroutines (each pinned to an OS
 	// thread). Default 2.
 	Workers int
+	// Shards is the number of dispatcher shards. Each shard owns a
+	// disjoint contiguous subset of the workers and runs its own
+	// central queue and dispatcher loop; ingest round-robins across
+	// shards and an idle shard steals never-started requests from the
+	// longest sibling queue. Default 1 (the paper's single dispatcher);
+	// values above Workers are clamped to Workers.
+	Shards int
+	// Policy selects the central-queue discipline: PolicyFCFS (default)
+	// or PolicySRPT. Under SRPT, payloads implementing Hinted are
+	// ordered by estimated remaining service time (hint minus
+	// accumulated service); unhinted payloads schedule as if no work
+	// remained — ahead of hinted ones, FIFO among themselves.
+	Policy string
 	// Quantum is the scheduling quantum; 0 disables preemption.
 	Quantum time.Duration
 	// QueueBound is k in JBSQ(k), counting the in-service request.
 	// Default 2. 1 degenerates to a synchronous single queue.
 	QueueBound int
-	// WorkConserving lets the dispatcher run requests when every worker
-	// queue is full.
+	// WorkConserving lets a shard's dispatcher run requests when every
+	// one of its worker queues is full.
 	WorkConserving bool
-	// DispatcherSlice is how long the dispatcher works on a stolen
+	// DispatcherSlice is how long a dispatcher works on a stolen
 	// request before checking for dispatcher duties. Default: Quantum,
 	// or 100µs if Quantum is 0.
 	DispatcherSlice time.Duration
-	// PinThreads locks workers and dispatcher to OS threads. Default
+	// PinThreads locks workers and dispatchers to OS threads. Default
 	// true; tests disable it to run many servers concurrently.
 	PinThreads bool
 	// CoopTimeshare makes request code call runtime.Gosched every N
-	// polls so the dispatcher and workers make progress when there are
-	// fewer CPUs than runtime threads (the dispatcher otherwise starves
+	// polls so the dispatchers and workers make progress when there are
+	// fewer CPUs than runtime threads (a dispatcher otherwise starves
 	// and preemption flags are never written). 0 auto-detects from
 	// GOMAXPROCS; negative disables.
 	CoopTimeshare int
-	// SubmitBuffer is the ingress channel capacity. Default 4096. When
-	// the buffer is full, Submit rejects with ErrQueueFull rather than
-	// blocking.
+	// SubmitBuffer is the per-shard ingress channel capacity. Default
+	// 4096. When every shard's buffer is full, Submit rejects with
+	// ErrQueueFull rather than blocking.
 	SubmitBuffer int
 	// RequestTimeout bounds each request's total time at the server.
 	// Requests that expire while queued or parked are completed with
@@ -103,9 +152,9 @@ type Options struct {
 	// state transition (submit, enqueue, dispatch, start, preempt
 	// signal, yield, requeue, resume, completion) and enables per-request
 	// latency Breakdown on every Response. It must be built with
-	// obs.NewTracer for the same worker count as this server. When nil,
-	// the cost at each instrumentation point is a single predictable
-	// branch.
+	// obs.NewTracer (or obs.NewTracerSharded) for the same worker and
+	// shard counts as this server. When nil, the cost at each
+	// instrumentation point is a single predictable branch.
 	Tracer *obs.Tracer
 	// Tail, when non-nil, receives every delivered response's latency
 	// and success at completion, feeding rolling-window tail quantiles
@@ -117,6 +166,15 @@ type Options struct {
 func (o Options) withDefaults() Options {
 	if o.Workers <= 0 {
 		o.Workers = 2
+	}
+	if o.Shards <= 0 {
+		o.Shards = 1
+	}
+	if o.Shards > o.Workers {
+		o.Shards = o.Workers
+	}
+	if o.Policy == "" {
+		o.Policy = PolicyFCFS
 	}
 	if o.QueueBound <= 0 {
 		o.QueueBound = 2
@@ -132,8 +190,8 @@ func (o Options) withDefaults() Options {
 		o.SubmitBuffer = 4096
 	}
 	if o.CoopTimeshare == 0 {
-		if runtime.GOMAXPROCS(0) < o.Workers+2 {
-			// Not enough CPUs to run the dispatcher, the workers, and
+		if runtime.GOMAXPROCS(0) < o.Workers+o.Shards+1 {
+			// Not enough CPUs to run the dispatchers, the workers, and
 			// request code in parallel: timeshare cooperatively.
 			o.CoopTimeshare = 64
 		} else {
@@ -152,7 +210,7 @@ type Response struct {
 	Latency time.Duration
 	// Preemptions counts how many times the request yielded.
 	Preemptions int
-	// OnDispatcher reports the request was executed by the
+	// OnDispatcher reports the request was executed by a
 	// work-conserving dispatcher.
 	OnDispatcher bool
 	// Breakdown attributes Latency to lifecycle components. It is
@@ -185,7 +243,8 @@ type Stats struct {
 	Expired     uint64 // completed with ErrDeadlineExceeded
 	Aborted     uint64 // completed with ErrServerStopped by drain abort
 	Preemptions uint64
-	Stolen      uint64 // completed by the dispatcher
+	Stolen      uint64 // completed by a work-conserving dispatcher
+	Steals      uint64 // never-started requests migrated between shards
 }
 
 // Sentinel errors. Compare with errors.Is.
@@ -203,114 +262,42 @@ var (
 // cacheLinePad avoids false sharing between per-worker flags.
 const cacheLinePad = 64
 
-// Test-only scheduling gates. When non-nil they run at the two
-// historically racy hand-off points, widening windows that are a few
-// instructions wide (and unobservable on single-CPU machines) so the
-// lifecycle regression tests can exercise them deterministically.
+// Test-only scheduling gates. When non-nil they run at historically
+// racy hand-off points, widening windows that are a few instructions
+// wide (and unobservable on single-CPU machines) so the lifecycle
+// regression tests can exercise them deterministically.
 var (
 	testSubmitGate  func() // between Submit's stop check and its enqueue
 	testRequeueGate func() // between a preemption park and its re-submit
+	testStealGate   func() // between a steal's pop and its local dispatch
 )
-
-// deadlineSweep is how often the dispatcher scans the central queue for
-// expired requests (expiry is also checked on every dispatch).
-const deadlineSweep = time.Millisecond
-
-// executor is a CPU context a task can run on: a worker or the
-// dispatcher in work-conserving mode.
-type executor struct {
-	id int // worker index, or -1 for the dispatcher
-	// flag is the dedicated "cache line" the dispatcher writes to
-	// request preemption and the task's Poll reads. It holds the epoch
-	// being preempted (never 0): a request yields only when the flag
-	// matches its own epoch, so a signal aimed at one request can never
-	// hit its successor and no retraction handshake is needed.
-	flag atomic.Uint64
-	_    [cacheLinePad - 8]byte
-	// epoch is the worker's current scheduling epoch. Written by the
-	// worker loop between requests, read by the request goroutine; the
-	// resume/parked channel handshake orders the accesses.
-	epoch uint64
-	// sliceStart/sliceLen drive time-based self-preemption when the
-	// dispatcher runs tasks (there is nobody to write its flag, §3.3).
-	sliceStart time.Time
-	sliceLen   time.Duration
-}
-
-type parkEvent struct {
-	done bool
-	resp Response
-}
-
-// task is one in-flight request and its suspended continuation.
-type task struct {
-	id       uint64
-	payload  any
-	arrival  time.Time
-	deadline time.Time // zero = none
-	result   chan Response
-
-	resume chan *executor
-	parked chan parkEvent
-
-	// abortErr, when set before a resume, makes the request unwind with
-	// this error at the resume point instead of continuing. Written
-	// before the resume send, read after the resume receive.
-	abortErr error
-
-	started      bool
-	onDispatcher bool
-	preempts     int
-
-	// Observability timestamps, written only when the server has a
-	// tracer. All writes happen on the goroutine that owns the task at
-	// that moment; the channel hand-offs order them.
-	enqueueTS  time.Time // first dispatcher ingest
-	firstRunTS time.Time // first CPU hand-off
-	runStart   time.Time // current running interval's start
-	runNS      int64     // accumulated running time
-}
-
-func (t *task) expired(now time.Time) bool {
-	return !t.deadline.IsZero() && now.After(t.deadline)
-}
-
-// taskAbort is the panic payload used to unwind an aborted request's
-// handler; startTask's recover converts it to a Response error.
-type taskAbort struct{ err error }
-
-// runInfo is the per-worker "currently running" record the dispatcher
-// reads to detect expired quanta.
-type runInfo struct {
-	epoch uint64
-	id    uint64 // request id, for preempt-signal attribution
-	start time.Time
-}
 
 // Server is a running Concord scheduling runtime.
 type Server struct {
 	opts    Options
 	handler Handler
 
-	submit  chan *task
-	central []*task // dispatcher-owned FIFO
+	shards  []*shard
 	locals  []chan *task
 	occ     []atomic.Int32 // per-worker occupancy incl. in-service
 	workers []*executor
 	running []atomic.Pointer[runInfo]
-
-	dispatcherEx *executor
-	saved        *task
+	shardOf []int // worker index → owning shard
 
 	// tr is Options.Tracer, kept as a concrete pointer so the disabled
 	// path is one nil-check branch per event site. tail is Options.Tail
 	// under the same contract: one nil check per completion.
 	tr   *obs.Tracer
 	tail *obs.TailTracker
-	// centralLen mirrors len(central) (dispatcher-owned) once per
-	// dispatcher iteration so Depths can read it from any goroutine.
-	centralLen atomic.Int64
 
+	// trackRun enables per-task service-time accumulation: needed for
+	// Breakdown (tracer set) and for SRPT's remaining-work keys.
+	trackRun bool
+	// hinted enables the Hinted type assertion on Submit; only SRPT
+	// consumes service hints.
+	hinted bool
+
+	rr     atomic.Uint64 // round-robin ingest cursor (multi-shard only)
 	nextID atomic.Uint64
 	stats  struct {
 		submitted   atomic.Uint64
@@ -320,20 +307,20 @@ type Server struct {
 		aborted     atomic.Uint64
 		preemptions atomic.Uint64
 		stolen      atomic.Uint64
+		steals      atomic.Uint64
 	}
 
 	// submitMu orders Submit against Stop: Submit holds the read lock
 	// across the stopping check and the enqueue, so once Stop has taken
-	// the write lock and set stopping, no further task can enter the
+	// the write lock and set stopping, no further task can enter any
 	// submit buffer and every later Submit deterministically returns
 	// ErrServerStopped.
 	submitMu sync.RWMutex
 	stopping bool // guarded by submitMu
 
 	started atomic.Bool
-	stopped atomic.Bool   // dispatcher-visible mirror of stopping
-	abort   atomic.Bool   // drain deadline expired: fail pending work
-	done    chan struct{} // dispatcher exited
+	stopped atomic.Bool // dispatcher-visible mirror of stopping
+	abort   atomic.Bool // drain deadline expired: fail pending work
 	wg      sync.WaitGroup
 
 	startOnce sync.Once
@@ -341,34 +328,58 @@ type Server struct {
 }
 
 // New builds a server; call Start before submitting. It panics when
-// Options.Tracer was built for a different worker count.
+// Options.Policy is unknown or Options.Tracer was built for a different
+// worker or shard count.
 func New(h Handler, opts Options) *Server {
 	opts = opts.withDefaults()
-	if opts.Tracer != nil && opts.Tracer.Workers() != opts.Workers {
-		panic(fmt.Sprintf("live: tracer built for %d workers, server has %d",
-			opts.Tracer.Workers(), opts.Workers))
+	if opts.Tracer != nil &&
+		(opts.Tracer.Workers() != opts.Workers || opts.Tracer.Shards() != opts.Shards) {
+		panic(fmt.Sprintf("live: tracer built for %d workers / %d shards, server has %d / %d",
+			opts.Tracer.Workers(), opts.Tracer.Shards(), opts.Workers, opts.Shards))
 	}
 	s := &Server{
-		opts:    opts,
-		tr:      opts.Tracer,
-		tail:    opts.Tail,
-		handler: h,
-		submit:  make(chan *task, opts.SubmitBuffer),
-		locals:  make([]chan *task, opts.Workers),
-		occ:     make([]atomic.Int32, opts.Workers),
-		workers: make([]*executor, opts.Workers),
-		running: make([]atomic.Pointer[runInfo], opts.Workers),
-		done:    make(chan struct{}),
+		opts:     opts,
+		tr:       opts.Tracer,
+		tail:     opts.Tail,
+		trackRun: opts.Tracer != nil || opts.Policy == PolicySRPT,
+		hinted:   opts.Policy == PolicySRPT,
+		handler:  h,
+		locals:   make([]chan *task, opts.Workers),
+		occ:      make([]atomic.Int32, opts.Workers),
+		workers:  make([]*executor, opts.Workers),
+		running:  make([]atomic.Pointer[runInfo], opts.Workers),
+		shardOf:  make([]int, opts.Workers),
 	}
 	for i := range s.locals {
 		s.locals[i] = make(chan *task, opts.QueueBound)
-		s.workers[i] = &executor{id: i}
+		s.workers[i] = &executor{id: i, writer: i}
 	}
-	s.dispatcherEx = &executor{id: -1}
+	for sid := 0; sid < opts.Shards; sid++ {
+		q, err := newCentralQueue(opts.Policy)
+		if err != nil {
+			panic("live: " + err.Error())
+		}
+		sh := &shard{
+			id:     sid,
+			writer: obs.DispatcherWriter(sid),
+			q:      q,
+			submit: make(chan *task, opts.SubmitBuffer),
+			ex:     &executor{id: -(sid + 1), writer: obs.DispatcherWriter(sid)},
+			done:   make(chan struct{}),
+		}
+		// Contiguous worker partition: shard i owns [i·W/S, (i+1)·W/S).
+		lo, hi := sid*opts.Workers/opts.Shards, (sid+1)*opts.Workers/opts.Shards
+		for w := lo; w < hi; w++ {
+			sh.workers = append(sh.workers, w)
+			s.shardOf[w] = sid
+		}
+		sh.lastFlagged = make([]uint64, len(sh.workers))
+		s.shards = append(s.shards, sh)
+	}
 	return s
 }
 
-// Start launches the dispatcher and workers.
+// Start launches the dispatchers and workers.
 func (s *Server) Start() {
 	s.startOnce.Do(func() {
 		s.started.Store(true)
@@ -377,7 +388,9 @@ func (s *Server) Start() {
 			s.wg.Add(1)
 			go s.workerLoop(i)
 		}
-		go s.dispatcherLoop()
+		for _, sh := range s.shards {
+			go s.dispatcherLoop(sh)
+		}
 	})
 }
 
@@ -396,17 +409,24 @@ func (s *Server) Stop() {
 		if !s.started.Load() {
 			return // never started: nothing to drain
 		}
+		allDone := make(chan struct{})
+		go func() {
+			for _, sh := range s.shards {
+				<-sh.done
+			}
+			close(allDone)
+		}()
 		if d := s.opts.DrainTimeout; d > 0 {
 			timer := time.NewTimer(d)
 			select {
-			case <-s.done:
+			case <-allDone:
 				timer.Stop()
 			case <-timer.C:
 				s.abort.Store(true)
-				<-s.done
+				<-allDone
 			}
 		} else {
-			<-s.done
+			<-allDone
 		}
 		for _, ch := range s.locals {
 			close(ch)
@@ -418,12 +438,15 @@ func (s *Server) Stop() {
 // Depths is a point-in-time queue-occupancy snapshot: momentary
 // overload that lifetime counters cannot show.
 type Depths struct {
-	// Submit is the ingress buffer occupancy (accepted, not yet
-	// ingested by the dispatcher).
+	// Submit is the total ingress buffer occupancy across shards
+	// (accepted, not yet ingested by a dispatcher).
 	Submit int
-	// Central is the dispatcher FIFO length, mirrored once per
-	// dispatcher iteration (so it can lag by one iteration).
+	// Central is the total central-queue length across shards.
 	Central int
+	// ShardQueues is the per-shard central-queue length.
+	ShardQueues []int
+	// ShardOcc is the per-shard sum of its workers' JBSQ occupancy.
+	ShardOcc []int
 	// Workers is per-worker JBSQ occupancy including the in-service
 	// request.
 	Workers []int
@@ -433,12 +456,20 @@ type Depths struct {
 // serving.
 func (s *Server) Depths() Depths {
 	d := Depths{
-		Submit:  len(s.submit),
-		Central: int(s.centralLen.Load()),
-		Workers: make([]int, len(s.occ)),
+		Workers:     make([]int, len(s.occ)),
+		ShardQueues: make([]int, len(s.shards)),
+		ShardOcc:    make([]int, len(s.shards)),
+	}
+	for _, sh := range s.shards {
+		d.Submit += len(sh.submit)
+		q := sh.q.Len()
+		d.ShardQueues[sh.id] = q
+		d.Central += q
 	}
 	for w := range s.occ {
-		d.Workers[w] = int(s.occ[w].Load())
+		o := int(s.occ[w].Load())
+		d.Workers[w] = o
+		d.ShardOcc[s.shardOf[w]] += o
 	}
 	return d
 }
@@ -453,593 +484,14 @@ func (s *Server) Stats() Stats {
 		Aborted:     s.stats.aborted.Load(),
 		Preemptions: s.stats.preemptions.Load(),
 		Stolen:      s.stats.stolen.Load(),
+		Steals:      s.stats.steals.Load(),
 	}
 }
 
-// Submit enqueues a request and returns a channel that will receive
-// exactly one response. The channel has capacity 1; the caller need not
-// read it immediately. Submit never blocks: after Stop has begun it
-// responds ErrServerStopped, and when the submit buffer is full it
-// responds ErrQueueFull.
-func (s *Server) Submit(payload any) <-chan Response {
-	ch := make(chan Response, 1)
-	t := &task{
-		id:      s.nextID.Add(1),
-		payload: payload,
-		arrival: time.Now(),
-		result:  ch,
-		resume:  make(chan *executor),
-		parked:  make(chan parkEvent),
-	}
-	if d := s.opts.RequestTimeout; d > 0 {
-		t.deadline = t.arrival.Add(d)
-	}
-	s.submitMu.RLock()
-	if s.stopping {
-		s.submitMu.RUnlock()
-		s.stats.rejected.Add(1)
-		if s.tr != nil {
-			s.tr.Record(obs.WriterClient, obs.EvReject, t.id, obs.StatusStopped)
-		}
-		if s.tail != nil {
-			s.tail.ObserveRejected()
-		}
-		ch <- Response{ID: t.id, Err: ErrServerStopped}
-		return ch
-	}
-	if testSubmitGate != nil {
-		testSubmitGate()
-	}
-	select {
-	case s.submit <- t:
-		s.stats.submitted.Add(1)
-		if s.tr != nil {
-			s.tr.Record(obs.WriterClient, obs.EvSubmit, t.id, 0)
-		}
-		s.submitMu.RUnlock()
-	default:
-		s.submitMu.RUnlock()
-		s.stats.rejected.Add(1)
-		if s.tr != nil {
-			s.tr.Record(obs.WriterClient, obs.EvReject, t.id, obs.StatusQueueFull)
-		}
-		if s.tail != nil {
-			s.tail.ObserveRejected()
-		}
-		ch <- Response{ID: t.id, Err: ErrQueueFull}
-	}
-	return ch
-}
+// Shards returns the configured dispatcher-shard count.
+func (s *Server) Shards() int { return len(s.shards) }
 
 // Do submits a request and waits for its response.
 func (s *Server) Do(payload any) Response {
 	return <-s.Submit(payload)
-}
-
-// ---------- dispatcher ----------
-
-func (s *Server) dispatcherLoop() {
-	if s.opts.PinThreads {
-		runtime.LockOSThread()
-		defer runtime.UnlockOSThread()
-	}
-	s.handler.SetupWorker(-1)
-	lastFlagged := make([]uint64, s.opts.Workers)
-	var lastSweep time.Time
-
-	for {
-		progress := false
-		aborting := s.abort.Load()
-
-		// 1. Ingest submissions (bounded batch per iteration, so
-		// preemption signaling stays timely). Runs in abort mode too:
-		// workers re-submit preempted tasks here and must never be
-		// stranded against a departed dispatcher.
-		for i := 0; i < 64; i++ {
-			select {
-			case t := <-s.submit:
-				s.central = append(s.central, t)
-				if s.tr != nil {
-					if t.enqueueTS.IsZero() {
-						t.enqueueTS = time.Now()
-					}
-					s.tr.Record(obs.WriterDispatcher, obs.EvEnqueueCentral, t.id, 0)
-				}
-				progress = true
-				continue
-			default:
-			}
-			break
-		}
-
-		if aborting {
-			// Drain deadline expired: fail everything queued or parked,
-			// and signal every running request so it parks (and is then
-			// failed by its worker) at its next Poll.
-			for w := range s.workers {
-				if info := s.running[w].Load(); info != nil {
-					s.workers[w].flag.Store(info.epoch)
-					if s.tr != nil && info.epoch != lastFlagged[w] {
-						lastFlagged[w] = info.epoch
-						s.tr.Record(obs.WriterDispatcher, obs.EvPreemptSignal, info.id, int64(w))
-					}
-				}
-			}
-			if s.failPending() {
-				progress = true
-			}
-		} else {
-			// 2. Preemption signaling: write the flag of any worker
-			// whose current request outlived the quantum. The flag
-			// carries the epoch being preempted, so a signal aimed at a
-			// finished request is inert for its successor — no
-			// check-then-act retraction window.
-			if q := s.opts.Quantum; q > 0 {
-				now := time.Now()
-				for w := range s.workers {
-					info := s.running[w].Load()
-					if info == nil || info.epoch == lastFlagged[w] {
-						continue
-					}
-					if now.Sub(info.start) >= q {
-						s.workers[w].flag.Store(info.epoch)
-						lastFlagged[w] = info.epoch
-						if s.tr != nil {
-							s.tr.Record(obs.WriterDispatcher, obs.EvPreemptSignal, info.id, int64(w))
-						}
-						progress = true
-					}
-				}
-			}
-
-			// 2b. Coarse deadline sweep over the central queue, so
-			// requests stuck behind full worker queues still expire.
-			if s.opts.RequestTimeout > 0 && len(s.central) > 0 {
-				if now := time.Now(); now.Sub(lastSweep) >= deadlineSweep {
-					lastSweep = now
-					kept := s.central[:0]
-					for _, t := range s.central {
-						if t.expired(now) {
-							s.expire(t)
-							progress = true
-						} else {
-							kept = append(kept, t)
-						}
-					}
-					for i := len(kept); i < len(s.central); i++ {
-						s.central[i] = nil
-					}
-					s.central = kept
-				}
-			}
-
-			// 3. JBSQ push: move requests to the shortest non-full
-			// queue, expiring lazily at the head.
-			for len(s.central) > 0 {
-				t := s.central[0]
-				if !t.deadline.IsZero() && t.expired(time.Now()) {
-					s.central[0] = nil
-					s.central = s.central[1:]
-					s.expire(t)
-					progress = true
-					continue
-				}
-				w := s.shortestQueue()
-				if w < 0 {
-					break
-				}
-				s.central[0] = nil
-				s.central = s.central[1:]
-				s.occ[w].Add(1)
-				if s.tr != nil {
-					s.tr.Record(obs.WriterDispatcher, obs.EvDispatch, t.id, int64(w))
-				}
-				s.locals[w] <- t
-				progress = true
-			}
-
-			// 4. Work conservation (also during graceful drain — the
-			// dispatcher helping finishes the backlog sooner).
-			if s.opts.WorkConserving && !progress {
-				if t := s.saved; t != nil {
-					s.saved = nil
-					if t.expired(time.Now()) {
-						s.expire(t)
-					} else {
-						s.runSlice(t) // re-sets saved if the task parks again
-					}
-					progress = true
-				} else if t := s.takeNonStarted(); t != nil {
-					s.runSlice(t)
-					progress = true
-				}
-			}
-		}
-
-		s.centralLen.Store(int64(len(s.central)))
-		if s.stopped.Load() && s.drained() {
-			close(s.done)
-			return
-		}
-		if !progress {
-			runtime.Gosched()
-		}
-	}
-}
-
-func (s *Server) shortestQueue() int {
-	best, bestOcc := -1, int32(s.opts.QueueBound)
-	for w := range s.occ {
-		if o := s.occ[w].Load(); o < bestOcc {
-			best, bestOcc = w, o
-		}
-	}
-	return best
-}
-
-// takeNonStarted pops the first never-started request from the central
-// queue — the only kind the dispatcher may steal (§3.3) — but only when
-// every worker queue is full. Expired requests found on the way are
-// completed with ErrDeadlineExceeded.
-func (s *Server) takeNonStarted() *task {
-	for w := range s.occ {
-		if s.occ[w].Load() < int32(s.opts.QueueBound) {
-			return nil
-		}
-	}
-	now := time.Now()
-	for i := 0; i < len(s.central); {
-		t := s.central[i]
-		if t.expired(now) {
-			s.central = append(s.central[:i], s.central[i+1:]...)
-			s.expire(t)
-			continue
-		}
-		if !t.started {
-			s.central = append(s.central[:i], s.central[i+1:]...)
-			return t
-		}
-		i++
-	}
-	return nil
-}
-
-// runSlice executes one dispatcher slice of a stolen task.
-func (s *Server) runSlice(t *task) {
-	ex := s.dispatcherEx
-	ex.sliceStart = time.Now()
-	ex.sliceLen = s.opts.DispatcherSlice
-	first := !t.started
-	if !t.started {
-		t.started = true
-		t.onDispatcher = true
-		s.startTask(t)
-	}
-	if s.tr != nil {
-		if t.firstRunTS.IsZero() {
-			t.firstRunTS = ex.sliceStart
-		}
-		t.runStart = ex.sliceStart
-		kind := obs.EvResume
-		if first {
-			kind = obs.EvStart
-		}
-		s.tr.Record(obs.WriterDispatcher, kind, t.id, 0)
-	}
-	t.resume <- ex
-	ev := <-t.parked
-	if s.tr != nil {
-		t.runNS += int64(time.Since(t.runStart))
-	}
-	if ev.done {
-		ev.resp.OnDispatcher = true
-		s.finish(obs.WriterDispatcher, t, ev.resp)
-		s.stats.stolen.Add(1)
-		return
-	}
-	t.preempts++
-	s.stats.preemptions.Add(1)
-	if s.tr != nil {
-		s.tr.Record(obs.WriterDispatcher, obs.EvYield, t.id, 0)
-	}
-	// Stolen requests cannot migrate: park in the dedicated buffer.
-	s.saved = t
-}
-
-// failPending completes every queued or parked request with
-// ErrServerStopped; it reports whether it failed anything.
-func (s *Server) failPending() bool {
-	failed := false
-	for _, t := range s.central {
-		s.failTask(t, ErrServerStopped, s.dispatcherEx)
-		s.stats.aborted.Add(1)
-		failed = true
-	}
-	s.central = nil
-	if t := s.saved; t != nil {
-		s.saved = nil
-		s.failTask(t, ErrServerStopped, s.dispatcherEx)
-		s.stats.aborted.Add(1)
-		failed = true
-	}
-	return failed
-}
-
-// expire completes a queued or parked request with ErrDeadlineExceeded.
-func (s *Server) expire(t *task) {
-	s.stats.expired.Add(1)
-	s.failTask(t, ErrDeadlineExceeded, s.dispatcherEx)
-}
-
-// failTask completes a request that is not currently running with err.
-// A never-started task gets a direct error response; a parked task is
-// resumed with abortErr set so its goroutine unwinds (handler defers
-// run) and delivers the error itself. The unwind is not counted as
-// service time.
-func (s *Server) failTask(t *task, err error, ex *executor) {
-	if !t.started {
-		s.finish(ex.id, t, Response{ID: t.id, Err: err})
-		return
-	}
-	t.abortErr = err
-	t.resume <- ex
-	ev := <-t.parked
-	s.finish(ex.id, t, ev.resp)
-}
-
-func (s *Server) drained() bool {
-	if len(s.central) > 0 || s.saved != nil || len(s.submit) > 0 {
-		return false
-	}
-	for w := range s.occ {
-		if s.occ[w].Load() != 0 {
-			return false
-		}
-	}
-	return true
-}
-
-// ---------- workers ----------
-
-func (s *Server) workerLoop(w int) {
-	defer s.wg.Done()
-	if s.opts.PinThreads {
-		runtime.LockOSThread()
-		defer runtime.UnlockOSThread()
-	}
-	s.handler.SetupWorker(w)
-	ex := s.workers[w]
-	var epoch uint64
-	for t := range s.locals[w] {
-		if s.abort.Load() {
-			s.failTask(t, ErrServerStopped, ex)
-			s.stats.aborted.Add(1)
-			s.occ[w].Add(-1)
-			continue
-		}
-		epoch++ // epochs start at 1; flag value 0 means "no signal"
-		ex.epoch = epoch
-		now := time.Now()
-		s.running[w].Store(&runInfo{epoch: epoch, id: t.id, start: now})
-		first := !t.started
-		if !t.started {
-			t.started = true
-			s.startTask(t)
-		}
-		if s.tr != nil {
-			if t.firstRunTS.IsZero() {
-				t.firstRunTS = now
-			}
-			t.runStart = now
-			kind := obs.EvResume
-			if first {
-				kind = obs.EvStart
-			}
-			s.tr.Record(w, kind, t.id, int64(epoch))
-		}
-		t.resume <- ex
-		ev := <-t.parked
-		s.running[w].Store(nil)
-		if s.tr != nil {
-			t.runNS += int64(time.Since(t.runStart))
-		}
-		if ev.done {
-			s.finish(w, t, ev.resp)
-			s.occ[w].Add(-1)
-			continue
-		}
-		t.preempts++
-		s.stats.preemptions.Add(1)
-		if s.tr != nil {
-			s.tr.Record(w, obs.EvYield, t.id, 0)
-		}
-		if s.abort.Load() {
-			s.failTask(t, ErrServerStopped, ex)
-			s.stats.aborted.Add(1)
-			s.occ[w].Add(-1)
-			continue
-		}
-		// Re-place the preempted request on the central queue. occ is
-		// held across the hand-off so drained() can never observe an
-		// idle server while the task is between queues — releasing occ
-		// first opened a window where the dispatcher shut down and the
-		// task was lost (and this send blocked forever).
-		if testRequeueGate != nil {
-			testRequeueGate()
-		}
-		if s.tr != nil {
-			s.tr.Record(w, obs.EvRequeue, t.id, 0)
-		}
-		s.submit <- t
-		s.occ[w].Add(-1)
-	}
-}
-
-// startTask launches the request's goroutine (its user-level context).
-func (s *Server) startTask(t *task) {
-	go func() {
-		ex := <-t.resume
-		if err := t.abortErr; err != nil {
-			t.parked <- parkEvent{done: true, resp: Response{ID: t.id, Err: err}}
-			return
-		}
-		ctx := &Ctx{task: t, ex: ex, yieldEvery: s.opts.CoopTimeshare}
-		out, err := func() (out any, err error) {
-			defer func() {
-				if r := recover(); r != nil {
-					if ab, ok := r.(taskAbort); ok {
-						err = ab.err
-					} else {
-						err = fmt.Errorf("live: handler panicked: %v", r)
-					}
-				}
-			}()
-			return s.handler.Handle(ctx, t.payload)
-		}()
-		t.parked <- parkEvent{done: true, resp: Response{
-			ID:      t.id,
-			Payload: out,
-			Err:     err,
-		}}
-	}()
-}
-
-// finish delivers a request's single response; ring identifies the
-// executor completing it (a worker index or obs.WriterDispatcher) for
-// event attribution.
-func (s *Server) finish(ring int, t *task, resp Response) {
-	resp.Preemptions = t.preempts
-	resp.OnDispatcher = resp.OnDispatcher || t.onDispatcher
-	if s.tr != nil {
-		end := time.Now()
-		resp.Latency = end.Sub(t.arrival)
-		resp.Breakdown = t.breakdown(end, resp.Latency)
-		kind, status := completionEvent(resp.Err)
-		s.tr.Record(ring, kind, t.id, status)
-	} else {
-		resp.Latency = time.Since(t.arrival)
-	}
-	if s.tail != nil {
-		s.tail.Observe(resp.Latency, resp.Err == nil)
-	}
-	s.stats.completed.Add(1)
-	t.result <- resp
-}
-
-// breakdown attributes the sojourn to components from the task's
-// observability timestamps. Preempted absorbs the remainder, so the
-// four components always sum exactly to total.
-func (t *task) breakdown(end time.Time, total time.Duration) *Breakdown {
-	b := &Breakdown{}
-	if !t.enqueueTS.IsZero() {
-		b.Handoff = t.enqueueTS.Sub(t.arrival)
-		if !t.firstRunTS.IsZero() {
-			b.Queue = t.firstRunTS.Sub(t.enqueueTS)
-		} else {
-			// Never ran: died queued (expired or aborted).
-			b.Queue = end.Sub(t.enqueueTS)
-		}
-	}
-	b.Service = time.Duration(t.runNS)
-	if rest := total - b.Handoff - b.Queue - b.Service; rest > 0 {
-		b.Preempted = rest
-	}
-	return b
-}
-
-// completionEvent maps a response error onto the terminal event kind
-// and status code.
-func completionEvent(err error) (obs.Kind, int64) {
-	switch {
-	case err == nil:
-		return obs.EvComplete, obs.StatusOK
-	case errors.Is(err, ErrDeadlineExceeded):
-		return obs.EvExpire, obs.StatusDeadline
-	case errors.Is(err, ErrServerStopped):
-		return obs.EvAbort, obs.StatusStopped
-	default:
-		return obs.EvComplete, obs.StatusError
-	}
-}
-
-// ---------- request context ----------
-
-// Ctx is the per-request context handlers receive. It is only valid on
-// the goroutine running the handler.
-type Ctx struct {
-	task       *task
-	ex         *executor
-	noPreempt  int
-	yieldEvery int
-	polls      int
-	spinSink   uint64
-}
-
-// Worker returns the executor currently running the request: a worker
-// index, or -1 on the dispatcher.
-func (c *Ctx) Worker() int { return c.ex.id }
-
-// Poll is the cooperative preemption probe — the call Concord's compiler
-// pass inserts at function entries and loop back-edges. If the
-// dispatcher has signaled preemption of this request's epoch (or the
-// dispatcher's self-check slice has expired) and no no-preempt section
-// is open, the request yields: its goroutine parks and the worker picks
-// up its next request. If the server aborted the request while it was
-// parked (drain deadline or request deadline), Poll panics with an
-// internal value that unwinds the handler — its defers run — and
-// becomes the response error.
-func (c *Ctx) Poll() {
-	if c.yieldEvery > 0 {
-		// On CPU-constrained machines, hand the OS thread over so the
-		// dispatcher can observe quanta and write flags. This does not
-		// yield the request in the scheduling sense.
-		if c.polls++; c.polls >= c.yieldEvery {
-			c.polls = 0
-			runtime.Gosched()
-		}
-	}
-	if c.noPreempt != 0 {
-		return
-	}
-	if c.ex.id >= 0 {
-		f := c.ex.flag.Load()
-		if f == 0 || f != c.ex.epoch {
-			return // no signal, or a stale signal for a predecessor
-		}
-	} else {
-		// Dispatcher slice: self-preempt on elapsed time (§3.3).
-		if time.Since(c.ex.sliceStart) < c.ex.sliceLen {
-			return
-		}
-	}
-	c.task.parked <- parkEvent{done: false}
-	c.ex = <-c.task.resume
-	if err := c.task.abortErr; err != nil {
-		panic(taskAbort{err})
-	}
-}
-
-// BeginNoPreempt opens a critical section during which Poll will not
-// yield — the paper's lock counter (§3.1). Sections nest.
-func (c *Ctx) BeginNoPreempt() { c.noPreempt++ }
-
-// EndNoPreempt closes a critical section. It panics on underflow.
-func (c *Ctx) EndNoPreempt() {
-	if c.noPreempt == 0 {
-		panic("live: EndNoPreempt without BeginNoPreempt")
-	}
-	c.noPreempt--
-}
-
-// Spin busily consumes CPU for roughly d, polling for preemption at a
-// fine grain. It is the synthetic "spin for the requested service time"
-// workload of §5.1.
-func (c *Ctx) Spin(d time.Duration) {
-	deadline := time.Now().Add(d)
-	for time.Now().Before(deadline) {
-		for i := 0; i < 64; i++ {
-			c.spinSink++
-		}
-		c.Poll()
-	}
 }

@@ -1,0 +1,113 @@
+// The request object that flows through the layers: ingest creates a
+// task, the policy queue orders it, dispatch places it, execution runs
+// it. Also the Hinted contract that feeds SRPT its service estimates.
+package live
+
+import (
+	"time"
+
+	"concord/internal/sim"
+)
+
+// Hinted is implemented by payloads that can estimate their own service
+// time. Under Options.Policy PolicySRPT the estimate orders the central
+// queue by remaining work (hint minus accumulated service); FCFS
+// ignores it. Hints are advisory: a wrong hint reorders the queue but
+// never affects correctness.
+type Hinted interface {
+	ServiceHint() time.Duration
+}
+
+type parkEvent struct {
+	done bool
+	resp Response
+}
+
+// task is one in-flight request and its suspended continuation.
+type task struct {
+	id       uint64
+	payload  any
+	arrival  time.Time
+	deadline time.Time // zero = none
+	result   chan Response
+
+	resume chan *executor
+	parked chan parkEvent
+
+	// abortErr, when set before a resume, makes the request unwind with
+	// this error at the resume point instead of continuing. Written
+	// before the resume send, read after the resume receive.
+	abortErr error
+
+	started      bool
+	onDispatcher bool
+	preempts     int
+
+	// hintNS is the payload's service-time estimate (0 when absent or
+	// the policy is hint-blind); with runNS it yields the SRPT key.
+	hintNS int64
+
+	// Centralqueue bookkeeping, guarded by the owning centralQueue's
+	// mutex (see queue.go).
+	inQueue bool
+	dead    bool
+	inDL    bool
+
+	// Observability timestamps, written only when the server tracks
+	// service time (tracer set or SRPT policy). All writes happen on
+	// the goroutine that owns the task at that moment; the channel
+	// hand-offs order them.
+	enqueueTS  time.Time // first dispatcher ingest
+	firstRunTS time.Time // first CPU hand-off
+	runStart   time.Time // current running interval's start
+	runNS      int64     // accumulated running time
+}
+
+func (t *task) expired(now time.Time) bool {
+	return !t.deadline.IsZero() && now.After(t.deadline)
+}
+
+// RemainingCycles keys the central queue under SRPT: the service-time
+// hint minus accumulated service, clamped at zero (cycles are
+// nanoseconds here; only the ordering matters). The policy queue calls
+// it during Push, when the pushing goroutine owns the task.
+func (t *task) RemainingCycles() sim.Cycles {
+	rem := t.hintNS - t.runNS
+	if rem < 0 {
+		rem = 0
+	}
+	return sim.Cycles(rem)
+}
+
+// taskAbort is the panic payload used to unwind an aborted request's
+// handler; startTask's recover converts it to a Response error.
+type taskAbort struct{ err error }
+
+// runInfo is the per-worker "currently running" record a dispatcher
+// reads to detect expired quanta.
+type runInfo struct {
+	epoch uint64
+	id    uint64 // request id, for preempt-signal attribution
+	start time.Time
+}
+
+// breakdown attributes the sojourn to components from the task's
+// observability timestamps. Preempted absorbs the remainder, so the
+// four components always sum exactly to total.
+func (t *task) breakdown(end time.Time, total time.Duration) *Breakdown {
+	b := &Breakdown{}
+	if !t.enqueueTS.IsZero() {
+		b.Handoff = t.enqueueTS.Sub(t.arrival)
+		if !t.firstRunTS.IsZero() {
+			b.Queue = t.firstRunTS.Sub(t.enqueueTS)
+		} else {
+			// Never ran: died queued (expired or aborted).
+			b.Queue = end.Sub(t.enqueueTS)
+		}
+	}
+	b.Service = time.Duration(t.runNS)
+	if rest := total - b.Handoff - b.Queue - b.Service; rest > 0 {
+		b.Preempted = rest
+	}
+	return b
+}

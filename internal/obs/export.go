@@ -6,28 +6,39 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"sort"
 	"time"
 )
 
+// shardTIDBase offsets dispatcher shards ≥ 1 into their own Chrome
+// thread-id range, far above any plausible worker count, so the
+// historical worker tids (2+w) never collide with shard dispatchers.
+const shardTIDBase = 1 << 16
+
 // tid maps a writer id onto a stable Chrome thread id: clients/ingress
-// on 0, the dispatcher on 1, worker w on 2+w.
+// on 0, the shard-0 dispatcher on 1, worker w on 2+w, and dispatcher
+// shard s ≥ 1 on shardTIDBase+s.
 func tid(writer int) int {
-	switch writer {
-	case WriterClient:
+	switch {
+	case writer == WriterClient:
 		return 0
-	case WriterDispatcher:
+	case writer == WriterDispatcher:
 		return 1
+	case writer <= -3:
+		return shardTIDBase + dispatcherShard(writer)
 	default:
 		return 2 + writer
 	}
 }
 
 func tidName(writer int) string {
-	switch writer {
-	case WriterClient:
+	switch {
+	case writer == WriterClient:
 		return "clients"
-	case WriterDispatcher:
+	case writer == WriterDispatcher:
 		return "dispatcher"
+	case writer <= -3:
+		return fmt.Sprintf("dispatcher %d", dispatcherShard(writer))
 	default:
 		return fmt.Sprintf("worker %d", writer)
 	}
@@ -75,6 +86,17 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 			out = append(out, metaThread(writer))
 			delete(seen, writer)
 		}
+	}
+	var shardWriters []int
+	for w := range seen {
+		if w <= -3 {
+			shardWriters = append(shardWriters, w)
+		}
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(shardWriters))) // -3, -4, … = shard 1, 2, …
+	for _, w := range shardWriters {
+		out = append(out, metaThread(w))
+		delete(seen, w)
 	}
 	for wkr := 0; ; wkr++ {
 		if len(seen) == 0 {

@@ -9,7 +9,7 @@
 //
 // # Ring design
 //
-// Each writer (one per worker, one for the dispatcher, one shared by
+// Each writer (one per worker, one per dispatcher shard, one shared by
 // client goroutines calling Submit) owns a power-of-two ring of slots.
 // A writer claims a ticket with one atomic fetch-add, marks the slot
 // odd (write in progress), stores the payload, then publishes the slot
@@ -95,6 +95,29 @@ const (
 	WriterClient     = -2
 )
 
+// DispatcherWriter returns the writer id for dispatcher shard s. Shard
+// 0 is WriterDispatcher, so single-shard servers keep the historical
+// id; shard s ≥ 1 maps to -(s+2), below WriterClient. Each shard's
+// dispatcher goroutine is a distinct writer and must own its own ring.
+func DispatcherWriter(s int) int {
+	if s == 0 {
+		return WriterDispatcher
+	}
+	return -(s + 2)
+}
+
+// dispatcherShard inverts DispatcherWriter; -1 when the writer is not a
+// dispatcher.
+func dispatcherShard(writer int) int {
+	switch {
+	case writer == WriterDispatcher:
+		return 0
+	case writer <= -3:
+		return -writer - 2
+	}
+	return -1
+}
+
 // Event is one decoded lifecycle event.
 type Event struct {
 	TS   time.Duration // since the tracer's epoch
@@ -134,20 +157,32 @@ func (r *ring) record(ts int64, kind Kind, req uint64, arg int64) {
 	s.seq.Store(2 * (n + 1)) // publish
 }
 
-// Tracer owns the per-writer rings. Create one with NewTracer and hand
-// it to live.Options.Tracer; Workers must match the server's.
+// Tracer owns the per-writer rings. Create one with NewTracer (or
+// NewTracerSharded for a multi-shard server) and hand it to
+// live.Options.Tracer; Workers and Shards must match the server's.
 type Tracer struct {
 	epoch   time.Time
 	workers int
-	rings   []*ring // workers, then dispatcher, then client/ingress
+	shards  int
+	rings   []*ring // workers, then one per dispatcher shard, then client/ingress
 }
 
-// NewTracer builds a tracer for a server with the given worker count.
-// ringSize is the per-writer capacity in events, rounded up to a power
-// of two; <=0 selects the default 4096.
+// NewTracer builds a tracer for a single-dispatcher server with the
+// given worker count. ringSize is the per-writer capacity in events,
+// rounded up to a power of two; <=0 selects the default 4096.
 func NewTracer(workers, ringSize int) *Tracer {
+	return NewTracerSharded(workers, 1, ringSize)
+}
+
+// NewTracerSharded builds a tracer for a server with the given worker
+// and dispatcher-shard counts: every shard's dispatcher is its own
+// writer (the rings are strictly single-writer).
+func NewTracerSharded(workers, shards, ringSize int) *Tracer {
 	if workers < 1 {
 		workers = 1
+	}
+	if shards < 1 {
+		shards = 1
 	}
 	if ringSize <= 0 {
 		ringSize = 4096
@@ -156,8 +191,8 @@ func NewTracer(workers, ringSize int) *Tracer {
 	for size < ringSize {
 		size <<= 1
 	}
-	t := &Tracer{epoch: time.Now(), workers: workers}
-	t.rings = make([]*ring, workers+2)
+	t := &Tracer{epoch: time.Now(), workers: workers, shards: shards}
+	t.rings = make([]*ring, workers+shards+1)
 	for i := range t.rings {
 		t.rings[i] = &ring{slots: make([]slot, size)}
 	}
@@ -167,16 +202,18 @@ func NewTracer(workers, ringSize int) *Tracer {
 // Workers returns the worker count the tracer was built for.
 func (t *Tracer) Workers() int { return t.workers }
 
+// Shards returns the dispatcher-shard count the tracer was built for.
+func (t *Tracer) Shards() int { return t.shards }
+
 // ringFor maps a writer id to its ring index.
 func (t *Tracer) ringFor(writer int) *ring {
-	switch writer {
-	case WriterDispatcher:
-		return t.rings[t.workers]
-	case WriterClient:
-		return t.rings[t.workers+1]
-	default:
+	if writer >= 0 {
 		return t.rings[writer]
 	}
+	if writer == WriterClient {
+		return t.rings[t.workers+t.shards]
+	}
+	return t.rings[t.workers+dispatcherShard(writer)]
 }
 
 // Record appends one event to the writer's ring. It never allocates and
@@ -192,11 +229,11 @@ func (t *Tracer) Snapshot() []Event {
 	var out []Event
 	for ri, r := range t.rings {
 		writer := ri
-		switch ri {
-		case t.workers:
-			writer = WriterDispatcher
-		case t.workers + 1:
+		switch {
+		case ri == t.workers+t.shards:
 			writer = WriterClient
+		case ri >= t.workers:
+			writer = DispatcherWriter(ri - t.workers)
 		}
 		size := uint64(len(r.slots))
 		pos := r.pos.Load()

@@ -140,6 +140,88 @@ func TestConcurrentWritersSnapshot(t *testing.T) {
 	}
 }
 
+func TestDispatcherWriterRoundTrip(t *testing.T) {
+	seen := map[int]bool{}
+	for s := 0; s < 8; s++ {
+		w := DispatcherWriter(s)
+		if w >= 0 || w == WriterClient || seen[w] {
+			t.Fatalf("DispatcherWriter(%d) = %d collides", s, w)
+		}
+		seen[w] = true
+		if got := dispatcherShard(w); got != s {
+			t.Fatalf("dispatcherShard(DispatcherWriter(%d)) = %d", s, got)
+		}
+	}
+	if DispatcherWriter(0) != WriterDispatcher {
+		t.Fatal("shard 0 must keep the historical dispatcher writer id")
+	}
+	if dispatcherShard(WriterClient) != -1 || dispatcherShard(3) != -1 {
+		t.Fatal("dispatcherShard must reject non-dispatcher writers")
+	}
+}
+
+// TestShardedTracerRings: every shard dispatcher is its own writer with
+// its own ring; events come back attributed to the right shard and the
+// client ring still works behind the shard block.
+func TestShardedTracerRings(t *testing.T) {
+	tr := NewTracerSharded(2, 3, 64)
+	if tr.Workers() != 2 || tr.Shards() != 3 {
+		t.Fatalf("dims = %d workers %d shards", tr.Workers(), tr.Shards())
+	}
+	for s := 0; s < 3; s++ {
+		tr.Record(DispatcherWriter(s), EvDispatch, uint64(100+s), int64(s))
+	}
+	tr.Record(WriterClient, EvSubmit, 7, 0)
+	tr.Record(1, EvStart, 7, 1)
+	byRing := map[int][]Event{}
+	for _, e := range tr.Snapshot() {
+		byRing[e.Ring] = append(byRing[e.Ring], e)
+	}
+	for s := 0; s < 3; s++ {
+		evs := byRing[DispatcherWriter(s)]
+		if len(evs) != 1 || evs[0].Req != uint64(100+s) || evs[0].Arg != int64(s) {
+			t.Fatalf("shard %d ring events = %+v", s, evs)
+		}
+	}
+	if len(byRing[WriterClient]) != 1 || len(byRing[1]) != 1 {
+		t.Fatalf("client/worker rings polluted: %+v", byRing)
+	}
+}
+
+// TestShardedConcurrentDispatcherWriters drives all shard dispatcher
+// rings concurrently under -race: the single-writer-per-ring contract
+// must hold with the shard writers, not just the historical three.
+func TestShardedConcurrentDispatcherWriters(t *testing.T) {
+	const shards = 4
+	tr := NewTracerSharded(1, shards, 128)
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for s := 0; s < shards; s++ {
+		wg.Add(1)
+		go func(s int) {
+			defer wg.Done()
+			for i := 1; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				tr.Record(DispatcherWriter(s), EvDispatch, uint64(s)<<32|uint64(i), int64(s))
+			}
+		}(s)
+	}
+	deadline := time.Now().Add(100 * time.Millisecond)
+	for time.Now().Before(deadline) {
+		for _, e := range tr.Snapshot() {
+			if int64(e.Req>>32) != e.Arg {
+				t.Fatalf("event attributed to wrong shard: %+v", e)
+			}
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
 func BenchmarkRecord(b *testing.B) {
 	tr := NewTracer(1, 4096)
 	b.RunParallel(func(pb *testing.PB) {

@@ -13,6 +13,8 @@
 package policy
 
 import (
+	"fmt"
+
 	"concord/internal/sim"
 )
 
@@ -39,6 +41,23 @@ type Queue[T Item] interface {
 	// Len returns the number of queued requests.
 	Len() int
 }
+
+// NewQueue resolves a central-queue discipline by name: "fcfs" (also
+// the default for an empty name) or "srpt". It is the single registry
+// both the simulator configuration and the live runtime's
+// Options.Policy knob resolve through.
+func NewQueue[T Item](name string) (Queue[T], error) {
+	switch name {
+	case "", "fcfs":
+		return NewFCFS[T](), nil
+	case "srpt":
+		return NewSRPT[T](), nil
+	}
+	return nil, fmt.Errorf("policy: unknown queue discipline %q (have %v)", name, Names())
+}
+
+// Names lists the discipline names NewQueue accepts.
+func Names() []string { return []string{"fcfs", "srpt"} }
 
 // fcfsEntry pairs an item with its started flag.
 type fcfsEntry[T Item] struct {

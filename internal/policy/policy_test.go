@@ -189,6 +189,127 @@ func TestFCFSOrderProperty(t *testing.T) {
 	}
 }
 
+func TestNewQueueFactory(t *testing.T) {
+	for _, name := range append(Names(), "") {
+		q, err := NewQueue[*job](name)
+		if err != nil {
+			t.Fatalf("NewQueue(%q): %v", name, err)
+		}
+		q.Push(&job{id: 1, remaining: 7}, false)
+		if j, ok := q.Pop(); !ok || j.id != 1 {
+			t.Fatalf("NewQueue(%q) queue broken: %v %v", name, j, ok)
+		}
+	}
+	if _, err := NewQueue[*job]("lifo"); err == nil {
+		t.Fatal("NewQueue accepted an unknown discipline")
+	}
+}
+
+// Property: under any interleaving of Push/Pop/PopNonStarted, Len
+// always equals the number of items pushed minus the number popped, for
+// both disciplines. The live runtime's dispatcher uses Len to decide
+// drain completion, so an off-by-one here would hang or abort Stop.
+func TestQueueLenConsistencyProperty(t *testing.T) {
+	for _, name := range Names() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			// ops: 0-2 push (started flag varies), 3-4 pop, 5 popNonStarted.
+			prop := func(ops []byte) bool {
+				q, err := NewQueue[*job](name)
+				if err != nil {
+					return false
+				}
+				inside := 0
+				id := 0
+				for _, op := range ops {
+					if q.Len() != inside {
+						return false
+					}
+					switch op % 6 {
+					case 0, 1, 2:
+						q.Push(&job{id: id, remaining: sim.Cycles(op) * 3}, op%2 == 0)
+						id++
+						inside++
+					case 3, 4:
+						if _, ok := q.Pop(); ok {
+							inside--
+						} else if inside != 0 {
+							return false // non-empty queue refused a Pop
+						}
+					case 5:
+						if _, ok := q.PopNonStarted(); ok {
+							inside--
+						}
+					}
+				}
+				// Drain: exactly `inside` items must come out.
+				for i := 0; i < inside; i++ {
+					if _, ok := q.Pop(); !ok {
+						return false
+					}
+				}
+				_, ok := q.Pop()
+				return !ok && q.Len() == 0
+			}
+			if err := quick.Check(prop, &quick.Config{MaxCount: 400}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// Property: SRPT breaks equal-key ties in strict arrival order even
+// with PopNonStarted interleaved and mixed started flags — the stable
+// tie-break the live runtime relies on so unhinted requests (all key 0)
+// degrade to FCFS rather than an arbitrary heap order.
+func TestSRPTEqualKeyStableProperty(t *testing.T) {
+	prop := func(flags []bool, popAt []uint8) bool {
+		q := NewSRPT[*job]()
+		steals := map[int]bool{} // ids removed out of band
+		for i, f := range flags {
+			q.Push(&job{id: i, remaining: 42}, f)
+		}
+		for _, p := range popAt {
+			if int(p)%4 == 0 {
+				if j, ok := q.PopNonStarted(); ok {
+					steals[j.id] = true
+				}
+			}
+		}
+		prev := -1
+		for q.Len() > 0 {
+			j, _ := q.Pop()
+			if steals[j.id] {
+				return false // double-pop
+			}
+			if j.id <= prev {
+				return false // equal keys must pop in arrival order
+			}
+			prev = j.id
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// PopNonStarted among equal keys must itself take the earliest-arrived
+// never-started entry, not an arbitrary heap-order one.
+func TestSRPTPopNonStartedEqualKeysFIFO(t *testing.T) {
+	q := NewSRPT[*job]()
+	q.Push(&job{id: 0, remaining: 9}, true)
+	q.Push(&job{id: 1, remaining: 9}, false)
+	q.Push(&job{id: 2, remaining: 9}, false)
+	q.Push(&job{id: 3, remaining: 9}, false)
+	for _, want := range []int{1, 2, 3} {
+		j, ok := q.PopNonStarted()
+		if !ok || j.id != want {
+			t.Fatalf("PopNonStarted = %v ok=%v, want id %d", j, ok, want)
+		}
+	}
+}
+
 func TestShortestQueue(t *testing.T) {
 	cases := []struct {
 		lengths []int
