@@ -9,7 +9,7 @@ tier1:
 # measurement). Slower than tier1; run before merging changes to any of
 # these.
 race:
-	go test -race ./internal/runner ./internal/server ./internal/figures ./internal/live ./internal/trace ./internal/obs ./internal/bench
+	go test -race ./internal/runner ./internal/server ./internal/figures ./internal/live ./internal/trace ./internal/obs ./internal/bench ./internal/proto ./internal/netsrv
 
 vet:
 	go vet ./...
@@ -34,9 +34,17 @@ bench-json:
 # counts — safe across machines). Exits non-zero on a regression beyond
 # the noise band; machine-bound movements print as advisory.
 bench-smoke:
-	go run ./cmd/concord-bench -short -outdir bench-out
+	go run ./cmd/concord-bench -short -scenarios core,live,live_sharded -outdir bench-out
 	go run ./cmd/concord-bench -compare -hermetic BENCH_core.json bench-out/BENCH_core.json
 	go run ./cmd/concord-bench -compare -hermetic BENCH_live.json bench-out/BENCH_live.json
 	go run ./cmd/concord-bench -compare -hermetic BENCH_live_sharded.json bench-out/BENCH_live_sharded.json
 
-.PHONY: tier1 race vet bench obs-smoke bench-json bench-smoke
+# Wire-protocol smoke: the live_net scenario over real loopback TCP
+# (text + pipelined binary, up to 10k connections), gated hermetically
+# on allocations per request — the contract that the zero-copy binary
+# path stays strictly leaner than the text path.
+net-smoke:
+	go run ./cmd/concord-bench -short -scenarios live_net -outdir bench-out
+	go run ./cmd/concord-bench -compare -hermetic BENCH_live_net.json bench-out/BENCH_live_net.json
+
+.PHONY: tier1 race vet bench obs-smoke bench-json bench-smoke net-smoke

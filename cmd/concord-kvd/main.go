@@ -2,7 +2,10 @@
 // top of the live Concord runtime — the LevelDB-server experiment of
 // §5.3 as a runnable system.
 //
-// Protocol (text, one request per line):
+// Each connection speaks one of two protocols, auto-detected from its
+// first byte (see internal/netsrv and DESIGN.md §Wire protocol):
+//
+// Text (one request per line, lockstep):
 //
 //	GET <key>            -> VALUE <value> | NOTFOUND
 //	PUT <key> <value>    -> OK
@@ -15,11 +18,18 @@
 //	                                       responses; needs -obs)
 //	TRACE <n>            -> last n request timelines, terminated by END
 //
+// Binary (length-prefixed frames, pipelined): the same data ops framed
+// with a request id, many in flight per connection, responses coalesced
+// into batched flushes and matched by id — the massive-fan-in path.
+// concord-load drives it with -proto binary.
+//
 // With -obs ADDR the server also serves HTTP on ADDR: /metrics is
-// Prometheus text exposition of all counters, queue depths, and per-op
-// latency-component histograms; /debug/pprof/* is net/http/pprof. The
-// same flag enables the in-process lifecycle tracer that backs TRACE
-// and the |OBS trailers; without it tracing costs one branch per event.
+// Prometheus text exposition of all counters, queue depths, per-op
+// latency-component histograms, and the connection-layer families
+// (frames, flush batches, pipeline depth); /debug/pprof/* is
+// net/http/pprof. The same flag enables the in-process lifecycle tracer
+// that backs TRACE and the |OBS trailers; without it tracing costs one
+// branch per event.
 //
 // -obs also turns on time-windowed tail tracking: rolling
 // p50/p99/p99.9 latency over the -windows horizons (default
@@ -31,7 +41,8 @@
 //
 // Failure responses are single tokens clients can branch on: DEADLINE
 // (request timeout exceeded), OVERLOADED (submit queue full), STOPPED
-// (server draining), or ERR <msg> for everything else.
+// (server draining), TOOLARGE (request over -maxreq), or ERR <msg> for
+// everything else. Binary responses carry the equivalent status byte.
 //
 // On SIGINT/SIGTERM the server stops accepting, drains in-flight
 // requests (bounded by -drain), answers late requests with STOPPED, and
@@ -51,10 +62,9 @@
 package main
 
 import (
-	"bufio"
-	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"net/http"
@@ -63,96 +73,16 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
-	"sync"
 	"syscall"
 	"time"
 
 	"concord/internal/kv"
 	"concord/internal/live"
+	"concord/internal/netsrv"
 	"concord/internal/obs"
+	"concord/internal/proto"
 	"concord/internal/trace"
 )
-
-// kvHandler adapts the store to the live runtime's Handler interface.
-type kvHandler struct {
-	store     *kv.Store
-	scanBatch int
-}
-
-func (h *kvHandler) Setup()          {}
-func (h *kvHandler) SetupWorker(int) {}
-
-// request is one parsed protocol command.
-type request struct {
-	op         string
-	key, value []byte
-	spin       time.Duration // SPIN only, precomputed at parse time
-}
-
-// ServiceHint estimates the request's service time for SRPT ordering
-// (live.Hinted). Point ops are a few µs of lock-bracketed map work;
-// SCAN walks the whole store; SPIN declares its duration outright. The
-// estimates only need the right relative order — a wrong hint reorders
-// the queue but never affects correctness.
-func (r request) ServiceHint() time.Duration {
-	switch r.op {
-	case "SPIN":
-		return r.spin
-	case "SCAN":
-		return 500 * time.Microsecond
-	default: // GET, PUT, DEL
-		return 2 * time.Microsecond
-	}
-}
-
-func (h *kvHandler) Handle(ctx *live.Ctx, payload any) (any, error) {
-	req := payload.(request)
-	switch req.op {
-	case "GET":
-		// Point queries hold the store lock: bracket them with a
-		// no-preempt section (the paper's 4-line lock counter, §3.1).
-		ctx.BeginNoPreempt()
-		v, ok := h.store.Get(req.key)
-		ctx.EndNoPreempt()
-		if !ok {
-			return "NOTFOUND", nil
-		}
-		return "VALUE " + string(v), nil
-	case "PUT":
-		ctx.BeginNoPreempt()
-		h.store.Put(req.key, req.value)
-		ctx.EndNoPreempt()
-		return "OK", nil
-	case "DEL":
-		ctx.BeginNoPreempt()
-		ok := h.store.Delete(req.key)
-		ctx.EndNoPreempt()
-		if !ok {
-			return "NOTFOUND", nil
-		}
-		return "OK", nil
-	case "SCAN":
-		// Range queries iterate in batches, polling for preemption
-		// between batches so a database-wide scan yields cooperatively.
-		n := 0
-		cursor := []byte(nil)
-		for {
-			cursor = h.store.ScanBatch(cursor, h.scanBatch, func(_, _ []byte) bool {
-				n++
-				return true
-			})
-			if cursor == nil {
-				return fmt.Sprintf("COUNT %d", n), nil
-			}
-			ctx.Poll()
-		}
-	case "SPIN":
-		ctx.Spin(req.spin)
-		return "OK", nil
-	default:
-		return nil, fmt.Errorf("unknown op %q", req.op)
-	}
-}
 
 func main() {
 	var (
@@ -166,6 +96,7 @@ func main() {
 		keys       = flag.Int("keys", 15000, "pre-populated unique keys (paper: 15,000)")
 		valSize    = flag.Int("valsize", 64, "value size in bytes")
 		scanStep   = flag.Int("scanbatch", 256, "keys per scan batch between preemption polls")
+		maxReq     = flag.Int("maxreq", 1<<20, "maximum request size in bytes (binary frame body or text line); larger requests answer TOOLARGE")
 		reqTimeout = flag.Duration("reqtimeout", 0, "per-request deadline; expired requests answer DEADLINE (0 disables)")
 		drain      = flag.Duration("drain", 5*time.Second, "graceful-drain bound on shutdown (0 waits for all in-flight)")
 		wtimeout   = flag.Duration("wtimeout", 5*time.Second, "per-response connection write deadline (0 disables)")
@@ -216,7 +147,7 @@ func main() {
 		}
 		tail = obs.NewTailTracker(wins, slo)
 	}
-	srv := live.New(&kvHandler{store: store, scanBatch: *scanStep}, live.Options{
+	srv := live.New(&netsrv.KVHandler{Store: store, ScanBatch: *scanStep}, live.Options{
 		Workers:        *workers,
 		Shards:         effShards,
 		Policy:         *policyName,
@@ -231,8 +162,22 @@ func main() {
 	srv.Start()
 
 	var ob *kvObs
+	nopts := netsrv.Options{
+		MaxReq:       *maxReq,
+		WriteTimeout: *wtimeout,
+	}
+	var ns *netsrv.Server
+	nopts.Control = func(out io.Writer, line string, obsOn *bool) bool {
+		return serveControl(out, line, srv, ns, ob, obsOn)
+	}
 	if tracer != nil {
-		ob = newKVObs(tracer, tail, srv, *workers, effShards)
+		nopts.Observe = func(op byte, resp live.Response) { ob.observe(proto.OpString(op), resp) }
+		nopts.Trailer = obsTrailer
+	}
+	ns = netsrv.New(srv, nopts)
+
+	if tracer != nil {
+		ob = newKVObs(tracer, tail, srv, ns, *workers, effShards)
 		obsLn, err := net.Listen("tcp", *obsAddr)
 		if err != nil {
 			log.Fatalf("obs listen: %v", err)
@@ -250,39 +195,18 @@ func main() {
 	if err != nil {
 		log.Fatalf("listen: %v", err)
 	}
-	log.Printf("concord-kvd on %s: %d workers, %d shards, policy %s, quantum %v, JBSQ(%d), steal=%v, %d keys",
-		ln.Addr(), *workers, effShards, *policyName, *quantum, *bound, *steal, *keys)
+	log.Printf("concord-kvd on %s: %d workers, %d shards, policy %s, quantum %v, JBSQ(%d), steal=%v, %d keys, maxreq %d",
+		ln.Addr(), *workers, effShards, *policyName, *quantum, *bound, *steal, *keys, *maxReq)
 
 	sigCh := make(chan os.Signal, 1)
 	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		sig := <-sigCh
 		log.Printf("received %v: draining (bound %v)", sig, *drain)
-		ln.Close() // unblocks Accept; the loop below starts the drain
+		ln.Close() // unblocks Accept; Serve returns and the drain begins
 	}()
 
-	var (
-		connMu sync.Mutex
-		conns  = make(map[net.Conn]struct{})
-		connWG sync.WaitGroup
-	)
-	for {
-		conn, err := ln.Accept()
-		if err != nil {
-			break // listener closed by the signal handler
-		}
-		connMu.Lock()
-		conns[conn] = struct{}{}
-		connMu.Unlock()
-		connWG.Add(1)
-		go func() {
-			defer connWG.Done()
-			serveConn(conn, srv, *wtimeout, ob)
-			connMu.Lock()
-			delete(conns, conn)
-			connMu.Unlock()
-		}()
-	}
+	ns.Serve(ln)
 
 	// Drain: complete every accepted request (bounded by -drain; late
 	// submissions answer STOPPED), then give connection readers a short
@@ -290,15 +214,11 @@ func main() {
 	// STOPPED response instead of a connection reset — and wait for
 	// them to finish writing their final responses.
 	srv.Stop()
-	connMu.Lock()
-	for c := range conns {
-		c.SetReadDeadline(time.Now().Add(200 * time.Millisecond))
-	}
-	connMu.Unlock()
-	connWG.Wait()
+	ns.Drain(200 * time.Millisecond)
 	st := srv.Stats()
-	log.Printf("drained: submitted=%d completed=%d rejected=%d expired=%d aborted=%d",
-		st.Submitted, st.Completed, st.Rejected, st.Expired, st.Aborted)
+	nst := ns.NetStats()
+	log.Printf("drained: submitted=%d completed=%d rejected=%d expired=%d aborted=%d frames_in=%d frames_out=%d flushes=%d",
+		st.Submitted, st.Completed, st.Rejected, st.Expired, st.Aborted, nst.FramesIn, nst.FramesOut, nst.Flushes)
 	if tracer != nil && *traceDump != "" {
 		f, err := os.Create(*traceDump)
 		if err != nil {
@@ -356,7 +276,7 @@ type opHists struct {
 	total, handoff, queue, service, preempted trace.Histogram
 }
 
-func newKVObs(tracer *obs.Tracer, tail *obs.TailTracker, srv *live.Server, workers, shards int) *kvObs {
+func newKVObs(tracer *obs.Tracer, tail *obs.TailTracker, srv *live.Server, ns *netsrv.Server, workers, shards int) *kvObs {
 	ob := &kvObs{tracer: tracer, tail: tail, metrics: &obs.Metrics{}, perOp: map[string]*opHists{}}
 	m := ob.metrics
 	counter := func(name, help string, f func(live.Stats) uint64) {
@@ -385,6 +305,28 @@ func newKVObs(tracer *obs.Tracer, tail *obs.TailTracker, srv *live.Server, worke
 			"per-shard central-queue length", func() float64 { return float64(srv.Depths().ShardQueues[sh]) })
 		m.RegisterGauge(fmt.Sprintf(`concord_shard_occupancy{shard="%d"}`, sh),
 			"per-shard sum of worker JBSQ occupancy", func() float64 { return float64(srv.Depths().ShardOcc[sh]) })
+	}
+	if ns != nil {
+		netCounter := func(name, help string, f func(netsrv.NetStats) float64) {
+			m.RegisterCounter(name, help, func() float64 { return f(ns.NetStats()) })
+		}
+		m.RegisterGauge("concord_net_connections", "currently open client connections",
+			func() float64 { return float64(ns.NetStats().Conns) })
+		m.RegisterGauge("concord_net_pipeline_depth", "binary frames submitted whose response has not yet flushed",
+			func() float64 { return float64(ns.NetStats().Pipeline) })
+		netCounter(`concord_net_frames_total{dir="in"}`, "binary frames decoded/written",
+			func(s netsrv.NetStats) float64 { return float64(s.FramesIn) })
+		netCounter(`concord_net_frames_total{dir="out"}`, "binary frames decoded/written",
+			func(s netsrv.NetStats) float64 { return float64(s.FramesOut) })
+		netCounter("concord_net_flushes_total", "batched response writes",
+			func(s netsrv.NetStats) float64 { return float64(s.Flushes) })
+		netCounter("concord_net_text_lines_total", "text-protocol lines served",
+			func(s netsrv.NetStats) float64 { return float64(s.TextLines) })
+		netCounter("concord_net_toolarge_total", "requests rejected for exceeding -maxreq",
+			func(s netsrv.NetStats) float64 { return float64(s.TooLarge) })
+		netCounter("concord_net_bad_frames_total", "frames with unknown opcode or undecodable body",
+			func(s netsrv.NetStats) float64 { return float64(s.BadFrames) })
+		m.RegisterHistogram("concord_net_flush_batch", "responses coalesced per flush", ns.FlushBatch())
 	}
 	if tail != nil {
 		for _, w := range tail.Windows() {
@@ -478,71 +420,13 @@ func obsTrailer(resp live.Response) string {
 		us(b.Handoff), us(b.Queue), us(b.Service), us(b.Preempted), resp.Preemptions, disp)
 }
 
-func serveConn(conn net.Conn, srv *live.Server, wtimeout time.Duration, ob *kvObs) {
-	defer conn.Close()
-	sc := bufio.NewScanner(conn)
-	sc.Buffer(make([]byte, 1<<16), 1<<20)
-	out := bufio.NewWriter(conn)
-	obsOn := false
-	// flush writes the buffered response under a write deadline so a
-	// client that stops reading cannot pin this goroutine forever.
-	flush := func() bool {
-		if wtimeout > 0 {
-			conn.SetWriteDeadline(time.Now().Add(wtimeout))
-		}
-		if err := out.Flush(); err != nil {
-			return false
-		}
-		return true
-	}
-	for sc.Scan() {
-		line := sc.Text()
-		if handled := serveControl(out, line, srv, ob, &obsOn); handled {
-			if !flush() {
-				return
-			}
-			continue
-		}
-		req, err := parse(line)
-		if err != nil {
-			fmt.Fprintf(out, "ERR %v\n", err)
-			if !flush() {
-				return
-			}
-			continue
-		}
-		resp := srv.Do(req)
-		if ob != nil {
-			ob.observe(req.op, resp)
-		}
-		trailer := ""
-		if obsOn {
-			trailer = obsTrailer(resp)
-		}
-		switch {
-		case resp.Err == nil:
-			fmt.Fprintf(out, "%s%s\n", resp.Payload, trailer)
-		case errors.Is(resp.Err, live.ErrDeadlineExceeded):
-			fmt.Fprintf(out, "DEADLINE%s\n", trailer)
-		case errors.Is(resp.Err, live.ErrQueueFull):
-			fmt.Fprintf(out, "OVERLOADED%s\n", trailer)
-		case errors.Is(resp.Err, live.ErrServerStopped):
-			fmt.Fprintf(out, "STOPPED%s\n", trailer)
-		default:
-			fmt.Fprintf(out, "ERR %v%s\n", resp.Err, trailer)
-		}
-		if !flush() {
-			return
-		}
-	}
-}
-
-// serveControl handles the non-request protocol commands (STATS, TRACE,
-// OBS); it reports whether the line was one of them.
-func serveControl(out *bufio.Writer, line string, srv *live.Server, ob *kvObs, obsOn *bool) bool {
+// serveControl handles the non-request text commands (STATS, TRACE,
+// OBS); it reports whether the line was one of them. netsrv calls it
+// for any text line the data protocol does not recognize.
+func serveControl(out io.Writer, line string, srv *live.Server, ns *netsrv.Server, ob *kvObs, obsOn *bool) bool {
 	switch {
 	case line == "STATS":
-		fmt.Fprintf(out, "%s\n", statsLine(srv, ob))
+		fmt.Fprintf(out, "%s\n", statsLine(srv, ns, ob))
 		return true
 	case line == "TRACE" || strings.HasPrefix(line, "TRACE "):
 		if ob == nil {
@@ -581,7 +465,7 @@ func serveControl(out *bufio.Writer, line string, srv *live.Server, ob *kvObs, o
 // /metrics family via metricFamilyForStatsKey — the consistency test
 // asserts it, so the text protocol and the Prometheus surface cannot
 // drift apart.
-func statsLine(srv *live.Server, ob *kvObs) string {
+func statsLine(srv *live.Server, ns *netsrv.Server, ob *kvObs) string {
 	st := srv.Stats()
 	d := srv.Depths()
 	occ := make([]string, len(d.Workers))
@@ -616,6 +500,22 @@ func statsLine(srv *live.Server, ob *kvObs) string {
 	}
 	field("shardq", strings.Join(shardq, ","))
 	field("shardocc", strings.Join(shardocc, ","))
+	if ns != nil {
+		nst := ns.NetStats()
+		field("conns", strconv.FormatInt(nst.Conns, 10))
+		field("pipeline", strconv.FormatInt(nst.Pipeline, 10))
+		field("frames_in", u(nst.FramesIn))
+		field("frames_out", u(nst.FramesOut))
+		field("flushes", u(nst.Flushes))
+		field("text_lines", u(nst.TextLines))
+		field("toolarge", u(nst.TooLarge))
+		field("badframes", u(nst.BadFrames))
+		batch := 0.0
+		if nst.Flushes > 0 {
+			batch = float64(nst.FramesOut) / float64(nst.Flushes)
+		}
+		field("flush_batch_mean", fmt.Sprintf("%.2f", batch))
+	}
 	if ob != nil && ob.tail != nil {
 		for _, w := range ob.tail.Windows() {
 			suffix := fmtWindow(w)
@@ -652,6 +552,22 @@ func metricFamilyForStatsKey(key string) string {
 		return "concord_shard_queue_depth"
 	case "shardocc":
 		return "concord_shard_occupancy"
+	case "conns":
+		return "concord_net_connections"
+	case "pipeline":
+		return "concord_net_pipeline_depth"
+	case "frames_in", "frames_out":
+		return "concord_net_frames_total"
+	case "flushes":
+		return "concord_net_flushes_total"
+	case "text_lines":
+		return "concord_net_text_lines_total"
+	case "toolarge":
+		return "concord_net_toolarge_total"
+	case "badframes":
+		return "concord_net_bad_frames_total"
+	case "flush_batch_mean":
+		return "concord_net_flush_batch"
 	case "burn_short", "burn_long":
 		return "concord_slo_burn_rate"
 	case "slo_alerting":
@@ -661,36 +577,4 @@ func metricFamilyForStatsKey(key string) string {
 		return "concord_rolling_latency_us"
 	}
 	return ""
-}
-
-func parse(line string) (request, error) {
-	parts := strings.SplitN(line, " ", 3)
-	op := strings.ToUpper(parts[0])
-	switch op {
-	case "GET", "DEL":
-		if len(parts) < 2 {
-			return request{}, fmt.Errorf("%s needs a key", op)
-		}
-		return request{op: op, key: []byte(parts[1])}, nil
-	case "SPIN":
-		if len(parts) < 2 {
-			return request{}, fmt.Errorf("SPIN needs a duration")
-		}
-		// Parsed here, not in Handle: the duration doubles as the SRPT
-		// service hint, which must exist before the request is queued.
-		us, err := strconv.Atoi(parts[1])
-		if err != nil || us < 0 {
-			return request{}, fmt.Errorf("bad SPIN duration %q", parts[1])
-		}
-		return request{op: op, key: []byte(parts[1]), spin: time.Duration(us) * time.Microsecond}, nil
-	case "PUT":
-		if len(parts) < 3 {
-			return request{}, fmt.Errorf("PUT needs key and value")
-		}
-		return request{op: op, key: []byte(parts[1]), value: []byte(parts[2])}, nil
-	case "SCAN":
-		return request{op: op}, nil
-	default:
-		return request{}, fmt.Errorf("unknown op %q", parts[0])
-	}
 }

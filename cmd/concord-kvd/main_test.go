@@ -7,22 +7,24 @@ import (
 
 	"concord/internal/kv"
 	"concord/internal/live"
+	"concord/internal/netsrv"
 	"concord/internal/obs"
+	"concord/internal/proto"
 )
 
 // newTestObs boots an in-process server with the full observability
 // surface, exactly as main wires it.
-func newTestObs(t *testing.T) (*live.Server, *kvObs) {
+func newTestObs(t *testing.T) (*live.Server, *netsrv.Server, *kvObs) {
 	return newTestObsSharded(t, 1)
 }
 
-func newTestObsSharded(t *testing.T, shards int) (*live.Server, *kvObs) {
+func newTestObsSharded(t *testing.T, shards int) (*live.Server, *netsrv.Server, *kvObs) {
 	t.Helper()
 	const workers = 2
 	tracer := obs.NewTracerSharded(workers, shards, 1024)
 	slo := obs.NewSLOTracker(obs.SLOConfig{Target: 200 * time.Microsecond, Objective: 0.999})
 	tail := obs.NewTailTracker(nil, slo)
-	srv := live.New(&kvHandler{store: kv.New(), scanBatch: 64}, live.Options{
+	srv := live.New(&netsrv.KVHandler{Store: kv.New(), ScanBatch: 64}, live.Options{
 		Workers:    workers,
 		Shards:     shards,
 		PinThreads: false,
@@ -31,19 +33,27 @@ func newTestObsSharded(t *testing.T, shards int) (*live.Server, *kvObs) {
 	})
 	srv.Start()
 	t.Cleanup(srv.Stop)
-	return srv, newKVObs(tracer, tail, srv, workers, shards)
+	ns := netsrv.New(srv, netsrv.Options{})
+	return srv, ns, newKVObs(tracer, tail, srv, ns, workers, shards)
+}
+
+func put(t *testing.T, srv *live.Server, key, val string) {
+	t.Helper()
+	resp := srv.Do(&netsrv.Request{Op: proto.OpPut, Key: []byte(key), Val: []byte(val)})
+	if resp.Err != nil {
+		t.Fatal(resp.Err)
+	}
 }
 
 // TestStatsMetricsConsistency asserts every STATS field has a /metrics
 // counterpart: the drift that used to require cross-referencing
-// central=/submitq= by hand now fails the build.
+// central=/submitq= by hand now fails the build. The connection-layer
+// fields (frames, flushes, pipeline depth) ride the same check.
 func TestStatsMetricsConsistency(t *testing.T) {
-	srv, ob := newTestObs(t)
-	if resp := srv.Do(request{op: "PUT", key: []byte("k"), value: []byte("v")}); resp.Err != nil {
-		t.Fatal(resp.Err)
-	}
+	srv, ns, ob := newTestObs(t)
+	put(t, srv, "k", "v")
 
-	line := statsLine(srv, ob)
+	line := statsLine(srv, ns, ob)
 	if !strings.HasPrefix(line, "STATS ") {
 		t.Fatalf("statsLine = %q", line)
 	}
@@ -52,8 +62,8 @@ func TestStatsMetricsConsistency(t *testing.T) {
 	exposition := sb.String()
 
 	fields := strings.Fields(line)[1:]
-	if len(fields) < 15 {
-		t.Fatalf("expected the full field set (counters+depths+windows+slo), got %d: %v", len(fields), fields)
+	if len(fields) < 20 {
+		t.Fatalf("expected the full field set (counters+depths+net+windows+slo), got %d: %v", len(fields), fields)
 	}
 	for _, f := range fields {
 		key, _, okSplit := strings.Cut(f, "=")
@@ -65,22 +75,46 @@ func TestStatsMetricsConsistency(t *testing.T) {
 			t.Errorf("STATS field %q has no /metrics family mapping", key)
 			continue
 		}
+		// Strip any label selector before matching the TYPE line.
+		if i := strings.IndexByte(family, '{'); i >= 0 {
+			family = family[:i]
+		}
 		if !strings.Contains(exposition, "# TYPE "+family+" ") {
 			t.Errorf("STATS field %q maps to family %q, absent from /metrics exposition", key, family)
 		}
 	}
 }
 
+// TestStatsNetFields: the connection-layer fields render with a live
+// netsrv server and are absent from the bare (ns == nil) line.
+func TestStatsNetFields(t *testing.T) {
+	srv, ns, ob := newTestObs(t)
+	line := statsLine(srv, ns, ob)
+	for _, want := range []string{
+		"conns=0", "pipeline=0", "frames_in=0", "frames_out=0",
+		"flushes=0", "text_lines=0", "toolarge=0", "badframes=0",
+		"flush_batch_mean=0.00",
+	} {
+		if !strings.Contains(line, want) {
+			t.Errorf("STATS line missing %q: %s", want, line)
+		}
+	}
+	bare := statsLine(srv, nil, nil)
+	if strings.Contains(bare, "frames_in=") || strings.Contains(bare, "conns=") {
+		t.Errorf("bare STATS line has net fields: %s", bare)
+	}
+}
+
 // TestStatsLineWindowedFields: rolling quantiles and burn rates show up
 // in STATS once traffic has flowed, keyed per configured window.
 func TestStatsLineWindowedFields(t *testing.T) {
-	srv, ob := newTestObs(t)
+	srv, ns, ob := newTestObs(t)
 	for i := 0; i < 20; i++ {
-		if resp := srv.Do(request{op: "GET", key: []byte("nope")}); resp.Err != nil {
+		if resp := srv.Do(&netsrv.Request{Op: proto.OpGet, Key: []byte("nope")}); resp.Err != nil {
 			t.Fatal(resp.Err)
 		}
 	}
-	line := statsLine(srv, ob)
+	line := statsLine(srv, ns, ob)
 	for _, want := range []string{"p50_1s=", "p99_10s=", "p999_60s=", "burn_short=", "burn_long=", "slo_alerting=0"} {
 		if !strings.Contains(line, want) {
 			t.Errorf("STATS line missing %q: %s", want, line)
@@ -88,7 +122,7 @@ func TestStatsLineWindowedFields(t *testing.T) {
 	}
 	// Without the obs surface the windowed fields must be absent but
 	// the counter fields still render.
-	bare := statsLine(srv, nil)
+	bare := statsLine(srv, nil, nil)
 	if strings.Contains(bare, "p50_") || strings.Contains(bare, "burn_") {
 		t.Errorf("bare STATS line has windowed fields: %s", bare)
 	}
@@ -102,11 +136,9 @@ func TestStatsLineWindowedFields(t *testing.T) {
 // new key maps to a /metrics family (consistency loop above only checks
 // the keys present, so sharded keys get their own pass here).
 func TestStatsShardedFields(t *testing.T) {
-	srv, ob := newTestObsSharded(t, 2)
-	if resp := srv.Do(request{op: "PUT", key: []byte("k"), value: []byte("v")}); resp.Err != nil {
-		t.Fatal(resp.Err)
-	}
-	line := statsLine(srv, ob)
+	srv, ns, ob := newTestObsSharded(t, 2)
+	put(t, srv, "k", "v")
+	line := statsLine(srv, ns, ob)
 	for _, want := range []string{"steals=0", "shardq=0,0", "shardocc=0,0"} {
 		if !strings.Contains(line, want) {
 			t.Errorf("STATS line missing %q: %s", want, line)
@@ -128,20 +160,15 @@ func TestStatsShardedFields(t *testing.T) {
 }
 
 // TestServiceHints: every op yields a positive hint, SPIN's equals its
-// parsed duration, and relative order matches relative cost.
+// requested duration, and relative order matches relative cost. (Parse
+// rejection of bad SPIN durations is covered in internal/netsrv.)
 func TestServiceHints(t *testing.T) {
-	spin, err := parse("SPIN 250")
-	if err != nil {
-		t.Fatal(err)
-	}
+	spin := &netsrv.Request{Op: proto.OpSpin, Spin: 250 * time.Microsecond}
 	if spin.ServiceHint() != 250*time.Microsecond {
 		t.Fatalf("SPIN hint = %v, want 250µs", spin.ServiceHint())
 	}
-	if _, err := parse("SPIN banana"); err == nil {
-		t.Fatal("bad SPIN duration accepted at parse time")
-	}
-	get, _ := parse("GET k")
-	scan, _ := parse("SCAN")
+	get := &netsrv.Request{Op: proto.OpGet, Key: []byte("k")}
+	scan := &netsrv.Request{Op: proto.OpScan}
 	if get.ServiceHint() <= 0 || scan.ServiceHint() <= 0 {
 		t.Fatal("non-positive service hint")
 	}

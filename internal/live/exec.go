@@ -168,6 +168,7 @@ func (s *Server) failTask(t *task, err error, ex *executor) {
 func (s *Server) finish(writer int, t *task, resp Response) {
 	resp.Preemptions = t.preempts
 	resp.OnDispatcher = resp.OnDispatcher || t.onDispatcher
+	resp.Req = t.payload
 	if s.tr != nil {
 		end := time.Now()
 		resp.Latency = end.Sub(t.arrival)
@@ -181,7 +182,7 @@ func (s *Server) finish(writer int, t *task, resp Response) {
 		s.tail.Observe(resp.Latency, resp.Err == nil)
 	}
 	s.stats.completed.Add(1)
-	t.result <- resp
+	t.deliver(resp)
 }
 
 // completionEvent maps a response error onto the terminal event kind

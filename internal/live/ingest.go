@@ -18,11 +18,32 @@ import (
 // full it responds ErrQueueFull.
 func (s *Server) Submit(payload any) <-chan Response {
 	ch := make(chan Response, 1)
+	s.submit(payload, ch, nil)
+	return ch
+}
+
+// SubmitFunc is Submit with a completion callback instead of a response
+// channel: done is invoked exactly once with the request's Response —
+// synchronously on the submitting goroutine when the request is
+// rejected (stop or backpressure), on the completing executor's
+// goroutine otherwise. done must not block: it runs on the worker or
+// dispatcher hot path. Connection layers use it to coalesce completions
+// into batched flushes without a channel allocation per request; the
+// Response's Req field carries the submitted payload back so a single
+// shared callback can correlate without a per-request closure.
+func (s *Server) SubmitFunc(payload any, done func(Response)) {
+	s.submit(payload, nil, done)
+}
+
+// submit is the shared ingest path: exactly one of ch / done carries
+// the response.
+func (s *Server) submit(payload any, ch chan Response, done func(Response)) {
 	t := &task{
 		id:      s.nextID.Add(1),
 		payload: payload,
 		arrival: time.Now(),
 		result:  ch,
+		done:    done,
 		resume:  make(chan *executor),
 		parked:  make(chan parkEvent),
 	}
@@ -46,8 +67,8 @@ func (s *Server) Submit(payload any) <-chan Response {
 		if s.tail != nil {
 			s.tail.ObserveRejected()
 		}
-		ch <- Response{ID: t.id, Err: ErrServerStopped}
-		return ch
+		t.deliver(Response{ID: t.id, Err: ErrServerStopped, Req: t.payload})
+		return
 	}
 	if testSubmitGate != nil {
 		testSubmitGate()
@@ -67,9 +88,8 @@ func (s *Server) Submit(payload any) <-chan Response {
 		if s.tail != nil {
 			s.tail.ObserveRejected()
 		}
-		ch <- Response{ID: t.id, Err: ErrQueueFull}
+		t.deliver(Response{ID: t.id, Err: ErrQueueFull, Req: t.payload})
 	}
-	return ch
 }
 
 // enqueue places t on a shard's ingress buffer and reports whether it

@@ -206,6 +206,10 @@ type Response struct {
 	ID      uint64
 	Payload any
 	Err     error
+	// Req echoes the submitted payload, letting a single shared
+	// SubmitFunc callback correlate completions without a per-request
+	// closure or channel. Always set, on rejections too.
+	Req any
 	// Latency is the total time at the server (sojourn).
 	Latency time.Duration
 	// Preemptions counts how many times the request yielded.

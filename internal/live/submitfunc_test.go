@@ -1,0 +1,93 @@
+package live
+
+import (
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestSubmitFuncExactlyOnce: every SubmitFunc request gets its callback
+// invoked exactly once, with Req echoing the submitted payload.
+func TestSubmitFuncExactlyOnce(t *testing.T) {
+	h := &spinHandler{}
+	s := New(h, testOptions(2, 0))
+	s.Start()
+
+	const n = 200
+	var calls [n]atomic.Int32
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		i := i
+		s.SubmitFunc(10*time.Microsecond, func(r Response) {
+			if calls[i].Add(1) != 1 {
+				t.Errorf("request %d: callback invoked more than once", i)
+			}
+			if r.Err != nil {
+				t.Errorf("request %d: err = %v", i, r.Err)
+			}
+			if r.Req != 10*time.Microsecond {
+				t.Errorf("request %d: Req = %v", i, r.Req)
+			}
+			wg.Done()
+		})
+	}
+	wg.Wait()
+	s.Stop()
+	for i := range calls {
+		if calls[i].Load() != 1 {
+			t.Fatalf("request %d: %d callback invocations", i, calls[i].Load())
+		}
+	}
+}
+
+// TestSubmitFuncRejection: after Stop, SubmitFunc invokes the callback
+// synchronously with ErrServerStopped and the payload echoed in Req.
+func TestSubmitFuncRejection(t *testing.T) {
+	h := &spinHandler{}
+	s := New(h, testOptions(2, 0))
+	s.Start()
+	s.Stop()
+
+	called := false
+	s.SubmitFunc(time.Microsecond, func(r Response) {
+		called = true
+		if !errors.Is(r.Err, ErrServerStopped) {
+			t.Errorf("err = %v, want ErrServerStopped", r.Err)
+		}
+		if r.Req != time.Microsecond {
+			t.Errorf("Req = %v", r.Req)
+		}
+	})
+	if !called {
+		t.Fatal("rejection callback was not invoked synchronously")
+	}
+}
+
+// TestSubmitFuncDrainAbort: requests in flight when a bounded drain
+// expires still get exactly one callback (with ErrServerStopped).
+func TestSubmitFuncDrainAbort(t *testing.T) {
+	h := &spinHandler{}
+	opts := testOptions(1, 0)
+	opts.DrainTimeout = 5 * time.Millisecond
+	s := New(h, opts)
+	s.Start()
+
+	const n = 50
+	var calls atomic.Int32
+	var wg sync.WaitGroup
+	wg.Add(n)
+	for i := 0; i < n; i++ {
+		s.SubmitFunc(5*time.Millisecond, func(r Response) {
+			calls.Add(1)
+			wg.Done()
+		})
+	}
+	s.Stop()
+	wg.Wait()
+	if calls.Load() != n {
+		t.Fatalf("%d callbacks for %d requests", calls.Load(), n)
+	}
+}

@@ -29,7 +29,10 @@ type task struct {
 	payload  any
 	arrival  time.Time
 	deadline time.Time // zero = none
-	result   chan Response
+	// Exactly one of result / done carries the response: result for
+	// Submit (channel, capacity 1), done for SubmitFunc (callback).
+	result chan Response
+	done   func(Response)
 
 	resume chan *executor
 	parked chan parkEvent
@@ -61,6 +64,16 @@ type task struct {
 	firstRunTS time.Time // first CPU hand-off
 	runStart   time.Time // current running interval's start
 	runNS      int64     // accumulated running time
+}
+
+// deliver hands the task's single response to its owner: the callback
+// for SubmitFunc tasks, the capacity-1 channel for Submit tasks.
+func (t *task) deliver(resp Response) {
+	if t.done != nil {
+		t.done(resp)
+		return
+	}
+	t.result <- resp
 }
 
 func (t *task) expired(now time.Time) bool {

@@ -1,0 +1,210 @@
+// Package netsrv is the KV server's connection layer: it speaks both
+// wire protocols on top of a live.Server and owns every per-connection
+// goroutine.
+//
+// Each accepted connection is auto-detected by its first byte. Binary
+// frames open with proto.ReqMagic (0xC2, high bit set), text commands
+// with an ASCII letter, so one byte disambiguates and is replayed into
+// the chosen decoder — a client never announces its protocol.
+//
+//   - Text mode (text.go) is the historical line protocol: lockstep,
+//     one request in flight, served through live.Do. Responses are
+//     rendered into a single reused buffer — no per-response fmt
+//     allocation.
+//   - Binary mode (binary.go) is pipelined: a reader goroutine decodes
+//     length-prefixed frames zero-copy into pooled ref-counted buffers
+//     and submits each through live.SubmitFunc; a per-connection
+//     flusher coalesces completions — arriving in any order — into
+//     batched single-write flushes, matching responses to requests by
+//     id.
+//
+// Both modes reject oversized requests (frame body or text line over
+// Options.MaxReq) with a single-token TOOLARGE response on a
+// still-usable stream, never by silent truncation.
+package netsrv
+
+import (
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"concord/internal/live"
+	"concord/internal/proto"
+	"concord/internal/trace"
+)
+
+// Options configures the connection layer.
+type Options struct {
+	// MaxReq bounds one request: a binary frame's body (key+value
+	// bytes) or a text line. Oversized requests answer TOOLARGE
+	// (StTooLarge) and the connection stays usable. Default 1 MiB.
+	MaxReq int
+	// WriteTimeout bounds each flush so a client that stops reading
+	// cannot pin a connection goroutine forever. 0 disables.
+	WriteTimeout time.Duration
+	// BufSize is the pooled read-buffer size for binary connections
+	// (frames larger than it, up to MaxReq, take a one-off buffer).
+	// Default 4096; kept small because massive fan-in multiplies it by
+	// the connection count.
+	BufSize int
+	// Control, when non-nil, intercepts text lines whose op the data
+	// protocol does not know (STATS, TRACE, OBS ...). It reports
+	// whether it handled the line; obsOn is the connection's
+	// breakdown-trailer toggle. Control output is flushed by the caller.
+	Control func(out io.Writer, line string, obsOn *bool) bool
+	// Observe, when non-nil, receives every completed data response
+	// (both modes) for per-op latency histograms.
+	Observe func(op byte, resp live.Response)
+	// Trailer, when non-nil, renders the |OBS breakdown trailer
+	// appended to text responses while the connection has OBS ON.
+	Trailer func(resp live.Response) string
+}
+
+func (o Options) withDefaults() Options {
+	if o.MaxReq <= 0 {
+		o.MaxReq = 1 << 20
+	}
+	if o.BufSize <= 0 {
+		o.BufSize = 4096
+	}
+	return o
+}
+
+// NetStats is a snapshot of the connection layer's counters.
+type NetStats struct {
+	Conns     int64  // currently open connections
+	Pipeline  int64  // binary frames submitted, response not yet flushed
+	FramesIn  uint64 // binary request frames decoded
+	FramesOut uint64 // binary response frames written
+	Flushes   uint64 // batched response writes (FramesOut/Flushes = mean batch)
+	TextLines uint64 // text-protocol lines served (data + control)
+	TooLarge  uint64 // requests rejected for exceeding MaxReq
+	BadFrames uint64 // frames with an unknown opcode or undecodable body
+}
+
+// Server serves both wire protocols on top of a live runtime.
+type Server struct {
+	rt   *live.Server
+	opts Options
+
+	bufPool *proto.Pool
+	reqPool sync.Pool
+
+	conns     atomic.Int64
+	pipeline  atomic.Int64
+	framesIn  atomic.Uint64
+	framesOut atomic.Uint64
+	flushes   atomic.Uint64
+	textLines atomic.Uint64
+	tooLarge  atomic.Uint64
+	badFrames atomic.Uint64
+	// flushBatch is the distribution of responses per flush: depth of
+	// coalescing under load (1 everywhere means no pipelining benefit).
+	flushBatch trace.Histogram
+
+	mu     sync.Mutex
+	open   map[net.Conn]struct{}
+	connWG sync.WaitGroup
+}
+
+// New builds a connection layer over rt.
+func New(rt *live.Server, opts Options) *Server {
+	opts = opts.withDefaults()
+	s := &Server{
+		rt:      rt,
+		opts:    opts,
+		bufPool: proto.NewPool(opts.BufSize),
+		open:    make(map[net.Conn]struct{}),
+	}
+	s.reqPool.New = func() any { return new(Request) }
+	return s
+}
+
+// NetStats snapshots the connection-layer counters.
+func (s *Server) NetStats() NetStats {
+	return NetStats{
+		Conns:     s.conns.Load(),
+		Pipeline:  s.pipeline.Load(),
+		FramesIn:  s.framesIn.Load(),
+		FramesOut: s.framesOut.Load(),
+		Flushes:   s.flushes.Load(),
+		TextLines: s.textLines.Load(),
+		TooLarge:  s.tooLarge.Load(),
+		BadFrames: s.badFrames.Load(),
+	}
+}
+
+// FlushBatch is the histogram of responses coalesced per flush, for
+// metrics registration.
+func (s *Server) FlushBatch() *trace.Histogram { return &s.flushBatch }
+
+// Serve accepts connections until ln is closed, serving each on its
+// own goroutine. It returns after the accept loop exits; in-flight
+// connections are still running — bound them with Drain.
+func (s *Server) Serve(ln net.Listener) {
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		s.connWG.Add(1)
+		go func() {
+			defer s.connWG.Done()
+			s.ServeConn(conn)
+		}()
+	}
+}
+
+// Drain gives open connections a grace window to finish writing
+// responses for requests already in flight — instead of a reset — by
+// arming a read deadline, then waits for every connection goroutine.
+// Call after the runtime's Stop so late requests answer STOPPED.
+func (s *Server) Drain(grace time.Duration) {
+	s.mu.Lock()
+	for c := range s.open {
+		c.SetReadDeadline(time.Now().Add(grace))
+	}
+	s.mu.Unlock()
+	s.connWG.Wait()
+}
+
+// ServeConn serves one connection to completion and closes it. The
+// first byte picks the protocol: proto.ReqMagic is a binary client
+// (text ops start with ASCII letters; the magics have the high bit
+// set, so the byte is unambiguous).
+func (s *Server) ServeConn(conn net.Conn) {
+	defer conn.Close()
+	s.mu.Lock()
+	s.open[conn] = struct{}{}
+	s.mu.Unlock()
+	s.conns.Add(1)
+	defer func() {
+		s.mu.Lock()
+		delete(s.open, conn)
+		s.mu.Unlock()
+		s.conns.Add(-1)
+	}()
+
+	var first [1]byte
+	if _, err := io.ReadFull(conn, first[:]); err != nil {
+		return
+	}
+	if first[0] == proto.ReqMagic {
+		s.serveBinary(conn, first[:])
+	} else {
+		s.serveText(conn, first[:])
+	}
+}
+
+func (s *Server) getReq() *Request {
+	return s.reqPool.Get().(*Request)
+}
+
+// putReq recycles a request after its response has been encoded,
+// dropping the frame-buffer reference it pinned.
+func (s *Server) putReq(r *Request) {
+	r.reset()
+	s.reqPool.Put(r)
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package netsrv
+
+// raceEnabled reports whether the race detector is compiled in; tests
+// use it to scale soak sizes.
+const raceEnabled = false

@@ -1,0 +1,235 @@
+// Text mode: the historical line protocol, lockstep through live.Do.
+// The hot path reuses one Request, one parse, and one response buffer
+// per connection — the old per-response fmt.Fprintf path allocated a
+// format state and boxed operands on every single response.
+package netsrv
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"net"
+	"time"
+
+	"concord/internal/proto"
+)
+
+// errTooLong marks a line over MaxReq; the line was consumed through
+// its newline, so the stream is still usable.
+var errTooLong = errors.New("netsrv: line too long")
+
+func (s *Server) serveText(conn net.Conn, first []byte) {
+	br := bufio.NewReaderSize(io.MultiReader(bytes.NewReader(first), conn), 1<<16)
+	bw := bufio.NewWriterSize(conn, 1<<12)
+	var (
+		spill []byte // reused overflow for lines longer than br's buffer
+		out   []byte // reused response buffer
+		req   Request
+		obsOn bool
+	)
+	// flushOut writes the buffered response under a write deadline so a
+	// client that stops reading cannot pin this goroutine forever.
+	flushOut := func() bool {
+		if wt := s.opts.WriteTimeout; wt > 0 {
+			conn.SetWriteDeadline(time.Now().Add(wt))
+		}
+		return bw.Flush() == nil
+	}
+	reply := func(resp []byte) bool {
+		resp = append(resp, '\n')
+		if _, err := bw.Write(resp); err != nil {
+			return false
+		}
+		return flushOut()
+	}
+	for {
+		line, err := readLine(br, &spill, s.opts.MaxReq)
+		if err == errTooLong {
+			s.tooLarge.Add(1)
+			s.textLines.Add(1)
+			if !reply(append(out[:0], proto.StatusString(proto.StTooLarge)...)) {
+				return
+			}
+			continue
+		}
+		if err != nil {
+			return
+		}
+		s.textLines.Add(1)
+		req.reset()
+		switch perr := parseText(line, &req); {
+		case perr == nil:
+			// fall through to submit
+		case perr == errUnknownOp && s.opts.Control != nil && s.opts.Control(bw, string(line), &obsOn):
+			if !flushOut() {
+				return
+			}
+			continue
+		default:
+			out = append(append(out[:0], "ERR "...), perr.Error()...)
+			if !reply(out) {
+				return
+			}
+			continue
+		}
+		resp := s.rt.Do(&req)
+		if resp.Err != nil {
+			req.Status, req.errMsg = statusForErr(resp.Err)
+		}
+		if s.opts.Observe != nil {
+			s.opts.Observe(req.Op, resp)
+		}
+		out = req.appendText(out[:0])
+		if obsOn && s.opts.Trailer != nil {
+			out = append(out, s.opts.Trailer(resp)...)
+		}
+		if !reply(out) {
+			return
+		}
+	}
+}
+
+// readLine returns the next newline-terminated line (EOL stripped),
+// spilling lines longer than the reader's buffer into *spill. Lines
+// over max are consumed to their newline and reported as errTooLong.
+// A final unterminated line before EOF is returned as a line, matching
+// the old bufio.Scanner behavior.
+func readLine(br *bufio.Reader, spill *[]byte, max int) ([]byte, error) {
+	line, err := br.ReadSlice('\n')
+	if err == nil {
+		return trimEOL(line), nil
+	}
+	if err == io.EOF {
+		if len(line) > 0 {
+			return trimEOL(line), nil
+		}
+		return nil, io.EOF
+	}
+	if err != bufio.ErrBufferFull {
+		return nil, err
+	}
+	buf := append((*spill)[:0], line...)
+	for {
+		if len(buf) > max {
+			*spill = buf[:0]
+			return nil, discardLine(br)
+		}
+		line, err = br.ReadSlice('\n')
+		buf = append(buf, line...)
+		if err == nil || (err == io.EOF && len(buf) > 0) {
+			if len(buf) > max {
+				*spill = buf[:0]
+				if err == nil {
+					return nil, errTooLong
+				}
+				return nil, err
+			}
+			*spill = buf
+			return trimEOL(buf), nil
+		}
+		if err != bufio.ErrBufferFull {
+			*spill = buf[:0]
+			return nil, err
+		}
+	}
+}
+
+// discardLine consumes the rest of an oversized line and reports
+// errTooLong, or the read error that cut it short.
+func discardLine(br *bufio.Reader) error {
+	for {
+		_, err := br.ReadSlice('\n')
+		if err == nil {
+			return errTooLong
+		}
+		if err != bufio.ErrBufferFull {
+			return err
+		}
+	}
+}
+
+func trimEOL(b []byte) []byte {
+	if n := len(b); n > 0 && b[n-1] == '\n' {
+		b = b[:n-1]
+	}
+	if n := len(b); n > 0 && b[n-1] == '\r' {
+		b = b[:n-1]
+	}
+	return b
+}
+
+// errUnknownOp distinguishes "not a data op" (maybe a control line)
+// from a malformed data op.
+var errUnknownOp = errors.New("unknown op")
+
+type parseError string
+
+func (e parseError) Error() string { return string(e) }
+
+// parseText parses one data line into req without allocating: Key and
+// Val alias line, which stays valid through the lockstep live.Do.
+func parseText(line []byte, req *Request) error {
+	op, rest := cutSpace(line)
+	switch {
+	case bytes.EqualFold(op, opGET):
+		if len(rest) == 0 {
+			return parseError("GET needs a key")
+		}
+		req.Op, req.Key = proto.OpGet, rest
+	case bytes.EqualFold(op, opDEL):
+		if len(rest) == 0 {
+			return parseError("DEL needs a key")
+		}
+		req.Op, req.Key = proto.OpDel, rest
+	case bytes.EqualFold(op, opPUT):
+		key, val := cutSpace(rest)
+		if len(key) == 0 || val == nil {
+			return parseError("PUT needs key and value")
+		}
+		req.Op, req.Key, req.Val = proto.OpPut, key, val
+	case bytes.EqualFold(op, opSCAN):
+		req.Op = proto.OpScan
+	case bytes.EqualFold(op, opSPIN):
+		us, ok := parseUint(rest)
+		if !ok {
+			return parseError("bad SPIN duration")
+		}
+		req.Op, req.Key = proto.OpSpin, rest
+		req.Spin = time.Duration(us) * time.Microsecond
+	default:
+		return errUnknownOp
+	}
+	return nil
+}
+
+var (
+	opGET  = []byte("GET")
+	opPUT  = []byte("PUT")
+	opDEL  = []byte("DEL")
+	opSCAN = []byte("SCAN")
+	opSPIN = []byte("SPIN")
+)
+
+// cutSpace splits b at its first space.
+func cutSpace(b []byte) (head, tail []byte) {
+	if i := bytes.IndexByte(b, ' '); i >= 0 {
+		return b[:i], b[i+1:]
+	}
+	return b, nil
+}
+
+// parseUint is a no-allocation strconv.Atoi for non-negative values.
+func parseUint(b []byte) (uint64, bool) {
+	if len(b) == 0 || len(b) > 19 {
+		return 0, false
+	}
+	var v uint64
+	for _, c := range b {
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		v = v*10 + uint64(c-'0')
+	}
+	return v, true
+}

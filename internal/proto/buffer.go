@@ -1,0 +1,86 @@
+// Pooled, ref-counted read buffers. A FrameReader fills a Buffer from
+// the connection and cuts zero-copy frames out of it; each frame holds
+// one reference, the reader holds one while it is still filling, and
+// the buffer returns to the pool when the count reaches zero — after
+// the last response built from it has flushed.
+package proto
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// Buffer is one pooled read buffer. The zero refs state means "free";
+// Pool.Get returns a buffer with one reference (the caller's).
+type Buffer struct {
+	refs atomic.Int32
+	pool *Pool // nil for one-off oversized buffers: Release drops to GC
+	// B is the backing storage. Frames alias sub-slices of it; it must
+	// not be resliced while references are outstanding.
+	B []byte
+}
+
+// Retain adds a reference. Each Retain must be paired with exactly one
+// Release.
+func (b *Buffer) Retain() { b.refs.Add(1) }
+
+// Release drops a reference; the last one returns the buffer to its
+// pool (or the GC for one-off buffers). Releasing below zero panics:
+// it means a frame was released twice and the buffer may already be
+// carrying another connection's bytes.
+func (b *Buffer) Release() {
+	n := b.refs.Add(-1)
+	if n == 0 {
+		if b.pool != nil {
+			b.pool.put(b)
+		}
+		return
+	}
+	if n < 0 {
+		panic("proto: Buffer over-released")
+	}
+}
+
+// Pool recycles fixed-size Buffers. The size bounds per-connection
+// memory while a frame is in flight; frames larger than one buffer get
+// a one-off right-sized buffer that is garbage collected instead of
+// pooled.
+type Pool struct {
+	size int
+	p    sync.Pool
+}
+
+// NewPool builds a pool of size-byte buffers. Sizes below 512 are
+// rounded up: a buffer must at least hold a maximal fixed header plus a
+// small frame.
+func NewPool(size int) *Pool {
+	if size < 512 {
+		size = 512
+	}
+	p := &Pool{size: size}
+	p.p.New = func() any { return &Buffer{pool: p, B: make([]byte, size)} }
+	return p
+}
+
+// Size returns the pooled buffer size in bytes.
+func (p *Pool) Size() int { return p.size }
+
+// Get returns a buffer with one reference held by the caller.
+func (p *Pool) Get() *Buffer {
+	b := p.p.Get().(*Buffer)
+	b.refs.Store(1)
+	return b
+}
+
+// getSized returns a buffer of at least n bytes: pooled when n fits,
+// a one-off otherwise.
+func (p *Pool) getSized(n int) *Buffer {
+	if n <= p.size {
+		return p.Get()
+	}
+	b := &Buffer{B: make([]byte, n)}
+	b.refs.Store(1)
+	return b
+}
+
+func (p *Pool) put(b *Buffer) { p.p.Put(b) }

@@ -1,0 +1,208 @@
+// Package proto is concord-kvd's pipelined binary wire protocol: fixed
+// little-endian headers, many in-flight requests per connection, and
+// responses matched to requests by an opaque client-chosen id so they
+// may return out of order.
+//
+// # Request frame
+//
+//	offset size field
+//	0      1    magic (0xC2 — no ASCII text command starts with it)
+//	1      1    opcode
+//	2      8    request id, uint64 LE (echoed verbatim on the response)
+//	10     4    key length, uint32 LE
+//	14     4    value length, uint32 LE
+//	18     k    key bytes
+//	18+k   v    value bytes
+//
+// SPIN encodes its duration as a 4-byte LE microsecond count in the key
+// field (key length 4, value length 0).
+//
+// # Response frame
+//
+//	offset size field
+//	0      1    magic (0xC3)
+//	1      1    status
+//	2      8    request id, uint64 LE
+//	10     4    payload length, uint32 LE
+//	14     n    payload bytes
+//
+// StValue carries the value bytes, StCount an 8-byte LE count, StErr a
+// human-readable message; every other status has an empty payload.
+//
+// # Auto-detection
+//
+// A connection's first byte decides its protocol for the connection's
+// lifetime: ReqMagic means binary framing, anything else means the
+// line-oriented text protocol. The magics have the high bit set, which
+// no text command's first byte ever does.
+//
+// # Zero copy
+//
+// FrameReader decodes frames in place inside pooled, ref-counted
+// buffers (see Buffer): Frame.Key and Frame.Val alias the read buffer,
+// which is recycled only after every frame cut from it has been
+// Released — typically when the response is flushed.
+package proto
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+)
+
+// Protocol magics. Request and response magic differ so a desynced peer
+// fails loudly instead of misparsing.
+const (
+	ReqMagic  = 0xC2
+	RespMagic = 0xC3
+)
+
+// Opcodes.
+const (
+	OpGet byte = iota + 1
+	OpPut
+	OpDel
+	OpScan
+	OpSpin
+)
+
+// Response statuses. The numeric values are wire format: append-only.
+const (
+	StOK         byte = 0 // PUT/DEL/SPIN success, empty payload
+	StValue      byte = 1 // GET hit, payload = value
+	StNotFound   byte = 2 // GET/DEL miss
+	StCount      byte = 3 // SCAN, payload = 8-byte LE count
+	StErr        byte = 4 // handler error, payload = message
+	StDeadline   byte = 5 // request deadline exceeded
+	StOverloaded byte = 6 // submit queue full
+	StStopped    byte = 7 // server draining
+	StTooLarge   byte = 8 // frame body over the server's -maxreq limit
+	StBadRequest byte = 9 // unknown opcode or malformed frame body
+)
+
+// Header sizes.
+const (
+	ReqHeaderSize  = 18
+	RespHeaderSize = 14
+)
+
+// StatusString names a status for logs and error tokens; it matches the
+// text protocol's single-token failure responses where one exists.
+func StatusString(st byte) string {
+	switch st {
+	case StOK:
+		return "OK"
+	case StValue:
+		return "VALUE"
+	case StNotFound:
+		return "NOTFOUND"
+	case StCount:
+		return "COUNT"
+	case StErr:
+		return "ERR"
+	case StDeadline:
+		return "DEADLINE"
+	case StOverloaded:
+		return "OVERLOADED"
+	case StStopped:
+		return "STOPPED"
+	case StTooLarge:
+		return "TOOLARGE"
+	case StBadRequest:
+		return "BADREQUEST"
+	}
+	return fmt.Sprintf("STATUS(%d)", st)
+}
+
+// OpString names an opcode; unknown opcodes render numerically.
+func OpString(op byte) string {
+	switch op {
+	case OpGet:
+		return "GET"
+	case OpPut:
+		return "PUT"
+	case OpDel:
+		return "DEL"
+	case OpScan:
+		return "SCAN"
+	case OpSpin:
+		return "SPIN"
+	}
+	return fmt.Sprintf("OP(%d)", op)
+}
+
+// ErrBadMagic reports a stream position where a request frame was
+// expected but the magic byte did not match: the stream is desynced and
+// the connection must be closed.
+var ErrBadMagic = errors.New("proto: bad frame magic (stream desynced)")
+
+// TooLargeError reports a frame whose body exceeds the reader's limit.
+// The frame's id is preserved so the server can answer StTooLarge; the
+// reader discards the oversized body and the stream stays usable.
+type TooLargeError struct {
+	ID   uint64
+	Size int
+	Max  int
+}
+
+func (e *TooLargeError) Error() string {
+	return fmt.Sprintf("proto: frame %d body %dB exceeds limit %dB", e.ID, e.Size, e.Max)
+}
+
+// AppendRequest appends one encoded request frame to dst and returns
+// the extended slice. The id is echoed verbatim on the response.
+func AppendRequest(dst []byte, op byte, id uint64, key, val []byte) []byte {
+	var h [ReqHeaderSize]byte
+	h[0] = ReqMagic
+	h[1] = op
+	binary.LittleEndian.PutUint64(h[2:], id)
+	binary.LittleEndian.PutUint32(h[10:], uint32(len(key)))
+	binary.LittleEndian.PutUint32(h[14:], uint32(len(val)))
+	dst = append(dst, h[:]...)
+	dst = append(dst, key...)
+	return append(dst, val...)
+}
+
+// AppendSpinRequest appends a SPIN frame for the given duration in
+// microseconds.
+func AppendSpinRequest(dst []byte, id uint64, micros uint32) []byte {
+	var arg [4]byte
+	binary.LittleEndian.PutUint32(arg[:], micros)
+	return AppendRequest(dst, OpSpin, id, arg[:], nil)
+}
+
+// AppendResponse appends one encoded response frame to dst and returns
+// the extended slice.
+func AppendResponse(dst []byte, st byte, id uint64, payload []byte) []byte {
+	var h [RespHeaderSize]byte
+	h[0] = RespMagic
+	h[1] = st
+	binary.LittleEndian.PutUint64(h[2:], id)
+	binary.LittleEndian.PutUint32(h[10:], uint32(len(payload)))
+	dst = append(dst, h[:]...)
+	return append(dst, payload...)
+}
+
+// AppendCountResponse appends a StCount response carrying n.
+func AppendCountResponse(dst []byte, id uint64, n uint64) []byte {
+	var p [8]byte
+	binary.LittleEndian.PutUint64(p[:], n)
+	return AppendResponse(dst, StCount, id, p[:])
+}
+
+// DecodeCount reads the 8-byte LE count out of a StCount payload.
+func DecodeCount(payload []byte) (uint64, bool) {
+	if len(payload) != 8 {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint64(payload), true
+}
+
+// DecodeSpin reads the 4-byte LE microsecond count out of a SPIN
+// frame's key field.
+func DecodeSpin(key []byte) (uint32, bool) {
+	if len(key) != 4 {
+		return 0, false
+	}
+	return binary.LittleEndian.Uint32(key), true
+}
