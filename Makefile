@@ -9,7 +9,7 @@ tier1:
 # measurement). Slower than tier1; run before merging changes to any of
 # these.
 race:
-	go test -race ./internal/runner ./internal/server ./internal/figures ./internal/live ./internal/trace ./internal/obs ./internal/bench ./internal/proto ./internal/netsrv
+	go test -race ./internal/runner ./internal/server ./internal/figures ./internal/live ./internal/trace ./internal/obs ./internal/adapt ./internal/bench ./internal/proto ./internal/netsrv
 
 vet:
 	go vet ./...
@@ -34,10 +34,11 @@ bench-json:
 # counts — safe across machines). Exits non-zero on a regression beyond
 # the noise band; machine-bound movements print as advisory.
 bench-smoke:
-	go run ./cmd/concord-bench -short -scenarios core,live,live_sharded -outdir bench-out
+	go run ./cmd/concord-bench -short -scenarios core,live,live_sharded,live_adaptive -outdir bench-out
 	go run ./cmd/concord-bench -compare -hermetic BENCH_core.json bench-out/BENCH_core.json
 	go run ./cmd/concord-bench -compare -hermetic BENCH_live.json bench-out/BENCH_live.json
 	go run ./cmd/concord-bench -compare -hermetic BENCH_live_sharded.json bench-out/BENCH_live_sharded.json
+	go run ./cmd/concord-bench -compare -hermetic BENCH_live_adaptive.json bench-out/BENCH_live_adaptive.json
 
 # Wire-protocol smoke: the live_net scenario over real loopback TCP
 # (text + pipelined binary, up to 10k connections), gated hermetically

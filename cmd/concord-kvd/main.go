@@ -39,6 +39,15 @@
 // concord_slo_*) and as extra STATS fields (p50_1s=..., burn_short=,
 // burn_long=, slo_alerting=).
 //
+// -adaptive runs the scheduling control plane (internal/adapt): a
+// 50ms-period controller that walks the preemption quantum by AIMD
+// between -adapt-minq and -adapt-maxq chasing -slotarget, derives
+// tighter quanta for point ops and looser ones for scans, and switches
+// the central-queue discipline fcfs↔srpt (with hysteresis) as the
+// workload's service-time dispersion crosses the CV≈1 threshold. Its
+// state surfaces as concord_adapt_* metric families and adapt_* STATS
+// fields.
+//
 // Failure responses are single tokens clients can branch on: DEADLINE
 // (request timeout exceeded), OVERLOADED (submit queue full), STOPPED
 // (server draining), TOOLARGE (request over -maxreq), or ERR <msg> for
@@ -76,6 +85,7 @@ import (
 	"syscall"
 	"time"
 
+	"concord/internal/adapt"
 	"concord/internal/kv"
 	"concord/internal/live"
 	"concord/internal/netsrv"
@@ -107,6 +117,10 @@ func main() {
 		sloTarget  = flag.Duration("slotarget", 200*time.Microsecond, "SLO latency target: requests served within it count good (0 disables SLO tracking; needs -obs)")
 		sloObj     = flag.Float64("sloobjective", 0.999, "SLO good-ratio objective; the error budget is 1-objective")
 		sloBurn    = flag.Float64("sloburn", 14.4, "SLO burn-rate alert threshold over the 5m+1h windows")
+		adaptive   = flag.Bool("adaptive", false, "run the scheduling control plane: adjust the preemption quantum against -slotarget, set per-class quanta, and switch fcfs<->srpt as the workload's service-time dispersion drifts")
+		adaptEvery = flag.Duration("adapt-interval", 50*time.Millisecond, "control-plane period (needs -adaptive)")
+		adaptMinQ  = flag.Duration("adapt-minq", 5*time.Microsecond, "adaptive quantum floor (needs -adaptive)")
+		adaptMaxQ  = flag.Duration("adapt-maxq", 500*time.Microsecond, "adaptive quantum ceiling (needs -adaptive)")
 	)
 	flag.Parse()
 
@@ -131,8 +145,9 @@ func main() {
 
 	var tracer *obs.Tracer
 	var tail *obs.TailTracker
-	if *obsAddr != "" {
-		tracer = obs.NewTracerSharded(*workers, effShards, *traceBuf)
+	// The tail tracker feeds both the obs surface and the adaptive
+	// controller's quantum loop, so either flag brings it up.
+	if *obsAddr != "" || *adaptive {
 		wins, err := parseWindows(*windows)
 		if err != nil {
 			log.Fatalf("-windows: %v", err)
@@ -147,7 +162,11 @@ func main() {
 		}
 		tail = obs.NewTailTracker(wins, slo)
 	}
-	srv := live.New(&netsrv.KVHandler{Store: store, ScanBatch: *scanStep}, live.Options{
+	if *obsAddr != "" {
+		tracer = obs.NewTracerSharded(*workers, effShards, *traceBuf)
+	}
+	var cvEst *adapt.CVEstimator
+	liveOpts := live.Options{
 		Workers:        *workers,
 		Shards:         effShards,
 		Policy:         *policyName,
@@ -158,8 +177,33 @@ func main() {
 		DrainTimeout:   *drain,
 		Tracer:         tracer,
 		Tail:           tail,
-	})
+	}
+	if *adaptive {
+		cvEst = &adapt.CVEstimator{}
+		liveOpts.Adaptive = true
+		liveOpts.ServiceObserver = cvEst.Observe
+	}
+	srv := live.New(&netsrv.KVHandler{Store: store, ScanBatch: *scanStep}, liveOpts)
 	srv.Start()
+
+	var ctrl *adapt.Controller
+	var adaptStop chan struct{}
+	if *adaptive {
+		ctrl = adapt.New(srv, adapt.Config{
+			Interval:   *adaptEvery,
+			MinQuantum: *adaptMinQ,
+			MaxQuantum: *adaptMaxQ,
+			SLOTarget:  *sloTarget,
+			ClassScales: map[int]float64{
+				live.ClassShort: 0.5, // point ops: preempt whatever delays them sooner
+				live.ClassLong:  4,   // scans: fewer, cheaper preemptions
+			},
+		})
+		adaptStop = make(chan struct{})
+		go ctrl.Run(adapt.Sources{Tail: tail, CV: cvEst}, adaptStop)
+		log.Printf("adaptive control plane: interval %v, quantum bounds [%v, %v], slo target %v",
+			*adaptEvery, *adaptMinQ, *adaptMaxQ, *sloTarget)
+	}
 
 	var ob *kvObs
 	nopts := netsrv.Options{
@@ -168,7 +212,7 @@ func main() {
 	}
 	var ns *netsrv.Server
 	nopts.Control = func(out io.Writer, line string, obsOn *bool) bool {
-		return serveControl(out, line, srv, ns, ob, obsOn)
+		return serveControl(out, line, srv, ns, ob, ctrl, obsOn)
 	}
 	if tracer != nil {
 		nopts.Observe = func(op byte, resp live.Response) { ob.observe(proto.OpString(op), resp) }
@@ -177,7 +221,7 @@ func main() {
 	ns = netsrv.New(srv, nopts)
 
 	if tracer != nil {
-		ob = newKVObs(tracer, tail, srv, ns, *workers, effShards)
+		ob = newKVObs(tracer, tail, ctrl, srv, ns, *workers, effShards)
 		obsLn, err := net.Listen("tcp", *obsAddr)
 		if err != nil {
 			log.Fatalf("obs listen: %v", err)
@@ -208,6 +252,9 @@ func main() {
 
 	ns.Serve(ln)
 
+	if adaptStop != nil {
+		close(adaptStop) // stop steering before the drain begins
+	}
 	// Drain: complete every accepted request (bounded by -drain; late
 	// submissions answer STOPPED), then give connection readers a short
 	// grace window — requests already in flight from clients get a
@@ -276,7 +323,7 @@ type opHists struct {
 	total, handoff, queue, service, preempted trace.Histogram
 }
 
-func newKVObs(tracer *obs.Tracer, tail *obs.TailTracker, srv *live.Server, ns *netsrv.Server, workers, shards int) *kvObs {
+func newKVObs(tracer *obs.Tracer, tail *obs.TailTracker, ctrl *adapt.Controller, srv *live.Server, ns *netsrv.Server, workers, shards int) *kvObs {
 	ob := &kvObs{tracer: tracer, tail: tail, metrics: &obs.Metrics{}, perOp: map[string]*opHists{}}
 	m := ob.metrics
 	counter := func(name, help string, f func(live.Stats) uint64) {
@@ -288,7 +335,7 @@ func newKVObs(tracer *obs.Tracer, tail *obs.TailTracker, srv *live.Server, ns *n
 	counter("concord_expired_total", "requests past their deadline", func(s live.Stats) uint64 { return s.Expired })
 	counter("concord_aborted_total", "requests failed by drain abort", func(s live.Stats) uint64 { return s.Aborted })
 	counter("concord_preemptions_total", "request yields", func(s live.Stats) uint64 { return s.Preemptions })
-	counter("concord_stolen_total", "requests completed by the dispatcher", func(s live.Stats) uint64 { return s.Stolen })
+	counter("concord_dispatcher_run_total", "requests completed by a work-conserving dispatcher (own-queue or stolen)", func(s live.Stats) uint64 { return s.DispatcherRun })
 	counter("concord_steals_total", "never-started requests migrated between shards", func(s live.Stats) uint64 { return s.Steals })
 	m.RegisterGauge(`concord_queue_depth{queue="submit"}`, "live queue occupancy",
 		func() float64 { return float64(srv.Depths().Submit) })
@@ -371,6 +418,28 @@ func newKVObs(tracer *obs.Tracer, tail *obs.TailTracker, srv *live.Server, ns *n
 				})
 		}
 	}
+	if ctrl != nil {
+		m.RegisterGauge("concord_adapt_policy",
+			"active central-queue discipline: 0 fcfs, 1 srpt",
+			func() float64 {
+				if ctrl.Status().Policy == live.PolicySRPT {
+					return 1
+				}
+				return 0
+			})
+		m.RegisterGauge("concord_adapt_quantum_us",
+			"adaptive base preemption quantum in microseconds",
+			func() float64 { return float64(ctrl.Status().Quantum) / float64(time.Microsecond) })
+		m.RegisterGauge("concord_adapt_cv",
+			"smoothed service-time coefficient of variation",
+			func() float64 { return ctrl.Status().CV })
+		m.RegisterCounter("concord_adapt_switches_total",
+			"policy switches performed by the control plane",
+			func() float64 { return float64(ctrl.Status().Switches) })
+		m.RegisterCounter("concord_adapt_quantum_changes_total",
+			"base-quantum adjustments performed by the control plane",
+			func() float64 { return float64(ctrl.Status().QuantumChanges) })
+	}
 	for _, op := range []string{"GET", "PUT", "DEL", "SCAN", "SPIN"} {
 		h := &opHists{}
 		ob.perOp[op] = h
@@ -423,10 +492,10 @@ func obsTrailer(resp live.Response) string {
 // serveControl handles the non-request text commands (STATS, TRACE,
 // OBS); it reports whether the line was one of them. netsrv calls it
 // for any text line the data protocol does not recognize.
-func serveControl(out io.Writer, line string, srv *live.Server, ns *netsrv.Server, ob *kvObs, obsOn *bool) bool {
+func serveControl(out io.Writer, line string, srv *live.Server, ns *netsrv.Server, ob *kvObs, ctrl *adapt.Controller, obsOn *bool) bool {
 	switch {
 	case line == "STATS":
-		fmt.Fprintf(out, "%s\n", statsLine(srv, ns, ob))
+		fmt.Fprintf(out, "%s\n", statsLine(srv, ns, ob, ctrl))
 		return true
 	case line == "TRACE" || strings.HasPrefix(line, "TRACE "):
 		if ob == nil {
@@ -465,7 +534,7 @@ func serveControl(out io.Writer, line string, srv *live.Server, ns *netsrv.Serve
 // /metrics family via metricFamilyForStatsKey — the consistency test
 // asserts it, so the text protocol and the Prometheus surface cannot
 // drift apart.
-func statsLine(srv *live.Server, ns *netsrv.Server, ob *kvObs) string {
+func statsLine(srv *live.Server, ns *netsrv.Server, ob *kvObs, ctrl *adapt.Controller) string {
 	st := srv.Stats()
 	d := srv.Depths()
 	occ := make([]string, len(d.Workers))
@@ -487,7 +556,7 @@ func statsLine(srv *live.Server, ns *netsrv.Server, ob *kvObs) string {
 	field("expired", u(st.Expired))
 	field("aborted", u(st.Aborted))
 	field("preemptions", u(st.Preemptions))
-	field("stolen", u(st.Stolen))
+	field("dispatcher_run", u(st.DispatcherRun))
 	field("steals", u(st.Steals))
 	field("central", strconv.Itoa(d.Central))
 	field("submitq", strconv.Itoa(d.Submit))
@@ -534,6 +603,18 @@ func statsLine(srv *live.Server, ns *netsrv.Server, ob *kvObs) string {
 			field("slo_alerting", alerting)
 		}
 	}
+	if ctrl != nil {
+		s := ctrl.Status()
+		pol := "0"
+		if s.Policy == live.PolicySRPT {
+			pol = "1"
+		}
+		field("adapt_policy", pol)
+		field("adapt_quantum_us", fmt.Sprintf("%.1f", float64(s.Quantum)/float64(time.Microsecond)))
+		field("adapt_cv", fmt.Sprintf("%.3f", s.CV))
+		field("adapt_switches", u(s.Switches))
+		field("adapt_quantum_changes", u(s.QuantumChanges))
+	}
 	return b.String()
 }
 
@@ -542,7 +623,7 @@ func statsLine(srv *live.Server, ns *netsrv.Server, ob *kvObs) string {
 // consistency test turns into a failure).
 func metricFamilyForStatsKey(key string) string {
 	switch key {
-	case "submitted", "completed", "rejected", "expired", "aborted", "preemptions", "stolen", "steals":
+	case "submitted", "completed", "rejected", "expired", "aborted", "preemptions", "dispatcher_run", "steals":
 		return "concord_" + key + "_total"
 	case "central", "submitq":
 		return "concord_queue_depth"
@@ -572,6 +653,16 @@ func metricFamilyForStatsKey(key string) string {
 		return "concord_slo_burn_rate"
 	case "slo_alerting":
 		return "concord_slo_alerting"
+	case "adapt_policy":
+		return "concord_adapt_policy"
+	case "adapt_quantum_us":
+		return "concord_adapt_quantum_us"
+	case "adapt_cv":
+		return "concord_adapt_cv"
+	case "adapt_switches":
+		return "concord_adapt_switches_total"
+	case "adapt_quantum_changes":
+		return "concord_adapt_quantum_changes_total"
 	}
 	if strings.HasPrefix(key, "p50_") || strings.HasPrefix(key, "p99_") || strings.HasPrefix(key, "p999_") {
 		return "concord_rolling_latency_us"

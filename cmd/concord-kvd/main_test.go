@@ -5,6 +5,7 @@ import (
 	"testing"
 	"time"
 
+	"concord/internal/adapt"
 	"concord/internal/kv"
 	"concord/internal/live"
 	"concord/internal/netsrv"
@@ -13,28 +14,34 @@ import (
 )
 
 // newTestObs boots an in-process server with the full observability
-// surface, exactly as main wires it.
-func newTestObs(t *testing.T) (*live.Server, *netsrv.Server, *kvObs) {
+// and control-plane surface, exactly as main wires it with -obs and
+// -adaptive. The controller is built but not run: tests drive it (or
+// ignore it) deterministically.
+func newTestObs(t *testing.T) (*live.Server, *netsrv.Server, *kvObs, *adapt.Controller) {
 	return newTestObsSharded(t, 1)
 }
 
-func newTestObsSharded(t *testing.T, shards int) (*live.Server, *netsrv.Server, *kvObs) {
+func newTestObsSharded(t *testing.T, shards int) (*live.Server, *netsrv.Server, *kvObs, *adapt.Controller) {
 	t.Helper()
 	const workers = 2
 	tracer := obs.NewTracerSharded(workers, shards, 1024)
 	slo := obs.NewSLOTracker(obs.SLOConfig{Target: 200 * time.Microsecond, Objective: 0.999})
 	tail := obs.NewTailTracker(nil, slo)
+	cvEst := &adapt.CVEstimator{}
 	srv := live.New(&netsrv.KVHandler{Store: kv.New(), ScanBatch: 64}, live.Options{
-		Workers:    workers,
-		Shards:     shards,
-		PinThreads: false,
-		Tracer:     tracer,
-		Tail:       tail,
+		Workers:         workers,
+		Shards:          shards,
+		PinThreads:      false,
+		Tracer:          tracer,
+		Tail:            tail,
+		Adaptive:        true,
+		ServiceObserver: cvEst.Observe,
 	})
 	srv.Start()
 	t.Cleanup(srv.Stop)
 	ns := netsrv.New(srv, netsrv.Options{})
-	return srv, ns, newKVObs(tracer, tail, srv, ns, workers, shards)
+	ctrl := adapt.New(srv, adapt.Config{SLOTarget: 200 * time.Microsecond})
+	return srv, ns, newKVObs(tracer, tail, ctrl, srv, ns, workers, shards), ctrl
 }
 
 func put(t *testing.T, srv *live.Server, key, val string) {
@@ -50,10 +57,10 @@ func put(t *testing.T, srv *live.Server, key, val string) {
 // central=/submitq= by hand now fails the build. The connection-layer
 // fields (frames, flushes, pipeline depth) ride the same check.
 func TestStatsMetricsConsistency(t *testing.T) {
-	srv, ns, ob := newTestObs(t)
+	srv, ns, ob, ctrl := newTestObs(t)
 	put(t, srv, "k", "v")
 
-	line := statsLine(srv, ns, ob)
+	line := statsLine(srv, ns, ob, ctrl)
 	if !strings.HasPrefix(line, "STATS ") {
 		t.Fatalf("statsLine = %q", line)
 	}
@@ -88,8 +95,8 @@ func TestStatsMetricsConsistency(t *testing.T) {
 // TestStatsNetFields: the connection-layer fields render with a live
 // netsrv server and are absent from the bare (ns == nil) line.
 func TestStatsNetFields(t *testing.T) {
-	srv, ns, ob := newTestObs(t)
-	line := statsLine(srv, ns, ob)
+	srv, ns, ob, ctrl := newTestObs(t)
+	line := statsLine(srv, ns, ob, ctrl)
 	for _, want := range []string{
 		"conns=0", "pipeline=0", "frames_in=0", "frames_out=0",
 		"flushes=0", "text_lines=0", "toolarge=0", "badframes=0",
@@ -99,7 +106,7 @@ func TestStatsNetFields(t *testing.T) {
 			t.Errorf("STATS line missing %q: %s", want, line)
 		}
 	}
-	bare := statsLine(srv, nil, nil)
+	bare := statsLine(srv, nil, nil, nil)
 	if strings.Contains(bare, "frames_in=") || strings.Contains(bare, "conns=") {
 		t.Errorf("bare STATS line has net fields: %s", bare)
 	}
@@ -108,13 +115,13 @@ func TestStatsNetFields(t *testing.T) {
 // TestStatsLineWindowedFields: rolling quantiles and burn rates show up
 // in STATS once traffic has flowed, keyed per configured window.
 func TestStatsLineWindowedFields(t *testing.T) {
-	srv, ns, ob := newTestObs(t)
+	srv, ns, ob, ctrl := newTestObs(t)
 	for i := 0; i < 20; i++ {
 		if resp := srv.Do(&netsrv.Request{Op: proto.OpGet, Key: []byte("nope")}); resp.Err != nil {
 			t.Fatal(resp.Err)
 		}
 	}
-	line := statsLine(srv, ns, ob)
+	line := statsLine(srv, ns, ob, ctrl)
 	for _, want := range []string{"p50_1s=", "p99_10s=", "p999_60s=", "burn_short=", "burn_long=", "slo_alerting=0"} {
 		if !strings.Contains(line, want) {
 			t.Errorf("STATS line missing %q: %s", want, line)
@@ -122,7 +129,7 @@ func TestStatsLineWindowedFields(t *testing.T) {
 	}
 	// Without the obs surface the windowed fields must be absent but
 	// the counter fields still render.
-	bare := statsLine(srv, nil, nil)
+	bare := statsLine(srv, nil, nil, nil)
 	if strings.Contains(bare, "p50_") || strings.Contains(bare, "burn_") {
 		t.Errorf("bare STATS line has windowed fields: %s", bare)
 	}
@@ -136,9 +143,9 @@ func TestStatsLineWindowedFields(t *testing.T) {
 // new key maps to a /metrics family (consistency loop above only checks
 // the keys present, so sharded keys get their own pass here).
 func TestStatsShardedFields(t *testing.T) {
-	srv, ns, ob := newTestObsSharded(t, 2)
+	srv, ns, ob, ctrl := newTestObsSharded(t, 2)
 	put(t, srv, "k", "v")
-	line := statsLine(srv, ns, ob)
+	line := statsLine(srv, ns, ob, ctrl)
 	for _, want := range []string{"steals=0", "shardq=0,0", "shardocc=0,0"} {
 		if !strings.Contains(line, want) {
 			t.Errorf("STATS line missing %q: %s", want, line)
@@ -155,6 +162,66 @@ func TestStatsShardedFields(t *testing.T) {
 	} {
 		if !strings.Contains(exposition, family) {
 			t.Errorf("/metrics missing %q", family)
+		}
+	}
+}
+
+// TestStatsAdaptiveFields: with a controller the adapt_* fields render
+// (policy encoded 0/1, quantum in µs) and each maps to a concord_adapt_*
+// family; without one the bare line has none.
+func TestStatsAdaptiveFields(t *testing.T) {
+	srv, ns, ob, ctrl := newTestObs(t)
+	line := statsLine(srv, ns, ob, ctrl)
+	for _, want := range []string{
+		"adapt_policy=0", "adapt_quantum_us=", "adapt_cv=",
+		"adapt_switches=0", "adapt_quantum_changes=0",
+	} {
+		if !strings.Contains(line, want) {
+			t.Errorf("STATS line missing %q: %s", want, line)
+		}
+	}
+	var sb strings.Builder
+	ob.metrics.WritePrometheus(&sb)
+	exposition := sb.String()
+	for _, family := range []string{
+		"concord_adapt_policy", "concord_adapt_quantum_us", "concord_adapt_cv",
+		"concord_adapt_switches_total", "concord_adapt_quantum_changes_total",
+	} {
+		if !strings.Contains(exposition, "# TYPE "+family+" ") {
+			t.Errorf("/metrics missing %q", family)
+		}
+	}
+	// The controller switching to srpt flips the encoded policy field.
+	ctrl.Step(adapt.Signals{SvcCount: 64, SvcCV: 5})
+	for i := 0; i < 30; i++ {
+		ctrl.Step(adapt.Signals{SvcCount: 64, SvcCV: 5})
+	}
+	if line := statsLine(srv, ns, ob, ctrl); !strings.Contains(line, "adapt_policy=1") {
+		t.Errorf("STATS line did not track the policy switch: %s", line)
+	}
+	bare := statsLine(srv, nil, nil, nil)
+	if strings.Contains(bare, "adapt_") {
+		t.Errorf("bare STATS line has adaptive fields: %s", bare)
+	}
+}
+
+// TestSchedClasses: point ops class short, SCAN long, SPIN by declared
+// duration — the class table the adaptive controller keys per-class
+// quanta on.
+func TestSchedClasses(t *testing.T) {
+	for _, tc := range []struct {
+		req  *netsrv.Request
+		want int
+	}{
+		{&netsrv.Request{Op: proto.OpGet, Key: []byte("k")}, live.ClassShort},
+		{&netsrv.Request{Op: proto.OpPut, Key: []byte("k")}, live.ClassShort},
+		{&netsrv.Request{Op: proto.OpDel, Key: []byte("k")}, live.ClassShort},
+		{&netsrv.Request{Op: proto.OpScan}, live.ClassLong},
+		{&netsrv.Request{Op: proto.OpSpin, Spin: 20 * time.Microsecond}, live.ClassShort},
+		{&netsrv.Request{Op: proto.OpSpin, Spin: 300 * time.Microsecond}, live.ClassLong},
+	} {
+		if got := tc.req.SchedClass(); got != tc.want {
+			t.Errorf("op 0x%02x (spin %v): class %d, want %d", tc.req.Op, tc.req.Spin, got, tc.want)
 		}
 	}
 }

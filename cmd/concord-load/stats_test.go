@@ -7,7 +7,7 @@ import (
 
 func TestParseStatsLine(t *testing.T) {
 	line := "STATS submitted=10 completed=9 rejected=0 expired=0 aborted=0 " +
-		"preemptions=3 stolen=1 steals=4 central=2 submitq=1 occ=1,0 " +
+		"preemptions=3 dispatcher_run=1 steals=4 central=2 submitq=1 occ=1,0 " +
 		"shardq=2,0 shardocc=1,0 p50_1s=3.0"
 	s, err := parseStatsLine(line)
 	if err != nil {

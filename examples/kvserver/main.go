@@ -150,7 +150,7 @@ func run(name string, quantum time.Duration, shards int, policy string) {
 	}
 	st := srv.Stats()
 	fmt.Printf("%s (quantum %v): %d requests, %d preemptions, %d run by dispatcher, %d cross-shard steals\n",
-		name, quantum, st.Completed, st.Preemptions, st.Stolen, st.Steals)
+		name, quantum, st.Completed, st.Preemptions, st.DispatcherRun, st.Steals)
 	for _, class := range []string{"GET", "PUT", "DELETE", "SCAN"} {
 		if lg := logs[class]; lg != nil {
 			s := lg.Summarize()

@@ -72,7 +72,7 @@ func run(name string, quantum time.Duration, workConserving bool) float64 {
 	sum := lg.Summarize()
 	fmt.Printf("%-20s %s\n", name, sum)
 	fmt.Printf("%-20s server counters: %d completed, %d preemptions, %d run by dispatcher\n\n",
-		"", st.Completed, st.Preemptions, st.Stolen)
+		"", st.Completed, st.Preemptions, st.DispatcherRun)
 	return sum.P99
 }
 

@@ -1,0 +1,206 @@
+package adapt
+
+import (
+	"testing"
+	"time"
+)
+
+// fakeRuntime records actuator calls; Step is deterministic against it.
+type fakeRuntime struct {
+	quantum time.Duration
+	class   map[int]time.Duration
+	policy  string
+}
+
+func newFakeRuntime(q time.Duration, policy string) *fakeRuntime {
+	return &fakeRuntime{quantum: q, policy: policy, class: map[int]time.Duration{}}
+}
+
+func (f *fakeRuntime) SetQuantum(d time.Duration)             { f.quantum = d }
+func (f *fakeRuntime) Quantum() time.Duration                 { return f.quantum }
+func (f *fakeRuntime) SetClassQuantum(c int, d time.Duration) { f.class[c] = d }
+func (f *fakeRuntime) SetPolicy(name string) error            { f.policy = name; return nil }
+func (f *fakeRuntime) Policy() string                         { return f.policy }
+
+func TestCVEstimatorConstantAndBimodal(t *testing.T) {
+	var e CVEstimator
+	for i := 0; i < 100; i++ {
+		e.Observe(10_000) // constant 10µs
+	}
+	n, mean, cv := e.TakeWindow()
+	if n != 100 {
+		t.Fatalf("count = %d, want 100", n)
+	}
+	if mean < 9_000 || mean > 11_000 {
+		t.Fatalf("mean = %.0fns, want ~10000", mean)
+	}
+	if cv > 0.05 {
+		t.Fatalf("constant samples CV = %.3f, want ~0", cv)
+	}
+
+	// Drained: the next window starts empty.
+	if n, _, _ := e.TakeWindow(); n != 0 {
+		t.Fatalf("drained estimator still has %d samples", n)
+	}
+
+	// 95% short / 5% very long — the dispersion SRPT exists for.
+	for i := 0; i < 100; i++ {
+		if i%20 == 0 {
+			e.Observe(1_000_000) // 1ms scan
+		} else {
+			e.Observe(5_000) // 5µs point op
+		}
+	}
+	_, _, cv = e.TakeWindow()
+	if cv < 1.5 {
+		t.Fatalf("bimodal CV = %.3f, want > 1.5", cv)
+	}
+	e.Observe(-5) // dropped
+	e.Observe(0)  // dropped
+	if n, _, _ := e.TakeWindow(); n != 0 {
+		t.Fatalf("non-positive samples were counted: %d", n)
+	}
+}
+
+func testConfig() Config {
+	return Config{
+		Interval:   50 * time.Millisecond,
+		MinQuantum: 5 * time.Microsecond,
+		MaxQuantum: 500 * time.Microsecond,
+		SLOTarget:  200 * time.Microsecond,
+		MinDwell:   150 * time.Millisecond, // 3 ticks
+	}
+}
+
+// cvSignals is a window with enough samples to move the CV estimate.
+func cvSignals(cv float64) Signals {
+	return Signals{SvcCount: 64, SvcMeanNS: 10_000, SvcCV: cv}
+}
+
+func TestControllerPolicyHysteresisAndDwell(t *testing.T) {
+	rt := newFakeRuntime(50*time.Microsecond, PolicyFCFS)
+	c := New(rt, testConfig())
+
+	// High dispersion, but dwell not yet elapsed: ticks 1 and 2 hold.
+	c.Step(cvSignals(2.0))
+	c.Step(cvSignals(2.0))
+	if rt.policy != PolicyFCFS {
+		t.Fatalf("switched before MinDwell: policy %q at tick 2", rt.policy)
+	}
+	// Tick 3: dwell satisfied, smoothed CV well above CVHigh → SRPT.
+	c.Step(cvSignals(2.0))
+	if rt.policy != PolicySRPT {
+		t.Fatalf("policy %q after sustained high CV, want srpt", rt.policy)
+	}
+	if got := c.Status().Switches; got != 1 {
+		t.Fatalf("switches = %d, want 1", got)
+	}
+
+	// In-band CV (between CVLow and CVHigh): the incumbent stays, no
+	// matter how many ticks pass.
+	for i := 0; i < 10; i++ {
+		c.Step(cvSignals(1.0))
+	}
+	if rt.policy != PolicySRPT {
+		t.Fatalf("in-band CV flipped policy to %q", rt.policy)
+	}
+
+	// Sustained low CV: back to FCFS once the EWMA crosses CVLow.
+	for i := 0; i < 20; i++ {
+		c.Step(cvSignals(0.1))
+	}
+	if rt.policy != PolicyFCFS {
+		t.Fatalf("policy %q after sustained low CV, want fcfs", rt.policy)
+	}
+	if got := c.Status().Switches; got != 2 {
+		t.Fatalf("switches = %d, want 2", got)
+	}
+
+	// Windows with too few samples never move the estimate: starve the
+	// estimator and the policy must hold even at wild CV readings.
+	before := c.Status().CV
+	c.Step(Signals{SvcCount: 3, SvcCV: 50})
+	if got := c.Status().CV; got != before {
+		t.Fatalf("under-sampled window moved CV %.3f → %.3f", before, got)
+	}
+}
+
+func TestControllerQuantumAIMD(t *testing.T) {
+	rt := newFakeRuntime(100*time.Microsecond, PolicyFCFS)
+	cfg := testConfig()
+	c := New(rt, cfg)
+
+	// Tail blown: quantum tightens multiplicatively down to the floor.
+	for i := 0; i < 50; i++ {
+		c.Step(Signals{P999: 300 * time.Microsecond})
+	}
+	if rt.quantum != cfg.MinQuantum {
+		t.Fatalf("quantum = %v after sustained tail misses, want floor %v", rt.quantum, cfg.MinQuantum)
+	}
+
+	// Comfortable tail: relaxes back up to the ceiling.
+	for i := 0; i < 50; i++ {
+		c.Step(Signals{P999: 50 * time.Microsecond})
+	}
+	if rt.quantum != cfg.MaxQuantum {
+		t.Fatalf("quantum = %v after sustained headroom, want ceiling %v", rt.quantum, cfg.MaxQuantum)
+	}
+
+	// Near-target band and idle windows hold still.
+	hold := rt.quantum
+	c.Step(Signals{P999: 150 * time.Microsecond}) // between target/2 and target
+	c.Step(Signals{})                             // idle
+	if rt.quantum != hold {
+		t.Fatalf("quantum moved to %v on hold/idle signals", rt.quantum)
+	}
+
+	// A hot short burn window tightens even when p999 reads under
+	// target (rejected requests burn budget without a latency sample).
+	c.Step(Signals{P999: 100 * time.Microsecond, ShortBurn: 5})
+	if rt.quantum >= hold {
+		t.Fatalf("quantum = %v did not tighten on hot burn rate", rt.quantum)
+	}
+}
+
+func TestControllerClassQuantaFollowBase(t *testing.T) {
+	rt := newFakeRuntime(100*time.Microsecond, PolicyFCFS)
+	cfg := testConfig()
+	cfg.ClassScales = map[int]float64{1: 0.5, 2: 8.0}
+	c := New(rt, cfg)
+
+	// Seeded at New from the starting quantum, clamped to bounds.
+	if got := rt.class[1]; got != 50*time.Microsecond {
+		t.Fatalf("class 1 quantum = %v, want 50µs", got)
+	}
+	if got := rt.class[2]; got != cfg.MaxQuantum {
+		t.Fatalf("class 2 quantum = %v, want clamp to %v", got, cfg.MaxQuantum)
+	}
+
+	// Base moves → class quanta re-derived.
+	c.Step(Signals{P999: 300 * time.Microsecond})
+	wantBase := time.Duration(float64(100*time.Microsecond) * quantumDecrease)
+	if rt.quantum != wantBase {
+		t.Fatalf("base quantum = %v, want %v", rt.quantum, wantBase)
+	}
+	if got := rt.class[1]; got != wantBase/2 {
+		t.Fatalf("class 1 quantum = %v, want %v", got, wantBase/2)
+	}
+}
+
+func TestNewNormalizesQuantum(t *testing.T) {
+	// An unset quantum starts at the ceiling: adaptive servers always
+	// run preemptible.
+	rt := newFakeRuntime(0, PolicyFCFS)
+	cfg := testConfig()
+	New(rt, cfg)
+	if rt.quantum != cfg.MaxQuantum {
+		t.Fatalf("quantum = %v from unset, want %v", rt.quantum, cfg.MaxQuantum)
+	}
+
+	// Out-of-bounds starting quanta clamp.
+	rt = newFakeRuntime(time.Microsecond, PolicyFCFS)
+	New(rt, cfg)
+	if rt.quantum != cfg.MinQuantum {
+		t.Fatalf("quantum = %v from below-floor, want %v", rt.quantum, cfg.MinQuantum)
+	}
+}

@@ -1,0 +1,311 @@
+package adapt
+
+import (
+	"sync"
+	"time"
+
+	"concord/internal/obs"
+)
+
+// Policy names the controller switches between — string-compatible with
+// the live runtime's registry (adapt stays import-light on purpose; the
+// Runtime interface is the only coupling).
+const (
+	PolicyFCFS = "fcfs"
+	PolicySRPT = "srpt"
+)
+
+// Runtime is the actuator surface the controller drives, satisfied by
+// *live.Server. Every method is safe to call while the server runs:
+// the quantum knobs are atomics the dispatcher reads at signal time,
+// and SetPolicy drain-and-swaps each shard's queue at a quiesce point.
+type Runtime interface {
+	SetQuantum(d time.Duration)
+	Quantum() time.Duration
+	SetClassQuantum(class int, d time.Duration)
+	SetPolicy(name string) error
+	Policy() string
+}
+
+// Config tunes the control loop. Zero values take the documented
+// defaults.
+type Config struct {
+	// Interval is the control period — how often signals are sampled
+	// and actuators re-evaluated. Default 50ms: glacial next to the
+	// microsecond fast path, fast next to workload drift.
+	Interval time.Duration
+	// MinQuantum/MaxQuantum bound the adaptive preemption quantum.
+	// Defaults 5µs / 500µs. On an adaptive server the quantum always
+	// stays inside these bounds (an unset Options.Quantum starts at
+	// MaxQuantum).
+	MinQuantum, MaxQuantum time.Duration
+	// SLOTarget is the tail-latency goal the quantum chases: the
+	// controller tightens the quantum (multiplicative decrease) while
+	// the rolling p99.9 exceeds it or the short SLO window burns hot,
+	// and relaxes it (slower multiplicative increase) while p99.9 sits
+	// below half the target. 0 disables quantum adaptation.
+	SLOTarget time.Duration
+	// CVHigh/CVLow are the service-time CV hysteresis thresholds for
+	// policy switching around the §2 crossover at CV≈1 (exponential
+	// service times): above CVHigh sustained dispersion favors SRPT,
+	// below CVLow FCFS's no-reordering simplicity wins. Defaults
+	// 1.15 / 0.85.
+	CVHigh, CVLow float64
+	// MinDwell is the shortest time between policy switches, so a
+	// workload sitting near the threshold cannot thrash the queues.
+	// Default 20×Interval.
+	MinDwell time.Duration
+	// Smoothing is the EWMA weight of the newest window's CV sample.
+	// Default 0.3.
+	Smoothing float64
+	// MinSamples is the fewest service-time samples a window needs
+	// before its CV moves the estimate. Default 16.
+	MinSamples int64
+	// ClassScales maps a scheduling class to a multiplier on the base
+	// quantum (e.g. live.ClassShort→0.5, live.ClassLong→4). Scaled
+	// quanta are re-derived and clamped to [MinQuantum, MaxQuantum]
+	// whenever the base quantum moves. Nil disables per-class quanta.
+	ClassScales map[int]float64
+}
+
+func (c Config) withDefaults() Config {
+	if c.Interval <= 0 {
+		c.Interval = 50 * time.Millisecond
+	}
+	if c.MinQuantum <= 0 {
+		c.MinQuantum = 5 * time.Microsecond
+	}
+	if c.MaxQuantum < c.MinQuantum {
+		c.MaxQuantum = 100 * c.MinQuantum
+	}
+	if c.CVHigh <= 0 {
+		c.CVHigh = 1.15
+	}
+	if c.CVLow <= 0 || c.CVLow > c.CVHigh {
+		c.CVLow = 0.85
+	}
+	if c.MinDwell <= 0 {
+		c.MinDwell = 20 * c.Interval
+	}
+	if c.Smoothing <= 0 || c.Smoothing > 1 {
+		c.Smoothing = 0.3
+	}
+	if c.MinSamples <= 0 {
+		c.MinSamples = 16
+	}
+	return c
+}
+
+// AIMD factors for the quantum: tighten fast when the tail is blown,
+// relax slowly when it is comfortably met.
+const (
+	quantumDecrease = 0.7
+	quantumIncrease = 1.25
+)
+
+// Signals is one control period's sensor readings. Step is a pure
+// function of Signals and controller state, so tests drive the loop
+// deterministically without clocks or live servers.
+type Signals struct {
+	// P99 and P999 are rolling tail quantiles over the observation
+	// window; zero means no traffic (quantum adaptation holds still).
+	P99, P999 time.Duration
+	// ShortBurn/LongBurn are SLO burn rates (obs.SLOSnapshot); zero
+	// when no SLO is configured.
+	ShortBurn, LongBurn float64
+	// Rate is the completion rate over the window, req/s.
+	Rate float64
+	// SvcCount/SvcMeanNS/SvcCV are the drained service-time window.
+	SvcCount  int64
+	SvcMeanNS float64
+	SvcCV     float64
+}
+
+// Status is a point-in-time view of the controller for metrics.
+type Status struct {
+	Policy         string
+	Quantum        time.Duration
+	CV             float64 // smoothed estimate
+	Switches       uint64  // policy switches performed
+	QuantumChanges uint64  // base-quantum adjustments performed
+	Ticks          uint64
+}
+
+// Controller owns the control loop state. Construct with New, then
+// either call Step per period with externally gathered Signals, or Run
+// it against a TailTracker/CVEstimator pair.
+type Controller struct {
+	rt  Runtime
+	cfg Config
+
+	mu struct {
+		sync.Mutex
+		quantum        time.Duration
+		cv             float64
+		cvPrimed       bool
+		ticks          uint64
+		lastSwitchTick uint64
+		dwellTicks     uint64
+		switches       uint64
+		quantumChanges uint64
+	}
+}
+
+// New builds a controller and normalizes the runtime's starting point:
+// the base quantum is clamped into [MinQuantum, MaxQuantum] (an
+// adaptive server always runs preemptible) and per-class quanta are
+// seeded from it.
+func New(rt Runtime, cfg Config) *Controller {
+	cfg = cfg.withDefaults()
+	c := &Controller{rt: rt, cfg: cfg}
+	q := rt.Quantum()
+	if q <= 0 || q > cfg.MaxQuantum {
+		q = cfg.MaxQuantum
+	} else if q < cfg.MinQuantum {
+		q = cfg.MinQuantum
+	}
+	c.mu.quantum = q
+	c.mu.dwellTicks = uint64((cfg.MinDwell + cfg.Interval - 1) / cfg.Interval)
+	rt.SetQuantum(q)
+	c.applyClassQuanta(q)
+	return c
+}
+
+// Config returns the controller's resolved configuration.
+func (c *Controller) Config() Config { return c.cfg }
+
+// Status snapshots the controller state for metrics export.
+func (c *Controller) Status() Status {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return Status{
+		Policy:         c.rt.Policy(),
+		Quantum:        c.mu.quantum,
+		CV:             c.mu.cv,
+		Switches:       c.mu.switches,
+		QuantumChanges: c.mu.quantumChanges,
+		Ticks:          c.mu.ticks,
+	}
+}
+
+// Step runs one control period: fold the window's CV into the smoothed
+// estimate, re-select the policy under hysteresis and dwell, and walk
+// the quantum by AIMD against the SLO target.
+func (c *Controller) Step(sig Signals) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.mu.ticks++
+
+	// 1. Dispersion estimate: EWMA over windows with enough samples.
+	if sig.SvcCount >= c.cfg.MinSamples {
+		if !c.mu.cvPrimed {
+			c.mu.cv, c.mu.cvPrimed = sig.SvcCV, true
+		} else {
+			a := c.cfg.Smoothing
+			c.mu.cv = a*sig.SvcCV + (1-a)*c.mu.cv
+		}
+	}
+
+	// 2. Policy selection with hysteresis and dwell. The §2 model says
+	// SRPT-like size-aware ordering wins once service-time dispersion
+	// passes the exponential crossover (CV ≈ 1); inside the hysteresis
+	// band the incumbent stays.
+	if c.mu.cvPrimed && c.mu.ticks-c.mu.lastSwitchTick >= c.mu.dwellTicks {
+		switch pol := c.rt.Policy(); {
+		case pol == PolicyFCFS && c.mu.cv > c.cfg.CVHigh:
+			if c.rt.SetPolicy(PolicySRPT) == nil {
+				c.mu.switches++
+				c.mu.lastSwitchTick = c.mu.ticks
+			}
+		case pol == PolicySRPT && c.mu.cv < c.cfg.CVLow:
+			if c.rt.SetPolicy(PolicyFCFS) == nil {
+				c.mu.switches++
+				c.mu.lastSwitchTick = c.mu.ticks
+			}
+		}
+	}
+
+	// 3. Quantum AIMD against the tail target. Only moves on real
+	// traffic (P999 > 0): an idle window says nothing about the tail.
+	if c.cfg.SLOTarget > 0 && sig.P999 > 0 {
+		q := c.mu.quantum
+		switch {
+		case sig.P999 > c.cfg.SLOTarget || sig.ShortBurn > 1:
+			q = time.Duration(float64(q) * quantumDecrease)
+			if q < c.cfg.MinQuantum {
+				q = c.cfg.MinQuantum
+			}
+		case sig.P999 < c.cfg.SLOTarget/2 && sig.ShortBurn <= 1:
+			q = time.Duration(float64(q) * quantumIncrease)
+			if q > c.cfg.MaxQuantum {
+				q = c.cfg.MaxQuantum
+			}
+		}
+		if q != c.mu.quantum {
+			c.mu.quantum = q
+			c.mu.quantumChanges++
+			c.rt.SetQuantum(q)
+			c.applyClassQuanta(q)
+		}
+	}
+}
+
+// applyClassQuanta re-derives per-class quanta from the base. Callers
+// hold c.mu (or are in New, before the controller is shared).
+func (c *Controller) applyClassQuanta(base time.Duration) {
+	for class, scale := range c.cfg.ClassScales {
+		q := time.Duration(float64(base) * scale)
+		if q < c.cfg.MinQuantum {
+			q = c.cfg.MinQuantum
+		}
+		if q > c.cfg.MaxQuantum {
+			q = c.cfg.MaxQuantum
+		}
+		c.rt.SetClassQuantum(class, q)
+	}
+}
+
+// Sources are the sensors Run samples each period. Tail may be nil
+// (no quantum adaptation signal); CV must be set.
+type Sources struct {
+	Tail *obs.TailTracker
+	CV   *CVEstimator
+}
+
+// Run drives the control loop on a ticker until stop closes. The
+// shortest configured tail window is the observation horizon.
+func (c *Controller) Run(src Sources, stop <-chan struct{}) {
+	tick := time.NewTicker(c.cfg.Interval)
+	defer tick.Stop()
+	for {
+		select {
+		case <-stop:
+			return
+		case <-tick.C:
+			c.Step(c.gather(src))
+		}
+	}
+}
+
+// gather samples the sensors into one Signals reading.
+func (c *Controller) gather(src Sources) Signals {
+	var sig Signals
+	if src.CV != nil {
+		sig.SvcCount, sig.SvcMeanNS, sig.SvcCV = src.CV.TakeWindow()
+	}
+	if t := src.Tail; t != nil {
+		win := t.Windows()[0]
+		if p99 := t.Quantile(win, 0.99); p99 > 0 {
+			sig.P99 = time.Duration(p99 * float64(time.Microsecond))
+		}
+		if p999 := t.Quantile(win, 0.999); p999 > 0 {
+			sig.P999 = time.Duration(p999 * float64(time.Microsecond))
+		}
+		sig.Rate = t.Window().Rate(win)
+		if slo := t.SLO(); slo != nil {
+			snap := slo.Snapshot()
+			sig.ShortBurn, sig.LongBurn = snap.ShortBurn, snap.LongBurn
+		}
+	}
+	return sig
+}

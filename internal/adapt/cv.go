@@ -1,0 +1,70 @@
+// Package adapt is the scheduling control plane: a slow-path controller
+// that watches the observability layer's rolling tail quantiles, SLO
+// burn rates, and an online service-time dispersion estimate, and
+// steers the live runtime's fast-path knobs — the preemption quantum,
+// per-class quanta, and the fcfs↔srpt queue discipline. The fast path
+// never blocks on the controller: every actuator is an atomic the
+// dispatcher reads at its own pace (§2's model selects the discipline;
+// the controller merely re-evaluates that selection as the workload
+// drifts).
+package adapt
+
+import (
+	"math"
+	"sync/atomic"
+)
+
+// svcUnit quantizes service-time samples to 100ns so the running
+// sum-of-squares stays far from int64 overflow at microsecond-scale
+// services (a 1ms service is 1e4 units, 1e8 squared: ~9e10 samples per
+// window before overflow, orders of magnitude beyond any drain rate).
+const svcUnitNS = 100
+
+// CVEstimator accumulates per-request service times on the completion
+// path and yields a per-window mean and coefficient of variation when
+// drained by the controller. Observe is three atomic adds — cheap
+// enough for the finish hot path — and TakeWindow swaps the
+// accumulators to zero. The three swaps are not jointly atomic;
+// completions racing a drain smear one sample across two windows, which
+// the controller's smoothing absorbs.
+type CVEstimator struct {
+	count atomic.Int64
+	sum   atomic.Int64 // svcUnitNS units
+	sumsq atomic.Int64 // squared svcUnitNS units
+}
+
+// Observe records one request's accumulated service time in
+// nanoseconds. Non-positive samples are dropped.
+func (e *CVEstimator) Observe(serviceNS int64) {
+	if serviceNS <= 0 {
+		return
+	}
+	u := serviceNS / svcUnitNS
+	if u == 0 {
+		u = 1 // sub-unit services still count as the minimum quantum
+	}
+	e.count.Add(1)
+	e.sum.Add(u)
+	e.sumsq.Add(u * u)
+}
+
+// TakeWindow drains the window and returns the sample count, the mean
+// service time in nanoseconds, and the coefficient of variation
+// (stddev/mean). With no samples it returns zeros.
+func (e *CVEstimator) TakeWindow() (count int64, meanNS, cv float64) {
+	n := e.count.Swap(0)
+	s := e.sum.Swap(0)
+	ss := e.sumsq.Swap(0)
+	if n <= 0 {
+		return 0, 0, 0
+	}
+	mean := float64(s) / float64(n)
+	variance := float64(ss)/float64(n) - mean*mean
+	if variance < 0 {
+		variance = 0 // floating-point cancellation on near-constant samples
+	}
+	if mean > 0 {
+		cv = math.Sqrt(variance) / mean
+	}
+	return n, mean * svcUnitNS, cv
+}

@@ -32,7 +32,12 @@ type shard struct {
 	// lastFlagged dedups preemption signals per local worker (parallel
 	// to workers).
 	lastFlagged []uint64
-	done        chan struct{} // this shard's dispatcher exited
+	// polEpoch is the policy-change epoch this shard last applied; when
+	// Server.polState moves past it the loop drain-and-swaps its queue
+	// at the top of the iteration (a quiesce point: no dispatch
+	// decision is in flight).
+	polEpoch uint64
+	done     chan struct{} // this shard's dispatcher exited
 }
 
 func (s *Server) dispatcherLoop(sh *shard) {
@@ -46,6 +51,17 @@ func (s *Server) dispatcherLoop(sh *shard) {
 	for {
 		progress := false
 		aborting := s.abort.Load()
+
+		// 0. Policy swap: when the control plane has retargeted the
+		// discipline (SetPolicy), drain this shard's queue into a fresh
+		// one of the new kind. This is the quiesce point — between
+		// dispatch decisions, under the queue lock — so queued requests
+		// are re-ordered, never lost or duplicated.
+		if ps := s.polState.Load(); ps.epoch != sh.polEpoch {
+			sh.polEpoch = ps.epoch
+			sh.q.SwapPolicy(ps.name)
+			progress = true
+		}
 
 		// 1. Ingest submissions (bounded batch per iteration, so
 		// preemption signaling stays timely). Runs in abort mode too:
@@ -86,15 +102,28 @@ func (s *Server) dispatcherLoop(sh *shard) {
 			}
 		} else {
 			// 2. Preemption signaling: write the flag of any local
-			// worker whose current request outlived the quantum. The
-			// flag carries the epoch being preempted, so a signal aimed
-			// at a finished request is inert for its successor — no
-			// check-then-act retraction window.
-			if q := s.opts.Quantum; q > 0 {
+			// worker whose current request outlived its quantum — the
+			// class's override when one is set, the runtime-adjustable
+			// global quantum otherwise. The flag carries the epoch
+			// being preempted, so a signal aimed at a finished request
+			// is inert for its successor — no check-then-act retraction
+			// window.
+			baseQ := time.Duration(s.quantum.Load())
+			classed := s.classed.Load()
+			if baseQ > 0 || classed {
 				now := time.Now()
 				for i, w := range sh.workers {
 					info := s.running[w].Load()
 					if info == nil || info.epoch == sh.lastFlagged[i] {
+						continue
+					}
+					q := baseQ
+					if classed {
+						if cq := s.classQuanta[info.class].Load(); cq > 0 {
+							q = time.Duration(cq)
+						}
+					}
+					if q <= 0 {
 						continue
 					}
 					if now.Sub(info.start) >= q {
@@ -242,7 +271,8 @@ func (s *Server) takeNonStarted(sh *shard) *task {
 	}
 }
 
-// runSlice executes one dispatcher slice of a stolen task.
+// runSlice executes one dispatcher slice of a task the work-conserving
+// dispatcher runs itself (§3.3).
 func (s *Server) runSlice(sh *shard, t *task) {
 	ex := sh.ex
 	ex.sliceStart = time.Now()
@@ -263,18 +293,22 @@ func (s *Server) runSlice(sh *shard, t *task) {
 		}
 		s.tr.Record(sh.writer, kind, t.id, 0)
 	}
-	if s.trackRun {
+	// Capture trackRun once per slice: it can flip on mid-slice
+	// (SetPolicy srpt), and charging Since(runStart) against a zero
+	// runStart would corrupt runNS.
+	track := s.trackRun.Load()
+	if track {
 		t.runStart = ex.sliceStart
 	}
 	t.resume <- ex
 	ev := <-t.parked
-	if s.trackRun {
+	if track {
 		t.runNS += int64(time.Since(t.runStart))
 	}
 	if ev.done {
 		ev.resp.OnDispatcher = true
 		s.finish(sh.writer, t, ev.resp)
-		s.stats.stolen.Add(1)
+		s.stats.dispatcherRun.Add(1)
 		return
 	}
 	t.preempts++

@@ -57,10 +57,21 @@ func (s *Server) workerLoop(w int) {
 			s.occ[w].Add(-1)
 			continue
 		}
+		// Deadline check at local dequeue: a request whose deadline
+		// passed while it sat in this worker's JBSQ queue (behind a slow
+		// request) must answer ErrDeadlineExceeded, not run to a
+		// too-late success. The central-queue sweep cannot see it here —
+		// this is the only enforcement point once a task is dispatched.
+		if !t.deadline.IsZero() && t.expired(time.Now()) {
+			s.stats.expired.Add(1)
+			s.failTask(t, ErrDeadlineExceeded, ex)
+			s.occ[w].Add(-1)
+			continue
+		}
 		epoch++ // epochs start at 1; flag value 0 means "no signal"
 		ex.epoch = epoch
 		now := time.Now()
-		s.running[w].Store(&runInfo{epoch: epoch, id: t.id, start: now})
+		s.running[w].Store(&runInfo{epoch: epoch, id: t.id, start: now, class: t.class})
 		first := !t.started
 		if !t.started {
 			t.started = true
@@ -76,13 +87,16 @@ func (s *Server) workerLoop(w int) {
 			}
 			s.tr.Record(w, kind, t.id, int64(epoch))
 		}
-		if s.trackRun {
+		// One capture per slice: trackRun can flip on mid-slice
+		// (SetPolicy srpt) and must not charge against a zero runStart.
+		track := s.trackRun.Load()
+		if track {
 			t.runStart = now
 		}
 		t.resume <- ex
 		ev := <-t.parked
 		s.running[w].Store(nil)
-		if s.trackRun {
+		if track {
 			t.runNS += int64(time.Since(t.runStart))
 		}
 		if ev.done {
@@ -180,6 +194,9 @@ func (s *Server) finish(writer int, t *task, resp Response) {
 	}
 	if s.tail != nil {
 		s.tail.Observe(resp.Latency, resp.Err == nil)
+	}
+	if s.svcObs != nil && resp.Err == nil && t.started {
+		s.svcObs(t.runNS)
 	}
 	s.stats.completed.Add(1)
 	t.deliver(resp)

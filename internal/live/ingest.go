@@ -50,10 +50,17 @@ func (s *Server) submit(payload any, ch chan Response, done func(Response)) {
 	if d := s.opts.RequestTimeout; d > 0 {
 		t.deadline = t.arrival.Add(d)
 	}
-	if s.hinted {
+	if s.hinted.Load() {
 		if h, ok := payload.(Hinted); ok {
 			if hint := int64(h.ServiceHint()); hint > 0 {
 				t.hintNS = hint
+			}
+		}
+	}
+	if s.classed.Load() {
+		if c, ok := payload.(Classed); ok {
+			if cl := c.SchedClass(); cl > 0 && cl < NumClasses {
+				t.class = uint8(cl)
 			}
 		}
 	}

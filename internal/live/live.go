@@ -110,11 +110,29 @@ type Options struct {
 	// Policy selects the central-queue discipline: PolicyFCFS (default)
 	// or PolicySRPT. Under SRPT, payloads implementing Hinted are
 	// ordered by estimated remaining service time (hint minus
-	// accumulated service); unhinted payloads schedule as if no work
-	// remained — ahead of hinted ones, FIFO among themselves.
+	// accumulated service); payloads that have outrun their hint order
+	// by elapsed overage after every in-budget request, and unhinted
+	// payloads run last among queued peers, FIFO among themselves (the
+	// runtime knows nothing about them, so it must not let them starve
+	// genuinely short hinted work). The policy can be switched at
+	// runtime with SetPolicy.
 	Policy string
-	// Quantum is the scheduling quantum; 0 disables preemption.
+	// Quantum is the initial scheduling quantum; 0 disables preemption.
+	// Adjustable at runtime with SetQuantum, and refined per scheduling
+	// class with SetClassQuantum.
 	Quantum time.Duration
+	// Adaptive declares that a control plane may retune this server at
+	// runtime (SetPolicy / SetQuantum / SetClassQuantum). It enables
+	// service-hint capture and run-time tracking from the start, so a
+	// later switch into SRPT orders requests submitted before the
+	// switch too.
+	Adaptive bool
+	// ServiceObserver, when non-nil, receives every successfully
+	// completed request's accumulated service time in nanoseconds — the
+	// feed for an online service-time estimator (e.g. the adaptive
+	// controller's CV estimate). It runs on the completing executor's
+	// hot path and must not block. Enables run-time tracking.
+	ServiceObserver func(serviceNS int64)
 	// QueueBound is k in JBSQ(k), counting the in-service request.
 	// Default 2. 1 degenerates to a synchronous single queue.
 	QueueBound int
@@ -247,8 +265,12 @@ type Stats struct {
 	Expired     uint64 // completed with ErrDeadlineExceeded
 	Aborted     uint64 // completed with ErrServerStopped by drain abort
 	Preemptions uint64
-	Stolen      uint64 // completed by a work-conserving dispatcher
-	Steals      uint64 // never-started requests migrated between shards
+	// DispatcherRun counts requests completed by a work-conserving
+	// dispatcher — from its own shard's queue or a sibling's. (It was
+	// once named Stolen, which wrongly suggested cross-shard migration;
+	// Steals is the true migration counter.)
+	DispatcherRun uint64
+	Steals        uint64 // never-started requests migrated between shards
 }
 
 // Sentinel errors. Compare with errors.Is.
@@ -290,28 +312,49 @@ type Server struct {
 
 	// tr is Options.Tracer, kept as a concrete pointer so the disabled
 	// path is one nil-check branch per event site. tail is Options.Tail
-	// under the same contract: one nil check per completion.
-	tr   *obs.Tracer
-	tail *obs.TailTracker
+	// under the same contract: one nil check per completion, and svcObs
+	// likewise (Options.ServiceObserver).
+	tr     *obs.Tracer
+	tail   *obs.TailTracker
+	svcObs func(serviceNS int64)
 
 	// trackRun enables per-task service-time accumulation: needed for
-	// Breakdown (tracer set) and for SRPT's remaining-work keys.
-	trackRun bool
-	// hinted enables the Hinted type assertion on Submit; only SRPT
-	// consumes service hints.
-	hinted bool
+	// Breakdown (tracer set), for SRPT's remaining-work keys, and for
+	// ServiceObserver. Atomic because SetPolicy(srpt) enables it at
+	// runtime; once on it stays on.
+	trackRun atomic.Bool
+	// hinted enables the Hinted type assertion on Submit; SRPT (current
+	// or reachable via SetPolicy on an Adaptive server) consumes
+	// service hints. Like trackRun, it only ever turns on.
+	hinted atomic.Bool
+
+	// quantum is the live preemption quantum in nanoseconds,
+	// runtime-adjustable via SetQuantum; 0 disables preemption.
+	quantum atomic.Int64
+	// classQuanta overrides quantum per scheduling class (Classed
+	// payloads); 0 falls back to the global quantum. Consulted at
+	// preemption-signal time in the dispatch layer.
+	classQuanta [NumClasses]atomic.Int64
+	// classed is set once any class quantum is; until then Submit skips
+	// the Classed type assertion entirely.
+	classed atomic.Bool
+	// polState is the target policy and its change epoch; each shard's
+	// dispatcher swaps its queue at a quiesce point when the epoch
+	// moves past the one it last applied. policyMu serializes writers.
+	polState atomic.Pointer[policyState]
+	policyMu sync.Mutex
 
 	rr     atomic.Uint64 // round-robin ingest cursor (multi-shard only)
 	nextID atomic.Uint64
 	stats  struct {
-		submitted   atomic.Uint64
-		completed   atomic.Uint64
-		rejected    atomic.Uint64
-		expired     atomic.Uint64
-		aborted     atomic.Uint64
-		preemptions atomic.Uint64
-		stolen      atomic.Uint64
-		steals      atomic.Uint64
+		submitted     atomic.Uint64
+		completed     atomic.Uint64
+		rejected      atomic.Uint64
+		expired       atomic.Uint64
+		aborted       atomic.Uint64
+		preemptions   atomic.Uint64
+		dispatcherRun atomic.Uint64
+		steals        atomic.Uint64
 	}
 
 	// submitMu orders Submit against Stop: Submit holds the read lock
@@ -342,18 +385,22 @@ func New(h Handler, opts Options) *Server {
 			opts.Tracer.Workers(), opts.Tracer.Shards(), opts.Workers, opts.Shards))
 	}
 	s := &Server{
-		opts:     opts,
-		tr:       opts.Tracer,
-		tail:     opts.Tail,
-		trackRun: opts.Tracer != nil || opts.Policy == PolicySRPT,
-		hinted:   opts.Policy == PolicySRPT,
-		handler:  h,
-		locals:   make([]chan *task, opts.Workers),
-		occ:      make([]atomic.Int32, opts.Workers),
-		workers:  make([]*executor, opts.Workers),
-		running:  make([]atomic.Pointer[runInfo], opts.Workers),
-		shardOf:  make([]int, opts.Workers),
+		opts:    opts,
+		tr:      opts.Tracer,
+		tail:    opts.Tail,
+		svcObs:  opts.ServiceObserver,
+		handler: h,
+		locals:  make([]chan *task, opts.Workers),
+		occ:     make([]atomic.Int32, opts.Workers),
+		workers: make([]*executor, opts.Workers),
+		running: make([]atomic.Pointer[runInfo], opts.Workers),
+		shardOf: make([]int, opts.Workers),
 	}
+	s.trackRun.Store(opts.Tracer != nil || opts.Policy == PolicySRPT ||
+		opts.Adaptive || opts.ServiceObserver != nil)
+	s.hinted.Store(opts.Policy == PolicySRPT || opts.Adaptive)
+	s.quantum.Store(int64(opts.Quantum))
+	s.polState.Store(&policyState{name: opts.Policy})
 	for i := range s.locals {
 		s.locals[i] = make(chan *task, opts.QueueBound)
 		s.workers[i] = &executor{id: i, writer: i}
@@ -481,19 +528,103 @@ func (s *Server) Depths() Depths {
 // Stats returns a snapshot of the server counters.
 func (s *Server) Stats() Stats {
 	return Stats{
-		Submitted:   s.stats.submitted.Load(),
-		Completed:   s.stats.completed.Load(),
-		Rejected:    s.stats.rejected.Load(),
-		Expired:     s.stats.expired.Load(),
-		Aborted:     s.stats.aborted.Load(),
-		Preemptions: s.stats.preemptions.Load(),
-		Stolen:      s.stats.stolen.Load(),
-		Steals:      s.stats.steals.Load(),
+		Submitted:     s.stats.submitted.Load(),
+		Completed:     s.stats.completed.Load(),
+		Rejected:      s.stats.rejected.Load(),
+		Expired:       s.stats.expired.Load(),
+		Aborted:       s.stats.aborted.Load(),
+		Preemptions:   s.stats.preemptions.Load(),
+		DispatcherRun: s.stats.dispatcherRun.Load(),
+		Steals:        s.stats.steals.Load(),
 	}
 }
 
 // Shards returns the configured dispatcher-shard count.
 func (s *Server) Shards() int { return len(s.shards) }
+
+// ---------- runtime actuators (the adaptive control plane's surface) ----------
+
+// policyState is the target discipline and a monotonically increasing
+// change epoch; dispatchers compare the epoch to the one they last
+// applied and drain-and-swap their queue when it moves.
+type policyState struct {
+	epoch uint64
+	name  string
+}
+
+// SetQuantum adjusts the preemption quantum at runtime; 0 disables
+// preemption, negative values are clamped to 0. Dispatchers observe the
+// new value on their next signaling pass. Safe to call while serving.
+func (s *Server) SetQuantum(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	s.quantum.Store(int64(d))
+}
+
+// Quantum returns the current preemption quantum.
+func (s *Server) Quantum() time.Duration { return time.Duration(s.quantum.Load()) }
+
+// SetClassQuantum overrides the quantum for one scheduling class
+// (payloads implementing Classed); 0 removes the override, falling back
+// to the global quantum. Out-of-range classes are ignored. The table is
+// consulted at preemption-signal time, so a change takes effect for
+// requests already running.
+func (s *Server) SetClassQuantum(class int, d time.Duration) {
+	if class < 0 || class >= NumClasses {
+		return
+	}
+	if d < 0 {
+		d = 0
+	}
+	s.classQuanta[class].Store(int64(d))
+	if d > 0 {
+		s.classed.Store(true)
+	}
+}
+
+// ClassQuantum returns the class's quantum override (0 = none).
+func (s *Server) ClassQuantum(class int) time.Duration {
+	if class < 0 || class >= NumClasses {
+		return 0
+	}
+	return time.Duration(s.classQuanta[class].Load())
+}
+
+// SetPolicy switches the central-queue discipline at runtime: each
+// shard's dispatcher drains its policy queue into a fresh one of the
+// new discipline at a quiesce point (between dispatch decisions, under
+// the queue lock), so queued requests are re-ordered rather than lost.
+// Switching to SRPT enables service-hint capture and run-time tracking
+// for subsequently submitted requests; on a server built without
+// Options.Adaptive, requests submitted before the switch carry no hint
+// and therefore run last, FIFO, under the new discipline. Safe to call
+// while serving; returns an error for unknown names.
+func (s *Server) SetPolicy(name string) error {
+	if name != PolicyFCFS && name != PolicySRPT {
+		return fmt.Errorf("live: unknown policy %q (have %s, %s)", name, PolicyFCFS, PolicySRPT)
+	}
+	s.policyMu.Lock()
+	defer s.policyMu.Unlock()
+	cur := s.polState.Load()
+	if cur.name == name {
+		return nil
+	}
+	if name == PolicySRPT {
+		// Order matters: hint capture must be live before any dispatcher
+		// applies the SRPT queue, or a racing Submit could enqueue a
+		// hinted payload without its key.
+		s.trackRun.Store(true)
+		s.hinted.Store(true)
+	}
+	s.polState.Store(&policyState{epoch: cur.epoch + 1, name: name})
+	return nil
+}
+
+// Policy returns the target central-queue discipline (the last accepted
+// SetPolicy value, applied by each dispatcher at its next quiesce
+// point).
+func (s *Server) Policy() string { return s.polState.Load().name }
 
 // Do submits a request and waits for its response.
 func (s *Server) Do(payload any) Response {

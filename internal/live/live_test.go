@@ -232,22 +232,22 @@ func TestWorkConservingDispatcherRunsRequests(t *testing.T) {
 	for i := 0; i < n; i++ {
 		chans = append(chans, s.Submit(300*time.Microsecond))
 	}
-	stolen := 0
+	dispatcherRun := 0
 	for _, ch := range chans {
 		resp := <-ch
 		if resp.Err != nil {
 			t.Fatal(resp.Err)
 		}
 		if resp.OnDispatcher {
-			stolen++
+			dispatcherRun++
 		}
 	}
 	s.Stop()
-	if stolen == 0 {
+	if dispatcherRun == 0 {
 		t.Fatal("work-conserving dispatcher never completed a request under overload")
 	}
-	if got := s.Stats().Stolen; got != uint64(stolen) {
-		t.Fatalf("Stolen counter %d != observed %d", got, stolen)
+	if got := s.Stats().DispatcherRun; got != uint64(dispatcherRun) {
+		t.Fatalf("DispatcherRun counter %d != observed %d", got, dispatcherRun)
 	}
 }
 

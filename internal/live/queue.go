@@ -128,6 +128,33 @@ func (c *centralQueue) SweepExpired(now time.Time) []*task {
 	return out
 }
 
+// SwapPolicy replaces the queue's discipline, re-enqueueing every live
+// task into a fresh policy queue of the named kind under the lock (the
+// dispatcher's quiesce point for runtime policy switching). Tombstoned
+// tasks are dropped on the way — their deadline-sweep completion
+// already happened — and the deadline heap is untouched: it orders by
+// time, not discipline. Unknown names panic: SetPolicy validated the
+// name, so reaching here with a bad one is a programming error.
+func (c *centralQueue) SwapPolicy(name string) {
+	nq, err := policy.NewQueue[*task](name)
+	if err != nil {
+		panic("live: " + err.Error())
+	}
+	c.mu.Lock()
+	for {
+		t, ok := c.q.Pop()
+		if !ok {
+			break
+		}
+		if t.dead {
+			continue
+		}
+		nq.Push(t, t.started)
+	}
+	c.q = nq
+	c.mu.Unlock()
+}
+
 // DrainAll removes and returns every live task in discipline order, for
 // abort-mode failPending.
 func (c *centralQueue) DrainAll() []*task {

@@ -13,9 +13,32 @@ import (
 // time. Under Options.Policy PolicySRPT the estimate orders the central
 // queue by remaining work (hint minus accumulated service); FCFS
 // ignores it. Hints are advisory: a wrong hint reorders the queue but
-// never affects correctness.
+// never affects correctness. A request that outruns its hint orders by
+// elapsed overage behind every in-budget request, and unhinted payloads
+// run last among queued peers (FIFO among themselves) — see
+// task.RemainingCycles for the key contract.
 type Hinted interface {
 	ServiceHint() time.Duration
+}
+
+// Scheduling classes for per-class preemption quanta
+// (Server.SetClassQuantum). ClassDefault is every payload that doesn't
+// implement Classed; ClassShort is point work that wants a tight
+// quantum; ClassLong is scan-like work that can afford a loose one.
+const (
+	ClassDefault = 0
+	ClassShort   = 1
+	ClassLong    = 2
+	// NumClasses bounds the class→quantum table; SchedClass values at
+	// or above it are treated as ClassDefault.
+	NumClasses = 4
+)
+
+// Classed is implemented by payloads that belong to a scheduling class.
+// The class selects a per-class preemption quantum when one is set via
+// Server.SetClassQuantum; otherwise it has no effect.
+type Classed interface {
+	SchedClass() int
 }
 
 type parkEvent struct {
@@ -49,6 +72,9 @@ type task struct {
 	// hintNS is the payload's service-time estimate (0 when absent or
 	// the policy is hint-blind); with runNS it yields the SRPT key.
 	hintNS int64
+	// class is the payload's scheduling class (per-class quanta);
+	// ClassDefault when the payload is not Classed or classes are off.
+	class uint8
 
 	// Centralqueue bookkeeping, guarded by the owning centralQueue's
 	// mutex (see queue.go).
@@ -80,14 +106,46 @@ func (t *task) expired(now time.Time) bool {
 	return !t.deadline.IsZero() && now.After(t.deadline)
 }
 
-// RemainingCycles keys the central queue under SRPT: the service-time
-// hint minus accumulated service, clamped at zero (cycles are
+// SRPT key bands. Keys live in three disjoint ranges so the queue can
+// never invert priorities across kinds:
+//
+//   - in-budget hinted requests key by remaining work, [0, hint];
+//   - requests that have outrun their hint key by elapsed overage in a
+//     band above any realistic remaining hint — the estimate is spent,
+//     and under the inspection-paradox logic of scheduling with
+//     estimated sizes, the longer a request has overrun the longer it
+//     is likely to keep running, so larger overage sorts later;
+//   - unhinted requests take the max-key sentinel: the runtime knows
+//     nothing about them, so they run last among queued peers, FIFO
+//     among themselves (the SRPT heap's seq tie-break).
+//
+// The old behavior clamped hint−run at zero, which sorted unhinted and
+// over-budget requests to the *head* of the heap: a long request that
+// exhausted its estimate became and stayed top priority, starving
+// genuinely short requests — the classic underestimated-size pathology.
+const (
+	// overBudgetKeyBase opens the over-budget band: above any credible
+	// remaining hint (2^60 ns ≈ 36 years), below the unhinted sentinel.
+	overBudgetKeyBase = int64(1) << 60
+	// unhintedKey is the max-key sentinel for hintless requests.
+	unhintedKey = int64(^uint64(0) >> 1) // math.MaxInt64
+)
+
+// RemainingCycles keys the central queue under SRPT (cycles are
 // nanoseconds here; only the ordering matters). The policy queue calls
-// it during Push, when the pushing goroutine owns the task.
+// it during Push, when the pushing goroutine owns the task. See the key
+// bands above for the contract.
 func (t *task) RemainingCycles() sim.Cycles {
+	if t.hintNS <= 0 {
+		return sim.Cycles(unhintedKey)
+	}
 	rem := t.hintNS - t.runNS
 	if rem < 0 {
-		rem = 0
+		over := -rem
+		if over >= unhintedKey-overBudgetKeyBase {
+			over = unhintedKey - overBudgetKeyBase - 1 // stay below the sentinel
+		}
+		return sim.Cycles(overBudgetKeyBase + over)
 	}
 	return sim.Cycles(rem)
 }
@@ -102,6 +160,9 @@ type runInfo struct {
 	epoch uint64
 	id    uint64 // request id, for preempt-signal attribution
 	start time.Time
+	// class selects the effective quantum at signal time when per-class
+	// quanta are configured.
+	class uint8
 }
 
 // breakdown attributes the sojourn to components from the task's

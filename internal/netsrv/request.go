@@ -61,6 +61,25 @@ func (r *Request) ServiceHint() time.Duration {
 	}
 }
 
+// SchedClass buckets the request for per-class preemption quanta
+// (live.Classed): point ops are short — a tight quantum keeps them from
+// waiting out a long slice — SCAN is long, and SPIN classes by its
+// declared duration. Classes only matter when the control plane sets
+// per-class quanta; otherwise the global quantum applies.
+func (r *Request) SchedClass() int {
+	switch r.Op {
+	case proto.OpScan:
+		return live.ClassLong
+	case proto.OpSpin:
+		if r.Spin >= 100*time.Microsecond {
+			return live.ClassLong
+		}
+		return live.ClassShort
+	default: // GET, PUT, DEL
+		return live.ClassShort
+	}
+}
+
 // decodeOp validates the opcode and decodes op-specific fields (SPIN's
 // duration rides in the key). It reports false for frames that can
 // never execute; the stream itself is still synced.
