@@ -18,9 +18,11 @@ bench:
 	go test -run xxx -bench . -benchmem .
 
 # End-to-end observability smoke: builds concord-kvd and concord-load,
-# boots the server with -obs, scrapes /metrics and pprof, pulls a TRACE,
-# and runs a -breakdown load. Out-of-process, so kept behind a build tag
-# rather than in tier1.
+# boots the server with -obs -adaptive, scrapes /metrics, /healthz and
+# pprof, pulls a TRACE and DECISIONS, asserts non-zero net-phase |OBS
+# trailers, runs text -breakdown and pipelined-binary loads, and
+# validates the tracedump and decisiondump written at drain.
+# Out-of-process, so kept behind a build tag rather than in tier1.
 obs-smoke:
 	go test -tags obssmoke -run TestObsSmoke -v -timeout 120s ./internal/obs/smoke
 

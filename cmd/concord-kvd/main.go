@@ -17,6 +17,9 @@
 //	                                       trailers to this connection's
 //	                                       responses; needs -obs)
 //	TRACE <n>            -> last n request timelines, terminated by END
+//	DECISIONS <n>        -> last n adaptive-controller decisions, one
+//	                        key=value line each, terminated by END
+//	                        (needs -adaptive)
 //
 // Binary (length-prefixed frames, pipelined): the same data ops framed
 // with a request id, many in flight per connection, responses coalesced
@@ -25,11 +28,17 @@
 //
 // With -obs ADDR the server also serves HTTP on ADDR: /metrics is
 // Prometheus text exposition of all counters, queue depths, per-op
-// latency-component histograms, and the connection-layer families
-// (frames, flush batches, pipeline depth); /debug/pprof/* is
-// net/http/pprof. The same flag enables the in-process lifecycle tracer
-// that backs TRACE and the |OBS trailers; without it tracing costs one
-// branch per event.
+// latency-component histograms (including the wire phases ingress and
+// egress), the connection-layer families (frames, flush batches with
+// p50/p99, pipeline depth), the Go runtime health families
+// (concord_go_*: GC pauses, scheduler latencies, goroutines, heap), and
+// a concord_build_info gauge; /healthz answers 200 ok while serving and
+// 503 draining once shutdown begins; /debug/pprof/* is net/http/pprof.
+// The same flag enables the in-process lifecycle tracer that backs
+// TRACE and the |OBS trailers — with -obs the tracer also follows each
+// request across the wire path (frame read, parse, flush), so
+// breakdowns partition the full wire-to-wire time — and without it
+// tracing costs one branch per event.
 //
 // -obs also turns on time-windowed tail tracking: rolling
 // p50/p99/p99.9 latency over the -windows horizons (default
@@ -46,7 +55,11 @@
 // the central-queue discipline fcfs↔srpt (with hysteresis) as the
 // workload's service-time dispersion crosses the CV≈1 threshold. Its
 // state surfaces as concord_adapt_* metric families and adapt_* STATS
-// fields.
+// fields. Every control tick is also recorded in a fixed-size decision
+// ring — inputs (CV, tails, burn rates) plus the action taken — read
+// back with the DECISIONS verb, dumped as JSON at shutdown with
+// -decisiondump, and counted per action in
+// concord_adapt_decisions_total.
 //
 // Failure responses are single tokens clients can branch on: DEADLINE
 // (request timeout exceeded), OVERLOADED (submit queue full), STOPPED
@@ -82,6 +95,7 @@ import (
 	"os/signal"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -121,6 +135,7 @@ func main() {
 		adaptEvery = flag.Duration("adapt-interval", 50*time.Millisecond, "control-plane period (needs -adaptive)")
 		adaptMinQ  = flag.Duration("adapt-minq", 5*time.Microsecond, "adaptive quantum floor (needs -adaptive)")
 		adaptMaxQ  = flag.Duration("adapt-maxq", 500*time.Microsecond, "adaptive quantum ceiling (needs -adaptive)")
+		decDump    = flag.String("decisiondump", "", "on shutdown, write the adaptive controller's decision log as JSON to this file (needs -adaptive)")
 	)
 	flag.Parse()
 
@@ -209,6 +224,7 @@ func main() {
 	nopts := netsrv.Options{
 		MaxReq:       *maxReq,
 		WriteTimeout: *wtimeout,
+		Tracer:       tracer,
 	}
 	var ns *netsrv.Server
 	nopts.Control = func(out io.Writer, line string, obsOn *bool) bool {
@@ -216,10 +232,14 @@ func main() {
 	}
 	if tracer != nil {
 		nopts.Observe = func(op byte, resp live.Response) { ob.observe(proto.OpString(op), resp) }
+		nopts.ObserveEgress = func(op byte, egress time.Duration) { ob.observeEgress(proto.OpString(op), egress) }
 		nopts.Trailer = obsTrailer
 	}
 	ns = netsrv.New(srv, nopts)
 
+	// draining flips before the listener closes so /healthz readiness
+	// goes false the moment the drain begins, not after it completes.
+	var draining atomic.Bool
 	if tracer != nil {
 		ob = newKVObs(tracer, tail, ctrl, srv, ns, *workers, effShards)
 		obsLn, err := net.Listen("tcp", *obsAddr)
@@ -227,12 +247,19 @@ func main() {
 			log.Fatalf("obs listen: %v", err)
 		}
 		http.Handle("/metrics", ob.metrics)
+		http.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+			if draining.Load() {
+				http.Error(w, "draining", http.StatusServiceUnavailable)
+				return
+			}
+			io.WriteString(w, "ok\n")
+		})
 		go func() {
 			if err := http.Serve(obsLn, nil); err != nil {
 				log.Printf("obs server: %v", err)
 			}
 		}()
-		log.Printf("obs: metrics+pprof on %s, trace rings %d events/writer", obsLn.Addr(), *traceBuf)
+		log.Printf("obs: metrics+pprof+healthz on %s, trace rings %d events/writer", obsLn.Addr(), *traceBuf)
 	}
 
 	ln, err := net.Listen("tcp", *addr)
@@ -247,7 +274,8 @@ func main() {
 	go func() {
 		sig := <-sigCh
 		log.Printf("received %v: draining (bound %v)", sig, *drain)
-		ln.Close() // unblocks Accept; Serve returns and the drain begins
+		draining.Store(true) // /healthz reports not-ready from here on
+		ln.Close()           // unblocks Accept; Serve returns and the drain begins
 	}()
 
 	ns.Serve(ln)
@@ -279,6 +307,20 @@ func main() {
 			log.Fatalf("tracedump: %v", err)
 		}
 		log.Printf("tracedump: wrote %d events to %s (open in https://ui.perfetto.dev)", len(events), *traceDump)
+	}
+	if ctrl != nil && *decDump != "" {
+		f, err := os.Create(*decDump)
+		if err != nil {
+			log.Fatalf("decisiondump: %v", err)
+		}
+		decs := ctrl.Decisions(0)
+		if err := adapt.WriteDecisionDump(f, *adaptEvery, decs); err != nil {
+			log.Fatalf("decisiondump: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("decisiondump: %v", err)
+		}
+		log.Printf("decisiondump: wrote %d decisions to %s", len(decs), *decDump)
 	}
 }
 
@@ -321,6 +363,7 @@ type kvObs struct {
 
 type opHists struct {
 	total, handoff, queue, service, preempted trace.Histogram
+	ingress, egress                           trace.Histogram // wire phases
 }
 
 func newKVObs(tracer *obs.Tracer, tail *obs.TailTracker, ctrl *adapt.Controller, srv *live.Server, ns *netsrv.Server, workers, shards int) *kvObs {
@@ -374,6 +417,21 @@ func newKVObs(tracer *obs.Tracer, tail *obs.TailTracker, ctrl *adapt.Controller,
 		netCounter("concord_net_bad_frames_total", "frames with unknown opcode or undecodable body",
 			func(s netsrv.NetStats) float64 { return float64(s.BadFrames) })
 		m.RegisterHistogram("concord_net_flush_batch", "responses coalesced per flush", ns.FlushBatch())
+		for _, fq := range []struct {
+			label string
+			q     float64
+		}{{"p50", 0.50}, {"p99", 0.99}} {
+			fq := fq
+			m.RegisterGauge(fmt.Sprintf(`concord_net_flush_batch_quantile{quantile="%s"}`, fq.label),
+				"flush-batch size quantiles (responses coalesced per flush)",
+				func() float64 {
+					s := ns.FlushBatch().Snapshot()
+					if s.Count == 0 {
+						return 0
+					}
+					return s.Quantile(fq.q)
+				})
+		}
 	}
 	if tail != nil {
 		for _, w := range tail.Windows() {
@@ -439,6 +497,12 @@ func newKVObs(tracer *obs.Tracer, tail *obs.TailTracker, ctrl *adapt.Controller,
 		m.RegisterCounter("concord_adapt_quantum_changes_total",
 			"base-quantum adjustments performed by the control plane",
 			func() float64 { return float64(ctrl.Status().QuantumChanges) })
+		for a := adapt.Action(0); a < adapt.NumActions; a++ {
+			a := a
+			m.RegisterCounter(fmt.Sprintf(`concord_adapt_decisions_total{action="%s"}`, a),
+				"control-plane ticks by the action each recorded",
+				func() float64 { return float64(ctrl.DecisionCounts()[a]) })
+		}
 	}
 	for _, op := range []string{"GET", "PUT", "DEL", "SCAN", "SPIN"} {
 		h := &opHists{}
@@ -454,7 +518,13 @@ func newKVObs(tracer *obs.Tracer, tail *obs.TailTracker, ctrl *adapt.Controller,
 			"per-op latency components in microseconds", &h.service)
 		m.RegisterHistogram(fmt.Sprintf(`concord_request_us{op="%s",component="preempted"}`, lop),
 			"per-op latency components in microseconds", &h.preempted)
+		m.RegisterHistogram(fmt.Sprintf(`concord_request_us{op="%s",component="ingress"}`, lop),
+			"per-op latency components in microseconds", &h.ingress)
+		m.RegisterHistogram(fmt.Sprintf(`concord_request_us{op="%s",component="egress"}`, lop),
+			"per-op latency components in microseconds", &h.egress)
 	}
+	obs.RegisterBuildInfo(m)
+	obs.RegisterGoRuntime(m)
 	return ob
 }
 
@@ -470,11 +540,25 @@ func (ob *kvObs) observe(op string, resp live.Response) {
 	h.queue.ObserveUS(us(resp.Breakdown.Queue))
 	h.service.ObserveUS(us(resp.Breakdown.Service))
 	h.preempted.ObserveUS(us(resp.Breakdown.Preempted))
+	h.ingress.ObserveUS(us(resp.Breakdown.Ingress))
+}
+
+// observeEgress feeds the flush-side wire phase; it arrives separately
+// from observe because egress is only known once the response batch hits
+// the socket, after the completion callback has already run.
+func (ob *kvObs) observeEgress(op string, egress time.Duration) {
+	if h := ob.perOp[op]; h != nil {
+		h.egress.ObserveDuration(egress)
+	}
 }
 
 // obsTrailer renders the per-request breakdown clients opt into with
-// OBS ON. Times are µs; n is the preemption count, d=1 when the
-// work-conserving dispatcher ran the request.
+// OBS ON. Times are µs; i is ingress (frame read → runtime submit), e
+// is egress accrued so far (completion → trailer render — the trailer
+// rides inside the response, so the socket write itself cannot be in
+// it), n is the preemption count, d=1 when the work-conserving
+// dispatcher ran the request. The wire phases print at %.3f: they are
+// routinely sub-µs and would round to an indistinguishable 0.0.
 func obsTrailer(resp live.Response) string {
 	b := resp.Breakdown
 	if b == nil {
@@ -485,8 +569,13 @@ func obsTrailer(resp live.Response) string {
 	if resp.OnDispatcher {
 		disp = 1
 	}
-	return fmt.Sprintf(" |OBS h=%.1f q=%.1f s=%.1f p=%.1f n=%d d=%d",
-		us(b.Handoff), us(b.Queue), us(b.Service), us(b.Preempted), resp.Preemptions, disp)
+	egress := 0.0
+	if !resp.Done.IsZero() {
+		egress = us(time.Since(resp.Done))
+	}
+	return fmt.Sprintf(" |OBS h=%.1f q=%.1f s=%.1f p=%.1f i=%.3f e=%.3f n=%d d=%d",
+		us(b.Handoff), us(b.Queue), us(b.Service), us(b.Preempted),
+		us(b.Ingress), egress, resp.Preemptions, disp)
 }
 
 // serveControl handles the non-request text commands (STATS, TRACE,
@@ -513,6 +602,26 @@ func serveControl(out io.Writer, line string, srv *live.Server, ns *netsrv.Serve
 		}
 		printed := obs.WriteTimelines(out, ob.tracer.Snapshot(), n)
 		fmt.Fprintf(out, "END %d\n", printed)
+		return true
+	case line == "DECISIONS" || strings.HasPrefix(line, "DECISIONS "):
+		if ctrl == nil {
+			fmt.Fprintln(out, "ERR adaptive control disabled (start with -adaptive)")
+			return true
+		}
+		n := 20
+		if rest := strings.TrimPrefix(line, "DECISIONS"); strings.TrimSpace(rest) != "" {
+			v, err := strconv.Atoi(strings.TrimSpace(rest))
+			if err != nil || v <= 0 {
+				fmt.Fprintf(out, "ERR bad DECISIONS count %q\n", strings.TrimSpace(rest))
+				return true
+			}
+			n = v
+		}
+		decs := ctrl.Decisions(n)
+		for _, d := range decs {
+			fmt.Fprintln(out, d.String())
+		}
+		fmt.Fprintf(out, "END %d\n", len(decs))
 		return true
 	case line == "OBS ON":
 		if ob == nil {
@@ -584,6 +693,15 @@ func statsLine(srv *live.Server, ns *netsrv.Server, ob *kvObs, ctrl *adapt.Contr
 			batch = float64(nst.FramesOut) / float64(nst.Flushes)
 		}
 		field("flush_batch_mean", fmt.Sprintf("%.2f", batch))
+		// The mean hides bimodal batching (many 1s plus a few huge
+		// coalesced writes); the histogram quantiles do not.
+		fb := ns.FlushBatch().Snapshot()
+		p50, p99 := 0.0, 0.0
+		if fb.Count > 0 {
+			p50, p99 = fb.Quantile(0.50), fb.Quantile(0.99)
+		}
+		field("flush_batch_p50", fmt.Sprintf("%.2f", p50))
+		field("flush_batch_p99", fmt.Sprintf("%.2f", p99))
 	}
 	if ob != nil && ob.tail != nil {
 		for _, w := range ob.tail.Windows() {
@@ -614,6 +732,11 @@ func statsLine(srv *live.Server, ns *netsrv.Server, ob *kvObs, ctrl *adapt.Contr
 		field("adapt_cv", fmt.Sprintf("%.3f", s.CV))
 		field("adapt_switches", u(s.Switches))
 		field("adapt_quantum_changes", u(s.QuantumChanges))
+		var decisions uint64
+		for _, c := range ctrl.DecisionCounts() {
+			decisions += c
+		}
+		field("adapt_decisions", u(decisions))
 	}
 	return b.String()
 }
@@ -649,6 +772,8 @@ func metricFamilyForStatsKey(key string) string {
 		return "concord_net_bad_frames_total"
 	case "flush_batch_mean":
 		return "concord_net_flush_batch"
+	case "flush_batch_p50", "flush_batch_p99":
+		return "concord_net_flush_batch_quantile"
 	case "burn_short", "burn_long":
 		return "concord_slo_burn_rate"
 	case "slo_alerting":
@@ -663,6 +788,8 @@ func metricFamilyForStatsKey(key string) string {
 		return "concord_adapt_switches_total"
 	case "adapt_quantum_changes":
 		return "concord_adapt_quantum_changes_total"
+	case "adapt_decisions":
+		return "concord_adapt_decisions_total"
 	}
 	if strings.HasPrefix(key, "p50_") || strings.HasPrefix(key, "p99_") || strings.HasPrefix(key, "p999_") {
 		return "concord_rolling_latency_us"

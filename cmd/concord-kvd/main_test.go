@@ -1,6 +1,7 @@
 package main
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -100,7 +101,7 @@ func TestStatsNetFields(t *testing.T) {
 	for _, want := range []string{
 		"conns=0", "pipeline=0", "frames_in=0", "frames_out=0",
 		"flushes=0", "text_lines=0", "toolarge=0", "badframes=0",
-		"flush_batch_mean=0.00",
+		"flush_batch_mean=0.00", "flush_batch_p50=0.00", "flush_batch_p99=0.00",
 	} {
 		if !strings.Contains(line, want) {
 			t.Errorf("STATS line missing %q: %s", want, line)
@@ -174,7 +175,7 @@ func TestStatsAdaptiveFields(t *testing.T) {
 	line := statsLine(srv, ns, ob, ctrl)
 	for _, want := range []string{
 		"adapt_policy=0", "adapt_quantum_us=", "adapt_cv=",
-		"adapt_switches=0", "adapt_quantum_changes=0",
+		"adapt_switches=0", "adapt_quantum_changes=0", "adapt_decisions=0",
 	} {
 		if !strings.Contains(line, want) {
 			t.Errorf("STATS line missing %q: %s", want, line)
@@ -186,6 +187,7 @@ func TestStatsAdaptiveFields(t *testing.T) {
 	for _, family := range []string{
 		"concord_adapt_policy", "concord_adapt_quantum_us", "concord_adapt_cv",
 		"concord_adapt_switches_total", "concord_adapt_quantum_changes_total",
+		"concord_adapt_decisions_total",
 	} {
 		if !strings.Contains(exposition, "# TYPE "+family+" ") {
 			t.Errorf("/metrics missing %q", family)
@@ -199,9 +201,129 @@ func TestStatsAdaptiveFields(t *testing.T) {
 	if line := statsLine(srv, ns, ob, ctrl); !strings.Contains(line, "adapt_policy=1") {
 		t.Errorf("STATS line did not track the policy switch: %s", line)
 	}
+	// Every Step above recorded one decision.
+	if line := statsLine(srv, ns, ob, ctrl); !strings.Contains(line, "adapt_decisions=31") {
+		t.Errorf("STATS line did not count decisions: %s", line)
+	}
 	bare := statsLine(srv, nil, nil, nil)
 	if strings.Contains(bare, "adapt_") {
 		t.Errorf("bare STATS line has adaptive fields: %s", bare)
+	}
+}
+
+// TestObsTrailerFormat: the trailer is the wire contract concord-load's
+// parseObsTrailer consumes — every component key in order, wire phases
+// at millisecond precision so sub-µs values stay visible.
+func TestObsTrailerFormat(t *testing.T) {
+	if got := obsTrailer(live.Response{}); got != "" {
+		t.Fatalf("trailer without breakdown = %q, want empty", got)
+	}
+	resp := live.Response{
+		Latency: 100 * time.Microsecond,
+		Breakdown: &live.Breakdown{
+			Ingress: 1500 * time.Nanosecond,
+			Handoff: 10 * time.Microsecond,
+			Queue:   20 * time.Microsecond,
+			Service: 60 * time.Microsecond,
+		},
+		Preemptions:  2,
+		OnDispatcher: true,
+		Done:         time.Now(),
+	}
+	got := obsTrailer(resp)
+	for _, want := range []string{" |OBS h=10.0 ", "q=20.0 ", "s=60.0 ", "p=0.0 ", "i=1.500 ", "e=", "n=2 ", "d=1"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("trailer missing %q: %q", want, got)
+		}
+	}
+	// Egress accrues from Done to render time: non-negative, and small
+	// for a fresh completion.
+	var h, q, s, p, i, e float64
+	var n, d int
+	if _, err := fmt.Sscanf(strings.TrimPrefix(got, " |OBS "),
+		"h=%f q=%f s=%f p=%f i=%f e=%f n=%d d=%d", &h, &q, &s, &p, &i, &e, &n, &d); err != nil {
+		t.Fatalf("trailer does not scan: %q, %v", got, err)
+	}
+	if e < 0 {
+		t.Errorf("egress %v negative", e)
+	}
+}
+
+// TestDecisionsControlVerb: DECISIONS replays the controller's recent
+// ticks, honors an explicit count, terminates with END, and degrades to
+// ERR without -adaptive.
+func TestDecisionsControlVerb(t *testing.T) {
+	srv, ns, ob, ctrl := newTestObs(t)
+	for i := 0; i < 5; i++ {
+		ctrl.Step(adapt.Signals{SvcCount: 4, SvcCV: 0.5})
+	}
+	var out strings.Builder
+	obsOn := false
+	if !serveControl(&out, "DECISIONS 3", srv, ns, ob, ctrl, &obsOn) {
+		t.Fatal("DECISIONS not handled")
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 4 || lines[3] != "END 3" {
+		t.Fatalf("DECISIONS 3 = %q", out.String())
+	}
+	for _, l := range lines[:3] {
+		if !strings.Contains(l, "tick=") || !strings.Contains(l, "action=") || !strings.Contains(l, "quantum_us=") {
+			t.Errorf("decision line missing fields: %q", l)
+		}
+	}
+	out.Reset()
+	if !serveControl(&out, "DECISIONS", srv, ns, ob, ctrl, &obsOn) {
+		t.Fatal("bare DECISIONS not handled")
+	}
+	if !strings.HasSuffix(strings.TrimSpace(out.String()), "END 5") {
+		t.Fatalf("bare DECISIONS = %q", out.String())
+	}
+	out.Reset()
+	if !serveControl(&out, "DECISIONS nope", srv, ns, ob, ctrl, &obsOn) {
+		t.Fatal("bad count not handled")
+	}
+	if !strings.HasPrefix(out.String(), "ERR ") {
+		t.Fatalf("bad count reply = %q", out.String())
+	}
+	out.Reset()
+	if !serveControl(&out, "DECISIONS", srv, ns, ob, nil, &obsOn) {
+		t.Fatal("DECISIONS without controller not handled")
+	}
+	if !strings.HasPrefix(out.String(), "ERR ") {
+		t.Fatalf("no-controller reply = %q", out.String())
+	}
+}
+
+// TestRuntimeHealthFamilies: the registry carries the Go runtime health
+// surface and build-info gauge, and the per-op wire-phase histogram
+// components exist alongside the scheduler ones.
+func TestRuntimeHealthFamilies(t *testing.T) {
+	_, _, ob, _ := newTestObs(t)
+	var sb strings.Builder
+	ob.metrics.WritePrometheus(&sb)
+	exposition := sb.String()
+	for _, family := range []string{
+		"concord_go_goroutines", "concord_go_gomaxprocs",
+		"concord_go_heap_live_bytes", "concord_go_gc_cycles_total",
+		"concord_build_info",
+	} {
+		if !strings.Contains(exposition, "# TYPE "+family+" ") {
+			t.Errorf("/metrics missing %q", family)
+		}
+	}
+	if !strings.Contains(exposition, `concord_build_info{`) || !strings.Contains(exposition, `goversion="go`) {
+		t.Errorf("build info gauge missing version labels:\n%s", exposition)
+	}
+	for _, series := range []string{
+		`concord_request_us{op="get",component="ingress"}`,
+		`concord_request_us{op="get",component="egress"}`,
+	} {
+		// Histogram series render with suffixed names; check the base
+		// label set appears somewhere in the exposition.
+		base := strings.Replace(series, "concord_request_us{", `concord_request_us_count{`, 1)
+		if !strings.Contains(exposition, base) {
+			t.Errorf("/metrics missing per-op wire-phase series %q", base)
+		}
 	}
 }
 

@@ -21,7 +21,11 @@
 // With -breakdown (server started with -obs) every response carries a
 // server-measured latency decomposition; the report adds a
 // Table-1-style per-class component table (p50/p99/p99.9 of queueing,
-// service, preemption, hand-off) and the CSV gains component columns.
+// service, preemption, hand-off, plus the wire phases ingress and
+// egress), a client-vs-server latency-gap table attributing the
+// difference between client-measured sojourn and the server's
+// wire-to-wire total to the network and client scheduling, and the CSV
+// gains component columns.
 //
 // With -statsevery a side connection polls the server's STATS line and
 // records per-shard queue depth and occupancy plus the cross-shard
@@ -271,6 +275,7 @@ func main() {
 			if b, ok := parseObsTrailer(resp); ok {
 				r.HasBreakdown = true
 				r.HandoffUS, r.QueueUS, r.RunUS, r.PreemptedUS = b.handoff, b.queue, b.service, b.preempted
+				r.IngressUS, r.EgressUS = b.ingress, b.egress
 				r.Preemptions, r.OnDispatcher = b.preempts, b.dispatcher
 			}
 			lg.Add(r)
@@ -511,13 +516,14 @@ func meets(p999 float64) string {
 // obsTrailer is one parsed |OBS response suffix (µs components).
 type obsTrailer struct {
 	handoff, queue, service, preempted float64
+	ingress, egress                    float64 // wire phases
 	preempts                           int
 	dispatcher                         bool
 }
 
 // parseObsTrailer extracts the server's breakdown trailer, if present:
 //
-//	VALUE xyz |OBS h=0.8 q=12.3 s=4.5 p=0.0 n=1 d=0
+//	VALUE xyz |OBS h=0.8 q=12.3 s=4.5 p=0.0 i=0.012 e=0.004 n=1 d=0
 func parseObsTrailer(resp string) (obsTrailer, bool) {
 	i := strings.LastIndex(resp, " |OBS ")
 	if i < 0 {
@@ -526,8 +532,8 @@ func parseObsTrailer(resp string) (obsTrailer, bool) {
 	var b obsTrailer
 	var d int
 	_, err := fmt.Sscanf(strings.TrimSpace(resp[i+len(" |OBS "):]),
-		"h=%f q=%f s=%f p=%f n=%d d=%d",
-		&b.handoff, &b.queue, &b.service, &b.preempted, &b.preempts, &d)
+		"h=%f q=%f s=%f p=%f i=%f e=%f n=%d d=%d",
+		&b.handoff, &b.queue, &b.service, &b.preempted, &b.ingress, &b.egress, &b.preempts, &d)
 	if err != nil {
 		return obsTrailer{}, false
 	}
@@ -541,6 +547,8 @@ func parseObsTrailer(resp string) (obsTrailer, bool) {
 func printBreakdown(recs []trace.Record) {
 	type comps struct {
 		total, handoff, queue, service, preempted trace.Histogram
+		ingress, egress                           trace.Histogram
+		sojournUS, serverUS                       []float64 // paired, per request
 		preempts, n                               int
 	}
 	byClass := map[string]*comps{}
@@ -555,14 +563,20 @@ func printBreakdown(recs []trace.Record) {
 			byClass[r.Class] = c
 			classes = append(classes, r.Class)
 		}
-		// Server-side total, so the component rows sum to it; the
-		// client-measured sojourn (which adds network + client-side
-		// open-loop wait) is in the latency summary above.
-		c.total.ObserveUS(r.HandoffUS + r.QueueUS + r.RunUS + r.PreemptedUS)
+		// Server-side wire-to-wire total, so the component rows sum to
+		// it; the client-measured sojourn (which adds network +
+		// client-side open-loop wait) is in the latency summary above
+		// and in the gap table below.
+		server := r.HandoffUS + r.QueueUS + r.RunUS + r.PreemptedUS + r.IngressUS + r.EgressUS
+		c.total.ObserveUS(server)
 		c.handoff.ObserveUS(r.HandoffUS)
 		c.queue.ObserveUS(r.QueueUS)
 		c.service.ObserveUS(r.RunUS)
 		c.preempted.ObserveUS(r.PreemptedUS)
+		c.ingress.ObserveUS(r.IngressUS)
+		c.egress.ObserveUS(r.EgressUS)
+		c.sojournUS = append(c.sojournUS, r.SojournUS)
+		c.serverUS = append(c.serverUS, server)
 		c.preempts += r.Preemptions
 		c.n++
 	}
@@ -580,10 +594,12 @@ func printBreakdown(recs []trace.Record) {
 			h    *trace.Histogram
 		}{
 			{"total", &c.total},
+			{"ingress", &c.ingress},
 			{"handoff", &c.handoff},
 			{"queueing", &c.queue},
 			{"service", &c.service},
 			{"preempted", &c.preempted},
+			{"egress", &c.egress},
 		} {
 			s := row.h.Snapshot()
 			mean := 0.0
@@ -594,5 +610,37 @@ func printBreakdown(recs []trace.Record) {
 				cl, row.name, s.Quantile(0.50), s.Quantile(0.99), s.Quantile(0.999), mean)
 		}
 		fmt.Printf("%-8s %-10s %10.2f preempts/req over %d requests\n", cl, "preempt", float64(c.preempts)/float64(c.n), c.n)
+	}
+	// The gap table: what the client measured minus what the server can
+	// account for, wire to wire. What remains is the network and the
+	// client's own scheduling — if the gap dwarfs the server total, the
+	// bottleneck is not in the server at all.
+	fmt.Println("client-vs-server latency gap (µs; gap = client sojourn - server wire-to-wire total):")
+	fmt.Printf("%-8s %8s %12s %12s %12s %12s %10s %10s\n",
+		"class", "n", "client p50", "client p99", "client mean", "server mean", "gap mean", "gap p99")
+	for _, cl := range classes {
+		c := byClass[cl]
+		gaps := make([]float64, len(c.sojournUS))
+		var sumClient, sumServer, sumGap float64
+		for i := range c.sojournUS {
+			gaps[i] = c.sojournUS[i] - c.serverUS[i]
+			sumClient += c.sojournUS[i]
+			sumServer += c.serverUS[i]
+			sumGap += gaps[i]
+		}
+		sorted := append([]float64(nil), c.sojournUS...)
+		sort.Float64s(sorted)
+		sort.Float64s(gaps)
+		pct := func(v []float64, p float64) float64 {
+			rank := int(math.Ceil(p / 100 * float64(len(v))))
+			if rank < 1 {
+				rank = 1
+			}
+			return v[rank-1]
+		}
+		n := float64(c.n)
+		fmt.Printf("%-8s %8d %12.1f %12.1f %12.1f %12.1f %10.1f %10.1f\n",
+			cl, c.n, pct(sorted, 50), pct(sorted, 99), sumClient/n, sumServer/n,
+			sumGap/n, pct(gaps, 99))
 	}
 }

@@ -66,6 +66,10 @@ type Config struct {
 	// quanta are re-derived and clamped to [MinQuantum, MaxQuantum]
 	// whenever the base quantum moves. Nil disables per-class quanta.
 	ClassScales map[int]float64
+	// DecisionLog is the capacity of the decision ring every Step
+	// records into (see Decisions / WriteDecisionDump). Default 512;
+	// negative disables retention (per-action counts still accumulate).
+	DecisionLog int
 }
 
 func (c Config) withDefaults() Config {
@@ -92,6 +96,12 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MinSamples <= 0 {
 		c.MinSamples = 16
+	}
+	if c.DecisionLog == 0 {
+		c.DecisionLog = 512
+	}
+	if c.DecisionLog < 0 {
+		c.DecisionLog = 0
 	}
 	return c
 }
@@ -149,6 +159,10 @@ type Controller struct {
 		switches       uint64
 		quantumChanges uint64
 	}
+
+	// log is the per-tick decision ring (decision.go); guarded by c.mu
+	// like the rest of the control state.
+	log decisionLog
 }
 
 // New builds a controller and normalizes the runtime's starting point:
@@ -166,6 +180,9 @@ func New(rt Runtime, cfg Config) *Controller {
 	}
 	c.mu.quantum = q
 	c.mu.dwellTicks = uint64((cfg.MinDwell + cfg.Interval - 1) / cfg.Interval)
+	if cfg.DecisionLog > 0 {
+		c.log.buf = make([]Decision, cfg.DecisionLog)
+	}
 	rt.SetQuantum(q)
 	c.applyClassQuanta(q)
 	return c
@@ -190,11 +207,14 @@ func (c *Controller) Status() Status {
 
 // Step runs one control period: fold the window's CV into the smoothed
 // estimate, re-select the policy under hysteresis and dwell, and walk
-// the quantum by AIMD against the SLO target.
+// the quantum by AIMD against the SLO target. Every tick — acting or
+// holding — is recorded in the decision log with the inputs it saw.
 func (c *Controller) Step(sig Signals) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.mu.ticks++
+	prevQuantum := c.mu.quantum
+	act := ActHold
 
 	// 1. Dispersion estimate: EWMA over windows with enough samples.
 	if sig.SvcCount >= c.cfg.MinSamples {
@@ -216,11 +236,13 @@ func (c *Controller) Step(sig Signals) {
 			if c.rt.SetPolicy(PolicySRPT) == nil {
 				c.mu.switches++
 				c.mu.lastSwitchTick = c.mu.ticks
+				act = ActSwitchSRPT
 			}
 		case pol == PolicySRPT && c.mu.cv < c.cfg.CVLow:
 			if c.rt.SetPolicy(PolicyFCFS) == nil {
 				c.mu.switches++
 				c.mu.lastSwitchTick = c.mu.ticks
+				act = ActSwitchFCFS
 			}
 		}
 	}
@@ -246,8 +268,31 @@ func (c *Controller) Step(sig Signals) {
 			c.mu.quantumChanges++
 			c.rt.SetQuantum(q)
 			c.applyClassQuanta(q)
+			if act == ActHold { // a policy switch stays the headline action
+				if q < prevQuantum {
+					act = ActTighten
+				} else {
+					act = ActRelax
+				}
+			}
 		}
 	}
+
+	c.log.record(Decision{
+		Tick:          c.mu.ticks,
+		CV:            c.mu.cv,
+		WindowCV:      sig.SvcCV,
+		SvcCount:      sig.SvcCount,
+		P99US:         float64(sig.P99) / float64(time.Microsecond),
+		P999US:        float64(sig.P999) / float64(time.Microsecond),
+		ShortBurn:     sig.ShortBurn,
+		LongBurn:      sig.LongBurn,
+		RateRPS:       sig.Rate,
+		Action:        act,
+		Policy:        c.rt.Policy(),
+		PrevQuantumUS: float64(prevQuantum) / float64(time.Microsecond),
+		QuantumUS:     float64(c.mu.quantum) / float64(time.Microsecond),
+	})
 }
 
 // applyClassQuanta re-derives per-class quanta from the base. Callers

@@ -1,0 +1,155 @@
+// The controller's decision log: a fixed-size allocation-free ring that
+// records every control tick's inputs and action, so "why did it flip
+// to SRPT at t=3.2s?" is answerable from a dump instead of a debugger.
+// Recording happens inside Step under the controller mutex — 20Hz, not
+// the request hot path — and writes one preallocated slot; rendering
+// (text for the DECISIONS control verb, JSON for -decisiondump) only
+// runs on demand.
+package adapt
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// Action classifies what one control tick did. A tick that both
+// switches policy and moves the quantum records the policy switch (the
+// rarer, larger move); the quantum columns still show the change.
+type Action uint8
+
+const (
+	ActHold       Action = iota // no actuator moved
+	ActTighten                  // quantum multiplicative decrease
+	ActRelax                    // quantum multiplicative increase
+	ActSwitchSRPT               // policy switched fcfs → srpt
+	ActSwitchFCFS               // policy switched srpt → fcfs
+
+	// NumActions bounds per-action counter tables.
+	NumActions
+)
+
+var actionNames = [NumActions]string{
+	ActHold:       "hold",
+	ActTighten:    "tighten",
+	ActRelax:      "relax",
+	ActSwitchSRPT: "switch_srpt",
+	ActSwitchFCFS: "switch_fcfs",
+}
+
+func (a Action) String() string {
+	if int(a) < len(actionNames) {
+		return actionNames[a]
+	}
+	return "unknown"
+}
+
+// MarshalJSON renders the action as its name; allocation happens only
+// at dump time, never at record time.
+func (a Action) MarshalJSON() ([]byte, error) {
+	return json.Marshal(a.String())
+}
+
+// Decision is one control tick's record: every input Step consulted and
+// the action it took. Tick × Config.Interval locates it in time.
+type Decision struct {
+	Tick uint64 `json:"tick"`
+
+	// Inputs.
+	CV        float64 `json:"cv"`        // smoothed estimate after folding this window
+	WindowCV  float64 `json:"window_cv"` // this window's raw CV sample
+	SvcCount  int64   `json:"svc_count"` // service-time samples in the window
+	P99US     float64 `json:"p99_us"`
+	P999US    float64 `json:"p999_us"`
+	ShortBurn float64 `json:"burn_short"`
+	LongBurn  float64 `json:"burn_long"`
+	RateRPS   float64 `json:"rate_rps"`
+
+	// Action and resulting state.
+	Action        Action  `json:"action"`
+	Policy        string  `json:"policy"` // after the tick
+	PrevQuantumUS float64 `json:"prev_quantum_us"`
+	QuantumUS     float64 `json:"quantum_us"`
+}
+
+// String renders the decision as one key=value line for the DECISIONS
+// control verb.
+func (d Decision) String() string {
+	return fmt.Sprintf(
+		"tick=%d action=%s policy=%s quantum_us=%.1f prev_quantum_us=%.1f cv=%.3f window_cv=%.3f svc_n=%d p99_us=%.1f p999_us=%.1f burn_short=%.2f burn_long=%.2f rate=%.1f",
+		d.Tick, d.Action, d.Policy, d.QuantumUS, d.PrevQuantumUS,
+		d.CV, d.WindowCV, d.SvcCount, d.P99US, d.P999US,
+		d.ShortBurn, d.LongBurn, d.RateRPS)
+}
+
+// decisionLog is the ring itself. Guarded by the controller mutex; buf
+// is preallocated at New so record never allocates.
+type decisionLog struct {
+	buf    []Decision
+	total  uint64
+	counts [NumActions]uint64
+}
+
+func (l *decisionLog) record(d Decision) {
+	l.counts[d.Action]++
+	if len(l.buf) == 0 {
+		return
+	}
+	l.buf[l.total%uint64(len(l.buf))] = d
+	l.total++
+}
+
+// snapshot copies out the newest n retained decisions (all of them when
+// n <= 0), oldest first.
+func (l *decisionLog) snapshot(n int) []Decision {
+	retained := l.total
+	if max := uint64(len(l.buf)); retained > max {
+		retained = max
+	}
+	if n > 0 && uint64(n) < retained {
+		retained = uint64(n)
+	}
+	out := make([]Decision, 0, retained)
+	for i := l.total - retained; i < l.total; i++ {
+		out = append(out, l.buf[i%uint64(len(l.buf))])
+	}
+	return out
+}
+
+// Decisions returns the controller's most recent n decisions (all
+// retained when n <= 0), oldest first. Safe to call while the control
+// loop runs.
+func (c *Controller) Decisions(n int) []Decision {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.log.snapshot(n)
+}
+
+// DecisionCounts returns how many decisions of each action the
+// controller has taken since start (counted even when the ring has
+// wrapped past them).
+func (c *Controller) DecisionCounts() [NumActions]uint64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.log.counts
+}
+
+// decisionDump is the -decisiondump file schema. Interval lets a reader
+// place tick numbers in time.
+type decisionDump struct {
+	Schema     int        `json:"schema"`
+	IntervalMS float64    `json:"interval_ms"`
+	Decisions  []Decision `json:"decisions"`
+}
+
+// WriteDecisionDump renders decisions as the versioned JSON dump format
+// consumed by offline tooling.
+func WriteDecisionDump(w io.Writer, interval time.Duration, decs []Decision) error {
+	enc := json.NewEncoder(w)
+	return enc.Encode(decisionDump{
+		Schema:     1,
+		IntervalMS: float64(interval) / float64(time.Millisecond),
+		Decisions:  decs,
+	})
+}

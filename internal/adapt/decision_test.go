@@ -1,0 +1,171 @@
+package adapt
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// decisionConfig keeps dwell short (3 ticks) so policy switches are
+// reachable in a few Steps.
+func decisionConfig() Config {
+	cfg := testConfig()
+	cfg.DecisionLog = 64
+	return cfg
+}
+
+func TestDecisionActionClassification(t *testing.T) {
+	rt := newFakeRuntime(100*time.Microsecond, PolicyFCFS)
+	c := New(rt, decisionConfig())
+
+	// Ticks 1-2 prime the CV but sit inside the dwell; tick 3 switches
+	// to SRPT and — P999 over target on the same tick — also tightens
+	// the quantum. The switch must stay the headline action.
+	c.Step(cvSignals(5))
+	c.Step(cvSignals(5))
+	hot := cvSignals(5)
+	hot.P999 = 400 * time.Microsecond
+	c.Step(hot)
+	// Tick 4: pure quantum tighten (still hot, dwell blocks switching).
+	c.Step(Signals{P999: 400 * time.Microsecond})
+	// Tick 5: comfortable tail relaxes the quantum.
+	c.Step(Signals{P999: 50 * time.Microsecond})
+	// Tick 6: idle window holds everything still.
+	c.Step(Signals{})
+
+	decs := c.Decisions(0)
+	if len(decs) != 6 {
+		t.Fatalf("got %d decisions, want 6", len(decs))
+	}
+	wantActions := []Action{ActHold, ActHold, ActSwitchSRPT, ActTighten, ActRelax, ActHold}
+	for i, d := range decs {
+		if d.Action != wantActions[i] {
+			t.Errorf("tick %d action = %v, want %v", d.Tick, d.Action, wantActions[i])
+		}
+		if d.Tick != uint64(i+1) {
+			t.Errorf("decision %d tick = %d, want %d", i, d.Tick, i+1)
+		}
+	}
+	if sw := decs[2]; sw.Policy != PolicySRPT || sw.QuantumUS >= sw.PrevQuantumUS {
+		t.Errorf("switch tick must record the new policy and the quantum move it rode along with: %+v", sw)
+	}
+	if decs[3].QuantumUS >= decs[3].PrevQuantumUS {
+		t.Errorf("tighten did not shrink the quantum: %+v", decs[3])
+	}
+	if decs[4].QuantumUS <= decs[4].PrevQuantumUS {
+		t.Errorf("relax did not grow the quantum: %+v", decs[4])
+	}
+
+	counts := c.DecisionCounts()
+	want := [NumActions]uint64{ActHold: 3, ActTighten: 1, ActRelax: 1, ActSwitchSRPT: 1}
+	if counts != want {
+		t.Fatalf("counts = %v, want %v", counts, want)
+	}
+}
+
+func TestDecisionRingWrap(t *testing.T) {
+	cfg := decisionConfig()
+	cfg.DecisionLog = 4
+	c := New(newFakeRuntime(100*time.Microsecond, PolicyFCFS), cfg)
+	for i := 0; i < 10; i++ {
+		c.Step(Signals{})
+	}
+	decs := c.Decisions(0)
+	if len(decs) != 4 {
+		t.Fatalf("retained %d decisions, want 4 (ring capacity)", len(decs))
+	}
+	for i, d := range decs {
+		if want := uint64(7 + i); d.Tick != want {
+			t.Fatalf("decision %d tick = %d, want %d (oldest dropped first)", i, d.Tick, want)
+		}
+	}
+	newest := c.Decisions(2)
+	if len(newest) != 2 || newest[0].Tick != 9 || newest[1].Tick != 10 {
+		t.Fatalf("Decisions(2) = %+v, want ticks 9,10", newest)
+	}
+	var total uint64
+	for _, n := range c.DecisionCounts() {
+		total += n
+	}
+	if total != 10 {
+		t.Fatalf("counts survive wrap: total = %d, want 10", total)
+	}
+}
+
+func TestDecisionLogDisabled(t *testing.T) {
+	cfg := decisionConfig()
+	cfg.DecisionLog = -1
+	c := New(newFakeRuntime(100*time.Microsecond, PolicyFCFS), cfg)
+	for i := 0; i < 3; i++ {
+		c.Step(Signals{})
+	}
+	if decs := c.Decisions(0); len(decs) != 0 {
+		t.Fatalf("disabled log retained %d decisions", len(decs))
+	}
+	if counts := c.DecisionCounts(); counts[ActHold] != 3 {
+		t.Fatalf("per-action counts must accumulate without retention: %v", counts)
+	}
+}
+
+func TestDecisionStringAndDumpRoundTrip(t *testing.T) {
+	rt := newFakeRuntime(100*time.Microsecond, PolicyFCFS)
+	c := New(rt, decisionConfig())
+	c.Step(cvSignals(5))
+	c.Step(cvSignals(5))
+	c.Step(cvSignals(5)) // switch tick
+	c.Step(Signals{P999: 400 * time.Microsecond, ShortBurn: 3.5, Rate: 1200})
+
+	for _, d := range c.Decisions(0) {
+		line := d.String()
+		for _, key := range []string{"tick=", "action=", "policy=", "quantum_us=", "prev_quantum_us=", "cv=", "svc_n=", "p99_us=", "p999_us=", "burn_short=", "burn_long=", "rate="} {
+			if !strings.Contains(line, key) {
+				t.Fatalf("decision line missing %q: %q", key, line)
+			}
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := WriteDecisionDump(&buf, 50*time.Millisecond, c.Decisions(0)); err != nil {
+		t.Fatal(err)
+	}
+	var dump struct {
+		Schema     int     `json:"schema"`
+		IntervalMS float64 `json:"interval_ms"`
+		Decisions  []struct {
+			Tick      uint64  `json:"tick"`
+			Action    string  `json:"action"`
+			Policy    string  `json:"policy"`
+			QuantumUS float64 `json:"quantum_us"`
+			ShortBurn float64 `json:"burn_short"`
+			RateRPS   float64 `json:"rate_rps"`
+		} `json:"decisions"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &dump); err != nil {
+		t.Fatalf("dump is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if dump.Schema != 1 || dump.IntervalMS != 50 {
+		t.Fatalf("dump header = %+v", dump)
+	}
+	if len(dump.Decisions) != 4 {
+		t.Fatalf("dump has %d decisions, want 4", len(dump.Decisions))
+	}
+	if d := dump.Decisions[2]; d.Action != "switch_srpt" || d.Policy != PolicySRPT {
+		t.Fatalf("actions must serialize as names: %+v", d)
+	}
+	if d := dump.Decisions[3]; d.ShortBurn != 3.5 || d.RateRPS != 1200 {
+		t.Fatalf("inputs lost in dump: %+v", d)
+	}
+}
+
+func TestActionStrings(t *testing.T) {
+	for a := Action(0); a < NumActions; a++ {
+		if a.String() == "unknown" {
+			t.Fatalf("action %d has no name", a)
+		}
+	}
+	if Action(200).String() != "unknown" {
+		t.Fatal("out-of-range action should render unknown")
+	}
+}

@@ -183,14 +183,13 @@ func (s *Server) finish(writer int, t *task, resp Response) {
 	resp.Preemptions = t.preempts
 	resp.OnDispatcher = resp.OnDispatcher || t.onDispatcher
 	resp.Req = t.payload
+	end := time.Now()
+	resp.Done = end
+	resp.Latency = end.Sub(t.arrival)
 	if s.tr != nil {
-		end := time.Now()
-		resp.Latency = end.Sub(t.arrival)
 		resp.Breakdown = t.breakdown(end, resp.Latency)
 		kind, status := completionEvent(resp.Err)
 		s.tr.Record(writer, kind, t.id, status)
-	} else {
-		resp.Latency = time.Since(t.arrival)
 	}
 	if s.tail != nil {
 		s.tail.Observe(resp.Latency, resp.Err == nil)

@@ -64,6 +64,20 @@ func (s *Server) submit(payload any, ch chan Response, done func(Response)) {
 			}
 		}
 	}
+	if s.tr != nil {
+		// Wire-path attribution: the frontend stamped the request before
+		// it had an id, so record its events retroactively. Snapshot
+		// sorts by timestamp, so late recording is invisible downstream.
+		if nt, ok := payload.(NetTimed); ok {
+			if read, parsed := nt.NetTimes(); !read.IsZero() {
+				t.readTS = read
+				s.tr.RecordAt(obs.WriterNet, obs.EvFrameRead, t.id, 0, read)
+				if !parsed.IsZero() {
+					s.tr.RecordAt(obs.WriterNet, obs.EvParsed, t.id, 0, parsed)
+				}
+			}
+		}
+	}
 	s.submitMu.RLock()
 	if s.stopping {
 		s.submitMu.RUnlock()
@@ -74,7 +88,7 @@ func (s *Server) submit(payload any, ch chan Response, done func(Response)) {
 		if s.tail != nil {
 			s.tail.ObserveRejected()
 		}
-		t.deliver(Response{ID: t.id, Err: ErrServerStopped, Req: t.payload})
+		t.deliver(Response{ID: t.id, Err: ErrServerStopped, Req: t.payload, Done: time.Now()})
 		return
 	}
 	if testSubmitGate != nil {
@@ -95,7 +109,7 @@ func (s *Server) submit(payload any, ch chan Response, done func(Response)) {
 		if s.tail != nil {
 			s.tail.ObserveRejected()
 		}
-		t.deliver(Response{ID: t.id, Err: ErrQueueFull, Req: t.payload})
+		t.deliver(Response{ID: t.id, Err: ErrQueueFull, Req: t.payload, Done: time.Now()})
 	}
 }
 

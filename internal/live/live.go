@@ -230,6 +230,10 @@ type Response struct {
 	Req any
 	// Latency is the total time at the server (sojourn).
 	Latency time.Duration
+	// Done is when the response was finalized (the terminal lifecycle
+	// event). Connection layers use it to attribute egress time
+	// (completion → bytes flushed to the socket). Always set.
+	Done time.Time
 	// Preemptions counts how many times the request yielded.
 	Preemptions int
 	// OnDispatcher reports the request was executed by a
@@ -243,8 +247,13 @@ type Response struct {
 // Breakdown decomposes one request's sojourn into the paper's Table-1
 // components. Handoff + Queue + Service + Preempted == Latency by
 // construction (Preempted absorbs the remainder: requeue gaps plus
-// scheduling jitter between timestamps).
+// scheduling jitter between timestamps). Ingress sits in front of that
+// identity: it precedes the submit that Latency is measured from.
 type Breakdown struct {
+	// Ingress is wire read → submit: the network frontend's decode and
+	// pipelined submit-path time. Zero unless the payload implements
+	// NetTimed and the server runs with a Tracer.
+	Ingress time.Duration
 	// Handoff is submit → dispatcher ingest (notification cost).
 	Handoff time.Duration
 	// Queue is ingest → first time on a CPU (central + JBSQ queueing).

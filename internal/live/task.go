@@ -41,6 +41,17 @@ type Classed interface {
 	SchedClass() int
 }
 
+// NetTimed is implemented by payloads that crossed a network frontend
+// before Submit. When the server runs with a Tracer, Submit records the
+// wire timestamps retroactively as EvFrameRead/EvParsed events (writer
+// obs.WriterNet) and the response Breakdown gains the Ingress
+// component. Zero times mean the frontend did not stamp the request
+// (tracing off at the connection layer); the assertion is skipped
+// entirely on untraced servers.
+type NetTimed interface {
+	NetTimes() (read, parsed time.Time)
+}
+
 type parkEvent struct {
 	done bool
 	resp Response
@@ -90,6 +101,7 @@ type task struct {
 	firstRunTS time.Time // first CPU hand-off
 	runStart   time.Time // current running interval's start
 	runNS      int64     // accumulated running time
+	readTS     time.Time // wire read (NetTimed payloads on traced servers)
 }
 
 // deliver hands the task's single response to its owner: the callback
@@ -170,6 +182,11 @@ type runInfo struct {
 // four components always sum exactly to total.
 func (t *task) breakdown(end time.Time, total time.Duration) *Breakdown {
 	b := &Breakdown{}
+	if !t.readTS.IsZero() {
+		if ing := t.arrival.Sub(t.readTS); ing > 0 {
+			b.Ingress = ing
+		}
+	}
 	if !t.enqueueTS.IsZero() {
 		b.Handoff = t.enqueueTS.Sub(t.arrival)
 		if !t.firstRunTS.IsZero() {

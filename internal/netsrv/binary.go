@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"concord/internal/live"
+	"concord/internal/obs"
 	"concord/internal/proto"
 )
 
@@ -63,6 +64,9 @@ func (s *Server) serveBinary(conn net.Conn, first []byte) {
 		s.framesIn.Add(1)
 		r := s.getReq()
 		r.Op, r.ID, r.Key, r.Val, r.frame = f.Op, f.ID, f.Key, f.Val, f
+		if s.tr != nil {
+			r.readTS = time.Now()
+		}
 		fl.inflight.Add(1)
 		if !r.decodeOp() {
 			// Unknown opcode or undecodable body: the frame was
@@ -72,6 +76,9 @@ func (s *Server) serveBinary(conn net.Conn, first []byte) {
 			r.Status = proto.StBadRequest
 			fl.enqueue(r)
 			continue
+		}
+		if s.tr != nil {
+			r.parsedTS = time.Now()
 		}
 		s.pipeline.Add(1)
 		s.rt.SubmitFunc(r, fl.completeFn)
@@ -117,6 +124,7 @@ type flusher struct {
 // section plus a non-blocking channel nudge.
 func (fl *flusher) complete(resp live.Response) {
 	r := resp.Req.(*Request)
+	r.liveID, r.doneTS = resp.ID, resp.Done
 	if resp.Err != nil {
 		r.Status, r.errMsg = statusForErr(resp.Err)
 		r.Out, r.Count = nil, 0
@@ -129,6 +137,11 @@ func (fl *flusher) complete(resp live.Response) {
 }
 
 func (fl *flusher) enqueue(r *Request) {
+	// liveID == 0 marks synthetic responses (TOOLARGE, bad frames) that
+	// never entered the runtime: no lifecycle to attribute flushes to.
+	if tr := fl.s.tr; tr != nil && r.liveID != 0 {
+		tr.Record(obs.WriterNet, obs.EvFlushQueued, r.liveID, 0)
+	}
 	fl.mu.Lock()
 	fl.pending = append(fl.pending, r)
 	fl.mu.Unlock()
@@ -171,9 +184,9 @@ func (fl *flusher) flush() {
 	wbuf := fl.wbuf[:0]
 	for _, r := range batch {
 		wbuf = r.appendResp(wbuf)
-		fl.s.putReq(r) // releases the frame buffer the encode just drained
 	}
 	fl.wbuf = wbuf
+	wrote := false
 	if !fl.broken {
 		if wt := fl.s.opts.WriteTimeout; wt > 0 {
 			fl.conn.SetWriteDeadline(time.Now().Add(wt))
@@ -183,13 +196,32 @@ func (fl *flusher) flush() {
 			// still owed have nowhere to go; keep consuming completions
 			// so their buffers recycle and the reader's inflight drains.
 			fl.broken = true
+		} else {
+			wrote = true
 		}
 	}
 	fl.s.flushes.Add(1)
 	fl.s.framesOut.Add(uint64(len(batch)))
 	fl.s.flushBatch.ObserveUS(float64(len(batch)))
+	if tr, obsEg := fl.s.tr, fl.s.opts.ObserveEgress; wrote && (tr != nil || obsEg != nil) {
+		// One clock read covers the whole batch: every response in it
+		// reached the socket in the same write.
+		now := time.Now()
+		for _, r := range batch {
+			if r.liveID == 0 {
+				continue // synthetic response: never entered the runtime
+			}
+			if tr != nil {
+				tr.RecordAt(obs.WriterNet, obs.EvFlushed, r.liveID, int64(len(batch)), now)
+			}
+			if obsEg != nil && !r.doneTS.IsZero() {
+				obsEg(r.Op, now.Sub(r.doneTS))
+			}
+		}
+	}
 	n := len(batch)
 	for i := range batch {
+		fl.s.putReq(batch[i]) // releases the frame buffer the encode drained
 		batch[i] = nil
 	}
 	fl.spare = batch[:0]

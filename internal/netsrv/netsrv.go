@@ -31,6 +31,7 @@ import (
 	"time"
 
 	"concord/internal/live"
+	"concord/internal/obs"
 	"concord/internal/proto"
 	"concord/internal/trace"
 )
@@ -60,6 +61,19 @@ type Options struct {
 	// Trailer, when non-nil, renders the |OBS breakdown trailer
 	// appended to text responses while the connection has OBS ON.
 	Trailer func(resp live.Response) string
+	// Tracer, when non-nil, extends lifecycle tracing across the wire
+	// path: requests are stamped at frame read and parse (recorded as
+	// EvFrameRead/EvParsed at Submit — Request implements live.NetTimed)
+	// and the flushers record EvFlushQueued/EvFlushed under the
+	// obs.WriterNet ring. It must be the same tracer the live.Server
+	// runs with, or the events won't merge into one stream. When nil,
+	// every wire instrumentation point is a single nil-check branch.
+	Tracer *obs.Tracer
+	// ObserveEgress, when non-nil, receives every flushed data
+	// response's egress latency (completion → bytes written to the
+	// socket), for per-op histograms. Responses on broken connections
+	// are never flushed and are not observed.
+	ObserveEgress func(op byte, egress time.Duration)
 }
 
 func (o Options) withDefaults() Options {
@@ -89,6 +103,11 @@ type Server struct {
 	rt   *live.Server
 	opts Options
 
+	// tr is Options.Tracer as a concrete field so the disabled path is
+	// one nil-check branch per wire event site (same contract as
+	// live.Server.tr).
+	tr *obs.Tracer
+
 	bufPool *proto.Pool
 	reqPool sync.Pool
 
@@ -115,6 +134,7 @@ func New(rt *live.Server, opts Options) *Server {
 	s := &Server{
 		rt:      rt,
 		opts:    opts,
+		tr:      opts.Tracer,
 		bufPool: proto.NewPool(opts.BufSize),
 		open:    make(map[net.Conn]struct{}),
 	}

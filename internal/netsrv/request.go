@@ -37,6 +37,19 @@ type Request struct {
 	// frame pins the pooled read buffer Key/Val alias in binary mode;
 	// released when the response is encoded.
 	frame proto.Frame
+
+	// Wire-path observability, stamped only when the server traces
+	// (Options.Tracer set); zero otherwise.
+	readTS   time.Time // frame (or line) read off the socket
+	parsedTS time.Time // decoded into this Request
+	liveID   uint64    // runtime request id, for flush-event attribution
+	doneTS   time.Time // completion timestamp (live.Response.Done)
+}
+
+// NetTimes implements live.NetTimed: the runtime records the wire
+// timestamps retroactively at Submit, once the request has an id.
+func (r *Request) NetTimes() (read, parsed time.Time) {
+	return r.readTS, r.parsedTS
 }
 
 // reset clears the request for reuse, releasing its frame if held.

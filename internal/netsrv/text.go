@@ -12,6 +12,7 @@ import (
 	"net"
 	"time"
 
+	"concord/internal/obs"
 	"concord/internal/proto"
 )
 
@@ -57,10 +58,16 @@ func (s *Server) serveText(conn net.Conn, first []byte) {
 			return
 		}
 		s.textLines.Add(1)
+		var readTS time.Time
+		if s.tr != nil {
+			readTS = time.Now()
+		}
 		req.reset()
 		switch perr := parseText(line, &req); {
 		case perr == nil:
-			// fall through to submit
+			if s.tr != nil {
+				req.readTS, req.parsedTS = readTS, time.Now()
+			}
 		case perr == errUnknownOp && s.opts.Control != nil && s.opts.Control(bw, string(line), &obsOn):
 			if !flushOut() {
 				return
@@ -84,8 +91,22 @@ func (s *Server) serveText(conn net.Conn, first []byte) {
 		if obsOn && s.opts.Trailer != nil {
 			out = append(out, s.opts.Trailer(resp)...)
 		}
+		if s.tr != nil {
+			s.tr.Record(obs.WriterNet, obs.EvFlushQueued, resp.ID, 0)
+		}
 		if !reply(out) {
 			return
+		}
+		// Lockstep mode flushes one response per reply; arg 1 mirrors the
+		// binary path's batch size.
+		if tr, obsEg := s.tr, s.opts.ObserveEgress; tr != nil || obsEg != nil {
+			now := time.Now()
+			if tr != nil {
+				tr.RecordAt(obs.WriterNet, obs.EvFlushed, resp.ID, 1, now)
+			}
+			if obsEg != nil && !resp.Done.IsZero() {
+				obsEg(req.Op, now.Sub(resp.Done))
+			}
 		}
 	}
 }

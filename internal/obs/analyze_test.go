@@ -31,6 +31,89 @@ func preemptedLifecycle(req uint64) []Event {
 	}
 }
 
+// wireLifecycle is a full wire-to-wire request: frame read at 0, parsed
+// at 2, submitted at 3, enqueued at 13, started at 23, completed at 53,
+// flush-queued at 54, flushed (batch of 2) at 57.
+func wireLifecycle(req uint64) []Event {
+	return []Event{
+		evt(0, req, EvFrameRead, WriterNet, 0),
+		evt(2, req, EvParsed, WriterNet, 0),
+		evt(3, req, EvSubmit, WriterClient, 0),
+		evt(13, req, EvEnqueueCentral, WriterDispatcher, 0),
+		evt(15, req, EvDispatch, WriterDispatcher, 0),
+		evt(23, req, EvStart, 0, 1),
+		evt(53, req, EvComplete, 0, StatusOK),
+		evt(54, req, EvFlushQueued, WriterNet, 0),
+		evt(57, req, EvFlushed, WriterNet, 2),
+	}
+}
+
+// TestAnalyzeWirePhases: with the net events present the breakdown
+// gains ingress (frame read → submit) and egress (complete → flushed)
+// and the six components still partition the total exactly — the
+// telescoping identity the -breakdown e2e check rests on.
+func TestAnalyzeWirePhases(t *testing.T) {
+	bs := Analyze(wireLifecycle(11))
+	if len(bs) != 1 {
+		t.Fatalf("got %d breakdowns, want 1", len(bs))
+	}
+	b := bs[0]
+	if b.Partial {
+		t.Fatalf("frame-read-first lifecycle marked partial: %+v", b)
+	}
+	if b.IngressUS != 3 {
+		t.Fatalf("ingress = %v, want 3 (frame-read→submit)", b.IngressUS)
+	}
+	if b.HandoffUS != 10 {
+		t.Fatalf("handoff = %v, want 10 (submit→enqueue, not frame→enqueue)", b.HandoffUS)
+	}
+	if b.QueueUS != 10 || b.ServiceUS != 30 || b.PreemptedUS != 0 {
+		t.Fatalf("scheduler components = %+v", b)
+	}
+	if b.EgressUS != 4 {
+		t.Fatalf("egress = %v, want 4 (complete→flushed)", b.EgressUS)
+	}
+	if b.TotalUS() != 57 {
+		t.Fatalf("total = %v, want 57 (frame-read→flushed)", b.TotalUS())
+	}
+	if math.Abs(b.SumUS()-b.TotalUS()) > 1e-9 {
+		t.Fatalf("components sum %v != total %v", b.SumUS(), b.TotalUS())
+	}
+	if b.OutcomeString() != "ok" {
+		t.Fatalf("outcome = %q", b.OutcomeString())
+	}
+}
+
+// TestAnalyzeEgressOnPreempted: flush events appended to a preempted
+// lifecycle extend the total to the flush timestamp without disturbing
+// the scheduler components, and the partition stays exact.
+func TestAnalyzeEgressOnPreempted(t *testing.T) {
+	evs := append(preemptedLifecycle(9),
+		evt(81, 9, EvFlushQueued, WriterNet, 0),
+		evt(83, 9, EvFlushed, WriterNet, 1),
+	)
+	bs := Analyze(evs)
+	if len(bs) != 1 {
+		t.Fatalf("got %d breakdowns, want 1", len(bs))
+	}
+	b := bs[0]
+	if b.IngressUS != 0 {
+		t.Fatalf("ingress = %v, want 0 (no frame-read event)", b.IngressUS)
+	}
+	if b.EgressUS != 3 {
+		t.Fatalf("egress = %v, want 3 (complete@80→flushed@83)", b.EgressUS)
+	}
+	if b.HandoffUS != 10 || b.QueueUS != 10 || b.ServiceUS != 50 || b.PreemptedUS != 10 {
+		t.Fatalf("scheduler components disturbed by flush events: %+v", b)
+	}
+	if b.TotalUS() != 83 {
+		t.Fatalf("total = %v, want 83 (submit→flushed)", b.TotalUS())
+	}
+	if math.Abs(b.SumUS()-b.TotalUS()) > 1e-9 {
+		t.Fatalf("components sum %v != total %v", b.SumUS(), b.TotalUS())
+	}
+}
+
 func TestAnalyzePreemptedRequest(t *testing.T) {
 	bs := Analyze(preemptedLifecycle(42))
 	if len(bs) != 1 {

@@ -16,14 +16,16 @@ import (
 const shardTIDBase = 1 << 16
 
 // tid maps a writer id onto a stable Chrome thread id: clients/ingress
-// on 0, the shard-0 dispatcher on 1, worker w on 2+w, and dispatcher
-// shard s ≥ 1 on shardTIDBase+s.
+// on 0, the shard-0 dispatcher on 1, worker w on 2+w, dispatcher shard
+// s ≥ 1 on shardTIDBase+s, and the network frontend on 2*shardTIDBase.
 func tid(writer int) int {
 	switch {
 	case writer == WriterClient:
 		return 0
 	case writer == WriterDispatcher:
 		return 1
+	case writer == WriterNet:
+		return 2 * shardTIDBase
 	case writer <= -3:
 		return shardTIDBase + dispatcherShard(writer)
 	default:
@@ -37,6 +39,8 @@ func tidName(writer int) string {
 		return "clients"
 	case writer == WriterDispatcher:
 		return "dispatcher"
+	case writer == WriterNet:
+		return "net"
 	case writer <= -3:
 		return fmt.Sprintf("dispatcher %d", dispatcherShard(writer))
 	default:
@@ -81,7 +85,7 @@ func WriteChromeTrace(w io.Writer, events []Event) error {
 	for _, e := range events {
 		seen[e.Ring] = true
 	}
-	for _, writer := range []int{WriterClient, WriterDispatcher} {
+	for _, writer := range []int{WriterClient, WriterDispatcher, WriterNet} {
 		if seen[writer] {
 			out = append(out, metaThread(writer))
 			delete(seen, writer)
@@ -176,8 +180,8 @@ func WriteTimelines(w io.Writer, events []Event, n int) int {
 		if b.Partial {
 			partial = " partial"
 		}
-		fmt.Fprintf(w, "REQ %d %s%s total=%.1fus handoff=%.1fus queue=%.1fus service=%.1fus preempted=%.1fus preempts=%d\n",
-			b.Req, b.OutcomeString(), partial, b.TotalUS(), b.HandoffUS, b.QueueUS, b.ServiceUS, b.PreemptedUS, b.Preemptions)
+		fmt.Fprintf(w, "REQ %d %s%s total=%.1fus ingress=%.1fus handoff=%.1fus queue=%.1fus service=%.1fus preempted=%.1fus egress=%.1fus preempts=%d\n",
+			b.Req, b.OutcomeString(), partial, b.TotalUS(), b.IngressUS, b.HandoffUS, b.QueueUS, b.ServiceUS, b.PreemptedUS, b.EgressUS, b.Preemptions)
 		for _, e := range byReq[b.Req] {
 			fmt.Fprintf(w, "  +%.1fus %-15s %s arg=%d\n",
 				float64(e.TS-b.SubmitTS)/float64(time.Microsecond), e.Kind.String(), tidName(e.Ring), e.Arg)

@@ -7,6 +7,7 @@ import (
 	"os"
 	"path/filepath"
 	"testing"
+	"time"
 )
 
 var updateGolden = flag.Bool("update", false, "rewrite golden files")
@@ -19,6 +20,12 @@ func TestChromeTraceGolden(t *testing.T) {
 		evt(90, 43, EvSubmit, WriterClient, 0),
 		evt(95, 43, EvReject, WriterClient, StatusQueueFull),
 	)
+	// A wire-to-wire request exercises the net lane (frame read, parse,
+	// flush events on the net thread) in the same export.
+	for _, e := range wireLifecycle(44) {
+		e.TS += 100 * time.Microsecond
+		events = append(events, e)
+	}
 	var buf bytes.Buffer
 	if err := WriteChromeTrace(&buf, events); err != nil {
 		t.Fatal(err)

@@ -1,0 +1,88 @@
+package obs
+
+import (
+	"math"
+	"runtime"
+	rtm "runtime/metrics"
+	"strings"
+	"testing"
+)
+
+// TestRegisterGoRuntime: the health families register and scrape to
+// plausible values — at least one goroutine is alive (this test's), and
+// GOMAXPROCS is at least 1.
+func TestRegisterGoRuntime(t *testing.T) {
+	m := &Metrics{}
+	RegisterGoRuntime(m)
+	var sb strings.Builder
+	m.WritePrometheus(&sb)
+	out := sb.String()
+	for _, family := range []string{
+		"concord_go_goroutines", "concord_go_gomaxprocs",
+		"concord_go_heap_live_bytes", "concord_go_heap_goal_bytes",
+		"concord_go_gc_cycles_total",
+		"concord_go_gc_pause_us", "concord_go_sched_latency_us",
+	} {
+		if !strings.Contains(out, "# TYPE "+family+" ") {
+			t.Errorf("/metrics missing %q:\n%s", family, out)
+		}
+	}
+	for _, series := range []string{
+		`concord_go_gc_pause_us{quantile="0.5"}`,
+		`concord_go_gc_pause_us{quantile="0.99"}`,
+		`concord_go_sched_latency_us{quantile="0.5"}`,
+	} {
+		if !strings.Contains(out, series) {
+			t.Errorf("/metrics missing quantile series %q", series)
+		}
+	}
+	if v := sampleScalar("/sched/goroutines:goroutines")(); v < 1 {
+		t.Errorf("goroutines = %v, want >= 1", v)
+	}
+	if v := sampleScalar("/sched/gomaxprocs:threads")(); v < 1 {
+		t.Errorf("gomaxprocs = %v, want >= 1", v)
+	}
+}
+
+// TestRegisterBuildInfo: the gauge carries a goversion label matching
+// the running toolchain and reads 1.
+func TestRegisterBuildInfo(t *testing.T) {
+	m := &Metrics{}
+	RegisterBuildInfo(m)
+	var sb strings.Builder
+	m.WritePrometheus(&sb)
+	out := sb.String()
+	if !strings.Contains(out, "# TYPE concord_build_info gauge") {
+		t.Fatalf("build info family missing:\n%s", out)
+	}
+	if !strings.Contains(out, `goversion="`+runtime.Version()+`"`) {
+		t.Fatalf("goversion label missing:\n%s", out)
+	}
+	if !strings.Contains(out, "} 1\n") {
+		t.Fatalf("build info gauge must read 1:\n%s", out)
+	}
+}
+
+// TestHistQuantileSeconds: bucket-upper-bound approximation with
+// explicit Counts/Buckets, including the ±Inf edge buckets runtime
+// histograms carry.
+func TestHistQuantileSeconds(t *testing.T) {
+	h := &rtm.Float64Histogram{
+		// Bucket spans: [-Inf,1e-6) [1e-6,1e-5) [1e-5,1e-4) [1e-4,+Inf)
+		Counts:  []uint64{10, 80, 9, 1},
+		Buckets: []float64{math.Inf(-1), 1e-6, 1e-5, 1e-4, math.Inf(1)},
+	}
+	if got := histQuantileSeconds(h, 0.5); got != 1e-5 {
+		t.Errorf("p50 = %v, want 1e-5 (upper bound of the median bucket)", got)
+	}
+	if got := histQuantileSeconds(h, 0.99); got != 1e-4 {
+		t.Errorf("p99 = %v, want 1e-4 (lower bound of the +Inf bucket)", got)
+	}
+	if got := histQuantileSeconds(h, 0.0); got != 1e-6 {
+		t.Errorf("p0 = %v, want 1e-6", got)
+	}
+	empty := &rtm.Float64Histogram{Counts: []uint64{0}, Buckets: []float64{0, 1}}
+	if got := histQuantileSeconds(empty, 0.5); got != 0 {
+		t.Errorf("empty histogram quantile = %v, want 0", got)
+	}
+}

@@ -46,6 +46,15 @@ const (
 	EvAbort                          // completed with ErrServerStopped
 	EvComplete                       // completed normally (arg: Status*)
 
+	// Wire-path events recorded by the network frontend (writer
+	// WriterNet). FrameRead/Parsed are stamped before the request has a
+	// runtime id, so the frontend carries the timestamps on the request
+	// and the runtime records them retroactively at Submit (RecordAt).
+	EvFrameRead   // frame (or text line) read off the socket
+	EvParsed      // frame decoded into a request
+	EvFlushQueued // completion handed to the connection flusher
+	EvFlushed     // response bytes written to the socket (arg: batch size)
+
 	kindMax
 )
 
@@ -62,6 +71,10 @@ var kindNames = [kindMax]string{
 	EvExpire:         "expire",
 	EvAbort:          "abort",
 	EvComplete:       "complete",
+	EvFrameRead:      "frame-read",
+	EvParsed:         "parsed",
+	EvFlushQueued:    "flush-queued",
+	EvFlushed:        "flushed",
 }
 
 func (k Kind) String() string {
@@ -90,9 +103,12 @@ const (
 )
 
 // Writer ids for the non-worker rings. Worker w writes ring w.
+// WriterNet sits far outside the dispatcher-shard id space -(s+2), which
+// grows downward from -3.
 const (
 	WriterDispatcher = -1
 	WriterClient     = -2
+	WriterNet        = -(1 << 20) // network frontend (reader loops + flushers)
 )
 
 // DispatcherWriter returns the writer id for dispatcher shard s. Shard
@@ -112,7 +128,7 @@ func dispatcherShard(writer int) int {
 	switch {
 	case writer == WriterDispatcher:
 		return 0
-	case writer <= -3:
+	case writer <= -3 && writer != WriterNet:
 		return -writer - 2
 	}
 	return -1
@@ -164,7 +180,7 @@ type Tracer struct {
 	epoch   time.Time
 	workers int
 	shards  int
-	rings   []*ring // workers, then one per dispatcher shard, then client/ingress
+	rings   []*ring // workers, then one per dispatcher shard, then client, then net
 }
 
 // NewTracer builds a tracer for a single-dispatcher server with the
@@ -192,7 +208,7 @@ func NewTracerSharded(workers, shards, ringSize int) *Tracer {
 		size <<= 1
 	}
 	t := &Tracer{epoch: time.Now(), workers: workers, shards: shards}
-	t.rings = make([]*ring, workers+shards+1)
+	t.rings = make([]*ring, workers+shards+2)
 	for i := range t.rings {
 		t.rings[i] = &ring{slots: make([]slot, size)}
 	}
@@ -210,8 +226,11 @@ func (t *Tracer) ringFor(writer int) *ring {
 	if writer >= 0 {
 		return t.rings[writer]
 	}
-	if writer == WriterClient {
+	switch writer {
+	case WriterClient:
 		return t.rings[t.workers+t.shards]
+	case WriterNet:
+		return t.rings[t.workers+t.shards+1]
 	}
 	return t.rings[t.workers+dispatcherShard(writer)]
 }
@@ -222,6 +241,15 @@ func (t *Tracer) Record(writer int, kind Kind, req uint64, arg int64) {
 	t.ringFor(writer).record(int64(time.Since(t.epoch)), kind, req, arg)
 }
 
+// RecordAt is Record with an explicit wall-clock timestamp, for events
+// observed before the request had a runtime id (the network frontend
+// stamps frame-read/parse times on the request and the runtime records
+// them retroactively at Submit). Snapshot sorts by timestamp, so
+// out-of-order recording is fine.
+func (t *Tracer) RecordAt(writer int, kind Kind, req uint64, arg int64, at time.Time) {
+	t.ringFor(writer).record(int64(at.Sub(t.epoch)), kind, req, arg)
+}
+
 // Snapshot copies every currently valid event out of every ring and
 // returns them merged in timestamp order. It is safe to call while
 // writers are active; events overwritten mid-copy are dropped.
@@ -230,6 +258,8 @@ func (t *Tracer) Snapshot() []Event {
 	for ri, r := range t.rings {
 		writer := ri
 		switch {
+		case ri == t.workers+t.shards+1:
+			writer = WriterNet
 		case ri == t.workers+t.shards:
 			writer = WriterClient
 		case ri >= t.workers:

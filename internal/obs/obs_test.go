@@ -140,6 +140,74 @@ func TestConcurrentWritersSnapshot(t *testing.T) {
 	}
 }
 
+// TestNetWriterRoundTrip: the net frontend has its own ring behind the
+// client ring; the wire event kinds survive the seqlock round trip and
+// never leak into the client, worker, or shard-dispatcher rings.
+func TestNetWriterRoundTrip(t *testing.T) {
+	tr := NewTracerSharded(2, 2, 64)
+	tr.Record(WriterNet, EvFrameRead, 7, 0)
+	tr.Record(WriterNet, EvParsed, 7, 0)
+	tr.Record(WriterNet, EvFlushQueued, 7, 0)
+	tr.Record(WriterNet, EvFlushed, 7, 3)
+	tr.Record(WriterClient, EvSubmit, 7, 0)
+	tr.Record(DispatcherWriter(1), EvDispatch, 7, 0)
+	tr.Record(1, EvStart, 7, 1)
+	byRing := map[int][]Event{}
+	for _, e := range tr.Snapshot() {
+		byRing[e.Ring] = append(byRing[e.Ring], e)
+	}
+	net := byRing[WriterNet]
+	if len(net) != 4 {
+		t.Fatalf("net ring events = %+v", net)
+	}
+	wantKinds := []Kind{EvFrameRead, EvParsed, EvFlushQueued, EvFlushed}
+	for i, e := range net {
+		if e.Kind != wantKinds[i] || e.Req != 7 {
+			t.Fatalf("net event %d = %+v, want kind %v", i, e, wantKinds[i])
+		}
+	}
+	if net[3].Arg != 3 {
+		t.Fatalf("flushed batch-size arg = %d, want 3", net[3].Arg)
+	}
+	if len(byRing[WriterClient]) != 1 || len(byRing[DispatcherWriter(1)]) != 1 || len(byRing[1]) != 1 {
+		t.Fatalf("net events polluted other rings: %+v", byRing)
+	}
+}
+
+// TestRecordAtRetroactive: RecordAt stamps the caller's timestamp, so a
+// frame-read recorded late (at Submit, once the request has an id)
+// still sorts before events that happened after it on the wall clock.
+func TestRecordAtRetroactive(t *testing.T) {
+	tr := NewTracer(1, 64)
+	readAt := time.Now()
+	time.Sleep(time.Millisecond)
+	tr.Record(WriterClient, EvSubmit, 5, 0)           // later wall time
+	tr.RecordAt(WriterNet, EvFrameRead, 5, 0, readAt) // recorded last, happened first
+	evs := tr.Snapshot()
+	if len(evs) != 2 {
+		t.Fatalf("got %d events, want 2", len(evs))
+	}
+	if evs[0].Kind != EvFrameRead || evs[1].Kind != EvSubmit {
+		t.Fatalf("retroactive event did not sort by its stamped time: %+v", evs)
+	}
+	if d := evs[1].TS - evs[0].TS; d < time.Millisecond/2 {
+		t.Fatalf("stamped gap = %v, want ≈1ms", d)
+	}
+}
+
+// TestNetWriterDistinct: the net writer id must never collide with a
+// shard dispatcher's, and the shard decoder must not claim it.
+func TestNetWriterDistinct(t *testing.T) {
+	for s := 0; s < 1<<10; s++ {
+		if DispatcherWriter(s) == WriterNet {
+			t.Fatalf("DispatcherWriter(%d) collides with WriterNet", s)
+		}
+	}
+	if got := dispatcherShard(WriterNet); got != -1 {
+		t.Fatalf("dispatcherShard(WriterNet) = %d, want -1", got)
+	}
+}
+
 func TestDispatcherWriterRoundTrip(t *testing.T) {
 	seen := map[int]bool{}
 	for s := 0; s < 8; s++ {

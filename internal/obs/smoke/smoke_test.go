@@ -32,10 +32,11 @@ func TestObsSmoke(t *testing.T) {
 	}
 
 	traceJSON := filepath.Join(dir, "trace.json")
+	decJSON := filepath.Join(dir, "decisions.json")
 	srv := exec.Command(kvd,
 		"-addr", "127.0.0.1:0", "-obs", "127.0.0.1:0",
 		"-workers", "2", "-quantum", "200us", "-keys", "2000", "-drain", "2s",
-		"-tracedump", traceJSON)
+		"-adaptive", "-tracedump", traceJSON, "-decisiondump", decJSON)
 	stderr, err := srv.StderrPipe()
 	if err != nil {
 		t.Fatal(err)
@@ -71,6 +72,38 @@ func TestObsSmoke(t *testing.T) {
 		if len(doc.TraceEvents) < 10 {
 			t.Errorf("tracedump has only %d events", len(doc.TraceEvents))
 		}
+		// The drain also wrote the adaptive controller's decision log;
+		// it must parse and carry at least one tick from the run.
+		decRaw, err := os.ReadFile(decJSON)
+		if err != nil {
+			t.Errorf("decisiondump missing: %v", err)
+			return
+		}
+		var dump struct {
+			Schema     int     `json:"schema"`
+			IntervalMS float64 `json:"interval_ms"`
+			Decisions  []struct {
+				Tick   uint64 `json:"tick"`
+				Action string `json:"action"`
+				Policy string `json:"policy"`
+			} `json:"decisions"`
+		}
+		if err := json.Unmarshal(decRaw, &dump); err != nil {
+			t.Errorf("decisiondump is not valid JSON: %v\n%s", err, decRaw)
+			return
+		}
+		if dump.Schema != 1 || dump.IntervalMS <= 0 {
+			t.Errorf("decisiondump header = schema %d interval %v", dump.Schema, dump.IntervalMS)
+		}
+		if len(dump.Decisions) == 0 {
+			t.Error("decisiondump recorded no controller ticks")
+		}
+		for _, d := range dump.Decisions {
+			if d.Tick == 0 || d.Action == "" || d.Policy == "" {
+				t.Errorf("decisiondump entry incomplete: %+v", d)
+				break
+			}
+		}
 	}()
 
 	// The server logs its chosen addresses; -addr/-obs use port 0.
@@ -85,10 +118,26 @@ func TestObsSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatalf("concord-load: %v\n%s", err, loadOut)
 	}
-	for _, want := range []string{"component breakdown", "queueing", "service", "p99.9"} {
+	for _, want := range []string{
+		"component breakdown", "queueing", "service", "p99.9",
+		"ingress", "egress", "client-vs-server latency gap",
+	} {
 		if !strings.Contains(string(loadOut), want) {
 			t.Fatalf("load report missing %q:\n%s", want, loadOut)
 		}
+	}
+
+	// A pipelined binary phase exercises the frame decoder and the
+	// batched flusher — the paths the net-phase tracing instruments.
+	binOut, err := exec.Command(load,
+		"-addr", kvAddr, "-rate", "2000", "-duration", "2s",
+		"-conns", "4", "-proto", "binary", "-pipeline", "8",
+		"-mix", "get", "-keys", "2000").CombinedOutput()
+	if err != nil {
+		t.Fatalf("concord-load binary: %v\n%s", err, binOut)
+	}
+	if !strings.Contains(string(binOut), "p99.9") {
+		t.Fatalf("binary load report missing latency table:\n%s", binOut)
 	}
 
 	// Scrape the metrics endpoint.
@@ -97,7 +146,16 @@ func TestObsSmoke(t *testing.T) {
 		"concord_submitted_total", "concord_completed_total",
 		"concord_queue_depth", "concord_worker_occupancy",
 		`concord_request_us_bucket{op="get",component="service",le="`,
+		`concord_request_us_bucket{op="get",component="ingress",le="`,
+		`concord_request_us_bucket{op="get",component="egress",le="`,
 		"_sum", "_count",
+		// Runtime health surface and build identity.
+		"concord_go_goroutines", "concord_go_heap_live_bytes",
+		"concord_go_gc_cycles_total", `concord_go_gc_pause_us{quantile="0.99"}`,
+		"concord_build_info",
+		// Flush-batch distribution and control-plane decision counters.
+		`concord_net_flush_batch_quantile{quantile="p99"}`,
+		`concord_adapt_decisions_total{action="hold"}`,
 	} {
 		if !strings.Contains(body, want) {
 			t.Fatalf("/metrics missing %q; got:\n%.2000s", want, body)
@@ -106,6 +164,10 @@ func TestObsSmoke(t *testing.T) {
 	// pprof must be mounted on the same listener.
 	if pprof := httpGet(t, "http://"+obsAddr+"/debug/pprof/cmdline"); !strings.Contains(pprof, "concord-kvd") {
 		t.Fatalf("pprof cmdline = %q", pprof)
+	}
+	// Readiness: the server is serving, so /healthz answers ok.
+	if hz := httpGet(t, "http://"+obsAddr+"/healthz"); strings.TrimSpace(hz) != "ok" {
+		t.Fatalf("/healthz = %q, want ok", hz)
 	}
 
 	// Text protocol: STATS depths, OBS trailers, and TRACE timelines.
@@ -130,8 +192,21 @@ func TestObsSmoke(t *testing.T) {
 	if got := ask("OBS ON"); got != "OK" {
 		t.Fatalf("OBS ON = %q", got)
 	}
-	if got := ask("GET key00000001"); !strings.Contains(got, "|OBS ") || !strings.Contains(got, "s=") {
+	got := ask("GET key00000001")
+	cut := strings.Index(got, "|OBS ")
+	if cut < 0 {
 		t.Fatalf("breakdown trailer missing: %q", got)
+	}
+	var h, q, s, p, in, eg float64
+	var n, d int
+	if _, err := fmt.Sscanf(got[cut:], "|OBS h=%f q=%f s=%f p=%f i=%f e=%f n=%d d=%d",
+		&h, &q, &s, &p, &in, &eg, &n, &d); err != nil {
+		t.Fatalf("trailer did not parse: %q: %v", got, err)
+	}
+	// The net phases must be live, not zero-stubbed: the frame was read
+	// off a real socket and the response accrued egress before render.
+	if in <= 0 || eg <= 0 {
+		t.Fatalf("net-phase trailer values must be non-zero: i=%v e=%v in %q", in, eg, got)
 	}
 	fmt.Fprintf(rw, "TRACE 5\n")
 	rw.Flush()
@@ -154,12 +229,34 @@ func TestObsSmoke(t *testing.T) {
 			t.Fatalf("TRACE output missing %q:\n%s", want, joined)
 		}
 	}
+
+	// DECISIONS streams the controller's recent ticks the same way.
+	fmt.Fprintf(rw, "DECISIONS 5\n")
+	rw.Flush()
+	var decLines []string
+	for {
+		line, err := rw.ReadString('\n')
+		if err != nil {
+			t.Fatalf("DECISIONS read: %v", err)
+		}
+		line = strings.TrimSpace(line)
+		decLines = append(decLines, line)
+		if strings.HasPrefix(line, "END") {
+			break
+		}
+	}
+	decJoined := strings.Join(decLines, "\n")
+	for _, want := range []string{"tick=", "action=", "policy=", "quantum_us=", "END"} {
+		if !strings.Contains(decJoined, want) {
+			t.Fatalf("DECISIONS output missing %q:\n%s", want, decJoined)
+		}
+	}
 }
 
 func parseAddrs(t *testing.T, stderr io.Reader) (kvAddr, obsAddr string) {
 	t.Helper()
 	kvRe := regexp.MustCompile(`concord-kvd on ([^ ]+): \d+ workers`)
-	obsRe := regexp.MustCompile(`metrics\+pprof on ([^,]+),`)
+	obsRe := regexp.MustCompile(`metrics\+pprof\+healthz on ([^,]+),`)
 	sc := bufio.NewScanner(stderr)
 	deadline := time.After(10 * time.Second)
 	lines := make(chan string)

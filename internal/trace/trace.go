@@ -29,6 +29,8 @@ type Record struct {
 	QueueUS      float64
 	RunUS        float64 // measured service time
 	PreemptedUS  float64
+	IngressUS    float64 // frame read off the socket → runtime submit
+	EgressUS     float64 // completion → response flushed (client-side estimate)
 }
 
 // Slowdown returns SojournUS/ServiceUS, the paper's headline metric.
@@ -77,13 +79,13 @@ func (l *Log) Snapshot() []Record {
 // component columns hold server-measured breakdowns and are zero for
 // records without one (preempt_count then repeats preemptions).
 func (l *Log) WriteCSV(w io.Writer) error {
-	if _, err := io.WriteString(w, "class,service_us,sojourn_us,slowdown,preemptions,on_dispatcher,handoff_us,queueing_us,service_meas_us,preempted_us,preempt_count\n"); err != nil {
+	if _, err := io.WriteString(w, "class,service_us,sojourn_us,slowdown,preemptions,on_dispatcher,handoff_us,queueing_us,service_meas_us,preempted_us,preempt_count,ingress_us,egress_us\n"); err != nil {
 		return err
 	}
 	for _, r := range l.Snapshot() {
-		if _, err := fmt.Fprintf(w, "%s,%.3f,%.3f,%.3f,%d,%t,%.3f,%.3f,%.3f,%.3f,%d\n",
+		if _, err := fmt.Fprintf(w, "%s,%.3f,%.3f,%.3f,%d,%t,%.3f,%.3f,%.3f,%.3f,%d,%.3f,%.3f\n",
 			r.Class, r.ServiceUS, r.SojournUS, r.Slowdown(), r.Preemptions, r.OnDispatcher,
-			r.HandoffUS, r.QueueUS, r.RunUS, r.PreemptedUS, r.Preemptions); err != nil {
+			r.HandoffUS, r.QueueUS, r.RunUS, r.PreemptedUS, r.Preemptions, r.IngressUS, r.EgressUS); err != nil {
 			return err
 		}
 	}
