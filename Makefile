@@ -9,7 +9,7 @@ tier1:
 # measurement). Slower than tier1; run before merging changes to any of
 # these.
 race:
-	go test -race ./internal/runner ./internal/server ./internal/figures ./internal/live ./internal/trace ./internal/obs ./internal/adapt ./internal/bench ./internal/proto ./internal/netsrv
+	go test -race ./internal/runner ./internal/server ./internal/figures ./internal/live ./internal/trace ./internal/obs ./internal/adapt ./internal/shadow ./internal/bench ./internal/proto ./internal/netsrv
 
 vet:
 	go vet ./...
@@ -27,20 +27,23 @@ obs-smoke:
 	go test -tags obssmoke -run TestObsSmoke -v -timeout 120s ./internal/obs/smoke
 
 # Continuous benchmark harness: full run of the standardized scenario
-# suite, refreshing the checked-in BENCH_*.json baselines.
+# suite. Writes into the gitignored bench-out/ scratch directory; to
+# refresh the checked-in baselines, copy the BENCH_*.json you mean to
+# re-baseline to the repo root and commit them deliberately.
 bench-json:
-	go run ./cmd/concord-bench -reps 5 -warmup 1 -outdir .
+	go run ./cmd/concord-bench -reps 5 -warmup 1 -outdir bench-out
 
 # Short-rep suite run compared against the checked-in baselines on the
 # hermetic metrics only (deterministic simulator quantiles, allocation
 # counts — safe across machines). Exits non-zero on a regression beyond
 # the noise band; machine-bound movements print as advisory.
 bench-smoke:
-	go run ./cmd/concord-bench -short -scenarios core,live,live_sharded,live_adaptive -outdir bench-out
+	go run ./cmd/concord-bench -short -scenarios core,live,live_sharded,live_adaptive,live_regret -outdir bench-out
 	go run ./cmd/concord-bench -compare -hermetic BENCH_core.json bench-out/BENCH_core.json
 	go run ./cmd/concord-bench -compare -hermetic BENCH_live.json bench-out/BENCH_live.json
 	go run ./cmd/concord-bench -compare -hermetic BENCH_live_sharded.json bench-out/BENCH_live_sharded.json
 	go run ./cmd/concord-bench -compare -hermetic BENCH_live_adaptive.json bench-out/BENCH_live_adaptive.json
+	go run ./cmd/concord-bench -compare -hermetic BENCH_live_regret.json bench-out/BENCH_live_regret.json
 
 # Wire-protocol smoke: the live_net scenario over real loopback TCP
 # (text + pipelined binary, up to 10k connections), gated hermetically

@@ -105,6 +105,7 @@ import (
 	"concord/internal/netsrv"
 	"concord/internal/obs"
 	"concord/internal/proto"
+	"concord/internal/shadow"
 	"concord/internal/trace"
 )
 
@@ -136,6 +137,10 @@ func main() {
 		adaptMinQ  = flag.Duration("adapt-minq", 5*time.Microsecond, "adaptive quantum floor (needs -adaptive)")
 		adaptMaxQ  = flag.Duration("adapt-maxq", 500*time.Microsecond, "adaptive quantum ceiling (needs -adaptive)")
 		decDump    = flag.String("decisiondump", "", "on shutdown, write the adaptive controller's decision log as JSON to this file (needs -adaptive)")
+		shadowOn   = flag.Bool("shadow", false, "run the counterfactual shadow replayer: sample completed requests and periodically replay them through the deterministic simulator under fcfs, srpt-on-hints, and oracle-srpt, publishing per-policy regret (SHADOW verb, regret_* STATS fields, concord_regret_* metrics)")
+		shadowInt  = flag.Duration("shadow-interval", time.Second, "shadow replay period (needs -shadow)")
+		shadowRate = flag.Int("shadow-rate", 16, "capture 1 in N completed requests for shadow replay (needs -shadow)")
+		shadowDump = flag.String("shadowdump", "", "on shutdown, write the shadow replayer's window history as JSON to this file (needs -shadow)")
 	)
 	flag.Parse()
 
@@ -180,6 +185,18 @@ func main() {
 	if *obsAddr != "" {
 		tracer = obs.NewTracerSharded(*workers, effShards, *traceBuf)
 	}
+	// Per-class service-time sketches feed the svc_time/hint-error
+	// metric families and give the adaptive controller measured
+	// quantiles to derive class quanta from; any observer or control
+	// surface wants them.
+	var sketches *obs.ClassSketches
+	if *obsAddr != "" || *adaptive || *shadowOn {
+		sketches = obs.NewClassSketches(live.NumClasses)
+	}
+	var capRing *live.CaptureRing
+	if *shadowOn {
+		capRing = live.NewCaptureRing(4096, *shadowRate)
+	}
 	var cvEst *adapt.CVEstimator
 	liveOpts := live.Options{
 		Workers:        *workers,
@@ -192,6 +209,8 @@ func main() {
 		DrainTimeout:   *drain,
 		Tracer:         tracer,
 		Tail:           tail,
+		Sketches:       sketches,
+		Capture:        capRing,
 	}
 	if *adaptive {
 		cvEst = &adapt.CVEstimator{}
@@ -201,10 +220,23 @@ func main() {
 	srv := live.New(&netsrv.KVHandler{Store: store, ScanBatch: *scanStep}, liveOpts)
 	srv.Start()
 
+	var replayer *shadow.Replayer
+	if *shadowOn {
+		replayer = shadow.NewReplayer(capRing, shadow.Config{
+			Workers:        *workers,
+			QuantumUS:      float64(*quantum) / float64(time.Microsecond),
+			QueueBound:     *bound,
+			WorkConserving: *steal,
+		}, *shadowInt)
+		replayer.Start()
+		log.Printf("shadow replay: 1-in-%d capture, %v windows, policies %s",
+			*shadowRate, *shadowInt, strings.Join(shadow.Policies(), "/"))
+	}
+
 	var ctrl *adapt.Controller
 	var adaptStop chan struct{}
 	if *adaptive {
-		ctrl = adapt.New(srv, adapt.Config{
+		acfg := adapt.Config{
 			Interval:   *adaptEvery,
 			MinQuantum: *adaptMinQ,
 			MaxQuantum: *adaptMaxQ,
@@ -213,9 +245,20 @@ func main() {
 				live.ClassShort: 0.5, // point ops: preempt whatever delays them sooner
 				live.ClassLong:  4,   // scans: fewer, cheaper preemptions
 			},
-		})
+		}
+		if sketches != nil {
+			// Measured per-class p90 service times replace the static
+			// ratios once traffic has primed the sketches; ClassScales
+			// stays as the cold-start fallback.
+			acfg.ClassSvcNS = func() []float64 { return sketches.ServiceQuantilesNS(0.90) }
+		}
+		ctrl = adapt.New(srv, acfg)
 		adaptStop = make(chan struct{})
-		go ctrl.Run(adapt.Sources{Tail: tail, CV: cvEst}, adaptStop)
+		src := adapt.Sources{Tail: tail, CV: cvEst}
+		if replayer != nil {
+			src.Regret = func() float64 { return replayer.Latest().RegretRatio() }
+		}
+		go ctrl.Run(src, adaptStop)
 		log.Printf("adaptive control plane: interval %v, quantum bounds [%v, %v], slo target %v",
 			*adaptEvery, *adaptMinQ, *adaptMaxQ, *sloTarget)
 	}
@@ -228,7 +271,7 @@ func main() {
 	}
 	var ns *netsrv.Server
 	nopts.Control = func(out io.Writer, line string, obsOn *bool) bool {
-		return serveControl(out, line, srv, ns, ob, ctrl, obsOn)
+		return serveControl(out, line, srv, ns, ob, ctrl, sketches, replayer, obsOn)
 	}
 	if tracer != nil {
 		nopts.Observe = func(op byte, resp live.Response) { ob.observe(proto.OpString(op), resp) }
@@ -241,7 +284,7 @@ func main() {
 	// goes false the moment the drain begins, not after it completes.
 	var draining atomic.Bool
 	if tracer != nil {
-		ob = newKVObs(tracer, tail, ctrl, srv, ns, *workers, effShards)
+		ob = newKVObs(tracer, tail, ctrl, srv, ns, sketches, replayer, *workers, effShards)
 		obsLn, err := net.Listen("tcp", *obsAddr)
 		if err != nil {
 			log.Fatalf("obs listen: %v", err)
@@ -283,6 +326,9 @@ func main() {
 	if adaptStop != nil {
 		close(adaptStop) // stop steering before the drain begins
 	}
+	if replayer != nil {
+		replayer.Stop() // periodic loop off; the final window scores below
+	}
 	// Drain: complete every accepted request (bounded by -drain; late
 	// submissions answer STOPPED), then give connection readers a short
 	// grace window — requests already in flight from clients get a
@@ -307,6 +353,25 @@ func main() {
 			log.Fatalf("tracedump: %v", err)
 		}
 		log.Printf("tracedump: wrote %d events to %s (open in https://ui.perfetto.dev)", len(events), *traceDump)
+	}
+	if replayer != nil {
+		// Score whatever the capture ring still holds so short runs and
+		// the shutdown dump see at least one window.
+		replayer.ReplayOnce()
+		if *shadowDump != "" {
+			f, err := os.Create(*shadowDump)
+			if err != nil {
+				log.Fatalf("shadowdump: %v", err)
+			}
+			if err := replayer.WriteDump(f); err != nil {
+				log.Fatalf("shadowdump: %v", err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatalf("shadowdump: %v", err)
+			}
+			windows, skipped := replayer.Counts()
+			log.Printf("shadowdump: wrote %d windows (%d skipped) to %s", windows, skipped, *shadowDump)
+		}
 	}
 	if ctrl != nil && *decDump != "" {
 		f, err := os.Create(*decDump)
@@ -366,7 +431,11 @@ type opHists struct {
 	ingress, egress                           trace.Histogram // wire phases
 }
 
-func newKVObs(tracer *obs.Tracer, tail *obs.TailTracker, ctrl *adapt.Controller, srv *live.Server, ns *netsrv.Server, workers, shards int) *kvObs {
+// classNames labels the scheduling classes the kvd actually routes
+// (live.ClassDefault/Short/Long, in index order) on sketch metrics.
+var classNames = []string{"default", "short", "long"}
+
+func newKVObs(tracer *obs.Tracer, tail *obs.TailTracker, ctrl *adapt.Controller, srv *live.Server, ns *netsrv.Server, sketches *obs.ClassSketches, replayer *shadow.Replayer, workers, shards int) *kvObs {
 	ob := &kvObs{tracer: tracer, tail: tail, metrics: &obs.Metrics{}, perOp: map[string]*opHists{}}
 	m := ob.metrics
 	counter := func(name, help string, f func(live.Stats) uint64) {
@@ -504,6 +573,56 @@ func newKVObs(tracer *obs.Tracer, tail *obs.TailTracker, ctrl *adapt.Controller,
 				func() float64 { return float64(ctrl.DecisionCounts()[a]) })
 		}
 	}
+	if sketches != nil {
+		for class, name := range classNames {
+			class, name := class, name
+			for _, q := range []struct {
+				label string
+				q     float64
+			}{{"p50", 0.50}, {"p90", 0.90}, {"p99", 0.99}} {
+				q := q
+				m.RegisterGauge(
+					fmt.Sprintf(`concord_svc_time_us{class="%s",quantile="%s"}`, name, q.label),
+					"measured per-class service-time quantiles in microseconds (log-bucket sketch)",
+					func() float64 { return sketches.ServiceQuantileNS(class, q.q) / 1e3 })
+			}
+			m.RegisterCounter(fmt.Sprintf(`concord_svc_time_samples_total{class="%s"}`, name),
+				"service-time observations folded into each class sketch",
+				func() float64 { return float64(sketches.Service(class).Snapshot().Count) })
+			m.RegisterHistogram(fmt.Sprintf(`concord_hint_error{class="%s"}`, name),
+				"hint/actual service-time ratio x100 per class (100 = exact hint)",
+				sketches.HintError(class))
+		}
+	}
+	if replayer != nil {
+		for _, policy := range shadow.Policies() {
+			policy := policy
+			m.RegisterGauge(fmt.Sprintf(`concord_regret_p99_ratio{policy="%s"}`, policy),
+				"last shadow window: counterfactual p99 over achieved p99 per policy (<1 = that policy would have won)",
+				func() float64 { return replayer.Latest().PolicyRatio(policy) })
+			m.RegisterGauge(fmt.Sprintf(`concord_regret_best_policy{policy="%s"}`, policy),
+				"1 on the policy that won the last shadow window",
+				func() float64 {
+					if r := replayer.Latest(); r != nil && r.Best == policy {
+						return 1
+					}
+					return 0
+				})
+		}
+		m.RegisterGauge("concord_regret_ratio",
+			"last shadow window: achieved p99 over the best counterfactual p99 (1 = already optimal)",
+			func() float64 { return replayer.Latest().RegretRatio() })
+		m.RegisterCounter("concord_regret_windows_total", "shadow windows replayed",
+			func() float64 { w, _ := replayer.Counts(); return float64(w) })
+		m.RegisterCounter("concord_regret_skipped_total", "shadow windows skipped for too few samples",
+			func() float64 { _, s := replayer.Counts(); return float64(s) })
+		m.RegisterCounter(`concord_shadow_captures_total{result="offered"}`,
+			"completions seen by the capture ring vs sampled into it",
+			func() float64 { o, _ := replayer.Ring().Stats(); return float64(o) })
+		m.RegisterCounter(`concord_shadow_captures_total{result="kept"}`,
+			"completions seen by the capture ring vs sampled into it",
+			func() float64 { _, k := replayer.Ring().Stats(); return float64(k) })
+	}
 	for _, op := range []string{"GET", "PUT", "DEL", "SCAN", "SPIN"} {
 		h := &opHists{}
 		ob.perOp[op] = h
@@ -581,10 +700,30 @@ func obsTrailer(resp live.Response) string {
 // serveControl handles the non-request text commands (STATS, TRACE,
 // OBS); it reports whether the line was one of them. netsrv calls it
 // for any text line the data protocol does not recognize.
-func serveControl(out io.Writer, line string, srv *live.Server, ns *netsrv.Server, ob *kvObs, ctrl *adapt.Controller, obsOn *bool) bool {
+func serveControl(out io.Writer, line string, srv *live.Server, ns *netsrv.Server, ob *kvObs, ctrl *adapt.Controller, sketches *obs.ClassSketches, replayer *shadow.Replayer, obsOn *bool) bool {
 	switch {
 	case line == "STATS":
-		fmt.Fprintf(out, "%s\n", statsLine(srv, ns, ob, ctrl))
+		fmt.Fprintf(out, "%s\n", statsLine(srv, ns, ob, ctrl, sketches, replayer))
+		return true
+	case line == "SHADOW" || strings.HasPrefix(line, "SHADOW "):
+		if replayer == nil {
+			fmt.Fprintln(out, "ERR shadow replay disabled (start with -shadow)")
+			return true
+		}
+		n := 5
+		if rest := strings.TrimPrefix(line, "SHADOW"); strings.TrimSpace(rest) != "" {
+			v, err := strconv.Atoi(strings.TrimSpace(rest))
+			if err != nil || v <= 0 {
+				fmt.Fprintf(out, "ERR bad SHADOW count %q\n", strings.TrimSpace(rest))
+				return true
+			}
+			n = v
+		}
+		results := replayer.Results(n)
+		for _, r := range results {
+			fmt.Fprintln(out, r.String())
+		}
+		fmt.Fprintf(out, "END %d\n", len(results))
 		return true
 	case line == "TRACE" || strings.HasPrefix(line, "TRACE "):
 		if ob == nil {
@@ -643,7 +782,7 @@ func serveControl(out io.Writer, line string, srv *live.Server, ns *netsrv.Serve
 // /metrics family via metricFamilyForStatsKey — the consistency test
 // asserts it, so the text protocol and the Prometheus surface cannot
 // drift apart.
-func statsLine(srv *live.Server, ns *netsrv.Server, ob *kvObs, ctrl *adapt.Controller) string {
+func statsLine(srv *live.Server, ns *netsrv.Server, ob *kvObs, ctrl *adapt.Controller, sketches *obs.ClassSketches, replayer *shadow.Replayer) string {
 	st := srv.Stats()
 	d := srv.Depths()
 	occ := make([]string, len(d.Workers))
@@ -721,6 +860,35 @@ func statsLine(srv *live.Server, ns *netsrv.Server, ob *kvObs, ctrl *adapt.Contr
 			field("slo_alerting", alerting)
 		}
 	}
+	if sketches != nil {
+		// Comma-joined per class in classNames order, like occ/shardq.
+		quant := func(q float64) string {
+			vals := make([]string, len(classNames))
+			for class := range classNames {
+				vals[class] = fmt.Sprintf("%.1f", sketches.ServiceQuantileNS(class, q)/1e3)
+			}
+			return strings.Join(vals, ",")
+		}
+		field("svc_p50_us", quant(0.50))
+		field("svc_p99_us", quant(0.99))
+	}
+	if replayer != nil {
+		windows, skipped := replayer.Counts()
+		field("regret_windows", u(windows))
+		field("regret_skipped", u(skipped))
+		_, kept := replayer.Ring().Stats()
+		field("shadow_captured", u(kept))
+		last := replayer.Latest()
+		best := "none"
+		if last != nil && last.Best != "" {
+			best = last.Best
+		}
+		field("regret_best", best)
+		field("regret", fmt.Sprintf("%.2f", last.RegretRatio()))
+		for _, policy := range shadow.Policies() {
+			field("regret_ratio_"+policy, fmt.Sprintf("%.2f", last.PolicyRatio(policy)))
+		}
+	}
 	if ctrl != nil {
 		s := ctrl.Status()
 		pol := "0"
@@ -790,6 +958,21 @@ func metricFamilyForStatsKey(key string) string {
 		return "concord_adapt_quantum_changes_total"
 	case "adapt_decisions":
 		return "concord_adapt_decisions_total"
+	case "svc_p50_us", "svc_p99_us":
+		return "concord_svc_time_us"
+	case "regret_windows":
+		return "concord_regret_windows_total"
+	case "regret_skipped":
+		return "concord_regret_skipped_total"
+	case "shadow_captured":
+		return "concord_shadow_captures_total"
+	case "regret_best":
+		return "concord_regret_best_policy"
+	case "regret":
+		return "concord_regret_ratio"
+	}
+	if strings.HasPrefix(key, "regret_ratio_") {
+		return "concord_regret_p99_ratio"
 	}
 	if strings.HasPrefix(key, "p50_") || strings.HasPrefix(key, "p99_") || strings.HasPrefix(key, "p999_") {
 		return "concord_rolling_latency_us"

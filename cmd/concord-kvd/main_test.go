@@ -2,6 +2,7 @@ package main
 
 import (
 	"fmt"
+	"io"
 	"strings"
 	"testing"
 	"time"
@@ -12,23 +13,46 @@ import (
 	"concord/internal/netsrv"
 	"concord/internal/obs"
 	"concord/internal/proto"
+	"concord/internal/shadow"
 )
 
+// testEnv bundles the surfaces main wires together with -obs, -adaptive
+// and -shadow, so tests exercise statsLine/serveControl exactly as the
+// daemon calls them.
+type testEnv struct {
+	srv      *live.Server
+	ns       *netsrv.Server
+	ob       *kvObs
+	ctrl     *adapt.Controller
+	sketches *obs.ClassSketches
+	replayer *shadow.Replayer
+}
+
+func (e *testEnv) stats() string {
+	return statsLine(e.srv, e.ns, e.ob, e.ctrl, e.sketches, e.replayer)
+}
+
+func (e *testEnv) control(out io.Writer, line string, obsOn *bool) bool {
+	return serveControl(out, line, e.srv, e.ns, e.ob, e.ctrl, e.sketches, e.replayer, obsOn)
+}
+
 // newTestObs boots an in-process server with the full observability
-// and control-plane surface, exactly as main wires it with -obs and
-// -adaptive. The controller is built but not run: tests drive it (or
-// ignore it) deterministically.
-func newTestObs(t *testing.T) (*live.Server, *netsrv.Server, *kvObs, *adapt.Controller) {
+// and control-plane surface, exactly as main wires it with -obs,
+// -adaptive and -shadow. The controller and replayer are built but not
+// run: tests drive them (or ignore them) deterministically.
+func newTestObs(t *testing.T) *testEnv {
 	return newTestObsSharded(t, 1)
 }
 
-func newTestObsSharded(t *testing.T, shards int) (*live.Server, *netsrv.Server, *kvObs, *adapt.Controller) {
+func newTestObsSharded(t *testing.T, shards int) *testEnv {
 	t.Helper()
 	const workers = 2
 	tracer := obs.NewTracerSharded(workers, shards, 1024)
 	slo := obs.NewSLOTracker(obs.SLOConfig{Target: 200 * time.Microsecond, Objective: 0.999})
 	tail := obs.NewTailTracker(nil, slo)
 	cvEst := &adapt.CVEstimator{}
+	sketches := obs.NewClassSketches(live.NumClasses)
+	ring := live.NewCaptureRing(1024, 1)
 	srv := live.New(&netsrv.KVHandler{Store: kv.New(), ScanBatch: 64}, live.Options{
 		Workers:         workers,
 		Shards:          shards,
@@ -37,12 +61,22 @@ func newTestObsSharded(t *testing.T, shards int) (*live.Server, *netsrv.Server, 
 		Tail:            tail,
 		Adaptive:        true,
 		ServiceObserver: cvEst.Observe,
+		Sketches:        sketches,
+		Capture:         ring,
 	})
 	srv.Start()
 	t.Cleanup(srv.Stop)
 	ns := netsrv.New(srv, netsrv.Options{})
 	ctrl := adapt.New(srv, adapt.Config{SLOTarget: 200 * time.Microsecond})
-	return srv, ns, newKVObs(tracer, tail, ctrl, srv, ns, workers, shards), ctrl
+	replayer := shadow.NewReplayer(ring, shadow.Config{Workers: workers, QuantumUS: 100, MinRecs: 4}, time.Hour)
+	return &testEnv{
+		srv:      srv,
+		ns:       ns,
+		ob:       newKVObs(tracer, tail, ctrl, srv, ns, sketches, replayer, workers, shards),
+		ctrl:     ctrl,
+		sketches: sketches,
+		replayer: replayer,
+	}
 }
 
 func put(t *testing.T, srv *live.Server, key, val string) {
@@ -58,15 +92,15 @@ func put(t *testing.T, srv *live.Server, key, val string) {
 // central=/submitq= by hand now fails the build. The connection-layer
 // fields (frames, flushes, pipeline depth) ride the same check.
 func TestStatsMetricsConsistency(t *testing.T) {
-	srv, ns, ob, ctrl := newTestObs(t)
-	put(t, srv, "k", "v")
+	e := newTestObs(t)
+	put(t, e.srv, "k", "v")
 
-	line := statsLine(srv, ns, ob, ctrl)
+	line := e.stats()
 	if !strings.HasPrefix(line, "STATS ") {
 		t.Fatalf("statsLine = %q", line)
 	}
 	var sb strings.Builder
-	ob.metrics.WritePrometheus(&sb)
+	e.ob.metrics.WritePrometheus(&sb)
 	exposition := sb.String()
 
 	fields := strings.Fields(line)[1:]
@@ -96,8 +130,8 @@ func TestStatsMetricsConsistency(t *testing.T) {
 // TestStatsNetFields: the connection-layer fields render with a live
 // netsrv server and are absent from the bare (ns == nil) line.
 func TestStatsNetFields(t *testing.T) {
-	srv, ns, ob, ctrl := newTestObs(t)
-	line := statsLine(srv, ns, ob, ctrl)
+	e := newTestObs(t)
+	line := e.stats()
 	for _, want := range []string{
 		"conns=0", "pipeline=0", "frames_in=0", "frames_out=0",
 		"flushes=0", "text_lines=0", "toolarge=0", "badframes=0",
@@ -107,7 +141,7 @@ func TestStatsNetFields(t *testing.T) {
 			t.Errorf("STATS line missing %q: %s", want, line)
 		}
 	}
-	bare := statsLine(srv, nil, nil, nil)
+	bare := statsLine(e.srv, nil, nil, nil, nil, nil)
 	if strings.Contains(bare, "frames_in=") || strings.Contains(bare, "conns=") {
 		t.Errorf("bare STATS line has net fields: %s", bare)
 	}
@@ -116,13 +150,13 @@ func TestStatsNetFields(t *testing.T) {
 // TestStatsLineWindowedFields: rolling quantiles and burn rates show up
 // in STATS once traffic has flowed, keyed per configured window.
 func TestStatsLineWindowedFields(t *testing.T) {
-	srv, ns, ob, ctrl := newTestObs(t)
+	e := newTestObs(t)
 	for i := 0; i < 20; i++ {
-		if resp := srv.Do(&netsrv.Request{Op: proto.OpGet, Key: []byte("nope")}); resp.Err != nil {
+		if resp := e.srv.Do(&netsrv.Request{Op: proto.OpGet, Key: []byte("nope")}); resp.Err != nil {
 			t.Fatal(resp.Err)
 		}
 	}
-	line := statsLine(srv, ns, ob, ctrl)
+	line := e.stats()
 	for _, want := range []string{"p50_1s=", "p99_10s=", "p999_60s=", "burn_short=", "burn_long=", "slo_alerting=0"} {
 		if !strings.Contains(line, want) {
 			t.Errorf("STATS line missing %q: %s", want, line)
@@ -130,7 +164,7 @@ func TestStatsLineWindowedFields(t *testing.T) {
 	}
 	// Without the obs surface the windowed fields must be absent but
 	// the counter fields still render.
-	bare := statsLine(srv, nil, nil, nil)
+	bare := statsLine(e.srv, nil, nil, nil, nil, nil)
 	if strings.Contains(bare, "p50_") || strings.Contains(bare, "burn_") {
 		t.Errorf("bare STATS line has windowed fields: %s", bare)
 	}
@@ -144,16 +178,16 @@ func TestStatsLineWindowedFields(t *testing.T) {
 // new key maps to a /metrics family (consistency loop above only checks
 // the keys present, so sharded keys get their own pass here).
 func TestStatsShardedFields(t *testing.T) {
-	srv, ns, ob, ctrl := newTestObsSharded(t, 2)
-	put(t, srv, "k", "v")
-	line := statsLine(srv, ns, ob, ctrl)
+	e := newTestObsSharded(t, 2)
+	put(t, e.srv, "k", "v")
+	line := e.stats()
 	for _, want := range []string{"steals=0", "shardq=0,0", "shardocc=0,0"} {
 		if !strings.Contains(line, want) {
 			t.Errorf("STATS line missing %q: %s", want, line)
 		}
 	}
 	var sb strings.Builder
-	ob.metrics.WritePrometheus(&sb)
+	e.ob.metrics.WritePrometheus(&sb)
 	exposition := sb.String()
 	for _, family := range []string{
 		"concord_steals_total",
@@ -171,8 +205,8 @@ func TestStatsShardedFields(t *testing.T) {
 // (policy encoded 0/1, quantum in µs) and each maps to a concord_adapt_*
 // family; without one the bare line has none.
 func TestStatsAdaptiveFields(t *testing.T) {
-	srv, ns, ob, ctrl := newTestObs(t)
-	line := statsLine(srv, ns, ob, ctrl)
+	e := newTestObs(t)
+	line := e.stats()
 	for _, want := range []string{
 		"adapt_policy=0", "adapt_quantum_us=", "adapt_cv=",
 		"adapt_switches=0", "adapt_quantum_changes=0", "adapt_decisions=0",
@@ -182,7 +216,7 @@ func TestStatsAdaptiveFields(t *testing.T) {
 		}
 	}
 	var sb strings.Builder
-	ob.metrics.WritePrometheus(&sb)
+	e.ob.metrics.WritePrometheus(&sb)
 	exposition := sb.String()
 	for _, family := range []string{
 		"concord_adapt_policy", "concord_adapt_quantum_us", "concord_adapt_cv",
@@ -194,18 +228,18 @@ func TestStatsAdaptiveFields(t *testing.T) {
 		}
 	}
 	// The controller switching to srpt flips the encoded policy field.
-	ctrl.Step(adapt.Signals{SvcCount: 64, SvcCV: 5})
+	e.ctrl.Step(adapt.Signals{SvcCount: 64, SvcCV: 5})
 	for i := 0; i < 30; i++ {
-		ctrl.Step(adapt.Signals{SvcCount: 64, SvcCV: 5})
+		e.ctrl.Step(adapt.Signals{SvcCount: 64, SvcCV: 5})
 	}
-	if line := statsLine(srv, ns, ob, ctrl); !strings.Contains(line, "adapt_policy=1") {
+	if line := e.stats(); !strings.Contains(line, "adapt_policy=1") {
 		t.Errorf("STATS line did not track the policy switch: %s", line)
 	}
 	// Every Step above recorded one decision.
-	if line := statsLine(srv, ns, ob, ctrl); !strings.Contains(line, "adapt_decisions=31") {
+	if line := e.stats(); !strings.Contains(line, "adapt_decisions=31") {
 		t.Errorf("STATS line did not count decisions: %s", line)
 	}
-	bare := statsLine(srv, nil, nil, nil)
+	bare := statsLine(e.srv, nil, nil, nil, nil, nil)
 	if strings.Contains(bare, "adapt_") {
 		t.Errorf("bare STATS line has adaptive fields: %s", bare)
 	}
@@ -253,13 +287,13 @@ func TestObsTrailerFormat(t *testing.T) {
 // ticks, honors an explicit count, terminates with END, and degrades to
 // ERR without -adaptive.
 func TestDecisionsControlVerb(t *testing.T) {
-	srv, ns, ob, ctrl := newTestObs(t)
+	e := newTestObs(t)
 	for i := 0; i < 5; i++ {
-		ctrl.Step(adapt.Signals{SvcCount: 4, SvcCV: 0.5})
+		e.ctrl.Step(adapt.Signals{SvcCount: 4, SvcCV: 0.5})
 	}
 	var out strings.Builder
 	obsOn := false
-	if !serveControl(&out, "DECISIONS 3", srv, ns, ob, ctrl, &obsOn) {
+	if !e.control(&out, "DECISIONS 3", &obsOn) {
 		t.Fatal("DECISIONS not handled")
 	}
 	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
@@ -272,21 +306,21 @@ func TestDecisionsControlVerb(t *testing.T) {
 		}
 	}
 	out.Reset()
-	if !serveControl(&out, "DECISIONS", srv, ns, ob, ctrl, &obsOn) {
+	if !e.control(&out, "DECISIONS", &obsOn) {
 		t.Fatal("bare DECISIONS not handled")
 	}
 	if !strings.HasSuffix(strings.TrimSpace(out.String()), "END 5") {
 		t.Fatalf("bare DECISIONS = %q", out.String())
 	}
 	out.Reset()
-	if !serveControl(&out, "DECISIONS nope", srv, ns, ob, ctrl, &obsOn) {
+	if !e.control(&out, "DECISIONS nope", &obsOn) {
 		t.Fatal("bad count not handled")
 	}
 	if !strings.HasPrefix(out.String(), "ERR ") {
 		t.Fatalf("bad count reply = %q", out.String())
 	}
 	out.Reset()
-	if !serveControl(&out, "DECISIONS", srv, ns, ob, nil, &obsOn) {
+	if !serveControl(&out, "DECISIONS", e.srv, e.ns, e.ob, nil, e.sketches, e.replayer, &obsOn) {
 		t.Fatal("DECISIONS without controller not handled")
 	}
 	if !strings.HasPrefix(out.String(), "ERR ") {
@@ -298,9 +332,9 @@ func TestDecisionsControlVerb(t *testing.T) {
 // surface and build-info gauge, and the per-op wire-phase histogram
 // components exist alongside the scheduler ones.
 func TestRuntimeHealthFamilies(t *testing.T) {
-	_, _, ob, _ := newTestObs(t)
+	e := newTestObs(t)
 	var sb strings.Builder
-	ob.metrics.WritePrometheus(&sb)
+	e.ob.metrics.WritePrometheus(&sb)
 	exposition := sb.String()
 	for _, family := range []string{
 		"concord_go_goroutines", "concord_go_gomaxprocs",
@@ -400,5 +434,111 @@ func TestFmtWindow(t *testing.T) {
 		if got := fmtWindow(tc.d); got != tc.want {
 			t.Errorf("fmtWindow(%v) = %q, want %q", tc.d, got, tc.want)
 		}
+	}
+}
+
+// TestStatsSketchAndRegretFields: real traffic feeds the class sketches
+// and the capture ring; after a replay the STATS line carries the
+// svc_*/regret_* block and /metrics exposes the matching families.
+func TestStatsSketchAndRegretFields(t *testing.T) {
+	e := newTestObs(t)
+	put(t, e.srv, "k", "v")
+	for i := 0; i < 30; i++ {
+		if resp := e.srv.Do(&netsrv.Request{Op: proto.OpGet, Key: []byte("k")}); resp.Err != nil {
+			t.Fatal(resp.Err)
+		}
+	}
+	if _, ok := e.replayer.ReplayOnce(); !ok {
+		t.Fatal("replay skipped a 31-request window")
+	}
+
+	line := e.stats()
+	for _, want := range []string{
+		"svc_p50_us=", "svc_p99_us=",
+		"regret_windows=1", "regret_skipped=0", "shadow_captured=31",
+		"regret_best=", "regret=", "regret_ratio_fcfs=",
+		"regret_ratio_srpt_hint=", "regret_ratio_srpt_oracle=",
+	} {
+		if !strings.Contains(line, want) {
+			t.Errorf("STATS line missing %q: %s", want, line)
+		}
+	}
+	// Point ops are ClassShort: its p50 slot (second of three) must be
+	// positive while untouched classes stay 0.
+	for _, f := range strings.Fields(line) {
+		if !strings.HasPrefix(f, "svc_p50_us=") {
+			continue
+		}
+		vals := strings.Split(strings.TrimPrefix(f, "svc_p50_us="), ",")
+		if len(vals) != 3 {
+			t.Fatalf("svc_p50_us has %d class slots, want 3: %q", len(vals), f)
+		}
+		if vals[1] == "0.0" {
+			t.Errorf("short-class p50 still zero after 30 GETs: %q", f)
+		}
+	}
+	var sb strings.Builder
+	e.ob.metrics.WritePrometheus(&sb)
+	exposition := sb.String()
+	for _, family := range []string{
+		`concord_svc_time_us{class="short",quantile="p99"}`,
+		`concord_hint_error_count{class="short"}`,
+		`concord_regret_p99_ratio{policy="srpt_oracle"}`,
+		`concord_regret_best_policy{policy="fcfs"}`,
+		"concord_regret_ratio", "concord_regret_windows_total",
+		`concord_shadow_captures_total{result="kept"}`,
+	} {
+		if !strings.Contains(exposition, family) {
+			t.Errorf("/metrics missing %q", family)
+		}
+	}
+	// Without -shadow/-obs the bare line must carry none of the block.
+	bare := statsLine(e.srv, nil, nil, nil, nil, nil)
+	if strings.Contains(bare, "svc_p50_us=") || strings.Contains(bare, "regret") {
+		t.Errorf("bare STATS line has sketch/regret fields: %s", bare)
+	}
+}
+
+// TestShadowControlVerb: SHADOW replays the scored windows newest
+// first, honors a count, terminates with END, and degrades to ERR
+// without -shadow.
+func TestShadowControlVerb(t *testing.T) {
+	e := newTestObs(t)
+	put(t, e.srv, "k", "v")
+	for i := 0; i < 20; i++ {
+		if resp := e.srv.Do(&netsrv.Request{Op: proto.OpGet, Key: []byte("k")}); resp.Err != nil {
+			t.Fatal(resp.Err)
+		}
+	}
+	if _, ok := e.replayer.ReplayOnce(); !ok {
+		t.Fatal("replay skipped")
+	}
+	var out strings.Builder
+	obsOn := false
+	if !e.control(&out, "SHADOW 1", &obsOn) {
+		t.Fatal("SHADOW not handled")
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 2 || lines[1] != "END 1" {
+		t.Fatalf("SHADOW 1 = %q", out.String())
+	}
+	for _, want := range []string{"achieved_p99", "fcfs", "srpt_hint", "srpt_oracle", "best"} {
+		if !strings.Contains(lines[0], want) {
+			t.Errorf("SHADOW line missing %q: %q", want, lines[0])
+		}
+	}
+	out.Reset()
+	if !e.control(&out, "SHADOW nope", &obsOn) {
+		t.Fatal("bad count not handled")
+	}
+	if !strings.HasPrefix(out.String(), "ERR ") {
+		t.Fatalf("bad count reply = %q", out.String())
+	}
+	out.Reset()
+	if !serveControl(&out, "SHADOW", e.srv, e.ns, e.ob, e.ctrl, e.sketches, nil, &obsOn) {
+		t.Fatal("SHADOW without replayer not handled")
+	}
+	if !strings.HasPrefix(out.String(), "ERR ") {
+		t.Fatalf("no-replayer reply = %q", out.String())
 	}
 }

@@ -204,3 +204,71 @@ func TestNewNormalizesQuantum(t *testing.T) {
 		t.Fatalf("quantum = %v from below-floor, want %v", rt.quantum, cfg.MinQuantum)
 	}
 }
+
+// TestMeasuredClassQuantaFollowShifts: with a ClassSvcNS source the
+// per-class quanta derive from measured service-time quantiles and
+// track them as the workload shifts, overriding the static scales for
+// measured classes and falling back for unmeasured ones.
+func TestMeasuredClassQuantaFollowShifts(t *testing.T) {
+	rt := newFakeRuntime(100*time.Microsecond, PolicyFCFS)
+	cfg := testConfig()
+	cfg.SLOTarget = 0 // hold the base quantum still; isolate class scaling
+	cfg.ClassScales = map[int]float64{1: 0.5, 3: 2.0}
+	svc := []float64{100_000, 0, 0, 0} // ns: only the default class measured yet
+	cfg.ClassSvcNS = func() []float64 { return append([]float64(nil), svc...) }
+	c := New(rt, cfg)
+
+	// No measurements for classes 1/3 → static scales apply.
+	if got := rt.class[1]; got != 50*time.Microsecond {
+		t.Fatalf("unmeasured class 1 quantum = %v, want static 50µs", got)
+	}
+	if got := rt.class[3]; got != 200*time.Microsecond {
+		t.Fatalf("unmeasured class 3 quantum = %v, want static 200µs", got)
+	}
+
+	// Measurements land: short runs at 1/4 the default, long at 4×.
+	svc[1], svc[2] = 25_000, 400_000
+	c.Step(Signals{})
+	if got := rt.class[1]; got != 25*time.Microsecond {
+		t.Fatalf("class 1 quantum = %v after measuring svc/4, want 25µs", got)
+	}
+	if got := rt.class[2]; got != 400*time.Microsecond {
+		t.Fatalf("class 2 quantum = %v after measuring 4×svc, want 400µs", got)
+	}
+
+	// The workload shifts — short work doubles — and the quanta follow
+	// without the base quantum moving.
+	svc[1] = 50_000
+	c.Step(Signals{})
+	if got := rt.class[1]; got != 50*time.Microsecond {
+		t.Fatalf("class 1 quantum = %v after shift, want 50µs", got)
+	}
+	if rt.quantum != 100*time.Microsecond {
+		t.Fatalf("base quantum drifted to %v", rt.quantum)
+	}
+
+	// Extreme ratios clamp at the scale bounds (then the quantum bounds).
+	svc[2] = 100_000_000 // 1000× the default class
+	c.Step(Signals{})
+	if got := rt.class[2]; got != cfg.MaxQuantum {
+		t.Fatalf("class 2 quantum = %v at 1000× ratio, want clamp %v", got, cfg.MaxQuantum)
+	}
+}
+
+// TestMeasuredClassQuantaNoDefaultAnchor: when the default class has no
+// traffic the positive measurements anchor on their own mean.
+func TestMeasuredClassQuantaNoDefaultAnchor(t *testing.T) {
+	rt := newFakeRuntime(100*time.Microsecond, PolicyFCFS)
+	cfg := testConfig()
+	cfg.SLOTarget = 0
+	// short 20µs, long 180µs → mean anchor 100µs → scales 0.2 / 1.8.
+	cfg.ClassSvcNS = func() []float64 { return []float64{0, 20_000, 180_000} }
+	c := New(rt, cfg)
+	c.Step(Signals{})
+	if got := rt.class[1]; got != 20*time.Microsecond {
+		t.Fatalf("class 1 quantum = %v, want 20µs off the mean anchor", got)
+	}
+	if got := rt.class[2]; got != 180*time.Microsecond {
+		t.Fatalf("class 2 quantum = %v, want 180µs off the mean anchor", got)
+	}
+}

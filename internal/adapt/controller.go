@@ -66,6 +66,15 @@ type Config struct {
 	// quanta are re-derived and clamped to [MinQuantum, MaxQuantum]
 	// whenever the base quantum moves. Nil disables per-class quanta.
 	ClassScales map[int]float64
+	// ClassSvcNS, when set, supplies measured per-class service-time
+	// quantiles in ns (index = class; 0 = no data for that class yet —
+	// typically obs.ClassSketches.ServiceQuantilesNS). The controller
+	// then derives each class's quantum scale from measurement instead
+	// of the static ClassScales table: scale_c = svc_c / svc_default,
+	// clamped to [1/16, 16], re-evaluated every tick so the quanta track
+	// workload shifts. Classes without data (and ticks before any class
+	// has data) fall back to ClassScales.
+	ClassSvcNS func() []float64
 	// DecisionLog is the capacity of the decision ring every Step
 	// records into (see Decisions / WriteDecisionDump). Default 512;
 	// negative disables retention (per-action counts still accumulate).
@@ -129,6 +138,12 @@ type Signals struct {
 	SvcCount  int64
 	SvcMeanNS float64
 	SvcCV     float64
+	// RegretRatio is the shadow replayer's latest achieved-over-best
+	// counterfactual p99 ratio (shadow.Result.RegretRatio): 1 = the
+	// current policy is already the best evaluated one, 2 = the tail
+	// could have been halved. 0 = no replay signal yet. Recorded in the
+	// decision log as scheduling-quality context for every action.
+	RegretRatio float64
 }
 
 // Status is a point-in-time view of the controller for metrics.
@@ -278,6 +293,12 @@ func (c *Controller) Step(sig Signals) {
 		}
 	}
 
+	// 4. Per-class quanta: with a measured source the scales drift with
+	// the workload, so re-derive every tick (not just on base moves).
+	if c.cfg.ClassSvcNS != nil {
+		c.applyClassQuanta(c.mu.quantum)
+	}
+
 	c.log.record(Decision{
 		Tick:          c.mu.ticks,
 		CV:            c.mu.cv,
@@ -288,6 +309,7 @@ func (c *Controller) Step(sig Signals) {
 		ShortBurn:     sig.ShortBurn,
 		LongBurn:      sig.LongBurn,
 		RateRPS:       sig.Rate,
+		RegretRatio:   sig.RegretRatio,
 		Action:        act,
 		Policy:        c.rt.Policy(),
 		PrevQuantumUS: float64(prevQuantum) / float64(time.Microsecond),
@@ -295,10 +317,18 @@ func (c *Controller) Step(sig Signals) {
 	})
 }
 
+// Bounds on a measurement-derived class scale: a class measured 100×
+// the default still only stretches its quantum 16× — the quantum is a
+// preemption grain, not a service-time mirror.
+const (
+	minClassScale = 1.0 / 16
+	maxClassScale = 16.0
+)
+
 // applyClassQuanta re-derives per-class quanta from the base. Callers
 // hold c.mu (or are in New, before the controller is shared).
 func (c *Controller) applyClassQuanta(base time.Duration) {
-	for class, scale := range c.cfg.ClassScales {
+	for class, scale := range c.classScales() {
 		q := time.Duration(float64(base) * scale)
 		if q < c.cfg.MinQuantum {
 			q = c.cfg.MinQuantum
@@ -310,11 +340,63 @@ func (c *Controller) applyClassQuanta(base time.Duration) {
 	}
 }
 
+// classScales resolves the per-class scale table: measured service-time
+// quantiles when a ClassSvcNS source is set and has data, the static
+// ClassScales entries for classes the measurement can't speak for.
+func (c *Controller) classScales() map[int]float64 {
+	if c.cfg.ClassSvcNS == nil {
+		return c.cfg.ClassScales
+	}
+	svc := c.cfg.ClassSvcNS()
+	ref := 0.0
+	if len(svc) > 0 {
+		ref = svc[0] // class 0 (default) anchors the base quantum
+	}
+	if ref <= 0 {
+		// No default-class data: anchor on the mean of the classes that
+		// do have data, so a workload with only short/long traffic still
+		// gets relative scaling.
+		var sum float64
+		var n int
+		for _, v := range svc {
+			if v > 0 {
+				sum += v
+				n++
+			}
+		}
+		if n == 0 {
+			return c.cfg.ClassScales // no measurements at all yet
+		}
+		ref = sum / float64(n)
+	}
+	scales := make(map[int]float64, len(svc))
+	for class, v := range svc {
+		if v <= 0 {
+			if s, ok := c.cfg.ClassScales[class]; ok {
+				scales[class] = s // unmeasured class keeps its static scale
+			}
+			continue
+		}
+		s := v / ref
+		if s < minClassScale {
+			s = minClassScale
+		}
+		if s > maxClassScale {
+			s = maxClassScale
+		}
+		scales[class] = s
+	}
+	return scales
+}
+
 // Sources are the sensors Run samples each period. Tail may be nil
-// (no quantum adaptation signal); CV must be set.
+// (no quantum adaptation signal); CV must be set. Regret, when set,
+// supplies the shadow replayer's latest regret ratio for the decision
+// log (e.g. a closure over shadow.Replayer.Latest).
 type Sources struct {
-	Tail *obs.TailTracker
-	CV   *CVEstimator
+	Tail   *obs.TailTracker
+	CV     *CVEstimator
+	Regret func() float64
 }
 
 // Run drives the control loop on a ticker until stop closes. The
@@ -337,6 +419,9 @@ func (c *Controller) gather(src Sources) Signals {
 	var sig Signals
 	if src.CV != nil {
 		sig.SvcCount, sig.SvcMeanNS, sig.SvcCV = src.CV.TakeWindow()
+	}
+	if src.Regret != nil {
+		sig.RegretRatio = src.Regret()
 	}
 	if t := src.Tail; t != nil {
 		win := t.Windows()[0]

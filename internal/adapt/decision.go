@@ -65,6 +65,9 @@ type Decision struct {
 	ShortBurn float64 `json:"burn_short"`
 	LongBurn  float64 `json:"burn_long"`
 	RateRPS   float64 `json:"rate_rps"`
+	// RegretRatio is the shadow replayer's latest achieved/best-
+	// counterfactual p99 ratio at this tick (0 = no replay signal).
+	RegretRatio float64 `json:"regret_ratio"`
 
 	// Action and resulting state.
 	Action        Action  `json:"action"`
@@ -77,10 +80,10 @@ type Decision struct {
 // control verb.
 func (d Decision) String() string {
 	return fmt.Sprintf(
-		"tick=%d action=%s policy=%s quantum_us=%.1f prev_quantum_us=%.1f cv=%.3f window_cv=%.3f svc_n=%d p99_us=%.1f p999_us=%.1f burn_short=%.2f burn_long=%.2f rate=%.1f",
+		"tick=%d action=%s policy=%s quantum_us=%.1f prev_quantum_us=%.1f cv=%.3f window_cv=%.3f svc_n=%d p99_us=%.1f p999_us=%.1f burn_short=%.2f burn_long=%.2f rate=%.1f regret=%.2f",
 		d.Tick, d.Action, d.Policy, d.QuantumUS, d.PrevQuantumUS,
 		d.CV, d.WindowCV, d.SvcCount, d.P99US, d.P999US,
-		d.ShortBurn, d.LongBurn, d.RateRPS)
+		d.ShortBurn, d.LongBurn, d.RateRPS, d.RegretRatio)
 }
 
 // decisionLog is the ring itself. Guarded by the controller mutex; buf

@@ -21,6 +21,12 @@ import (
 type Sample struct {
 	Class     string
 	ServiceUS float64
+	// HintUS is an optional size estimate for the request, consumed by
+	// hinted-SRPT scheduling (server.Config.HintedSRPT) — the simulated
+	// analogue of the live runtime's Hinted payloads. 0 means unhinted;
+	// the built-in distributions leave it 0, and trace-replay or
+	// noise-injection wrappers set it.
+	HintUS float64
 }
 
 // Dist is a service-time distribution.

@@ -1,0 +1,224 @@
+package live
+
+// Capture-ring and composed-observer coverage: sampling arithmetic,
+// ring wrap/drain semantics, end-to-end sketch+capture feeding from a
+// live server, and the interleaved A/B overhead gate the observability
+// tentpole is budgeted against (≤2% on the completion path when every
+// sink is disabled).
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"concord/internal/obs"
+)
+
+// captureTask fabricates a completed task for direct offer() calls.
+func captureTask(arrival time.Time, class uint8, hintNS, runNS int64) (*task, *Response) {
+	t := &task{arrival: arrival, class: class, hintNS: hintNS, runNS: runNS, started: true}
+	return t, &Response{Latency: time.Duration(runNS) * 3}
+}
+
+func TestCaptureRingSamplingRate(t *testing.T) {
+	r := NewCaptureRing(64, 4)
+	base := time.Now()
+	for i := 0; i < 100; i++ {
+		tk, resp := captureTask(base.Add(time.Duration(i)*time.Microsecond), 0, 0, 1000)
+		r.offer(tk, resp)
+	}
+	offered, captured := r.Stats()
+	if offered != 100 {
+		t.Fatalf("offered = %d, want 100", offered)
+	}
+	if captured != 25 {
+		t.Fatalf("captured = %d at rate 4, want 25", captured)
+	}
+	w := r.TakeWindow()
+	if len(w.Recs) != 25 || w.Offered != 100 {
+		t.Fatalf("window: %d recs / %d offered, want 25 / 100", len(w.Recs), w.Offered)
+	}
+}
+
+func TestCaptureRingWrapKeepsNewestSorted(t *testing.T) {
+	r := NewCaptureRing(8, 1)
+	base := time.Now()
+	for i := 0; i < 12; i++ {
+		tk, resp := captureTask(base.Add(time.Duration(i)*time.Millisecond), 0, 0, int64(i+1))
+		r.offer(tk, resp)
+	}
+	w := r.TakeWindow()
+	if len(w.Recs) != 8 {
+		t.Fatalf("wrapped ring drained %d recs, want capacity 8", len(w.Recs))
+	}
+	// The 8 survivors must be the newest (ServiceNS 5..12) in arrival order.
+	for i, rec := range w.Recs {
+		if want := int64(i + 5); rec.ServiceNS != want {
+			t.Fatalf("rec %d: ServiceNS %d, want %d (oldest overwritten, rest arrival-sorted)",
+				i, rec.ServiceNS, want)
+		}
+		if i > 0 && rec.ArrivalNS < w.Recs[i-1].ArrivalNS {
+			t.Fatalf("rec %d out of arrival order", i)
+		}
+	}
+	// Drain resets the window: a fresh record lands alone with its
+	// offset keyed to the new epoch.
+	if w2 := r.TakeWindow(); len(w2.Recs) != 0 || w2.Offered != 0 {
+		t.Fatalf("second drain not empty: %d recs / %d offered", len(w2.Recs), w2.Offered)
+	}
+	tk, resp := captureTask(time.Now(), ClassLong, 2000, 1500)
+	r.offer(tk, resp)
+	w3 := r.TakeWindow()
+	if len(w3.Recs) != 1 || w3.Offered != 1 {
+		t.Fatalf("post-reset window: %d recs / %d offered, want 1 / 1", len(w3.Recs), w3.Offered)
+	}
+	rec := w3.Recs[0]
+	if rec.Class != ClassLong || rec.HintNS != 2000 || rec.ServiceNS != 1500 || rec.LatencyNS != 4500 {
+		t.Fatalf("record fields dropped: %+v", rec)
+	}
+}
+
+// obsSpin is a payload exercising every observer input at once: it
+// spins for d under a scheduling class with a service hint.
+type obsSpin struct {
+	d     time.Duration
+	class int
+	hint  time.Duration
+}
+
+func (p obsSpin) SchedClass() int            { return p.class }
+func (p obsSpin) ServiceHint() time.Duration { return p.hint }
+
+type obsSpinHandler struct{}
+
+func (obsSpinHandler) Setup()          {}
+func (obsSpinHandler) SetupWorker(int) {}
+func (obsSpinHandler) Handle(ctx *Ctx, payload any) (any, error) {
+	ctx.Spin(payload.(obsSpin).d)
+	return nil, nil
+}
+
+// TestSketchesAndCaptureFedFromCompletions: a server built with
+// Sketches+Capture (and nothing else observer-shaped) must classify,
+// hint-track, and measure every completion — the options alone flip the
+// classed/hinted/trackRun switches.
+func TestSketchesAndCaptureFedFromCompletions(t *testing.T) {
+	sk := obs.NewClassSketches(NumClasses)
+	ring := NewCaptureRing(256, 1)
+	o := testOptions(2, 0)
+	o.Sketches = sk
+	o.Capture = ring
+	s := New(obsSpinHandler{}, o)
+	s.Start()
+
+	const perClass = 20
+	var chans []<-chan Response
+	for i := 0; i < perClass; i++ {
+		chans = append(chans, s.Submit(obsSpin{d: 20 * time.Microsecond, class: ClassShort, hint: 20 * time.Microsecond}))
+		chans = append(chans, s.Submit(obsSpin{d: 200 * time.Microsecond, class: ClassLong, hint: 100 * time.Microsecond}))
+	}
+	for _, ch := range chans {
+		if resp := <-ch; resp.Err != nil {
+			t.Fatal(resp.Err)
+		}
+	}
+	s.Stop()
+
+	for _, class := range []int{ClassShort, ClassLong} {
+		snap := sk.Service(class).Snapshot()
+		if snap.Count != perClass {
+			t.Fatalf("class %d sketch count %d, want %d", class, snap.Count, perClass)
+		}
+		if q := sk.ServiceQuantileNS(class, 0.5); q <= 0 {
+			t.Fatalf("class %d p50 = %v, want > 0", class, q)
+		}
+	}
+	// Long requests spin 10× the short ones; the sketches must order
+	// their medians accordingly (generous 2× margin for timer jitter).
+	if short, long := sk.ServiceQuantileNS(ClassShort, 0.5), sk.ServiceQuantileNS(ClassLong, 0.5); long < 2*short {
+		t.Fatalf("median service: short %.0fns long %.0fns — classes not separated", short, long)
+	}
+	if n := sk.Service(ClassDefault).Snapshot().Count; n != 0 {
+		t.Fatalf("default class saw %d completions, want 0", n)
+	}
+
+	w := ring.TakeWindow()
+	if len(w.Recs) != 2*perClass {
+		t.Fatalf("capture window %d recs, want %d", len(w.Recs), 2*perClass)
+	}
+	for i, rec := range w.Recs {
+		if rec.ServiceNS <= 0 || rec.LatencyNS < rec.ServiceNS || rec.HintNS <= 0 {
+			t.Fatalf("rec %d incomplete: %+v", i, rec)
+		}
+		if rec.Class != ClassShort && rec.Class != ClassLong {
+			t.Fatalf("rec %d class %d, want short/long", i, rec.Class)
+		}
+	}
+}
+
+// TestObserverDisabledOverhead: the composed-observer refactor's budget
+// — a server with no sinks configured must complete requests within 2%
+// of … itself. Interleaved A/B batches against a fully-instrumented
+// server; the gate passes when the instrumented mean is within 2% of
+// the bare mean OR within 3 standard errors (self-calibrating on noisy
+// CI machines — the point is catching gross regressions like an
+// accidental always-taken lock, not benchmarking).
+func TestObserverDisabledOverhead(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing gate; skipped in -short")
+	}
+	newServer := func(instrument bool) *Server {
+		o := testOptions(2, 0)
+		if instrument {
+			o.Sketches = obs.NewClassSketches(NumClasses)
+			o.Capture = NewCaptureRing(4096, 16)
+		}
+		s := New(obsSpinHandler{}, o)
+		s.Start()
+		return s
+	}
+	bare, full := newServer(false), newServer(true)
+	defer bare.Stop()
+	defer full.Stop()
+
+	const batches, perBatch = 12, 200
+	runBatch := func(s *Server) float64 {
+		start := time.Now()
+		for i := 0; i < perBatch; i++ {
+			if resp := s.Do(obsSpin{d: 10 * time.Microsecond, class: ClassShort, hint: 10 * time.Microsecond}); resp.Err != nil {
+				t.Fatal(resp.Err)
+			}
+		}
+		return time.Since(start).Seconds()
+	}
+	runBatch(bare) // warm both paths before measuring
+	runBatch(full)
+
+	var bareS, fullS []float64
+	for i := 0; i < batches; i++ { // interleave to share thermal/GC drift
+		bareS = append(bareS, runBatch(bare))
+		fullS = append(fullS, runBatch(full))
+	}
+	mean := func(xs []float64) float64 {
+		var s float64
+		for _, x := range xs {
+			s += x
+		}
+		return s / float64(len(xs))
+	}
+	stderr := func(xs []float64, m float64) float64 {
+		var ss float64
+		for _, x := range xs {
+			ss += (x - m) * (x - m)
+		}
+		return math.Sqrt(ss/float64(len(xs)-1)) / math.Sqrt(float64(len(xs)))
+	}
+	bm, fm := mean(bareS), mean(fullS)
+	noise := 3 * math.Hypot(stderr(bareS, bm), stderr(fullS, fm))
+	ratio := fm / bm
+	t.Logf("bare %.4fms full %.4fms ratio %.4f noise ±%.4fms", bm*1e3, fm*1e3, ratio, noise*1e3)
+	if ratio > 1.02 && fm-bm > noise {
+		t.Fatalf("instrumented server %.2f%% slower (%.4fms vs %.4fms, noise ±%.4fms) — over the 2%% observer budget",
+			(ratio-1)*100, fm*1e3, bm*1e3, noise*1e3)
+	}
+}

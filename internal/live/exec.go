@@ -191,11 +191,8 @@ func (s *Server) finish(writer int, t *task, resp Response) {
 		kind, status := completionEvent(resp.Err)
 		s.tr.Record(writer, kind, t.id, status)
 	}
-	if s.tail != nil {
-		s.tail.Observe(resp.Latency, resp.Err == nil)
-	}
-	if s.svcObs != nil && resp.Err == nil && t.started {
-		s.svcObs(t.runNS)
+	if s.comp != nil {
+		s.comp.observe(t, &resp)
 	}
 	s.stats.completed.Add(1)
 	t.deliver(resp)

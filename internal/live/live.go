@@ -176,9 +176,25 @@ type Options struct {
 	Tracer *obs.Tracer
 	// Tail, when non-nil, receives every delivered response's latency
 	// and success at completion, feeding rolling-window tail quantiles
-	// and SLO burn-rate accounting. Independent of Tracer. When nil,
-	// the cost is a single nil-check branch per completion.
+	// and SLO burn-rate accounting. Independent of Tracer.
 	Tail *obs.TailTracker
+	// Sketches, when non-nil, receives every successfully completed
+	// request's (class, measured service ns, hint ns) — the per-class
+	// service-time quantile sketches plus hint-error attribution that
+	// the adaptive controller's class-quantum derivation and the
+	// concord_svc_time_us / concord_hint_error metric families read.
+	// Enables run-time tracking, hint capture, and class capture.
+	Sketches *obs.ClassSketches
+	// Capture, when non-nil, samples successfully completed requests
+	// (arrival offset, class, hint, measured service time, achieved
+	// latency, deadline) into a replayable window for counterfactual
+	// shadow replay (internal/shadow). Enables run-time tracking, hint
+	// capture, and class capture.
+	Capture *CaptureRing
+	//
+	// Tail, ServiceObserver, Sketches, and Capture are composed into
+	// one multiplexed completion observer at New, so the completion
+	// path pays a single branch whether zero or all of them are set.
 }
 
 func (o Options) withDefaults() Options {
@@ -320,12 +336,13 @@ type Server struct {
 	shardOf []int // worker index → owning shard
 
 	// tr is Options.Tracer, kept as a concrete pointer so the disabled
-	// path is one nil-check branch per event site. tail is Options.Tail
-	// under the same contract: one nil check per completion, and svcObs
-	// likewise (Options.ServiceObserver).
-	tr     *obs.Tracer
-	tail   *obs.TailTracker
-	svcObs func(serviceNS int64)
+	// path is one nil-check branch per event site. comp is the composed
+	// completion observer (Tail + ServiceObserver + Sketches + Capture)
+	// under the same contract: one nil check per completion. tail is
+	// kept separately for the rejection paths, which bypass finish.
+	tr   *obs.Tracer
+	tail *obs.TailTracker
+	comp *compObserver
 
 	// trackRun enables per-task service-time accumulation: needed for
 	// Breakdown (tracer set), for SRPT's remaining-work keys, and for
@@ -397,7 +414,7 @@ func New(h Handler, opts Options) *Server {
 		opts:    opts,
 		tr:      opts.Tracer,
 		tail:    opts.Tail,
-		svcObs:  opts.ServiceObserver,
+		comp:    newCompObserver(opts),
 		handler: h,
 		locals:  make([]chan *task, opts.Workers),
 		occ:     make([]atomic.Int32, opts.Workers),
@@ -405,9 +422,15 @@ func New(h Handler, opts Options) *Server {
 		running: make([]atomic.Pointer[runInfo], opts.Workers),
 		shardOf: make([]int, opts.Workers),
 	}
+	// The estimator sinks need measured service times, submitted hints
+	// (for hint-error attribution and replay), and scheduling classes.
+	estimating := opts.Sketches != nil || opts.Capture != nil
 	s.trackRun.Store(opts.Tracer != nil || opts.Policy == PolicySRPT ||
-		opts.Adaptive || opts.ServiceObserver != nil)
-	s.hinted.Store(opts.Policy == PolicySRPT || opts.Adaptive)
+		opts.Adaptive || opts.ServiceObserver != nil || estimating)
+	s.hinted.Store(opts.Policy == PolicySRPT || opts.Adaptive || estimating)
+	if estimating {
+		s.classed.Store(true)
+	}
 	s.quantum.Store(int64(opts.Quantum))
 	s.polState.Store(&policyState{name: opts.Policy})
 	for i := range s.locals {

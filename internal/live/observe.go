@@ -1,0 +1,56 @@
+// Completion-observer fan-out. The runtime has grown several completion
+// sinks — rolling tail/SLO tracking (Options.Tail), the adaptive
+// controller's service-time estimator (Options.ServiceObserver), the
+// per-class quantile sketches (Options.Sketches), and the shadow
+// capture ring (Options.Capture). Threading each as its own nil-checked
+// hook put one branch per sink on the completion hot path; composing
+// them here keeps finish() at exactly one branch regardless of how many
+// sinks are configured, and gives new sinks one obvious place to land.
+package live
+
+import "concord/internal/obs"
+
+// compObserver multiplexes every configured completion sink behind a
+// single nil check in finish(). Built once at New; immutable after.
+type compObserver struct {
+	tail   *obs.TailTracker
+	svcObs func(serviceNS int64)
+	sk     *obs.ClassSketches
+	cap    *CaptureRing
+}
+
+// newCompObserver composes the configured sinks; nil when no sink is
+// configured, so an unobserved server pays one predictable untaken
+// branch per completion.
+func newCompObserver(o Options) *compObserver {
+	if o.Tail == nil && o.ServiceObserver == nil && o.Sketches == nil && o.Capture == nil {
+		return nil
+	}
+	return &compObserver{
+		tail:   o.Tail,
+		svcObs: o.ServiceObserver,
+		sk:     o.Sketches,
+		cap:    o.Capture,
+	}
+}
+
+// observe fans one delivered response out to every sink. It runs on
+// the completing executor's hot path: every sink is wait-free or a
+// short uncontended critical section, and none may block.
+func (o *compObserver) observe(t *task, resp *Response) {
+	if o.tail != nil {
+		o.tail.Observe(resp.Latency, resp.Err == nil)
+	}
+	if resp.Err != nil || !t.started {
+		return // service-time sinks only see measured, successful runs
+	}
+	if o.svcObs != nil {
+		o.svcObs(t.runNS)
+	}
+	if o.sk != nil {
+		o.sk.Observe(int(t.class), t.runNS, t.hintNS)
+	}
+	if o.cap != nil {
+		o.cap.offer(t, resp)
+	}
+}

@@ -1,0 +1,247 @@
+// Per-class service-time estimation: a lock-free, mergeable log-bucket
+// quantile sketch fed from the runtime's completion path, and the
+// per-scheduling-class bundle (service-time sketch + hint-error
+// attribution) the adaptive controller and the /metrics surface read.
+//
+// The sketch is the scheduling-quality counterpart of trace.Histogram:
+// where the histogram's base-2 buckets are fine enough for latency
+// *display*, the controller derives per-class preemption quanta from
+// these quantiles, so the sketch subdivides every octave into 8
+// sub-buckets (growth factor 2^(1/8) ≈ 1.0905). Reporting the geometric
+// midpoint of the winning bucket bounds the relative error by
+// 2^(1/16)−1 ≈ 4.4% — inside the 5% the actuation contract asks for —
+// while keeping observation completely lock-free: one atomic add on a
+// fixed-size bucket array, no allocation, no mutex, mergeable by
+// summing counts.
+package obs
+
+import (
+	"math"
+	"math/bits"
+	"sync/atomic"
+
+	"concord/internal/trace"
+)
+
+const (
+	// sketchSubBuckets subdivides each power-of-two octave.
+	sketchSubBuckets = 8
+	// SketchBuckets is the fixed bucket count: 64 octaves cover every
+	// positive int64 nanosecond value.
+	SketchBuckets = 64 * sketchSubBuckets
+)
+
+// sketchBounds[j] = 2^(j/8): the sub-bucket thresholds within an
+// octave, precomputed so Observe never calls math.Log2.
+var sketchBounds = func() [sketchSubBuckets]float64 {
+	var b [sketchSubBuckets]float64
+	for j := range b {
+		b[j] = math.Pow(2, float64(j)/sketchSubBuckets)
+	}
+	return b
+}()
+
+// sketchIndex maps a nanosecond value to its bucket: bucket i covers
+// [2^(i/8), 2^((i+1)/8)) ns, with everything below 1ns clamped into
+// bucket 0.
+func sketchIndex(ns int64) int {
+	if ns <= 1 {
+		return 0
+	}
+	octave := bits.Len64(uint64(ns)) - 1
+	frac := float64(ns) / float64(uint64(1)<<uint(octave)) // [1, 2)
+	sub := sketchSubBuckets - 1
+	for j := 1; j < sketchSubBuckets; j++ {
+		if frac < sketchBounds[j] {
+			sub = j - 1
+			break
+		}
+	}
+	return octave*sketchSubBuckets + sub
+}
+
+// SketchBucketLowerNS returns bucket i's lower bound in nanoseconds.
+func SketchBucketLowerNS(i int) float64 {
+	return math.Pow(2, float64(i)/sketchSubBuckets)
+}
+
+// QuantileSketch is a lock-free log-bucket quantile sketch over
+// nanosecond values. Observe is wait-free (one atomic add on a fixed
+// array); Snapshot and quantile queries run off the hot path. The zero
+// value is ready to use.
+type QuantileSketch struct {
+	buckets [SketchBuckets]atomic.Uint64
+	sumNS   atomic.Int64
+}
+
+// Observe adds one observation in nanoseconds. Non-positive values
+// clamp into the lowest bucket (they still count).
+func (s *QuantileSketch) Observe(ns int64) {
+	s.buckets[sketchIndex(ns)].Add(1)
+	if ns > 0 {
+		s.sumNS.Add(ns)
+	}
+}
+
+// SketchSnapshot is a point-in-time copy of a sketch, mergeable with
+// other snapshots by summing counts. Concurrent observation during a
+// snapshot can split a racing observation between Count and SumNS; the
+// skew is bounded by the in-flight writes, never accumulates, and is
+// irrelevant at quantile-query granularity.
+type SketchSnapshot struct {
+	Buckets [SketchBuckets]uint64
+	Count   uint64
+	SumNS   int64
+}
+
+// Snapshot copies the live bucket counts.
+func (s *QuantileSketch) Snapshot() SketchSnapshot {
+	var out SketchSnapshot
+	for i := range s.buckets {
+		c := s.buckets[i].Load()
+		out.Buckets[i] = c
+		out.Count += c
+	}
+	out.SumNS = s.sumNS.Load()
+	return out
+}
+
+// Merge folds another snapshot into this one: the result describes the
+// union of the two observation sets (the sketch's mergeability
+// contract — per-worker or per-process sketches combine exactly).
+func (s *SketchSnapshot) Merge(o SketchSnapshot) {
+	for i, c := range o.Buckets {
+		s.Buckets[i] += c
+	}
+	s.Count += o.Count
+	s.SumNS += o.SumNS
+}
+
+// QuantileNS estimates the q-quantile (q in [0,1]) in nanoseconds,
+// reporting the geometric midpoint of the bucket containing the target
+// rank (relative error ≤ 2^(1/16)−1 ≈ 4.4%). NaN when empty.
+func (s SketchSnapshot) QuantileNS(q float64) float64 {
+	if s.Count == 0 {
+		return math.NaN()
+	}
+	q = math.Min(1, math.Max(0, q))
+	target := q * float64(s.Count)
+	if target < 1 {
+		target = 1
+	}
+	cum := 0.0
+	for i, c := range s.Buckets {
+		if c == 0 {
+			continue
+		}
+		cum += float64(c)
+		if cum >= target {
+			// Geometric midpoint of [2^(i/8), 2^((i+1)/8)).
+			return math.Pow(2, (float64(i)+0.5)/sketchSubBuckets)
+		}
+	}
+	return SketchBucketLowerNS(SketchBuckets - 1)
+}
+
+// MeanNS returns the exact mean of all positive observations; NaN when
+// empty.
+func (s SketchSnapshot) MeanNS() float64 {
+	if s.Count == 0 {
+		return math.NaN()
+	}
+	return float64(s.SumNS) / float64(s.Count)
+}
+
+// HintErrorScale is the fixed-point scale hint-error ratios are
+// observed at in the concord_hint_error histograms: a recorded value of
+// 100 means hint == actual, 10 means the hint undershot 10×, 1000 means
+// it overshot 10×. The scale exists because trace.Histogram's log-2
+// buckets collapse everything below 1 into one bucket; ×100 spreads the
+// under-estimation half of the ratio range across real buckets.
+const HintErrorScale = 100
+
+// classSketch is one scheduling class's estimator pair.
+type classSketch struct {
+	svc     QuantileSketch
+	hintErr trace.Histogram
+}
+
+// ClassSketches bundles a per-scheduling-class service-time sketch and
+// hint-error histogram, fed from the runtime's completion path (one
+// call per successfully completed request). Class indices follow the
+// live runtime's Classed taxonomy; out-of-range classes fold into
+// class 0 rather than being dropped.
+type ClassSketches struct {
+	classes []classSketch
+}
+
+// NewClassSketches builds sketches for n scheduling classes (n ≥ 1 is
+// forced).
+func NewClassSketches(n int) *ClassSketches {
+	if n < 1 {
+		n = 1
+	}
+	return &ClassSketches{classes: make([]classSketch, n)}
+}
+
+// Classes returns the number of scheduling classes tracked.
+func (c *ClassSketches) Classes() int { return len(c.classes) }
+
+// Observe records one completed request: its scheduling class, its
+// measured service time, and the service hint it was submitted with
+// (0 = unhinted; unhinted requests feed the service sketch but not the
+// hint-error histogram). Safe for concurrent use from every executor.
+func (c *ClassSketches) Observe(class int, serviceNS, hintNS int64) {
+	if class < 0 || class >= len(c.classes) {
+		class = 0
+	}
+	cs := &c.classes[class]
+	cs.svc.Observe(serviceNS)
+	if hintNS > 0 && serviceNS > 0 {
+		cs.hintErr.ObserveUS(float64(hintNS) / float64(serviceNS) * HintErrorScale)
+	}
+}
+
+// Service returns the class's service-time sketch (nil when out of
+// range), for snapshotting and metric export.
+func (c *ClassSketches) Service(class int) *QuantileSketch {
+	if class < 0 || class >= len(c.classes) {
+		return nil
+	}
+	return &c.classes[class].svc
+}
+
+// HintError returns the class's hint/actual ratio histogram (values
+// scaled by HintErrorScale); nil when out of range.
+func (c *ClassSketches) HintError(class int) *trace.Histogram {
+	if class < 0 || class >= len(c.classes) {
+		return nil
+	}
+	return &c.classes[class].hintErr
+}
+
+// ServiceQuantileNS returns the class's q-quantile service time in
+// nanoseconds, or 0 when the class has no observations yet — the "no
+// data" sentinel the controller's class-quantum derivation branches on.
+func (c *ClassSketches) ServiceQuantileNS(class int, q float64) float64 {
+	sk := c.Service(class)
+	if sk == nil {
+		return 0
+	}
+	snap := sk.Snapshot()
+	if snap.Count == 0 {
+		return 0
+	}
+	return snap.QuantileNS(q)
+}
+
+// ServiceQuantilesNS returns every class's q-quantile service time in
+// nanoseconds (0 = no data), indexed by class — the shape the adaptive
+// controller's Config.ClassSvcNS source returns.
+func (c *ClassSketches) ServiceQuantilesNS(q float64) []float64 {
+	out := make([]float64, len(c.classes))
+	for i := range c.classes {
+		out[i] = c.ServiceQuantileNS(i, q)
+	}
+	return out
+}

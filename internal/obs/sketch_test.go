@@ -1,0 +1,167 @@
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"testing"
+
+	"concord/internal/sim"
+)
+
+// exactQuantile returns the empirical q-quantile of vals (nearest-rank).
+func exactQuantile(vals []float64, q float64) float64 {
+	s := append([]float64(nil), vals...)
+	sort.Float64s(s)
+	idx := int(math.Ceil(q*float64(len(s)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s) {
+		idx = len(s) - 1
+	}
+	return s[idx]
+}
+
+// The acceptance contract: sketch quantiles within 5% of exact
+// quantiles on known distributions. The sketch's bucket geometry bounds
+// the error at 2^(1/16)−1 ≈ 4.4%, so 5% must hold across distribution
+// shapes and quantile ranks.
+func TestSketchQuantileAccuracy(t *testing.T) {
+	rng := sim.NewRNG(42)
+	dists := map[string]func() float64{
+		"fixed":     func() float64 { return 12_345 },
+		"exp":       func() float64 { return rng.Exp(50_000) },
+		"lognormal": func() float64 { return rng.Lognormal(math.Log(20_000), 1.5) },
+		"pareto":    func() float64 { return rng.Pareto(1_000, 1.2) },
+	}
+	for name, draw := range dists {
+		var sk QuantileSketch
+		vals := make([]float64, 0, 20000)
+		for i := 0; i < 20000; i++ {
+			v := draw()
+			vals = append(vals, v)
+			sk.Observe(int64(v))
+		}
+		snap := sk.Snapshot()
+		if snap.Count != 20000 {
+			t.Fatalf("%s: count = %d, want 20000", name, snap.Count)
+		}
+		for _, q := range []float64{0.5, 0.9, 0.99, 0.999} {
+			exact := exactQuantile(vals, q)
+			got := snap.QuantileNS(q)
+			if relErr := math.Abs(got-exact) / exact; relErr > 0.05 {
+				t.Errorf("%s p%g: sketch %.0f vs exact %.0f (rel err %.2f%% > 5%%)",
+					name, q*100, got, exact, relErr*100)
+			}
+		}
+	}
+}
+
+func TestSketchMean(t *testing.T) {
+	var sk QuantileSketch
+	for _, v := range []int64{100, 200, 300} {
+		sk.Observe(v)
+	}
+	if m := sk.Snapshot().MeanNS(); m != 200 {
+		t.Fatalf("mean = %v, want 200 (means are exact, not bucketed)", m)
+	}
+}
+
+func TestSketchEmptyAndClamping(t *testing.T) {
+	var sk QuantileSketch
+	if q := sk.Snapshot().QuantileNS(0.99); !math.IsNaN(q) {
+		t.Fatalf("empty sketch quantile = %v, want NaN", q)
+	}
+	sk.Observe(0)
+	sk.Observe(-5)
+	snap := sk.Snapshot()
+	if snap.Count != 2 {
+		t.Fatalf("non-positive observations must count: count = %d", snap.Count)
+	}
+	if snap.Buckets[0] != 2 {
+		t.Fatalf("non-positive observations must clamp into bucket 0, got %v", snap.Buckets)
+	}
+}
+
+// Merging two sketches' snapshots must equal a single sketch that saw
+// the union of the observations — the per-worker aggregation contract.
+func TestSketchMerge(t *testing.T) {
+	rng := sim.NewRNG(7)
+	var a, b, union QuantileSketch
+	for i := 0; i < 5000; i++ {
+		v := int64(rng.Exp(30_000))
+		if i%2 == 0 {
+			a.Observe(v)
+		} else {
+			b.Observe(v)
+		}
+		union.Observe(v)
+	}
+	merged := a.Snapshot()
+	merged.Merge(b.Snapshot())
+	want := union.Snapshot()
+	if merged != want {
+		t.Fatal("merged snapshot differs from union sketch")
+	}
+}
+
+// Concurrent observation must lose nothing (the sketch is the
+// completion path's estimator: every executor feeds it in parallel).
+func TestSketchConcurrent(t *testing.T) {
+	var sk QuantileSketch
+	const writers, per = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		w := w
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				sk.Observe(int64(1000 + w*100 + i))
+			}
+		}()
+	}
+	wg.Wait()
+	if c := sk.Snapshot().Count; c != writers*per {
+		t.Fatalf("count = %d, want %d", c, writers*per)
+	}
+}
+
+func TestClassSketchesObserve(t *testing.T) {
+	cs := NewClassSketches(4)
+	// Class 1: 10µs service with exact hints; class 2: 100µs with 10×
+	// overshooting hints; out-of-range class folds into 0.
+	for i := 0; i < 100; i++ {
+		cs.Observe(1, 10_000, 10_000)
+		cs.Observe(2, 100_000, 1_000_000)
+		cs.Observe(99, 5_000, 0)
+	}
+	if got := cs.ServiceQuantileNS(1, 0.5); math.Abs(got-10_000)/10_000 > 0.05 {
+		t.Errorf("class 1 p50 = %v, want ≈10000", got)
+	}
+	if got := cs.ServiceQuantileNS(2, 0.5); math.Abs(got-100_000)/100_000 > 0.05 {
+		t.Errorf("class 2 p50 = %v, want ≈100000", got)
+	}
+	if got := cs.ServiceQuantileNS(0, 0.5); math.Abs(got-5_000)/5_000 > 0.05 {
+		t.Errorf("out-of-range class must fold into class 0: p50 = %v, want ≈5000", got)
+	}
+	if got := cs.ServiceQuantileNS(3, 0.5); got != 0 {
+		t.Errorf("class with no data must report 0, got %v", got)
+	}
+	// Hint-error: class 1 sits at the exact-hint mark, class 2 at 10×
+	// over; unhinted class-0 observations record no ratio at all.
+	if p50 := cs.HintError(1).Quantile(0.5); math.Abs(p50-HintErrorScale)/HintErrorScale > 0.5 {
+		t.Errorf("class 1 hint-error p50 = %v, want ≈%d (exact hints)", p50, HintErrorScale)
+	}
+	if p50 := cs.HintError(2).Quantile(0.5); p50 < 5*HintErrorScale {
+		t.Errorf("class 2 hint-error p50 = %v, want ≥%d (10× overshoot)", p50, 5*HintErrorScale)
+	}
+	if n := cs.HintError(0).Count(); n != 0 {
+		t.Errorf("unhinted observations must not feed hint-error: count = %d", n)
+	}
+	qs := cs.ServiceQuantilesNS(0.5)
+	if len(qs) != 4 || qs[3] != 0 || qs[1] == 0 {
+		t.Errorf("ServiceQuantilesNS = %v", qs)
+	}
+}

@@ -33,10 +33,13 @@ func TestObsSmoke(t *testing.T) {
 
 	traceJSON := filepath.Join(dir, "trace.json")
 	decJSON := filepath.Join(dir, "decisions.json")
+	shadowJSON := filepath.Join(dir, "shadow.json")
 	srv := exec.Command(kvd,
 		"-addr", "127.0.0.1:0", "-obs", "127.0.0.1:0",
 		"-workers", "2", "-quantum", "200us", "-keys", "2000", "-drain", "2s",
-		"-adaptive", "-tracedump", traceJSON, "-decisiondump", decJSON)
+		"-adaptive", "-tracedump", traceJSON, "-decisiondump", decJSON,
+		"-shadow", "-shadow-interval", "500ms", "-shadow-rate", "4",
+		"-shadowdump", shadowJSON)
 	stderr, err := srv.StderrPipe()
 	if err != nil {
 		t.Fatal(err)
@@ -104,6 +107,44 @@ func TestObsSmoke(t *testing.T) {
 				break
 			}
 		}
+		// And the shadow replayer's window history: schema 1 with at
+		// least one scored window whose counterfactuals all replayed.
+		shadowRaw, err := os.ReadFile(shadowJSON)
+		if err != nil {
+			t.Errorf("shadowdump missing: %v", err)
+			return
+		}
+		var shdump struct {
+			Schema   int      `json:"schema"`
+			Policies []string `json:"policies"`
+			Rate     int      `json:"capture_rate"`
+			Windows  uint64   `json:"windows"`
+			Results  []struct {
+				Recs          int     `json:"recs"`
+				AchievedP99US float64 `json:"achieved_p99_us"`
+				Policies      []struct {
+					Policy string `json:"policy"`
+				} `json:"policies"`
+				Best string `json:"best"`
+			} `json:"results"`
+		}
+		if err := json.Unmarshal(shadowRaw, &shdump); err != nil {
+			t.Errorf("shadowdump is not valid JSON: %v\n%s", err, shadowRaw)
+			return
+		}
+		if shdump.Schema != 1 || shdump.Rate != 4 || len(shdump.Policies) != 3 {
+			t.Errorf("shadowdump header = schema %d rate %d policies %v", shdump.Schema, shdump.Rate, shdump.Policies)
+		}
+		if shdump.Windows == 0 || len(shdump.Results) == 0 {
+			t.Errorf("shadowdump scored no windows: %+v", shdump)
+			return
+		}
+		for _, r := range shdump.Results {
+			if r.Recs < 2 || r.AchievedP99US <= 0 || len(r.Policies) != 3 {
+				t.Errorf("shadowdump window incomplete: %+v", r)
+				break
+			}
+		}
 	}()
 
 	// The server logs its chosen addresses; -addr/-obs use port 0.
@@ -156,6 +197,15 @@ func TestObsSmoke(t *testing.T) {
 		// Flush-batch distribution and control-plane decision counters.
 		`concord_net_flush_batch_quantile{quantile="p99"}`,
 		`concord_adapt_decisions_total{action="hold"}`,
+		// Per-class service-time sketches and hint-error histograms.
+		`concord_svc_time_us{class="short",quantile="p99"}`,
+		`concord_svc_time_samples_total{class="short"}`,
+		`concord_hint_error_bucket{class="short",le="`,
+		// Shadow-replay regret surface.
+		`concord_regret_p99_ratio{policy="srpt_oracle"}`,
+		`concord_regret_best_policy{policy="fcfs"}`,
+		"concord_regret_ratio", "concord_regret_windows_total",
+		`concord_shadow_captures_total{result="kept"}`,
 	} {
 		if !strings.Contains(body, want) {
 			t.Fatalf("/metrics missing %q; got:\n%.2000s", want, body)
@@ -249,6 +299,40 @@ func TestObsSmoke(t *testing.T) {
 	for _, want := range []string{"tick=", "action=", "policy=", "quantum_us=", "END"} {
 		if !strings.Contains(decJoined, want) {
 			t.Fatalf("DECISIONS output missing %q:\n%s", want, decJoined)
+		}
+	}
+
+	// STATS must now carry the sketch quantiles and regret fields the
+	// replayer publishes.
+	if got := ask("STATS"); !strings.Contains(got, "svc_p99_us=") ||
+		!strings.Contains(got, "regret_windows=") || !strings.Contains(got, "regret_best=") {
+		t.Fatalf("STATS missing sketch/regret fields: %q", got)
+	}
+
+	// SHADOW streams the scored counterfactual windows. Traffic ran for
+	// ~4s at a 1-in-4 capture rate with 500ms replay windows, so at
+	// least one window must have scored by now.
+	fmt.Fprintf(rw, "SHADOW 5\n")
+	rw.Flush()
+	var shadowLines []string
+	for {
+		line, err := rw.ReadString('\n')
+		if err != nil {
+			t.Fatalf("SHADOW read: %v", err)
+		}
+		line = strings.TrimSpace(line)
+		shadowLines = append(shadowLines, line)
+		if strings.HasPrefix(line, "END") || strings.HasPrefix(line, "ERR") {
+			break
+		}
+	}
+	shadowJoined := strings.Join(shadowLines, "\n")
+	if len(shadowLines) < 2 {
+		t.Fatalf("SHADOW returned no scored windows:\n%s", shadowJoined)
+	}
+	for _, want := range []string{"achieved_p99", "fcfs", "srpt_hint", "srpt_oracle", "best", "END"} {
+		if !strings.Contains(shadowJoined, want) {
+			t.Fatalf("SHADOW output missing %q:\n%s", want, shadowJoined)
 		}
 	}
 }

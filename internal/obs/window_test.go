@@ -91,6 +91,64 @@ func TestWindowedHistogramIdleGap(t *testing.T) {
 	}
 }
 
+// TestWindowedHistogramIdleGapEpochAliasing: the adversarial idle-gap
+// case for lazy slot reuse. The ring addresses slots as epoch mod len,
+// so a clock jump of exactly k×len×epoch lands every new epoch on a
+// slot whose stale occupant has the *same index* but an older epoch
+// number — the one case where a reuse bug would silently alias old
+// samples into fresh windows instead of failing loudly. Stale slots
+// must be lazily reset on write (slot()) and skipped on read
+// (WindowSnapshot's s.num != i check), so merged quantiles carry no
+// ghost samples.
+func TestWindowedHistogramIdleGapEpochAliasing(t *testing.T) {
+	const epoch = 250 * time.Millisecond
+	w, clk := newClockedWindow(epoch, 10*time.Second)
+	ringLen := len(w.ring)
+
+	// Fill every slot with old 5000µs samples so any leak is visible.
+	for i := 0; i < ringLen; i++ {
+		w.ObserveUS(5000)
+		clk.advance(epoch)
+	}
+
+	// Jump the clock by exactly three full ring revolutions: every
+	// epoch now aliases a stale slot at the same ring index.
+	clk.advance(time.Duration(3*ringLen) * epoch)
+
+	// Read-side laziness: without a single new write, every stale slot
+	// must be skipped during the merge.
+	if got := w.WindowSnapshot(w.Span()).Count; got != 0 {
+		t.Fatalf("full-span window after aliasing jump: Count = %d, want 0", got)
+	}
+
+	// Write-side laziness: one new observation resets only its own
+	// slot; the merged window must hold exactly that sample, and the
+	// quantile must sit in the new sample's bucket, nowhere near the
+	// stale 5000µs mass.
+	w.ObserveUS(10)
+	s := w.WindowSnapshot(w.Span())
+	if s.Count != 1 || s.SumUS != 10 {
+		t.Fatalf("post-jump window: Count=%d SumUS=%v, want 1/10 (ghost samples leaked)", s.Count, s.SumUS)
+	}
+	if q := s.Quantile(0.999); q > 16 {
+		t.Fatalf("post-jump p99.9 = %vµs, want within the 10µs bucket (stale 5000µs mass leaked)", q)
+	}
+
+	// A second partial-gap jump (shorter than the span) must keep the
+	// surviving epoch visible and still expose no stale slots.
+	clk.advance(4 * time.Second)
+	w.ObserveUS(20)
+	s = w.WindowSnapshot(w.Span())
+	if s.Count != 2 || s.SumUS != 30 {
+		t.Fatalf("partial-gap window: Count=%d SumUS=%v, want 2/30", s.Count, s.SumUS)
+	}
+	// But a window shorter than the partial gap must only see the
+	// newest sample.
+	if got := w.WindowSnapshot(time.Second); got.Count != 1 || got.SumUS != 20 {
+		t.Fatalf("1s window after partial gap: Count=%d SumUS=%v, want 1/20", got.Count, got.SumUS)
+	}
+}
+
 // TestWindowedHistogramSteadyLoad: under steady load the windowed
 // quantiles agree with a cumulative histogram of the same distribution
 // (both are log-2 bucketed, so agreement is exact per bucket).

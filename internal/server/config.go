@@ -40,6 +40,16 @@ type Config struct {
 	// processing-time (the §3.1 extension; no evaluated system uses it).
 	SRPT bool
 
+	// HintedSRPT makes the SRPT queue key on each request's size
+	// *estimate* (dist.Sample.HintUS) instead of its true remaining
+	// work — scheduling with estimated sizes rather than an oracle. The
+	// key space mirrors the live runtime's three bands (see
+	// Request.RemainingCycles): in-budget hinted requests order by
+	// hint minus executed work, requests that have outrun their hint
+	// order by overage in a band above any credible hint, and unhinted
+	// requests run last, FIFO. Requires SRPT.
+	HintedSRPT bool
+
 	// DispatchExtra is added to each dispatch operation (e.g. Persephone
 	// runs its networker on the dispatcher thread, slowing each loop).
 	DispatchExtra sim.Cycles
@@ -63,6 +73,9 @@ func (c Config) Validate() error {
 	}
 	if c.QuantumUS > 0 && c.Mech == nil {
 		return fmt.Errorf("server: quantum set but no preemption mechanism")
+	}
+	if c.HintedSRPT && !c.SRPT {
+		return fmt.Errorf("server: HintedSRPT requires SRPT")
 	}
 	return nil
 }

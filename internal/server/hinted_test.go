@@ -1,0 +1,88 @@
+package server
+
+import (
+	"math"
+	"testing"
+
+	"concord/internal/cost"
+	"concord/internal/dist"
+	"concord/internal/sim"
+)
+
+// hintedDist wraps a distribution, deriving each sample's HintUS from
+// its true size: hint = service × Factor (Factor 1 = exact hints), and
+// Factor 0 = strip hints entirely.
+type hintedDist struct {
+	inner  dist.Dist
+	factor float64
+}
+
+func (d hintedDist) Name() string  { return d.inner.Name() }
+func (d hintedDist) Mean() float64 { return d.inner.Mean() }
+func (d hintedDist) Sample(r *sim.RNG) dist.Sample {
+	s := d.inner.Sample(r)
+	s.HintUS = s.ServiceUS * d.factor
+	return s
+}
+
+func hintedRun(t *testing.T, factor float64, hinted bool) Result {
+	t.Helper()
+	cfg := Concord(cost.Default(), 2, 100)
+	cfg.SRPT = true
+	cfg.HintedSRPT = hinted
+	var d dist.Dist = dist.Lognormal{Mu: math.Log(20), Sigma: 1.5}
+	if hinted {
+		d = hintedDist{inner: d, factor: factor}
+	}
+	wl := Workload{Dist: d, Arrival: dist.NewPoisson(25000)}
+	return New(cfg, wl, RunParams{Requests: 20000, Seed: 7, ExactSamples: true}).Run()
+}
+
+// With exact hints, the hinted key (hint − executed) equals the oracle
+// key (true remaining work) at every scheduling decision, so the two
+// runs must be indistinguishable sample for sample.
+func TestHintedSRPTExactHintsMatchOracle(t *testing.T) {
+	oracle := hintedRun(t, 0, false)
+	exact := hintedRun(t, 1, true)
+	if oracle.Saturated || exact.Saturated {
+		t.Fatal("runs saturated; lower the load")
+	}
+	if oracle.Completed != exact.Completed {
+		t.Fatalf("completed: oracle %d vs exact-hints %d", oracle.Completed, exact.Completed)
+	}
+	os, es := oracle.Collector.Samples(), exact.Collector.Samples()
+	if len(os) != len(es) {
+		t.Fatalf("sample counts differ: %d vs %d", len(os), len(es))
+	}
+	for i := range os {
+		if os[i] != es[i] {
+			t.Fatalf("sample %d differs: oracle %+v vs exact-hints %+v", i, os[i], es[i])
+		}
+	}
+}
+
+// Badly wrong hints must cost tail latency relative to the oracle —
+// the regret the shadow replayer measures — and unhinted requests
+// (HintUS 0) must still complete, keyed into the last band.
+func TestHintedSRPTNoisyHintsDegradeTail(t *testing.T) {
+	oracle := hintedRun(t, 0, false)
+	// Inverted hints: every request claims a fixed-size estimate
+	// uncorrelated with its true size is the worst case; a constant
+	// factor preserves ordering, so use the stripped-hint extreme.
+	unhinted := hintedRun(t, 0, true)
+	if oracle.Saturated || unhinted.Saturated {
+		t.Fatal("runs saturated; lower the load")
+	}
+	if unhinted.Point.P99 < oracle.Point.P99 {
+		t.Fatalf("hint-blind SRPT p99 slowdown %.2f beat oracle %.2f — key bands are inverted",
+			unhinted.Point.P99, oracle.Point.P99)
+	}
+}
+
+func TestHintedSRPTConfigValidation(t *testing.T) {
+	cfg := Concord(cost.Default(), 2, 100)
+	cfg.HintedSRPT = true // without SRPT
+	if err := cfg.Validate(); err == nil {
+		t.Fatal("HintedSRPT without SRPT must not validate")
+	}
+}

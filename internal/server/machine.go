@@ -267,6 +267,14 @@ func (m *Machine) newRequest(now sim.Cycles) *Request {
 	req.Arrival = now
 	req.FirstStart = -1
 	req.warmup = m.admitted < int(float64(m.p.Requests)*m.p.WarmupFrac)
+	if m.cfg.HintedSRPT {
+		req.useHint = true
+		if s.HintUS > 0 {
+			if req.hintCycles = m.cfg.Model.MicrosToCycles(s.HintUS); req.hintCycles < 1 {
+				req.hintCycles = 1
+			}
+		}
+	}
 	m.nextID++
 	if frac, ok := m.wl.CritFracByClass[s.Class]; ok && frac > 0 {
 		critBase := sim.Cycles(float64(sc) * frac)

@@ -59,10 +59,48 @@ type Request struct {
 	// are recognized and dropped (pointer identity alone is not enough
 	// once objects are pooled).
 	epoch uint32
+
+	// hintCycles is the request's size estimate in cycles (0 = unhinted)
+	// and useHint selects the estimated-size key space below — set only
+	// under Config.HintedSRPT, so oracle SRPT costs nothing.
+	hintCycles sim.Cycles
+	useHint    bool
 }
 
-// RemainingCycles implements policy.Item.
-func (r *Request) RemainingCycles() sim.Cycles { return r.remainingBase }
+// Hinted-SRPT key bands, mirroring the live runtime's task keys: three
+// disjoint ranges so the queue can never invert priorities across
+// kinds. In-budget hinted requests key by remaining estimate; requests
+// that have outrun their hint key by elapsed overage in a band above
+// any credible hint (the estimate is spent, and the longer a request
+// has overrun the longer it is likely to keep running); unhinted
+// requests take the max-key sentinel and run last, FIFO among
+// themselves via the SRPT heap's sequence tie-break.
+const (
+	overBudgetKeyBase = sim.Cycles(1) << 60
+	unhintedKey       = sim.Cycles(int64(^uint64(0) >> 1)) // math.MaxInt64
+)
+
+// RemainingCycles implements policy.Item. Oracle SRPT keys on the true
+// un-instrumented work left; hinted SRPT (Config.HintedSRPT) keys on
+// the hint minus work executed so far, in the three-band space above.
+func (r *Request) RemainingCycles() sim.Cycles {
+	if !r.useHint {
+		return r.remainingBase
+	}
+	if r.hintCycles <= 0 {
+		return unhintedKey
+	}
+	executed := r.serviceCycles - r.remainingBase
+	rem := r.hintCycles - executed
+	if rem < 0 {
+		over := -rem
+		if over >= unhintedKey-overBudgetKeyBase {
+			over = unhintedKey - overBudgetKeyBase - 1 // stay below the sentinel
+		}
+		return overBudgetKeyBase + over
+	}
+	return rem
+}
 
 // wallFor returns the wall-clock cycles needed to execute base work at
 // an inflation rate of (1+overhead).
