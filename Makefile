@@ -4,12 +4,13 @@ tier1:
 	go build ./...
 	go test -shuffle=on ./...
 
-# Race hygiene for the concurrent packages: the parallel runner stack
-# and the live serving path (runtime lifecycle + load-generator
-# measurement). Slower than tier1; run before merging changes to any of
-# these.
+# Race hygiene for the concurrent packages: the parallel runner stack,
+# the live serving path (runtime lifecycle + load-generator
+# measurement), and the policy queues (cascade tiers + admission paths
+# exercise them from many goroutines). Slower than tier1; run before
+# merging changes to any of these.
 race:
-	go test -race ./internal/runner ./internal/server ./internal/figures ./internal/live ./internal/trace ./internal/obs ./internal/adapt ./internal/shadow ./internal/bench ./internal/proto ./internal/netsrv
+	go test -race ./internal/runner ./internal/server ./internal/figures ./internal/live ./internal/trace ./internal/obs ./internal/adapt ./internal/shadow ./internal/bench ./internal/proto ./internal/netsrv ./internal/policy
 
 vet:
 	go vet ./...
@@ -38,12 +39,13 @@ bench-json:
 # counts — safe across machines). Exits non-zero on a regression beyond
 # the noise band; machine-bound movements print as advisory.
 bench-smoke:
-	go run ./cmd/concord-bench -short -scenarios core,live,live_sharded,live_adaptive,live_regret -outdir bench-out
+	go run ./cmd/concord-bench -short -scenarios core,live,live_sharded,live_adaptive,live_regret,live_multitenant -outdir bench-out
 	go run ./cmd/concord-bench -compare -hermetic BENCH_core.json bench-out/BENCH_core.json
 	go run ./cmd/concord-bench -compare -hermetic BENCH_live.json bench-out/BENCH_live.json
 	go run ./cmd/concord-bench -compare -hermetic BENCH_live_sharded.json bench-out/BENCH_live_sharded.json
 	go run ./cmd/concord-bench -compare -hermetic BENCH_live_adaptive.json bench-out/BENCH_live_adaptive.json
 	go run ./cmd/concord-bench -compare -hermetic BENCH_live_regret.json bench-out/BENCH_live_regret.json
+	go run ./cmd/concord-bench -compare -hermetic BENCH_live_multitenant.json bench-out/BENCH_live_multitenant.json
 
 # Wire-protocol smoke: the live_net scenario over real loopback TCP
 # (text + pipelined binary, up to 10k connections), gated hermetically
@@ -52,5 +54,9 @@ bench-smoke:
 net-smoke:
 	go run ./cmd/concord-bench -short -scenarios live_net -outdir bench-out
 	go run ./cmd/concord-bench -compare -hermetic BENCH_live_net.json bench-out/BENCH_live_net.json
+	# Task-pooling floor: allocs/req must stay strictly below the
+	# pre-pooling baselines (text 8.15, binary 7.33) no matter what the
+	# checked-in baseline drifts to.
+	go run ./cmd/concord-bench -assert bench-out/BENCH_live_net.json 'allocs_per_req_text<8.15' 'allocs_per_req_binary<7.33'
 
 .PHONY: tier1 race vet bench obs-smoke bench-json bench-smoke net-smoke

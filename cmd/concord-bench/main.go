@@ -32,6 +32,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 
 	"concord/internal/bench"
@@ -45,6 +46,7 @@ func main() {
 		outdir    = flag.String("outdir", ".", "directory for BENCH_<scenario>.json reports")
 		short     = flag.Bool("short", false, "cap repetitions at 2 and warmup at 1 (sizes unchanged)")
 		compare   = flag.Bool("compare", false, "compare two reports: concord-bench -compare old.json new.json")
+		assert    = flag.Bool("assert", false, "assert absolute metric bounds: concord-bench -assert report.json 'metric<value'...")
 		threshold = flag.Float64("threshold", 0.10, "relative worse-direction change required to flag")
 		hermetic  = flag.Bool("hermetic", false, "gate only hermetic metrics (cross-machine compare)")
 		list      = flag.Bool("list", false, "list scenarios and their metrics")
@@ -68,6 +70,9 @@ func main() {
 
 	if *compare {
 		os.Exit(runCompare(flag.Args(), *threshold, *hermetic))
+	}
+	if *assert {
+		os.Exit(runAssert(flag.Args()))
 	}
 	os.Exit(runSuite(*scenarios, *reps, *warmup, *outdir, *short))
 }
@@ -124,6 +129,51 @@ func runSuite(scenarios string, reps, warmup int, outdir string, short bool) int
 			m := r.Metrics[name]
 			fmt.Printf("  %-18s %12.4g ±%-10.3g %s\n", name, m.Mean, m.CI95, m.Unit)
 		}
+	}
+	return 0
+}
+
+// runAssert checks absolute bounds of the form "metric<value" against
+// one report — compare gates drift relative to a moving baseline, while
+// assert pins an invariant to a fixed number (e.g. "allocs/req stays
+// strictly below the pre-task-pooling count, whatever the baseline
+// currently says").
+func runAssert(args []string) int {
+	if len(args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: concord-bench -assert report.json 'metric<value'...")
+		return 2
+	}
+	r, err := bench.ReadFile(args[0])
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	failed := 0
+	for _, bound := range args[1:] {
+		name, limStr, ok := strings.Cut(bound, "<")
+		if !ok {
+			fmt.Fprintf(os.Stderr, "concord-bench: malformed bound %q (want metric<value)\n", bound)
+			return 2
+		}
+		lim, err := strconv.ParseFloat(limStr, 64)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "concord-bench: bad bound value in %q: %v\n", bound, err)
+			return 2
+		}
+		m, ok := r.Metrics[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "concord-bench: report %s has no metric %q\n", args[0], name)
+			return 2
+		}
+		if m.Mean < lim {
+			fmt.Printf("  ok: %s = %.4g < %g %s\n", name, m.Mean, lim, m.Unit)
+		} else {
+			fmt.Printf("  ASSERT FAILED: %s = %.4g, want < %g %s\n", name, m.Mean, lim, m.Unit)
+			failed++
+		}
+	}
+	if failed > 0 {
+		return 1
 	}
 	return 0
 }

@@ -116,7 +116,7 @@ func main() {
 		quantum    = flag.Duration("quantum", 200*time.Microsecond, "scheduling quantum (0 disables preemption)")
 		bound      = flag.Int("k", 2, "JBSQ queue bound")
 		shards     = flag.Int("shards", 1, "dispatcher shards, each owning a disjoint worker subset (clamped to [1,workers])")
-		policyName = flag.String("policy", live.PolicyFCFS, "central-queue discipline: fcfs or srpt (srpt orders by per-op service hints)")
+		policyName = flag.String("policy", live.PolicyFCFS, "central-queue discipline: fcfs, srpt (ordered by per-op service hints), cascade, or cascade-srpt (strict SLO-class tiers, fcfs/srpt within each tier)")
 		steal      = flag.Bool("steal", true, "work-conserving dispatcher")
 		keys       = flag.Int("keys", 15000, "pre-populated unique keys (paper: 15,000)")
 		valSize    = flag.Int("valsize", 64, "value size in bytes")
@@ -141,11 +141,12 @@ func main() {
 		shadowInt  = flag.Duration("shadow-interval", time.Second, "shadow replay period (needs -shadow)")
 		shadowRate = flag.Int("shadow-rate", 16, "capture 1 in N completed requests for shadow replay (needs -shadow)")
 		shadowDump = flag.String("shadowdump", "", "on shutdown, write the shadow replayer's window history as JSON to this file (needs -shadow)")
+		classes    = flag.Bool("classes", false, "enable SLO-class multi-tenancy: per-class admission (reserved critical capacity, sheddable shed first with SHED), per-class tail/SLO accounting, and class-aware preemption")
 	)
 	flag.Parse()
 
-	if *policyName != live.PolicyFCFS && *policyName != live.PolicySRPT {
-		log.Fatalf("-policy: unknown discipline %q (have fcfs, srpt)", *policyName)
+	if !live.ValidPolicy(*policyName) {
+		log.Fatalf("-policy: unknown discipline %q (have fcfs, srpt, cascade, cascade-srpt)", *policyName)
 	}
 	// The server clamps Shards to [1,Workers]; mirror that here so the
 	// tracer's ring layout matches the shard count live actually uses.
@@ -197,6 +198,17 @@ func main() {
 	if *shadowOn {
 		capRing = live.NewCaptureRing(4096, *shadowRate)
 	}
+	// Per-class tail/SLO trackers: each class measures against its own
+	// latency objective, so "critical met its SLO, sheddable burned" is a
+	// direct read rather than an inference from the aggregate tail.
+	var ctails *obs.ClassTails
+	if *classes || *obsAddr != "" {
+		slos := make([]obs.ClassSLO, live.NumClasses)
+		for c := live.SLOClass(0); c < live.NumClasses; c++ {
+			slos[c] = obs.ClassSLO{Target: c.DefaultObjective(), Objective: *sloObj}
+		}
+		ctails = obs.NewClassTails(slos, nil)
+	}
 	var cvEst *adapt.CVEstimator
 	liveOpts := live.Options{
 		Workers:        *workers,
@@ -211,6 +223,8 @@ func main() {
 		Tail:           tail,
 		Sketches:       sketches,
 		Capture:        capRing,
+		ClassAdmission: *classes,
+		ClassTails:     ctails,
 	}
 	if *adaptive {
 		cvEst = &adapt.CVEstimator{}
@@ -242,8 +256,13 @@ func main() {
 			MaxQuantum: *adaptMaxQ,
 			SLOTarget:  *sloTarget,
 			ClassScales: map[int]float64{
-				live.ClassShort: 0.5, // point ops: preempt whatever delays them sooner
-				live.ClassLong:  4,   // scans: fewer, cheaper preemptions
+				int(live.ClassCritical):  0.5, // preempt whatever delays critical work sooner
+				int(live.ClassSheddable): 4,   // background traffic: fewer, cheaper preemptions
+			},
+			ClassTiers: map[int]int{
+				int(live.ClassStandard):  live.ClassStandard.Tier(),
+				int(live.ClassCritical):  live.ClassCritical.Tier(),
+				int(live.ClassSheddable): live.ClassSheddable.Tier(),
 			},
 		}
 		if sketches != nil {
@@ -271,7 +290,7 @@ func main() {
 	}
 	var ns *netsrv.Server
 	nopts.Control = func(out io.Writer, line string, obsOn *bool) bool {
-		return serveControl(out, line, srv, ns, ob, ctrl, sketches, replayer, obsOn)
+		return serveControl(out, line, srv, ns, ob, ctrl, sketches, ctails, replayer, obsOn)
 	}
 	if tracer != nil {
 		nopts.Observe = func(op byte, resp live.Response) { ob.observe(proto.OpString(op), resp) }
@@ -284,7 +303,7 @@ func main() {
 	// goes false the moment the drain begins, not after it completes.
 	var draining atomic.Bool
 	if tracer != nil {
-		ob = newKVObs(tracer, tail, ctrl, srv, ns, sketches, replayer, *workers, effShards)
+		ob = newKVObs(tracer, tail, ctails, ctrl, srv, ns, sketches, replayer, *workers, effShards)
 		obsLn, err := net.Listen("tcp", *obsAddr)
 		if err != nil {
 			log.Fatalf("obs listen: %v", err)
@@ -431,11 +450,11 @@ type opHists struct {
 	ingress, egress                           trace.Histogram // wire phases
 }
 
-// classNames labels the scheduling classes the kvd actually routes
-// (live.ClassDefault/Short/Long, in index order) on sketch metrics.
-var classNames = []string{"default", "short", "long"}
+// classNames labels the SLO classes (live.SLOClass values, in index
+// order) on per-class metric families and STATS fields.
+var classNames = []string{"standard", "critical", "sheddable"}
 
-func newKVObs(tracer *obs.Tracer, tail *obs.TailTracker, ctrl *adapt.Controller, srv *live.Server, ns *netsrv.Server, sketches *obs.ClassSketches, replayer *shadow.Replayer, workers, shards int) *kvObs {
+func newKVObs(tracer *obs.Tracer, tail *obs.TailTracker, ctails *obs.ClassTails, ctrl *adapt.Controller, srv *live.Server, ns *netsrv.Server, sketches *obs.ClassSketches, replayer *shadow.Replayer, workers, shards int) *kvObs {
 	ob := &kvObs{tracer: tracer, tail: tail, metrics: &obs.Metrics{}, perOp: map[string]*opHists{}}
 	m := ob.metrics
 	counter := func(name, help string, f func(live.Stats) uint64) {
@@ -449,6 +468,46 @@ func newKVObs(tracer *obs.Tracer, tail *obs.TailTracker, ctrl *adapt.Controller,
 	counter("concord_preemptions_total", "request yields", func(s live.Stats) uint64 { return s.Preemptions })
 	counter("concord_dispatcher_run_total", "requests completed by a work-conserving dispatcher (own-queue or stolen)", func(s live.Stats) uint64 { return s.DispatcherRun })
 	counter("concord_steals_total", "never-started requests migrated between shards", func(s live.Stats) uint64 { return s.Steals })
+	counter("concord_shed_total", "sheddable requests dropped by class admission", func(s live.Stats) uint64 { return s.Shed })
+	for class, name := range classNames {
+		class, name := class, name
+		counter(fmt.Sprintf(`concord_class_requests_total{class="%s",result="submitted"}`, name),
+			"per-SLO-class request outcomes", func(s live.Stats) uint64 { return s.ClassSubmitted[class] })
+		counter(fmt.Sprintf(`concord_class_requests_total{class="%s",result="completed"}`, name),
+			"per-SLO-class request outcomes", func(s live.Stats) uint64 { return s.ClassCompleted[class] })
+		counter(fmt.Sprintf(`concord_class_requests_total{class="%s",result="rejected"}`, name),
+			"per-SLO-class request outcomes", func(s live.Stats) uint64 { return s.ClassRejected[class] })
+	}
+	if ctails != nil {
+		for class, name := range classNames {
+			ct, name := ctails.Tail(class), name
+			if ct == nil {
+				continue
+			}
+			win := ct.Windows()[0]
+			for _, q := range []struct {
+				label string
+				q     float64
+			}{{"p50", 0.50}, {"p99", 0.99}} {
+				q := q
+				m.RegisterGauge(
+					fmt.Sprintf(`concord_class_latency_us{class="%s",quantile="%s"}`, name, q.label),
+					"per-SLO-class rolling latency quantiles in microseconds (shortest window)",
+					func() float64 { return ct.Quantile(win, q.q) })
+			}
+			if slo := ct.SLO(); slo != nil {
+				m.RegisterGauge(fmt.Sprintf(`concord_class_slo_attainment{class="%s"}`, name),
+					"per-SLO-class good-request ratio over the long SLO window (1 = every request within the class objective)",
+					func() float64 {
+						s := slo.Snapshot()
+						if s.LongTotal == 0 {
+							return 1
+						}
+						return float64(s.LongGood) / float64(s.LongTotal)
+					})
+			}
+		}
+	}
 	m.RegisterGauge(`concord_queue_depth{queue="submit"}`, "live queue occupancy",
 		func() float64 { return float64(srv.Depths().Submit) })
 	m.RegisterGauge(`concord_queue_depth{queue="central"}`, "live queue occupancy",
@@ -700,10 +759,10 @@ func obsTrailer(resp live.Response) string {
 // serveControl handles the non-request text commands (STATS, TRACE,
 // OBS); it reports whether the line was one of them. netsrv calls it
 // for any text line the data protocol does not recognize.
-func serveControl(out io.Writer, line string, srv *live.Server, ns *netsrv.Server, ob *kvObs, ctrl *adapt.Controller, sketches *obs.ClassSketches, replayer *shadow.Replayer, obsOn *bool) bool {
+func serveControl(out io.Writer, line string, srv *live.Server, ns *netsrv.Server, ob *kvObs, ctrl *adapt.Controller, sketches *obs.ClassSketches, ctails *obs.ClassTails, replayer *shadow.Replayer, obsOn *bool) bool {
 	switch {
 	case line == "STATS":
-		fmt.Fprintf(out, "%s\n", statsLine(srv, ns, ob, ctrl, sketches, replayer))
+		fmt.Fprintf(out, "%s\n", statsLine(srv, ns, ob, ctrl, sketches, ctails, replayer))
 		return true
 	case line == "SHADOW" || strings.HasPrefix(line, "SHADOW "):
 		if replayer == nil {
@@ -782,7 +841,7 @@ func serveControl(out io.Writer, line string, srv *live.Server, ns *netsrv.Serve
 // /metrics family via metricFamilyForStatsKey — the consistency test
 // asserts it, so the text protocol and the Prometheus surface cannot
 // drift apart.
-func statsLine(srv *live.Server, ns *netsrv.Server, ob *kvObs, ctrl *adapt.Controller, sketches *obs.ClassSketches, replayer *shadow.Replayer) string {
+func statsLine(srv *live.Server, ns *netsrv.Server, ob *kvObs, ctrl *adapt.Controller, sketches *obs.ClassSketches, ctails *obs.ClassTails, replayer *shadow.Replayer) string {
 	st := srv.Stats()
 	d := srv.Depths()
 	occ := make([]string, len(d.Workers))
@@ -806,6 +865,18 @@ func statsLine(srv *live.Server, ns *netsrv.Server, ob *kvObs, ctrl *adapt.Contr
 	field("preemptions", u(st.Preemptions))
 	field("dispatcher_run", u(st.DispatcherRun))
 	field("steals", u(st.Steals))
+	field("shed", u(st.Shed))
+	// Comma-joined per class in classNames order, like occ/shardq.
+	classJoin := func(vals [live.NumClasses]uint64) string {
+		parts := make([]string, len(classNames))
+		for class := range classNames {
+			parts[class] = u(vals[class])
+		}
+		return strings.Join(parts, ",")
+	}
+	field("class_submitted", classJoin(st.ClassSubmitted))
+	field("class_completed", classJoin(st.ClassCompleted))
+	field("class_rejected", classJoin(st.ClassRejected))
 	field("central", strconv.Itoa(d.Central))
 	field("submitq", strconv.Itoa(d.Submit))
 	field("occ", strings.Join(occ, ","))
@@ -859,6 +930,27 @@ func statsLine(srv *live.Server, ns *netsrv.Server, ob *kvObs, ctrl *adapt.Contr
 			}
 			field("slo_alerting", alerting)
 		}
+	}
+	if ctails != nil {
+		p99s := make([]string, len(classNames))
+		attain := make([]string, len(classNames))
+		for class := range classNames {
+			ct := ctails.Tail(class)
+			if ct == nil {
+				p99s[class], attain[class] = "0.0", "1.000"
+				continue
+			}
+			p99s[class] = fmt.Sprintf("%.1f", ct.Quantile(ct.Windows()[0], 0.99))
+			ratio := 1.0
+			if slo := ct.SLO(); slo != nil {
+				if s := slo.Snapshot(); s.LongTotal > 0 {
+					ratio = float64(s.LongGood) / float64(s.LongTotal)
+				}
+			}
+			attain[class] = fmt.Sprintf("%.3f", ratio)
+		}
+		field("class_p99_us", strings.Join(p99s, ","))
+		field("class_slo", strings.Join(attain, ","))
 	}
 	if sketches != nil {
 		// Comma-joined per class in classNames order, like occ/shardq.
@@ -914,8 +1006,14 @@ func statsLine(srv *live.Server, ns *netsrv.Server, ob *kvObs, ctrl *adapt.Contr
 // consistency test turns into a failure).
 func metricFamilyForStatsKey(key string) string {
 	switch key {
-	case "submitted", "completed", "rejected", "expired", "aborted", "preemptions", "dispatcher_run", "steals":
+	case "submitted", "completed", "rejected", "expired", "aborted", "preemptions", "dispatcher_run", "steals", "shed":
 		return "concord_" + key + "_total"
+	case "class_submitted", "class_completed", "class_rejected":
+		return "concord_class_requests_total"
+	case "class_p99_us":
+		return "concord_class_latency_us"
+	case "class_slo":
+		return "concord_class_slo_attainment"
 	case "central", "submitq":
 		return "concord_queue_depth"
 	case "occ":

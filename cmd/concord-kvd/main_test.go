@@ -25,15 +25,16 @@ type testEnv struct {
 	ob       *kvObs
 	ctrl     *adapt.Controller
 	sketches *obs.ClassSketches
+	ctails   *obs.ClassTails
 	replayer *shadow.Replayer
 }
 
 func (e *testEnv) stats() string {
-	return statsLine(e.srv, e.ns, e.ob, e.ctrl, e.sketches, e.replayer)
+	return statsLine(e.srv, e.ns, e.ob, e.ctrl, e.sketches, e.ctails, e.replayer)
 }
 
 func (e *testEnv) control(out io.Writer, line string, obsOn *bool) bool {
-	return serveControl(out, line, e.srv, e.ns, e.ob, e.ctrl, e.sketches, e.replayer, obsOn)
+	return serveControl(out, line, e.srv, e.ns, e.ob, e.ctrl, e.sketches, e.ctails, e.replayer, obsOn)
 }
 
 // newTestObs boots an in-process server with the full observability
@@ -52,6 +53,11 @@ func newTestObsSharded(t *testing.T, shards int) *testEnv {
 	tail := obs.NewTailTracker(nil, slo)
 	cvEst := &adapt.CVEstimator{}
 	sketches := obs.NewClassSketches(live.NumClasses)
+	slos := make([]obs.ClassSLO, live.NumClasses)
+	for c := live.SLOClass(0); c < live.NumClasses; c++ {
+		slos[c] = obs.ClassSLO{Target: c.DefaultObjective(), Objective: 0.999}
+	}
+	ctails := obs.NewClassTails(slos, nil)
 	ring := live.NewCaptureRing(1024, 1)
 	srv := live.New(&netsrv.KVHandler{Store: kv.New(), ScanBatch: 64}, live.Options{
 		Workers:         workers,
@@ -63,6 +69,7 @@ func newTestObsSharded(t *testing.T, shards int) *testEnv {
 		ServiceObserver: cvEst.Observe,
 		Sketches:        sketches,
 		Capture:         ring,
+		ClassTails:      ctails,
 	})
 	srv.Start()
 	t.Cleanup(srv.Stop)
@@ -72,9 +79,10 @@ func newTestObsSharded(t *testing.T, shards int) *testEnv {
 	return &testEnv{
 		srv:      srv,
 		ns:       ns,
-		ob:       newKVObs(tracer, tail, ctrl, srv, ns, sketches, replayer, workers, shards),
+		ob:       newKVObs(tracer, tail, ctails, ctrl, srv, ns, sketches, replayer, workers, shards),
 		ctrl:     ctrl,
 		sketches: sketches,
+		ctails:   ctails,
 		replayer: replayer,
 	}
 }
@@ -141,7 +149,7 @@ func TestStatsNetFields(t *testing.T) {
 			t.Errorf("STATS line missing %q: %s", want, line)
 		}
 	}
-	bare := statsLine(e.srv, nil, nil, nil, nil, nil)
+	bare := statsLine(e.srv, nil, nil, nil, nil, nil, nil)
 	if strings.Contains(bare, "frames_in=") || strings.Contains(bare, "conns=") {
 		t.Errorf("bare STATS line has net fields: %s", bare)
 	}
@@ -164,7 +172,7 @@ func TestStatsLineWindowedFields(t *testing.T) {
 	}
 	// Without the obs surface the windowed fields must be absent but
 	// the counter fields still render.
-	bare := statsLine(e.srv, nil, nil, nil, nil, nil)
+	bare := statsLine(e.srv, nil, nil, nil, nil, nil, nil)
 	if strings.Contains(bare, "p50_") || strings.Contains(bare, "burn_") {
 		t.Errorf("bare STATS line has windowed fields: %s", bare)
 	}
@@ -239,7 +247,7 @@ func TestStatsAdaptiveFields(t *testing.T) {
 	if line := e.stats(); !strings.Contains(line, "adapt_decisions=31") {
 		t.Errorf("STATS line did not count decisions: %s", line)
 	}
-	bare := statsLine(e.srv, nil, nil, nil, nil, nil)
+	bare := statsLine(e.srv, nil, nil, nil, nil, nil, nil)
 	if strings.Contains(bare, "adapt_") {
 		t.Errorf("bare STATS line has adaptive fields: %s", bare)
 	}
@@ -320,7 +328,7 @@ func TestDecisionsControlVerb(t *testing.T) {
 		t.Fatalf("bad count reply = %q", out.String())
 	}
 	out.Reset()
-	if !serveControl(&out, "DECISIONS", e.srv, e.ns, e.ob, nil, e.sketches, e.replayer, &obsOn) {
+	if !serveControl(&out, "DECISIONS", e.srv, e.ns, e.ob, nil, e.sketches, e.ctails, e.replayer, &obsOn) {
 		t.Fatal("DECISIONS without controller not handled")
 	}
 	if !strings.HasPrefix(out.String(), "ERR ") {
@@ -361,24 +369,29 @@ func TestRuntimeHealthFamilies(t *testing.T) {
 	}
 }
 
-// TestSchedClasses: point ops class short, SCAN long, SPIN by declared
-// duration — the class table the adaptive controller keys per-class
-// quanta on.
-func TestSchedClasses(t *testing.T) {
+// TestSLOClasses: the class is the tenant's wire declaration, not a
+// property of the op — an undeclared request is standard regardless of
+// operation, a declared class rides through untouched, and the tier
+// order the cascade queue and controller key on is critical < standard
+// < sheddable.
+func TestSLOClasses(t *testing.T) {
 	for _, tc := range []struct {
 		req  *netsrv.Request
-		want int
+		want live.SLOClass
 	}{
-		{&netsrv.Request{Op: proto.OpGet, Key: []byte("k")}, live.ClassShort},
-		{&netsrv.Request{Op: proto.OpPut, Key: []byte("k")}, live.ClassShort},
-		{&netsrv.Request{Op: proto.OpDel, Key: []byte("k")}, live.ClassShort},
-		{&netsrv.Request{Op: proto.OpScan}, live.ClassLong},
-		{&netsrv.Request{Op: proto.OpSpin, Spin: 20 * time.Microsecond}, live.ClassShort},
-		{&netsrv.Request{Op: proto.OpSpin, Spin: 300 * time.Microsecond}, live.ClassLong},
+		{&netsrv.Request{Op: proto.OpGet, Key: []byte("k")}, live.ClassStandard},
+		{&netsrv.Request{Op: proto.OpScan}, live.ClassStandard},
+		{&netsrv.Request{Op: proto.OpSpin, Spin: 300 * time.Microsecond}, live.ClassStandard},
+		{&netsrv.Request{Op: proto.OpGet, Key: []byte("k"), Class: live.ClassCritical}, live.ClassCritical},
+		{&netsrv.Request{Op: proto.OpScan, Class: live.ClassSheddable}, live.ClassSheddable},
 	} {
-		if got := tc.req.SchedClass(); got != tc.want {
-			t.Errorf("op 0x%02x (spin %v): class %d, want %d", tc.req.Op, tc.req.Spin, got, tc.want)
+		if got := tc.req.SLOClass(); got != tc.want {
+			t.Errorf("op 0x%02x class %v: SLOClass %v, want %v", tc.req.Op, tc.req.Class, got, tc.want)
 		}
+	}
+	if !(live.ClassCritical.Tier() < live.ClassStandard.Tier() && live.ClassStandard.Tier() < live.ClassSheddable.Tier()) {
+		t.Errorf("tier order: critical %d, standard %d, sheddable %d",
+			live.ClassCritical.Tier(), live.ClassStandard.Tier(), live.ClassSheddable.Tier())
 	}
 }
 
@@ -463,8 +476,8 @@ func TestStatsSketchAndRegretFields(t *testing.T) {
 			t.Errorf("STATS line missing %q: %s", want, line)
 		}
 	}
-	// Point ops are ClassShort: its p50 slot (second of three) must be
-	// positive while untouched classes stay 0.
+	// Undeclared point ops are ClassStandard: its p50 slot (first of
+	// three) must be positive while untouched classes stay 0.
 	for _, f := range strings.Fields(line) {
 		if !strings.HasPrefix(f, "svc_p50_us=") {
 			continue
@@ -473,16 +486,16 @@ func TestStatsSketchAndRegretFields(t *testing.T) {
 		if len(vals) != 3 {
 			t.Fatalf("svc_p50_us has %d class slots, want 3: %q", len(vals), f)
 		}
-		if vals[1] == "0.0" {
-			t.Errorf("short-class p50 still zero after 30 GETs: %q", f)
+		if vals[0] == "0.0" {
+			t.Errorf("standard-class p50 still zero after 30 GETs: %q", f)
 		}
 	}
 	var sb strings.Builder
 	e.ob.metrics.WritePrometheus(&sb)
 	exposition := sb.String()
 	for _, family := range []string{
-		`concord_svc_time_us{class="short",quantile="p99"}`,
-		`concord_hint_error_count{class="short"}`,
+		`concord_svc_time_us{class="standard",quantile="p99"}`,
+		`concord_hint_error_count{class="standard"}`,
 		`concord_regret_p99_ratio{policy="srpt_oracle"}`,
 		`concord_regret_best_policy{policy="fcfs"}`,
 		"concord_regret_ratio", "concord_regret_windows_total",
@@ -493,7 +506,7 @@ func TestStatsSketchAndRegretFields(t *testing.T) {
 		}
 	}
 	// Without -shadow/-obs the bare line must carry none of the block.
-	bare := statsLine(e.srv, nil, nil, nil, nil, nil)
+	bare := statsLine(e.srv, nil, nil, nil, nil, nil, nil)
 	if strings.Contains(bare, "svc_p50_us=") || strings.Contains(bare, "regret") {
 		t.Errorf("bare STATS line has sketch/regret fields: %s", bare)
 	}
@@ -535,7 +548,7 @@ func TestShadowControlVerb(t *testing.T) {
 		t.Fatalf("bad count reply = %q", out.String())
 	}
 	out.Reset()
-	if !serveControl(&out, "SHADOW", e.srv, e.ns, e.ob, e.ctrl, e.sketches, nil, &obsOn) {
+	if !serveControl(&out, "SHADOW", e.srv, e.ns, e.ob, e.ctrl, e.sketches, e.ctails, nil, &obsOn) {
 		t.Fatal("SHADOW without replayer not handled")
 	}
 	if !strings.HasPrefix(out.String(), "ERR ") {

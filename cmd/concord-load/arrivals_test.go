@@ -1,0 +1,119 @@
+package main
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// TestArrivalsMeanRate: all three processes must offer the same mean
+// rate — burstiness reshapes the gaps, not the load.
+func TestArrivalsMeanRate(t *testing.T) {
+	const rate = 10000.0
+	const n = 200000
+	for _, name := range []string{"poisson", "gamma", "bimodal"} {
+		gen, err := arrivalsFor(name, rate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(7))
+		var sum time.Duration
+		for i := 0; i < n; i++ {
+			sum += gen(rng)
+		}
+		mean := float64(sum) / n
+		want := float64(time.Second) / rate
+		if mean < 0.9*want || mean > 1.1*want {
+			t.Errorf("%s: mean gap %.1fµs, want %.1fµs ±10%%",
+				name, mean/1e3, want/1e3)
+		}
+	}
+	if _, err := arrivalsFor("fractal", rate); err == nil {
+		t.Error("unknown process accepted")
+	}
+}
+
+// TestGammaArrivalsBursty: the gamma process must deliver CV ≈ 2.0 —
+// the point of the generator; a CV near 1 would be Poisson in disguise.
+func TestGammaArrivalsBursty(t *testing.T) {
+	gen, err := arrivalsFor("gamma", 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	const n = 200000
+	gaps := make([]float64, n)
+	var sum float64
+	for i := range gaps {
+		gaps[i] = float64(gen(rng))
+		sum += gaps[i]
+	}
+	mean := sum / n
+	var ss float64
+	for _, g := range gaps {
+		ss += (g - mean) * (g - mean)
+	}
+	cv := math.Sqrt(ss/n) / mean
+	if cv < 1.7 || cv > 2.3 {
+		t.Fatalf("gamma interarrival CV = %.2f, want ≈ 2.0", cv)
+	}
+}
+
+func TestClassPicker(t *testing.T) {
+	if pick, err := classPickerFor(""); err != nil || pick != nil {
+		t.Fatalf("empty spec: picker non-nil or err=%v, want nil/nil", err)
+	}
+	pick, err := classPickerFor("critical")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	if name, code := pick(rng); name != "critical" || code != 1 {
+		t.Fatalf("pinned class = %s/%d, want critical/1", name, code)
+	}
+
+	pick, err = classPickerFor("critical:1,standard:6,sheddable:3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	const n = 100000
+	for i := 0; i < n; i++ {
+		name, code := pick(rng)
+		if sloClasses[name] != code {
+			t.Fatalf("picker returned mismatched pair %s/%d", name, code)
+		}
+		counts[name]++
+	}
+	for name, wantFrac := range map[string]float64{"critical": 0.1, "standard": 0.6, "sheddable": 0.3} {
+		frac := float64(counts[name]) / n
+		if math.Abs(frac-wantFrac) > 0.02 {
+			t.Errorf("%s drawn %.3f of the time, want %.2f", name, frac, wantFrac)
+		}
+	}
+
+	for _, bad := range []string{"premium", "critical:x", "critical:-1", "critical:0"} {
+		if _, err := classPickerFor(bad); err == nil {
+			t.Errorf("spec %q accepted", bad)
+		}
+	}
+}
+
+// TestShedCountedApart: SHED replies land in their own tally (and count
+// as non-completions), in both the text-token and binary-status paths.
+func TestShedCountedApart(t *testing.T) {
+	if !failed("SHED\n") {
+		t.Fatal("SHED reply not treated as a non-completion")
+	}
+	var f failures
+	f.record(nil, "SHED\n")
+	f.record(nil, "OVERLOADED\n")
+	if f.shed.Load() != 1 || f.overloaded.Load() != 1 || f.other.Load() != 0 {
+		t.Fatalf("counts shed=%d overloaded=%d other=%d, want 1/1/0",
+			f.shed.Load(), f.overloaded.Load(), f.other.Load())
+	}
+	if f.total() != 2 {
+		t.Fatalf("total = %d, want 2", f.total())
+	}
+}

@@ -102,10 +102,12 @@ func (f *binFleet) launch(o op) {
 
 	bc.wmu.Lock()
 	bc.wbuf = bc.wbuf[:0]
+	// AppendClassRequest canonicalizes: class 0 (the classless default)
+	// still rides the v1 frame, so un-classed runs are byte-identical.
 	if o.code == proto.OpSpin {
-		bc.wbuf = proto.AppendSpinRequest(bc.wbuf, s.id, o.spinUS)
+		bc.wbuf = proto.AppendSpinClassRequest(bc.wbuf, o.slo, s.id, o.spinUS)
 	} else {
-		bc.wbuf = proto.AppendRequest(bc.wbuf, o.code, s.id, o.key, o.val)
+		bc.wbuf = proto.AppendClassRequest(bc.wbuf, o.code, o.slo, s.id, o.key, o.val)
 	}
 	_, err := bc.conn.Write(bc.wbuf)
 	bc.wmu.Unlock()

@@ -11,6 +11,15 @@
 //	-mix get    100% GET
 //	-mix spin   synthetic spins, bimodal 99.5% x 5µs / 0.5% x 500µs
 //
+// -class stamps an SLO class on every request (a fixed class or a
+// weighted mix like critical:1,standard:6,sheddable:3): text requests
+// gain an '@class' token, binary requests ride the v2 class frame, and
+// every per-class report splits by "sloclass/opclass". SHED replies —
+// sheddable work dropped by class admission — are counted apart from
+// hard failures. -arrivals picks the interarrival process: poisson
+// (CV=1), gamma (CV≈2.0 bursts), or bimodal on/off phases at the same
+// mean rate.
+//
 // By default requests ride the text protocol, one lockstep request per
 // pooled connection. With -proto binary each connection instead streams
 // pipelined binary frames, keeping -pipeline requests in flight and
@@ -44,6 +53,7 @@ import (
 	"net"
 	"os"
 	"sort"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"time"
@@ -53,17 +63,20 @@ import (
 )
 
 // failures tallies unsuccessful requests by kind; incremented from
-// per-request goroutines.
+// per-request goroutines. Shed requests (class admission dropping
+// sheddable work under overload) are counted apart from hard failures:
+// they are the multi-tenancy design working, not the server failing.
 type failures struct {
 	deadline   atomic.Int64 // server replied DEADLINE
 	overloaded atomic.Int64 // server replied OVERLOADED
 	stopped    atomic.Int64 // server replied STOPPED
+	shed       atomic.Int64 // server replied SHED (sheddable class dropped)
 	other      atomic.Int64 // transport errors and ERR replies
 	logged     atomic.Int64
 }
 
 func (f *failures) total() int64 {
-	return f.deadline.Load() + f.overloaded.Load() + f.stopped.Load() + f.other.Load()
+	return f.deadline.Load() + f.overloaded.Load() + f.stopped.Load() + f.shed.Load() + f.other.Load()
 }
 
 // record classifies one failed request; the first few are logged.
@@ -75,6 +88,9 @@ func (f *failures) record(err error, resp string) {
 		f.overloaded.Add(1)
 	case err == nil && strings.HasPrefix(resp, "STOPPED"):
 		f.stopped.Add(1)
+	case err == nil && strings.HasPrefix(resp, "SHED"):
+		f.shed.Add(1)
+		return // shedding is expected under overload; don't spam the log
 	default:
 		f.other.Add(1)
 	}
@@ -88,11 +104,14 @@ func failed(resp string) bool {
 	return strings.HasPrefix(resp, "ERR") ||
 		strings.HasPrefix(resp, "DEADLINE") ||
 		strings.HasPrefix(resp, "OVERLOADED") ||
-		strings.HasPrefix(resp, "STOPPED")
+		strings.HasPrefix(resp, "STOPPED") ||
+		strings.HasPrefix(resp, "SHED")
 }
 
 // op is one generated request in both wire forms: line is the text
-// protocol rendering, code/key/val/spinUS the binary frame fields.
+// protocol rendering, code/key/val/spinUS the binary frame fields. slo
+// is the SLO class byte (0 = standard/classless, matching the wire
+// default) stamped by the -class picker after the mix generates the op.
 type op struct {
 	line      string
 	class     string
@@ -100,6 +119,7 @@ type op struct {
 	code      byte
 	key, val  []byte
 	spinUS    uint32
+	slo       byte
 }
 
 type mixer func(r *rand.Rand) op
@@ -155,6 +175,136 @@ func mixFor(name string, keys int) (mixer, error) {
 	}
 }
 
+// sloClasses maps -class names to wire class bytes: the v2 binary
+// frame's class field and the '@name' text token. Values mirror
+// internal/live.SLOClass (standard is the zero value, so standard
+// requests still ride the v1 frame).
+var sloClasses = map[string]byte{"standard": 0, "critical": 1, "sheddable": 2}
+
+// classPickerFor parses the -class spec into a per-request picker.
+// A bare class name pins every request to that class; a weighted list
+// like "critical:1,standard:6,sheddable:3" draws each request's class
+// proportionally. Empty spec returns nil: requests stay classless.
+func classPickerFor(spec string) (func(r *rand.Rand) (string, byte), error) {
+	if spec == "" {
+		return nil, nil
+	}
+	type entry struct {
+		name   string
+		code   byte
+		weight float64
+	}
+	var entries []entry
+	var total float64
+	for _, part := range strings.Split(spec, ",") {
+		name, w, weighted := strings.Cut(strings.TrimSpace(part), ":")
+		code, ok := sloClasses[name]
+		if !ok {
+			return nil, fmt.Errorf("-class: unknown SLO class %q (have critical, standard, sheddable)", name)
+		}
+		weight := 1.0
+		if weighted {
+			v, err := strconv.ParseFloat(w, 64)
+			if err != nil || v < 0 {
+				return nil, fmt.Errorf("-class: bad weight %q for %s", w, name)
+			}
+			weight = v
+		}
+		entries = append(entries, entry{name, code, weight})
+		total += weight
+	}
+	if total <= 0 {
+		return nil, fmt.Errorf("-class: weights sum to zero")
+	}
+	return func(r *rand.Rand) (string, byte) {
+		v := r.Float64() * total
+		for _, e := range entries {
+			if v -= e.weight; v < 0 {
+				return e.name, e.code
+			}
+		}
+		last := entries[len(entries)-1]
+		return last.name, last.code
+	}, nil
+}
+
+// arrivalsFor builds the interarrival-gap generator for -arrivals. All
+// three processes offer the same mean rate; they differ in burstiness:
+//
+//	poisson  exponential gaps, CV = 1 (the open-loop baseline)
+//	gamma    gamma-distributed gaps with CV ≈ 2.0 (shape k = 1/CV² =
+//	         0.25): heavy clustering with long lulls, the classic
+//	         "bursty datacenter arrivals" stressor
+//	bimodal  on/off phases — 200ms bursts at 4× the rate alternating
+//	         with 800ms valleys at 0.25×, preserving the mean
+//	         (0.2·4 + 0.8·0.25 = 1)
+//
+// The returned closure is stateful (bimodal tracks its phase) and must
+// be called from a single goroutine — which the arrival loop is.
+func arrivalsFor(name string, rate float64) (func(r *rand.Rand) time.Duration, error) {
+	meanGap := float64(time.Second) / rate
+	switch name {
+	case "poisson":
+		return func(r *rand.Rand) time.Duration {
+			return time.Duration(r.ExpFloat64() * meanGap)
+		}, nil
+	case "gamma":
+		const shape = 0.25 // CV = 1/sqrt(k) = 2.0
+		scale := meanGap / shape
+		return func(r *rand.Rand) time.Duration {
+			return time.Duration(sampleGamma(r, shape) * scale)
+		}, nil
+	case "bimodal":
+		const (
+			onDur, offDur   = 200 * time.Millisecond, 800 * time.Millisecond
+			onMult, offMult = 4.0, 0.25
+		)
+		phaseLeft, on := onDur, true
+		return func(r *rand.Rand) time.Duration {
+			mult := offMult
+			if on {
+				mult = onMult
+			}
+			gap := time.Duration(r.ExpFloat64() * meanGap / mult)
+			phaseLeft -= gap
+			for phaseLeft <= 0 {
+				on = !on
+				if on {
+					phaseLeft += onDur
+				} else {
+					phaseLeft += offDur
+				}
+			}
+			return gap
+		}, nil
+	default:
+		return nil, fmt.Errorf("-arrivals: unknown process %q (have poisson, gamma, bimodal)", name)
+	}
+}
+
+// sampleGamma draws from Gamma(shape k, scale 1) via Marsaglia–Tsang
+// (2000). Their method needs k ≥ 1; for k < 1 it draws Gamma(k+1) and
+// applies the standard U^(1/k) boost.
+func sampleGamma(r *rand.Rand, k float64) float64 {
+	if k < 1 {
+		return sampleGamma(r, k+1) * math.Pow(r.Float64(), 1/k)
+	}
+	d := k - 1.0/3
+	c := 1 / math.Sqrt(9*d)
+	for {
+		x := r.NormFloat64()
+		v := 1 + c*x
+		if v <= 0 {
+			continue
+		}
+		v = v * v * v
+		u := r.Float64()
+		if u < 1-0.0331*x*x*x*x || math.Log(u) < 0.5*x*x+d*(1-v+math.Log(v)) {
+			return d * v
+		}
+	}
+}
+
 func main() {
 	var (
 		addr     = flag.String("addr", "127.0.0.1:7070", "server address")
@@ -164,6 +314,8 @@ func main() {
 		protoOpt = flag.String("proto", "text", "wire protocol: text (lockstep lines) or binary (pipelined frames)")
 		pipeline = flag.Int("pipeline", 16, "per-connection pipeline depth (binary protocol only)")
 		mix      = flag.String("mix", "zippy", "workload mix: 5050, zippy, get, spin")
+		classes  = flag.String("class", "", "SLO class per request: a class name (critical, standard, sheddable) or a weighted mix like critical:1,standard:6,sheddable:3; empty sends classless (standard) requests")
+		arrivals = flag.String("arrivals", "poisson", "interarrival process: poisson (CV=1), gamma (bursty, CV=2.0), bimodal (200ms 4x bursts / 800ms 0.25x valleys)")
 		keys     = flag.Int("keys", 15000, "key space (must match the server)")
 		seed     = flag.Int64("seed", 1, "random seed")
 		csvPath  = flag.String("csv", "", "write per-request records to this CSV file")
@@ -179,6 +331,14 @@ func main() {
 	}
 
 	gen, err := mixFor(*mix, *keys)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pickClass, err := classPickerFor(*classes)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nextGap, err := arrivalsFor(*arrivals, *rate)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -245,10 +405,19 @@ func main() {
 	inflight := 0
 
 	for time.Now().Before(deadline) {
-		// Poisson arrivals: exponential gaps at the offered rate.
-		gap := time.Duration(rng.ExpFloat64() / *rate * float64(time.Second))
-		time.Sleep(gap)
+		// Open-loop arrivals: gaps from the -arrivals process at the
+		// offered mean rate, regardless of completions.
+		time.Sleep(nextGap(rng))
 		o := gen(rng)
+		if pickClass != nil {
+			// Stamp the SLO class on both wire forms and prefix the
+			// record label so every per-class table (breakdown, gap,
+			// -summaryjson classes) splits by SLO class too.
+			name, code := pickClass(rng)
+			o.slo = code
+			o.line = "@" + name + " " + o.line
+			o.class = name + "/" + o.class
+		}
 		if fleet != nil {
 			fleet.launch(o) // blocks when every pipeline slot is in flight
 			launched++
@@ -324,8 +493,9 @@ func main() {
 	fmt.Printf("offered %.0f rps, launched %d, completed %d (%.0f rps achieved), failed %d\n",
 		*rate, launched, completed, achieved, nfail)
 	if nfail > 0 {
-		fmt.Printf("failures: deadline=%d overloaded=%d stopped=%d other=%d\n",
-			fails.deadline.Load(), fails.overloaded.Load(), fails.stopped.Load(), fails.other.Load())
+		fmt.Printf("failures: deadline=%d overloaded=%d stopped=%d shed=%d other=%d\n",
+			fails.deadline.Load(), fails.overloaded.Load(), fails.stopped.Load(),
+			fails.shed.Load(), fails.other.Load())
 	}
 	fmt.Printf("steady-state: %s\n", sum)
 	if !math.IsNaN(sum.P999) {
@@ -370,6 +540,8 @@ func main() {
 		s := runSummary{
 			Schema:          1,
 			Mix:             *mix,
+			ClassSpec:       *classes,
+			Arrivals:        *arrivals,
 			DurationSec:     duration.Seconds(),
 			OfferedRPS:      *rate,
 			AchievedRPS:     achieved,
@@ -380,6 +552,7 @@ func main() {
 				Deadline:   fails.deadline.Load(),
 				Overloaded: fails.overloaded.Load(),
 				Stopped:    fails.stopped.Load(),
+				Shed:       fails.shed.Load(),
 				Other:      fails.other.Load(),
 			},
 			Steady: steadyStats{
@@ -407,8 +580,13 @@ func main() {
 // in machine-readable form. Latency statistics carry the same warmup
 // discard as the printed steady-state summary.
 type runSummary struct {
-	Schema          int                  `json:"schema"`
-	Mix             string               `json:"mix"`
+	Schema int    `json:"schema"`
+	Mix    string `json:"mix"`
+	// ClassSpec and Arrivals echo -class and -arrivals (additive;
+	// schema stays 1). Class-stamped runs also split the classes section by
+	// SLO class, keyed "sloclass/opclass".
+	ClassSpec       string               `json:"class,omitempty"`
+	Arrivals        string               `json:"arrivals"`
 	DurationSec     float64              `json:"duration_sec"`
 	OfferedRPS      float64              `json:"offered_rps"`
 	AchievedRPS     float64              `json:"achieved_rps"`
@@ -427,6 +605,7 @@ type failCounts struct {
 	Deadline   int64 `json:"deadline"`
 	Overloaded int64 `json:"overloaded"`
 	Stopped    int64 `json:"stopped"`
+	Shed       int64 `json:"shed"`
 	Other      int64 `json:"other"`
 }
 
@@ -586,7 +765,7 @@ func printBreakdown(recs []trace.Record) {
 	}
 	sort.Strings(classes)
 	fmt.Println("component breakdown (µs, from server-side tracing):")
-	fmt.Printf("%-8s %-10s %10s %10s %10s %10s\n", "class", "component", "p50", "p99", "p99.9", "mean")
+	fmt.Printf("%-15s %-10s %10s %10s %10s %10s\n", "class", "component", "p50", "p99", "p99.9", "mean")
 	for _, cl := range classes {
 		c := byClass[cl]
 		for _, row := range []struct {
@@ -606,17 +785,17 @@ func printBreakdown(recs []trace.Record) {
 			if s.Count > 0 {
 				mean = s.SumUS / float64(s.Count)
 			}
-			fmt.Printf("%-8s %-10s %10.1f %10.1f %10.1f %10.1f\n",
+			fmt.Printf("%-15s %-10s %10.1f %10.1f %10.1f %10.1f\n",
 				cl, row.name, s.Quantile(0.50), s.Quantile(0.99), s.Quantile(0.999), mean)
 		}
-		fmt.Printf("%-8s %-10s %10.2f preempts/req over %d requests\n", cl, "preempt", float64(c.preempts)/float64(c.n), c.n)
+		fmt.Printf("%-15s %-10s %10.2f preempts/req over %d requests\n", cl, "preempt", float64(c.preempts)/float64(c.n), c.n)
 	}
 	// The gap table: what the client measured minus what the server can
 	// account for, wire to wire. What remains is the network and the
 	// client's own scheduling — if the gap dwarfs the server total, the
 	// bottleneck is not in the server at all.
 	fmt.Println("client-vs-server latency gap (µs; gap = client sojourn - server wire-to-wire total):")
-	fmt.Printf("%-8s %8s %12s %12s %12s %12s %10s %10s\n",
+	fmt.Printf("%-15s %8s %12s %12s %12s %12s %10s %10s\n",
 		"class", "n", "client p50", "client p99", "client mean", "server mean", "gap mean", "gap p99")
 	for _, cl := range classes {
 		c := byClass[cl]
@@ -639,7 +818,7 @@ func printBreakdown(recs []trace.Record) {
 			return v[rank-1]
 		}
 		n := float64(c.n)
-		fmt.Printf("%-8s %8d %12.1f %12.1f %12.1f %12.1f %10.1f %10.1f\n",
+		fmt.Printf("%-15s %8d %12.1f %12.1f %12.1f %12.1f %10.1f %10.1f\n",
 			cl, c.n, pct(sorted, 50), pct(sorted, 99), sumClient/n, sumServer/n,
 			sumGap/n, pct(gaps, 99))
 	}

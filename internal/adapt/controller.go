@@ -62,10 +62,19 @@ type Config struct {
 	// before its CV moves the estimate. Default 16.
 	MinSamples int64
 	// ClassScales maps a scheduling class to a multiplier on the base
-	// quantum (e.g. live.ClassShort→0.5, live.ClassLong→4). Scaled
-	// quanta are re-derived and clamped to [MinQuantum, MaxQuantum]
-	// whenever the base quantum moves. Nil disables per-class quanta.
+	// quantum (e.g. live.ClassCritical→0.5, live.ClassSheddable→4).
+	// Scaled quanta are re-derived and clamped to [MinQuantum,
+	// MaxQuantum] whenever the base quantum moves. Nil disables
+	// per-class quanta.
 	ClassScales map[int]float64
+	// ClassTiers maps a class to its SLO tier (live.SLOClass.Tier) and
+	// constrains the resolved scales: a tier-0 (critical) class's scale
+	// is capped at 1 — its quantum is never looser than the base, no
+	// matter what the measured service times say — and a tier ≥2
+	// (sheddable) class's scale is floored at 1, so background traffic
+	// never preempts more eagerly than the base. Nil applies no tier
+	// constraints.
+	ClassTiers map[int]int
 	// ClassSvcNS, when set, supplies measured per-class service-time
 	// quantiles in ns (index = class; 0 = no data for that class yet —
 	// typically obs.ClassSketches.ServiceQuantilesNS). The controller
@@ -329,6 +338,14 @@ const (
 // hold c.mu (or are in New, before the controller is shared).
 func (c *Controller) applyClassQuanta(base time.Duration) {
 	for class, scale := range c.classScales() {
+		if tier, ok := c.cfg.ClassTiers[class]; ok {
+			if tier == 0 && scale > 1 {
+				scale = 1 // critical never runs a looser quantum than base
+			}
+			if tier >= 2 && scale < 1 {
+				scale = 1 // sheddable never preempts tighter than base
+			}
+		}
 		q := time.Duration(float64(base) * scale)
 		if q < c.cfg.MinQuantum {
 			q = c.cfg.MinQuantum

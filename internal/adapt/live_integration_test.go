@@ -16,10 +16,10 @@ import (
 
 type classedSpin struct {
 	d     time.Duration
-	class int
+	class live.SLOClass
 }
 
-func (p classedSpin) SchedClass() int { return p.class }
+func (p classedSpin) SLOClass() live.SLOClass { return p.class }
 
 type liveSpinHandler struct{}
 
@@ -47,14 +47,16 @@ func TestLiveClassQuantaFollowMeasuredService(t *testing.T) {
 	}
 	c := New(s, cfg)
 
-	// A 100× true separation: on a contended CI machine wall-clock spins
-	// measure inflated (the 20µs spin can read >100µs under Go-scheduler
-	// interference), so the gap must be wide enough that measurement
-	// noise cannot close it below the asserted ratio.
+	// A 300× true separation: on a contended 1-vCPU machine wall-clock
+	// spins measure inflated — a 20µs spin descheduled behind a long
+	// spin can read ~600µs at p90 — so the long class must dwarf not
+	// just the short class's true service but its worst-case inflated
+	// reading, or scheduler jitter closes the measured ratio below the
+	// asserted one.
 	var chans []<-chan live.Response
 	for i := 0; i < 30; i++ {
-		chans = append(chans, s.Submit(classedSpin{d: 20 * time.Microsecond, class: live.ClassShort}))
-		chans = append(chans, s.Submit(classedSpin{d: 2 * time.Millisecond, class: live.ClassLong}))
+		chans = append(chans, s.Submit(classedSpin{d: 20 * time.Microsecond, class: live.ClassCritical}))
+		chans = append(chans, s.Submit(classedSpin{d: 6 * time.Millisecond, class: live.ClassSheddable}))
 	}
 	for _, ch := range chans {
 		if resp := <-ch; resp.Err != nil {
@@ -63,13 +65,13 @@ func TestLiveClassQuantaFollowMeasuredService(t *testing.T) {
 	}
 
 	c.Step(Signals{})
-	short, long := s.ClassQuantum(live.ClassShort), s.ClassQuantum(live.ClassLong)
+	short, long := s.ClassQuantum(int(live.ClassCritical)), s.ClassQuantum(int(live.ClassSheddable))
 	if short <= 0 || long <= 0 {
 		t.Fatalf("class quanta unset after measured step: short %v long %v", short, long)
 	}
-	// Long work spins 100× the short work; the measured quanta must at
+	// Long work spins 300× the short work; the measured quanta must at
 	// least preserve the ordering with real headroom (4× is far under
-	// the true 100× ratio but over any timing jitter).
+	// the true 300× ratio but over any timing jitter).
 	if long < 4*short {
 		t.Fatalf("class quanta did not follow measured service: short %v long %v", short, long)
 	}

@@ -1,0 +1,8 @@
+//go:build !race
+
+package bench
+
+// raceEnabled reports whether the race detector is compiled in; tests
+// use it to skip load-calibrated scenario gates that are meaningless
+// under the detector's slowdown.
+const raceEnabled = false

@@ -16,6 +16,12 @@ func TestScenarioSuiteSmoke(t *testing.T) {
 	for _, s := range Scenarios() {
 		s := s
 		t.Run(s.Name, func(t *testing.T) {
+			if raceEnabled && s.Name == "live_multitenant" {
+				// Under the race detector the paced overload can't outrun
+				// the slowed server, so shed_frac legitimately reads zero;
+				// race coverage of those paths is live's chaos suite.
+				t.Skip("overload pacing can't saturate under -race")
+			}
 			r, err := Run(s, 0, 1, nil)
 			if err != nil {
 				t.Fatal(err)

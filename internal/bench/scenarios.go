@@ -61,7 +61,7 @@ var coreLoads = []float64{60, 120, 180, 240, 300}
 
 // Scenarios returns the standard suite in run order.
 func Scenarios() []Scenario {
-	return []Scenario{CoreScenario(), LiveScenario(), LiveShardedScenario(), LiveAdaptiveScenario(), NetScenario(), LiveRegretScenario()}
+	return []Scenario{CoreScenario(), LiveScenario(), LiveShardedScenario(), LiveAdaptiveScenario(), NetScenario(), LiveRegretScenario(), LiveMultitenantScenario()}
 }
 
 // ByName resolves a scenario by its report name.

@@ -81,17 +81,18 @@ var adaptiveStatics = []struct {
 }
 
 // adaptiveReq is the scenario payload: a spin request that carries its
-// own duration as an SRPT hint and classes itself the way the kvd wire
-// handler does (short below 100µs, long at or above).
+// own duration as an SRPT hint and an SLO class split by size (long
+// spins declare themselves sheddable, the rest standard), exercising
+// the per-class sensor path the controller reads from.
 type adaptiveReq struct{ spin time.Duration }
 
 func (r adaptiveReq) ServiceHint() time.Duration { return r.spin }
 
-func (r adaptiveReq) SchedClass() int {
+func (r adaptiveReq) SLOClass() live.SLOClass {
 	if r.spin >= 100*time.Microsecond {
-		return live.ClassLong
+		return live.ClassSheddable
 	}
-	return live.ClassShort
+	return live.ClassStandard
 }
 
 // adaptiveSpinHandler executes adaptiveReq payloads.

@@ -40,13 +40,13 @@ func TestSetQuantumTakesEffect(t *testing.T) {
 	}
 }
 
-// classedSpin spins for d under a scheduling class.
+// classedSpin spins for d under an SLO class.
 type classedSpin struct {
 	d     time.Duration
-	class int
+	class SLOClass
 }
 
-func (p classedSpin) SchedClass() int { return p.class }
+func (p classedSpin) SLOClass() SLOClass { return p.class }
 
 type classedSpinHandler struct{}
 
@@ -65,23 +65,23 @@ func TestSetClassQuantumOverridesBase(t *testing.T) {
 	s.Start()
 	defer s.Stop()
 
-	s.SetClassQuantum(ClassShort, 100*time.Microsecond)
-	if got := s.ClassQuantum(ClassShort); got != 100*time.Microsecond {
-		t.Fatalf("ClassQuantum(ClassShort) = %v, want 100µs", got)
+	s.SetClassQuantum(int(ClassCritical), 100*time.Microsecond)
+	if got := s.ClassQuantum(int(ClassCritical)); got != 100*time.Microsecond {
+		t.Fatalf("ClassQuantum(ClassCritical) = %v, want 100µs", got)
 	}
 
-	short := s.Submit(classedSpin{d: 1500 * time.Microsecond, class: ClassShort})
-	if resp := <-short; resp.Err != nil || resp.Preemptions == 0 {
-		t.Fatalf("ClassShort under 100µs override: err %v, preemptions %d, want > 0", resp.Err, resp.Preemptions)
+	crit := s.Submit(classedSpin{d: 1500 * time.Microsecond, class: ClassCritical})
+	if resp := <-crit; resp.Err != nil || resp.Preemptions == 0 {
+		t.Fatalf("ClassCritical under 100µs override: err %v, preemptions %d, want > 0", resp.Err, resp.Preemptions)
 	}
-	def := s.Submit(classedSpin{d: 1500 * time.Microsecond, class: ClassDefault})
-	if resp := <-def; resp.Err != nil || resp.Preemptions != 0 {
-		t.Fatalf("ClassDefault under 5ms base: err %v, preemptions %d, want none", resp.Err, resp.Preemptions)
+	std := s.Submit(classedSpin{d: 1500 * time.Microsecond, class: ClassStandard})
+	if resp := <-std; resp.Err != nil || resp.Preemptions != 0 {
+		t.Fatalf("ClassStandard under 5ms base: err %v, preemptions %d, want none", resp.Err, resp.Preemptions)
 	}
 
 	// Out-of-range classes are ignored, not a panic.
 	s.SetClassQuantum(-1, time.Microsecond)
-	s.SetClassQuantum(NumClasses, time.Microsecond)
+	s.SetClassQuantum(int(NumClasses), time.Microsecond)
 	if got := s.ClassQuantum(-1); got != 0 {
 		t.Fatalf("ClassQuantum(-1) = %v, want 0", got)
 	}

@@ -66,27 +66,27 @@ func TestCaptureRingWrapKeepsNewestSorted(t *testing.T) {
 	if w2 := r.TakeWindow(); len(w2.Recs) != 0 || w2.Offered != 0 {
 		t.Fatalf("second drain not empty: %d recs / %d offered", len(w2.Recs), w2.Offered)
 	}
-	tk, resp := captureTask(time.Now(), ClassLong, 2000, 1500)
+	tk, resp := captureTask(time.Now(), uint8(ClassSheddable), 2000, 1500)
 	r.offer(tk, resp)
 	w3 := r.TakeWindow()
 	if len(w3.Recs) != 1 || w3.Offered != 1 {
 		t.Fatalf("post-reset window: %d recs / %d offered, want 1 / 1", len(w3.Recs), w3.Offered)
 	}
 	rec := w3.Recs[0]
-	if rec.Class != ClassLong || rec.HintNS != 2000 || rec.ServiceNS != 1500 || rec.LatencyNS != 4500 {
+	if rec.Class != uint8(ClassSheddable) || rec.HintNS != 2000 || rec.ServiceNS != 1500 || rec.LatencyNS != 4500 {
 		t.Fatalf("record fields dropped: %+v", rec)
 	}
 }
 
 // obsSpin is a payload exercising every observer input at once: it
-// spins for d under a scheduling class with a service hint.
+// spins for d under an SLO class with a service hint.
 type obsSpin struct {
 	d     time.Duration
-	class int
+	class SLOClass
 	hint  time.Duration
 }
 
-func (p obsSpin) SchedClass() int            { return p.class }
+func (p obsSpin) SLOClass() SLOClass         { return p.class }
 func (p obsSpin) ServiceHint() time.Duration { return p.hint }
 
 type obsSpinHandler struct{}
@@ -114,8 +114,8 @@ func TestSketchesAndCaptureFedFromCompletions(t *testing.T) {
 	const perClass = 20
 	var chans []<-chan Response
 	for i := 0; i < perClass; i++ {
-		chans = append(chans, s.Submit(obsSpin{d: 20 * time.Microsecond, class: ClassShort, hint: 20 * time.Microsecond}))
-		chans = append(chans, s.Submit(obsSpin{d: 200 * time.Microsecond, class: ClassLong, hint: 100 * time.Microsecond}))
+		chans = append(chans, s.Submit(obsSpin{d: 20 * time.Microsecond, class: ClassCritical, hint: 20 * time.Microsecond}))
+		chans = append(chans, s.Submit(obsSpin{d: 200 * time.Microsecond, class: ClassSheddable, hint: 100 * time.Microsecond}))
 	}
 	for _, ch := range chans {
 		if resp := <-ch; resp.Err != nil {
@@ -124,7 +124,7 @@ func TestSketchesAndCaptureFedFromCompletions(t *testing.T) {
 	}
 	s.Stop()
 
-	for _, class := range []int{ClassShort, ClassLong} {
+	for _, class := range []int{int(ClassCritical), int(ClassSheddable)} {
 		snap := sk.Service(class).Snapshot()
 		if snap.Count != perClass {
 			t.Fatalf("class %d sketch count %d, want %d", class, snap.Count, perClass)
@@ -135,11 +135,11 @@ func TestSketchesAndCaptureFedFromCompletions(t *testing.T) {
 	}
 	// Long requests spin 10× the short ones; the sketches must order
 	// their medians accordingly (generous 2× margin for timer jitter).
-	if short, long := sk.ServiceQuantileNS(ClassShort, 0.5), sk.ServiceQuantileNS(ClassLong, 0.5); long < 2*short {
+	if short, long := sk.ServiceQuantileNS(int(ClassCritical), 0.5), sk.ServiceQuantileNS(int(ClassSheddable), 0.5); long < 2*short {
 		t.Fatalf("median service: short %.0fns long %.0fns — classes not separated", short, long)
 	}
-	if n := sk.Service(ClassDefault).Snapshot().Count; n != 0 {
-		t.Fatalf("default class saw %d completions, want 0", n)
+	if n := sk.Service(int(ClassStandard)).Snapshot().Count; n != 0 {
+		t.Fatalf("standard class saw %d completions, want 0", n)
 	}
 
 	w := ring.TakeWindow()
@@ -150,8 +150,8 @@ func TestSketchesAndCaptureFedFromCompletions(t *testing.T) {
 		if rec.ServiceNS <= 0 || rec.LatencyNS < rec.ServiceNS || rec.HintNS <= 0 {
 			t.Fatalf("rec %d incomplete: %+v", i, rec)
 		}
-		if rec.Class != ClassShort && rec.Class != ClassLong {
-			t.Fatalf("rec %d class %d, want short/long", i, rec.Class)
+		if rec.Class != uint8(ClassCritical) && rec.Class != uint8(ClassSheddable) {
+			t.Fatalf("rec %d class %d, want critical/sheddable", i, rec.Class)
 		}
 	}
 }
@@ -185,7 +185,7 @@ func TestObserverDisabledOverhead(t *testing.T) {
 	runBatch := func(s *Server) float64 {
 		start := time.Now()
 		for i := 0; i < perBatch; i++ {
-			if resp := s.Do(obsSpin{d: 10 * time.Microsecond, class: ClassShort, hint: 10 * time.Microsecond}); resp.Err != nil {
+			if resp := s.Do(obsSpin{d: 10 * time.Microsecond, class: ClassCritical, hint: 10 * time.Microsecond}); resp.Err != nil {
 				t.Fatal(resp.Err)
 			}
 		}

@@ -9,17 +9,22 @@ package live
 // dropped). Run with -race; see `make race`.
 
 import (
+	"fmt"
 	"math/rand"
 	"sync"
 	"testing"
 	"time"
 )
 
-// chaosReq drives one misbehaving (or well-behaved) request.
+// chaosReq drives one misbehaving (or well-behaved) request. The zero
+// class is standard, so the pre-existing suites run classless.
 type chaosReq struct {
-	kind string // "quick", "spin", "nopoll", "panic"
-	d    time.Duration
+	kind  string // "quick", "spin", "nopoll", "panic"
+	d     time.Duration
+	class SLOClass
 }
+
+func (r chaosReq) SLOClass() SLOClass { return r.class }
 
 type chaosHandler struct{}
 
@@ -151,6 +156,118 @@ func TestChaosLifecycle(t *testing.T) {
 			if st.Submitted != st.Completed {
 				t.Fatalf("chaos: submitted %d != completed %d (accepted request dropped); stats %+v",
 					st.Submitted, st.Completed, st)
+			}
+		})
+	}
+}
+
+// TestChaosSheddingOverloadStop: overload with per-class admission
+// actively shedding, then Stop mid-load — the exactly-one-response
+// invariant must survive the three-way race between class admission
+// (ErrShed), backpressure (ErrQueueFull), and the stop gate
+// (ErrServerStopped), across shard counts like the lifecycle suites.
+// ErrShed must only ever land on sheddable submissions.
+func TestChaosSheddingOverloadStop(t *testing.T) {
+	for _, shards := range []int{1, 2, 4} {
+		t.Run(fmt.Sprintf("shards%d", shards), func(t *testing.T) {
+			s := New(chaosHandler{}, Options{
+				Workers: 4, Shards: shards,
+				Quantum: 100 * time.Microsecond,
+				Policy:  PolicyCascade,
+				// A tiny buffer keeps the sheddable watermark in easy
+				// reach, so admission sheds from the first burst.
+				SubmitBuffer:   8,
+				ClassAdmission: true,
+				DrainTimeout:   500 * time.Millisecond,
+				PinThreads:     false,
+			})
+			s.Start()
+
+			const clients, perClient = 8, 60
+			var wg sync.WaitGroup
+			var shedWrongClass sync.Map
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func(c int) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(int64(c)*104729 + 3))
+					check := func(req chaosReq, ch <-chan Response) bool {
+						select {
+						case resp := <-ch:
+							if resp.Err == ErrShed && req.class != ClassSheddable {
+								shedWrongClass.Store(req.class, true)
+							}
+							select {
+							case <-ch:
+								t.Error("chaos: second response on one submission")
+								return false
+							default:
+							}
+							return true
+						case <-time.After(15 * time.Second):
+							t.Error("chaos: submission never answered")
+							return false
+						}
+					}
+					classed := func() chaosReq {
+						req := randomChaosReq(rng)
+						switch v := rng.Float64(); {
+						case v < 0.2:
+							req.class = ClassCritical
+						case v < 0.5:
+							req.class = ClassStandard
+						default:
+							req.class = ClassSheddable
+						}
+						return req
+					}
+					if c%2 == 0 {
+						// Flooder: batch-submit the lot to overrun the
+						// tiny buffers, read late.
+						reqs := make([]chaosReq, perClient)
+						chans := make([]<-chan Response, perClient)
+						for i := range reqs {
+							reqs[i] = classed()
+							chans[i] = s.Submit(reqs[i])
+						}
+						time.Sleep(time.Duration(rng.Intn(3)) * time.Millisecond)
+						for i := range reqs {
+							if !check(reqs[i], chans[i]) {
+								return
+							}
+						}
+						return
+					}
+					for i := 0; i < perClient; i++ {
+						req := classed()
+						if !check(req, s.Submit(req)) {
+							return
+						}
+					}
+				}(c)
+			}
+
+			time.Sleep(2 * time.Millisecond)
+			stopDone := make(chan struct{})
+			go func() { s.Stop(); close(stopDone) }()
+			wg.Wait()
+			select {
+			case <-stopDone:
+			case <-time.After(15 * time.Second):
+				t.Fatal("chaos: Stop hung during active shedding")
+			}
+
+			shedWrongClass.Range(func(k, _ any) bool {
+				t.Errorf("chaos: ErrShed delivered to %v submission", k)
+				return true
+			})
+			st := s.Stats()
+			if st.Submitted != st.Completed {
+				t.Fatalf("chaos: submitted %d != completed %d (accepted request dropped); stats %+v",
+					st.Submitted, st.Completed, st)
+			}
+			if st.Shed == 0 {
+				t.Error("chaos: flooded a tiny buffer with sheddable-heavy load and nothing was shed — admission inert")
 			}
 		})
 	}

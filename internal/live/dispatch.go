@@ -15,6 +15,12 @@ import (
 	"concord/internal/obs"
 )
 
+// critQuantumShrink divides a running lower-tier request's effective
+// quantum while ClassCritical work is queued on its shard, so critical
+// requests reach a CPU within a fraction of the normal quantum instead
+// of a full one.
+const critQuantumShrink = 4
+
 // shard is one dispatcher: policy queue, ingress buffer, worker subset,
 // and the work-conserving executor state.
 type shard struct {
@@ -104,14 +110,19 @@ func (s *Server) dispatcherLoop(sh *shard) {
 			// 2. Preemption signaling: write the flag of any local
 			// worker whose current request outlived its quantum — the
 			// class's override when one is set, the runtime-adjustable
-			// global quantum otherwise. The flag carries the epoch
-			// being preempted, so a signal aimed at a finished request
-			// is inert for its successor — no check-then-act retraction
-			// window.
+			// global quantum otherwise. While ClassCritical work waits
+			// in this shard's queue, running lower-tier requests get
+			// their quantum tightened by critQuantumShrink so a CPU
+			// frees up sooner — the dispatch-layer half of the priority
+			// cascade (the queue half is the cascade discipline's tier
+			// order). The flag carries the epoch being preempted, so a
+			// signal aimed at a finished request is inert for its
+			// successor — no check-then-act retraction window.
 			baseQ := time.Duration(s.quantum.Load())
 			classed := s.classed.Load()
 			if baseQ > 0 || classed {
 				now := time.Now()
+				critWaiting := classed && sh.q.CriticalLen() > 0
 				for i, w := range sh.workers {
 					info := s.running[w].Load()
 					if info == nil || info.epoch == sh.lastFlagged[i] {
@@ -121,6 +132,9 @@ func (s *Server) dispatcherLoop(sh *shard) {
 					if classed {
 						if cq := s.classQuanta[info.class].Load(); cq > 0 {
 							q = time.Duration(cq)
+						}
+						if critWaiting && SLOClass(info.class) != ClassCritical {
+							q /= critQuantumShrink
 						}
 					}
 					if q <= 0 {

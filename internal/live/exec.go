@@ -141,7 +141,10 @@ func (s *Server) startTask(t *task) {
 			t.parked <- parkEvent{done: true, resp: Response{ID: t.id, Err: err}}
 			return
 		}
-		ctx := &Ctx{task: t, ex: ex, yieldEvery: s.opts.CoopTimeshare}
+		// The Ctx lives inside the task (one fewer allocation per
+		// request); the pool reset zeroes it with the rest of the task.
+		ctx := &t.ctx
+		*ctx = Ctx{task: t, ex: ex, yieldEvery: s.opts.CoopTimeshare}
 		out, err := func() (out any, err error) {
 			defer func() {
 				if r := recover(); r != nil {
@@ -178,7 +181,8 @@ func (s *Server) failTask(t *task, err error, ex *executor) {
 
 // finish delivers a request's single response; writer identifies the
 // executor completing it (a worker index or a dispatcher writer id) for
-// event attribution.
+// event attribution. After delivery the task is recycled when nothing
+// can still alias it (see task.release).
 func (s *Server) finish(writer int, t *task, resp Response) {
 	resp.Preemptions = t.preempts
 	resp.OnDispatcher = resp.OnDispatcher || t.onDispatcher
@@ -195,7 +199,9 @@ func (s *Server) finish(writer int, t *task, resp Response) {
 		s.comp.observe(t, &resp)
 	}
 	s.stats.completed.Add(1)
+	s.stats.classCompleted[t.class].Add(1)
 	t.deliver(resp)
+	t.release()
 }
 
 // completionEvent maps a response error onto the terminal event kind

@@ -1,8 +1,19 @@
 // Ingest layer: admission control. Submit builds the task, applies the
-// deadline, captures the SRPT service hint, checks the stop gate, and
-// places the task on a shard's ingress buffer — round-robin across
-// shards with fallback to any sibling with room, rejecting with
-// ErrQueueFull only when every buffer is full.
+// deadline, captures the SRPT service hint and the SLOClass, checks the
+// stop gate, and places the task on a shard's ingress buffer —
+// round-robin across shards with fallback to any sibling with room.
+//
+// Admission is class-aware when Options.ClassAdmission is on: each
+// class has an ingress-occupancy watermark (Server.classLimit) and is
+// rejected once every shard's buffer has crossed it. Critical admits up
+// to the full buffer; standard stops short of the critical reserve
+// (ErrQueueFull); sheddable is shed earliest (ErrShed), so under
+// sustained overload the buffers drain sheddable load first and always
+// keep headroom for critical arrivals. The occupancy probe reads
+// len(chan), which is racy against concurrent submitters — the race
+// only ever misjudges by the handful of in-flight sends, and errs on
+// whichever side the interleaving lands, so the watermark holds in
+// expectation and the exactly-one-response contract is untouched.
 package live
 
 import (
@@ -15,7 +26,8 @@ import (
 // exactly one response. The channel has capacity 1; the caller need not
 // read it immediately. Submit never blocks: after Stop has begun it
 // responds ErrServerStopped, and when every shard's submit buffer is
-// full it responds ErrQueueFull.
+// full (or past the payload's class watermark) it responds ErrQueueFull
+// — ErrShed for sheddable payloads dropped by admission control.
 func (s *Server) Submit(payload any) <-chan Response {
 	ch := make(chan Response, 1)
 	s.submit(payload, ch, nil)
@@ -38,15 +50,12 @@ func (s *Server) SubmitFunc(payload any, done func(Response)) {
 // submit is the shared ingest path: exactly one of ch / done carries
 // the response.
 func (s *Server) submit(payload any, ch chan Response, done func(Response)) {
-	t := &task{
-		id:      s.nextID.Add(1),
-		payload: payload,
-		arrival: time.Now(),
-		result:  ch,
-		done:    done,
-		resume:  make(chan *executor),
-		parked:  make(chan parkEvent),
-	}
+	t := newTask()
+	t.id = s.nextID.Add(1)
+	t.payload = payload
+	t.arrival = time.Now()
+	t.result = ch
+	t.done = done
 	if d := s.opts.RequestTimeout; d > 0 {
 		t.deadline = t.arrival.Add(d)
 	}
@@ -58,8 +67,8 @@ func (s *Server) submit(payload any, ch chan Response, done func(Response)) {
 		}
 	}
 	if s.classed.Load() {
-		if c, ok := payload.(Classed); ok {
-			if cl := c.SchedClass(); cl > 0 && cl < NumClasses {
+		if c, ok := payload.(SLOClassed); ok {
+			if cl := c.SLOClass(); cl > 0 && cl < NumClasses {
 				t.class = uint8(cl)
 			}
 		}
@@ -81,46 +90,66 @@ func (s *Server) submit(payload any, ch chan Response, done func(Response)) {
 	s.submitMu.RLock()
 	if s.stopping {
 		s.submitMu.RUnlock()
-		s.stats.rejected.Add(1)
-		if s.tr != nil {
-			s.tr.Record(obs.WriterClient, obs.EvReject, t.id, obs.StatusStopped)
-		}
-		if s.tail != nil {
-			s.tail.ObserveRejected()
-		}
-		t.deliver(Response{ID: t.id, Err: ErrServerStopped, Req: t.payload, Done: time.Now()})
+		s.reject(t, ErrServerStopped, obs.StatusStopped)
 		return
 	}
 	if testSubmitGate != nil {
 		testSubmitGate()
 	}
+	// Snapshot the fields needed after enqueue: the moment enqueue
+	// succeeds a worker may complete the task and release it to the
+	// pool, so touching t again would race with its reset.
+	id, class := t.id, t.class
 	if s.enqueue(t) {
 		s.stats.submitted.Add(1)
+		s.stats.classSubmitted[class].Add(1)
 		if s.tr != nil {
-			s.tr.Record(obs.WriterClient, obs.EvSubmit, t.id, 0)
+			s.tr.Record(obs.WriterClient, obs.EvSubmit, id, 0)
 		}
 		s.submitMu.RUnlock()
 	} else {
 		s.submitMu.RUnlock()
-		s.stats.rejected.Add(1)
-		if s.tr != nil {
-			s.tr.Record(obs.WriterClient, obs.EvReject, t.id, obs.StatusQueueFull)
+		err, status := ErrQueueFull, int64(obs.StatusQueueFull)
+		if s.opts.ClassAdmission && SLOClass(t.class) == ClassSheddable {
+			err, status = ErrShed, obs.StatusShed
+			s.stats.shed.Add(1)
 		}
-		if s.tail != nil {
-			s.tail.ObserveRejected()
-		}
-		t.deliver(Response{ID: t.id, Err: ErrQueueFull, Req: t.payload, Done: time.Now()})
+		s.reject(t, err, status)
 	}
 }
 
+// reject delivers a rejection response, records it against every
+// configured sink, and recycles the task (a rejected task was never
+// enqueued, so nothing can alias it).
+func (s *Server) reject(t *task, err error, status int64) {
+	s.stats.rejected.Add(1)
+	s.stats.classRejected[t.class].Add(1)
+	if s.tr != nil {
+		s.tr.Record(obs.WriterClient, obs.EvReject, t.id, status)
+	}
+	if s.tail != nil {
+		s.tail.ObserveRejected()
+	}
+	if s.ctails != nil {
+		s.ctails.ObserveRejected(int(t.class))
+	}
+	t.deliver(Response{ID: t.id, Err: err, Req: t.payload, Done: time.Now()})
+	t.release()
+}
+
 // enqueue places t on a shard's ingress buffer and reports whether it
-// found room. Single-shard servers keep the historical one-select fast
-// path; multi-shard servers start at the round-robin cursor and fall
-// back to each sibling once.
+// found room under t's class watermark. Single-shard servers keep the
+// historical one-select fast path; multi-shard servers start at the
+// round-robin cursor and fall back to each sibling once.
 func (s *Server) enqueue(t *task) bool {
+	limit := s.classLimit[t.class]
 	if len(s.shards) == 1 {
+		ch := s.shards[0].submit
+		if len(ch) >= limit {
+			return false
+		}
 		select {
-		case s.shards[0].submit <- t:
+		case ch <- t:
 			return true
 		default:
 			return false
@@ -129,8 +158,12 @@ func (s *Server) enqueue(t *task) bool {
 	n := uint64(len(s.shards))
 	start := s.rr.Add(1)
 	for i := uint64(0); i < n; i++ {
+		ch := s.shards[(start+i)%n].submit
+		if len(ch) >= limit {
+			continue
+		}
 		select {
-		case s.shards[(start+i)%n].submit <- t:
+		case ch <- t:
 			return true
 		default:
 		}

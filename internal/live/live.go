@@ -89,11 +89,35 @@ type Handler interface {
 }
 
 // Central-queue disciplines for Options.Policy, resolved through
-// policy.NewQueue.
+// policy.NewQueue. The cascade disciplines serve strict SLOClass tiers
+// (critical before standard before sheddable) with the named base
+// discipline ordering each tier internally.
 const (
-	PolicyFCFS = "fcfs"
-	PolicySRPT = "srpt"
+	PolicyFCFS        = "fcfs"
+	PolicySRPT        = "srpt"
+	PolicyCascade     = "cascade"      // class tiers, FCFS within a tier
+	PolicyCascadeSRPT = "cascade-srpt" // class tiers, SRPT within a tier
 )
+
+// policyHinted reports whether the discipline consumes service hints
+// (and therefore needs run-time tracking and hint capture).
+func policyHinted(name string) bool {
+	return name == PolicySRPT || name == PolicyCascadeSRPT
+}
+
+// policyClassed reports whether the discipline orders by SLOClass tier.
+func policyClassed(name string) bool {
+	return name == PolicyCascade || name == PolicyCascadeSRPT
+}
+
+// ValidPolicy reports whether name is a discipline SetPolicy accepts.
+func ValidPolicy(name string) bool {
+	switch name {
+	case PolicyFCFS, PolicySRPT, PolicyCascade, PolicyCascadeSRPT:
+		return true
+	}
+	return false
+}
 
 // Options configures a Server.
 type Options struct {
@@ -107,8 +131,10 @@ type Options struct {
 	// longest sibling queue. Default 1 (the paper's single dispatcher);
 	// values above Workers are clamped to Workers.
 	Shards int
-	// Policy selects the central-queue discipline: PolicyFCFS (default)
-	// or PolicySRPT. Under SRPT, payloads implementing Hinted are
+	// Policy selects the central-queue discipline: PolicyFCFS (default),
+	// PolicySRPT, or the class-tiered PolicyCascade / PolicyCascadeSRPT
+	// (strict SLOClass priority, the named discipline within each
+	// tier). Under SRPT, payloads implementing Hinted are
 	// ordered by estimated remaining service time (hint minus
 	// accumulated service); payloads that have outrun their hint order
 	// by elapsed overage after every in-budget request, and unhinted
@@ -191,10 +217,24 @@ type Options struct {
 	// shadow replay (internal/shadow). Enables run-time tracking, hint
 	// capture, and class capture.
 	Capture *CaptureRing
+	// ClassAdmission enables per-SLOClass admission control on the
+	// ingress buffers: a slice of every shard's SubmitBuffer is held in
+	// reserve for ClassCritical, ClassSheddable is shed (ErrShed) at a
+	// lower watermark than standard's ErrQueueFull point, and standard
+	// is rejected before the critical reserve is touched. Enables class
+	// capture. Off, every class sees the uniform ErrQueueFull contract.
+	ClassAdmission bool
+	// ClassTails, when non-nil, receives every delivered response's
+	// latency and success keyed by SLOClass — one TailTracker/SLOTracker
+	// per class, the per-tenant counterpart of Tail. Rejections
+	// (ErrShed, ErrQueueFull, ErrServerStopped) count against the
+	// rejected class's SLO. Enables class capture.
+	ClassTails *obs.ClassTails
 	//
-	// Tail, ServiceObserver, Sketches, and Capture are composed into
-	// one multiplexed completion observer at New, so the completion
-	// path pays a single branch whether zero or all of them are set.
+	// Tail, ServiceObserver, Sketches, Capture, and ClassTails are
+	// composed into one multiplexed completion observer at New, so the
+	// completion path pays a single branch whether zero or all of them
+	// are set.
 }
 
 func (o Options) withDefaults() Options {
@@ -280,13 +320,27 @@ type Breakdown struct {
 	Preempted time.Duration
 }
 
+// Admission watermarks, as fractions of the per-shard SubmitBuffer.
+// Only consulted when Options.ClassAdmission is on.
+const (
+	// criticalReserveFrac of each ingress buffer is reserved for
+	// ClassCritical: standard and sheddable are rejected once occupancy
+	// crosses 1−criticalReserveFrac, while critical admits to the brim.
+	criticalReserveFrac = 8 // reserve = SubmitBuffer / 8 (12.5%)
+	// shedFrac is ClassSheddable's watermark within the non-reserved
+	// region: sheddable is shed once occupancy crosses 3/4 of the
+	// standard limit, well before standard feels backpressure.
+	shedNum, shedDen = 3, 4
+)
+
 // Stats are cumulative server counters, safe to read while serving.
 // Completed counts delivered responses, including error responses for
 // expired or aborted requests, so Submitted == Completed after Stop.
 type Stats struct {
 	Submitted   uint64
 	Completed   uint64
-	Rejected    uint64 // never accepted: queue full or server stopped
+	Rejected    uint64 // never accepted: queue full, shed, or server stopped
+	Shed        uint64 // subset of Rejected: sheddable dropped by admission (ErrShed)
 	Expired     uint64 // completed with ErrDeadlineExceeded
 	Aborted     uint64 // completed with ErrServerStopped by drain abort
 	Preemptions uint64
@@ -296,6 +350,12 @@ type Stats struct {
 	// Steals is the true migration counter.)
 	DispatcherRun uint64
 	Steals        uint64 // never-started requests migrated between shards
+	// ClassSubmitted / ClassCompleted / ClassRejected break the
+	// top-line counters down by SLOClass (accepted, delivered, never
+	// accepted). Indexed by SLOClass.
+	ClassSubmitted [NumClasses]uint64
+	ClassCompleted [NumClasses]uint64
+	ClassRejected  [NumClasses]uint64
 }
 
 // Sentinel errors. Compare with errors.Is.
@@ -303,8 +363,16 @@ var (
 	// ErrServerStopped is returned for submissions after Stop has begun
 	// and for accepted requests abandoned when DrainTimeout expires.
 	ErrServerStopped = errors.New("live: server stopped")
-	// ErrQueueFull is returned when the submit buffer is full.
+	// ErrQueueFull is returned when the submit buffer is full (for
+	// ClassStandard under admission control: when occupancy has crossed
+	// into the critical reserve).
 	ErrQueueFull = errors.New("live: submit queue full")
+	// ErrShed is returned for ClassSheddable requests dropped by
+	// admission control under pressure — the load was shed by policy,
+	// before the buffers were exhausted, so retrying immediately is
+	// counterproductive; ErrQueueFull means the server is truly out of
+	// room even for protected traffic.
+	ErrShed = errors.New("live: sheddable request shed under load")
 	// ErrDeadlineExceeded is returned when a request's RequestTimeout
 	// expires before it completes.
 	ErrDeadlineExceeded = errors.New("live: request deadline exceeded")
@@ -337,12 +405,20 @@ type Server struct {
 
 	// tr is Options.Tracer, kept as a concrete pointer so the disabled
 	// path is one nil-check branch per event site. comp is the composed
-	// completion observer (Tail + ServiceObserver + Sketches + Capture)
-	// under the same contract: one nil check per completion. tail is
-	// kept separately for the rejection paths, which bypass finish.
-	tr   *obs.Tracer
-	tail *obs.TailTracker
-	comp *compObserver
+	// completion observer (Tail + ServiceObserver + Sketches + Capture +
+	// ClassTails) under the same contract: one nil check per completion.
+	// tail and ctails are kept separately for the rejection paths, which
+	// bypass finish.
+	tr     *obs.Tracer
+	tail   *obs.TailTracker
+	ctails *obs.ClassTails
+	comp   *compObserver
+
+	// classLimit is the per-class ingress occupancy watermark (per
+	// shard): a class is rejected once len(shard.submit) reaches its
+	// limit. With ClassAdmission off every entry equals SubmitBuffer, so
+	// the check degenerates to the channel's own capacity.
+	classLimit [NumClasses]int
 
 	// trackRun enables per-task service-time accumulation: needed for
 	// Breakdown (tracer set), for SRPT's remaining-work keys, and for
@@ -357,12 +433,14 @@ type Server struct {
 	// quantum is the live preemption quantum in nanoseconds,
 	// runtime-adjustable via SetQuantum; 0 disables preemption.
 	quantum atomic.Int64
-	// classQuanta overrides quantum per scheduling class (Classed
-	// payloads); 0 falls back to the global quantum. Consulted at
-	// preemption-signal time in the dispatch layer.
+	// classQuanta overrides quantum per SLOClass; 0 falls back to the
+	// global quantum. Consulted at preemption-signal time in the
+	// dispatch layer.
 	classQuanta [NumClasses]atomic.Int64
-	// classed is set once any class quantum is; until then Submit skips
-	// the Classed type assertion entirely.
+	// classed is set once anything consumes classes (a class quantum, a
+	// cascade policy, admission control, class tails, or an estimator
+	// sink); until then Submit skips the SLOClassed type assertion
+	// entirely.
 	classed atomic.Bool
 	// polState is the target policy and its change epoch; each shard's
 	// dispatcher swaps its queue at a quiesce point when the epoch
@@ -373,14 +451,18 @@ type Server struct {
 	rr     atomic.Uint64 // round-robin ingest cursor (multi-shard only)
 	nextID atomic.Uint64
 	stats  struct {
-		submitted     atomic.Uint64
-		completed     atomic.Uint64
-		rejected      atomic.Uint64
-		expired       atomic.Uint64
-		aborted       atomic.Uint64
-		preemptions   atomic.Uint64
-		dispatcherRun atomic.Uint64
-		steals        atomic.Uint64
+		submitted      atomic.Uint64
+		completed      atomic.Uint64
+		rejected       atomic.Uint64
+		shed           atomic.Uint64
+		expired        atomic.Uint64
+		aborted        atomic.Uint64
+		preemptions    atomic.Uint64
+		dispatcherRun  atomic.Uint64
+		steals         atomic.Uint64
+		classSubmitted [NumClasses]atomic.Uint64
+		classCompleted [NumClasses]atomic.Uint64
+		classRejected  [NumClasses]atomic.Uint64
 	}
 
 	// submitMu orders Submit against Stop: Submit holds the read lock
@@ -414,6 +496,7 @@ func New(h Handler, opts Options) *Server {
 		opts:    opts,
 		tr:      opts.Tracer,
 		tail:    opts.Tail,
+		ctails:  opts.ClassTails,
 		comp:    newCompObserver(opts),
 		handler: h,
 		locals:  make([]chan *task, opts.Workers),
@@ -425,11 +508,34 @@ func New(h Handler, opts Options) *Server {
 	// The estimator sinks need measured service times, submitted hints
 	// (for hint-error attribution and replay), and scheduling classes.
 	estimating := opts.Sketches != nil || opts.Capture != nil
-	s.trackRun.Store(opts.Tracer != nil || opts.Policy == PolicySRPT ||
+	s.trackRun.Store(opts.Tracer != nil || policyHinted(opts.Policy) ||
 		opts.Adaptive || opts.ServiceObserver != nil || estimating)
-	s.hinted.Store(opts.Policy == PolicySRPT || opts.Adaptive || estimating)
-	if estimating {
+	s.hinted.Store(policyHinted(opts.Policy) || opts.Adaptive || estimating)
+	if estimating || opts.ClassAdmission || opts.ClassTails != nil || policyClassed(opts.Policy) {
 		s.classed.Store(true)
+	}
+	// Per-class admission watermarks (ingress occupancy at which the
+	// class is rejected). Critical admits to the brim; standard stops at
+	// the critical reserve; sheddable sheds at 3/4 of standard's limit.
+	b := opts.SubmitBuffer
+	for c := range s.classLimit {
+		s.classLimit[c] = b
+	}
+	if opts.ClassAdmission {
+		reserve := b / criticalReserveFrac
+		if reserve < 1 {
+			reserve = 1
+		}
+		std := b - reserve
+		if std < 1 {
+			std = 1
+		}
+		shed := std * shedNum / shedDen
+		if shed < 1 {
+			shed = 1
+		}
+		s.classLimit[ClassStandard] = std
+		s.classLimit[ClassSheddable] = shed
 	}
 	s.quantum.Store(int64(opts.Quantum))
 	s.polState.Store(&policyState{name: opts.Policy})
@@ -559,16 +665,23 @@ func (s *Server) Depths() Depths {
 
 // Stats returns a snapshot of the server counters.
 func (s *Server) Stats() Stats {
-	return Stats{
+	st := Stats{
 		Submitted:     s.stats.submitted.Load(),
 		Completed:     s.stats.completed.Load(),
 		Rejected:      s.stats.rejected.Load(),
+		Shed:          s.stats.shed.Load(),
 		Expired:       s.stats.expired.Load(),
 		Aborted:       s.stats.aborted.Load(),
 		Preemptions:   s.stats.preemptions.Load(),
 		DispatcherRun: s.stats.dispatcherRun.Load(),
 		Steals:        s.stats.steals.Load(),
 	}
+	for c := 0; c < NumClasses; c++ {
+		st.ClassSubmitted[c] = s.stats.classSubmitted[c].Load()
+		st.ClassCompleted[c] = s.stats.classCompleted[c].Load()
+		st.ClassRejected[c] = s.stats.classRejected[c].Load()
+	}
+	return st
 }
 
 // Shards returns the configured dispatcher-shard count.
@@ -597,11 +710,11 @@ func (s *Server) SetQuantum(d time.Duration) {
 // Quantum returns the current preemption quantum.
 func (s *Server) Quantum() time.Duration { return time.Duration(s.quantum.Load()) }
 
-// SetClassQuantum overrides the quantum for one scheduling class
-// (payloads implementing Classed); 0 removes the override, falling back
-// to the global quantum. Out-of-range classes are ignored. The table is
-// consulted at preemption-signal time, so a change takes effect for
-// requests already running.
+// SetClassQuantum overrides the quantum for one SLOClass (payloads
+// implementing SLOClassed, or class-stamped wire requests); 0 removes
+// the override, falling back to the global quantum. Out-of-range
+// classes are ignored. The table is consulted at preemption-signal
+// time, so a change takes effect for requests already running.
 func (s *Server) SetClassQuantum(class int, d time.Duration) {
 	if class < 0 || class >= NumClasses {
 		return
@@ -633,8 +746,9 @@ func (s *Server) ClassQuantum(class int) time.Duration {
 // and therefore run last, FIFO, under the new discipline. Safe to call
 // while serving; returns an error for unknown names.
 func (s *Server) SetPolicy(name string) error {
-	if name != PolicyFCFS && name != PolicySRPT {
-		return fmt.Errorf("live: unknown policy %q (have %s, %s)", name, PolicyFCFS, PolicySRPT)
+	if !ValidPolicy(name) {
+		return fmt.Errorf("live: unknown policy %q (have %s, %s, %s, %s)",
+			name, PolicyFCFS, PolicySRPT, PolicyCascade, PolicyCascadeSRPT)
 	}
 	s.policyMu.Lock()
 	defer s.policyMu.Unlock()
@@ -642,12 +756,16 @@ func (s *Server) SetPolicy(name string) error {
 	if cur.name == name {
 		return nil
 	}
-	if name == PolicySRPT {
+	if policyHinted(name) {
 		// Order matters: hint capture must be live before any dispatcher
 		// applies the SRPT queue, or a racing Submit could enqueue a
 		// hinted payload without its key.
 		s.trackRun.Store(true)
 		s.hinted.Store(true)
+	}
+	if policyClassed(name) {
+		// Same ordering argument for the class byte the cascade tiers on.
+		s.classed.Store(true)
 	}
 	s.polState.Store(&policyState{epoch: cur.epoch + 1, name: name})
 	return nil

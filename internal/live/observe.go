@@ -14,6 +14,7 @@ import "concord/internal/obs"
 // single nil check in finish(). Built once at New; immutable after.
 type compObserver struct {
 	tail   *obs.TailTracker
+	ctails *obs.ClassTails
 	svcObs func(serviceNS int64)
 	sk     *obs.ClassSketches
 	cap    *CaptureRing
@@ -23,11 +24,13 @@ type compObserver struct {
 // configured, so an unobserved server pays one predictable untaken
 // branch per completion.
 func newCompObserver(o Options) *compObserver {
-	if o.Tail == nil && o.ServiceObserver == nil && o.Sketches == nil && o.Capture == nil {
+	if o.Tail == nil && o.ServiceObserver == nil && o.Sketches == nil &&
+		o.Capture == nil && o.ClassTails == nil {
 		return nil
 	}
 	return &compObserver{
 		tail:   o.Tail,
+		ctails: o.ClassTails,
 		svcObs: o.ServiceObserver,
 		sk:     o.Sketches,
 		cap:    o.Capture,
@@ -40,6 +43,9 @@ func newCompObserver(o Options) *compObserver {
 func (o *compObserver) observe(t *task, resp *Response) {
 	if o.tail != nil {
 		o.tail.Observe(resp.Latency, resp.Err == nil)
+	}
+	if o.ctails != nil {
+		o.ctails.Observe(int(t.class), resp.Latency, resp.Err == nil)
 	}
 	if resp.Err != nil || !t.started {
 		return // service-time sinks only see measured, successful runs

@@ -39,6 +39,10 @@ type centralQueue struct {
 	dl []dlEntry
 	// length counts live (non-tombstoned) queued tasks.
 	length atomic.Int64
+	// critical counts live queued ClassCritical tasks — the
+	// dispatcher's lock-free "is protected work waiting?" probe that
+	// tightens lower-class quanta while critical work is queued.
+	critical atomic.Int64
 }
 
 // newCentralQueue builds a queue with the named discipline.
@@ -53,6 +57,10 @@ func newCentralQueue(name string) (*centralQueue, error) {
 // Len returns the live queue length without taking the lock.
 func (c *centralQueue) Len() int { return int(c.length.Load()) }
 
+// CriticalLen returns the live queued ClassCritical count without
+// taking the lock.
+func (c *centralQueue) CriticalLen() int { return int(c.critical.Load()) }
+
 // Push enqueues t. The caller must have finished all writes to the
 // task: once inside, a sibling shard may pop it.
 func (c *centralQueue) Push(t *task) {
@@ -65,6 +73,9 @@ func (c *centralQueue) Push(t *task) {
 	}
 	c.mu.Unlock()
 	c.length.Add(1)
+	if SLOClass(t.class) == ClassCritical {
+		c.critical.Add(1)
+	}
 }
 
 // Pop removes and returns the next live task per the discipline,
@@ -83,6 +94,9 @@ func (c *centralQueue) Pop() (*task, bool) {
 		t.inQueue = false
 		c.mu.Unlock()
 		c.length.Add(-1)
+		if SLOClass(t.class) == ClassCritical {
+			c.critical.Add(-1)
+		}
 		return t, true
 	}
 }
@@ -104,6 +118,9 @@ func (c *centralQueue) PopNonStarted() (*task, bool) {
 		t.inQueue = false
 		c.mu.Unlock()
 		c.length.Add(-1)
+		if SLOClass(t.class) == ClassCritical {
+			c.critical.Add(-1)
+		}
 		return t, true
 	}
 }
@@ -121,6 +138,9 @@ func (c *centralQueue) SweepExpired(now time.Time) []*task {
 		if e.t.inQueue && !e.t.dead {
 			e.t.dead = true
 			c.length.Add(-1)
+			if SLOClass(e.t.class) == ClassCritical {
+				c.critical.Add(-1)
+			}
 			out = append(out, e.t)
 		}
 	}
@@ -171,6 +191,9 @@ func (c *centralQueue) DrainAll() []*task {
 		t.inQueue = false
 		t.inDL = false
 		c.length.Add(-1)
+		if SLOClass(t.class) == ClassCritical {
+			c.critical.Add(-1)
+		}
 		out = append(out, t)
 	}
 	c.dl = c.dl[:0]

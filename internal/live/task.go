@@ -4,6 +4,7 @@
 package live
 
 import (
+	"sync"
 	"time"
 
 	"concord/internal/sim"
@@ -21,24 +22,97 @@ type Hinted interface {
 	ServiceHint() time.Duration
 }
 
-// Scheduling classes for per-class preemption quanta
-// (Server.SetClassQuantum). ClassDefault is every payload that doesn't
-// implement Classed; ClassShort is point work that wants a tight
-// quantum; ClassLong is scan-like work that can afford a loose one.
+// SLOClass is a request's service class: the first-class multi-tenancy
+// abstraction carried end-to-end from the wire frame through admission,
+// queueing, dispatch, and per-class observability. Three classes cover
+// the tenancy contract:
+//
+//   - ClassStandard (the zero value) is every request that doesn't
+//     declare a class — v1 wire frames, classless payloads, existing
+//     callers. Baseline admission and the middle priority tier.
+//   - ClassCritical is protected traffic: a slice of every ingress
+//     buffer is reserved for it, it occupies the top priority tier
+//     under the cascade discipline, and the dispatcher tightens other
+//     classes' quanta while critical work is queued.
+//   - ClassSheddable is best-effort traffic: it is dropped first under
+//     pressure (ErrShed, before standard feels any backpressure) and
+//     occupies the bottom priority tier.
+type SLOClass uint8
+
 const (
-	ClassDefault = 0
-	ClassShort   = 1
-	ClassLong    = 2
-	// NumClasses bounds the class→quantum table; SchedClass values at
-	// or above it are treated as ClassDefault.
-	NumClasses = 4
+	ClassStandard  SLOClass = 0
+	ClassCritical  SLOClass = 1
+	ClassSheddable SLOClass = 2
+	// NumClasses bounds the class-indexed tables (quanta, admission
+	// limits, stats, tails); SLOClass values at or above it are treated
+	// as ClassStandard.
+	NumClasses = 3
 )
 
-// Classed is implemented by payloads that belong to a scheduling class.
-// The class selects a per-class preemption quantum when one is set via
-// Server.SetClassQuantum; otherwise it has no effect.
-type Classed interface {
-	SchedClass() int
+// Tier maps the class onto its strict-priority cascade tier: lower is
+// served first (policy.Cascade's contract). The numbering is distinct
+// from the class constants on purpose — the zero class (standard) is
+// the *middle* tier, matching policy.DefaultTier for untiered items.
+func (c SLOClass) Tier() int {
+	switch c {
+	case ClassCritical:
+		return 0
+	case ClassSheddable:
+		return 2
+	default:
+		return 1
+	}
+}
+
+// String returns the class's canonical lowercase name, used as the wire
+// text token, the STATS/metrics label, and the -class flag value.
+func (c SLOClass) String() string {
+	switch c {
+	case ClassCritical:
+		return "critical"
+	case ClassSheddable:
+		return "sheddable"
+	default:
+		return "standard"
+	}
+}
+
+// DefaultObjective is the class's default latency objective, used when
+// a per-class SLO target isn't configured explicitly: critical answers
+// interactively, standard is the general-purpose budget, sheddable only
+// promises eventual service.
+func (c SLOClass) DefaultObjective() time.Duration {
+	switch c {
+	case ClassCritical:
+		return 1 * time.Millisecond
+	case ClassSheddable:
+		return 100 * time.Millisecond
+	default:
+		return 10 * time.Millisecond
+	}
+}
+
+// ParseSLOClass resolves a class name (as produced by String); ok is
+// false for unknown names.
+func ParseSLOClass(name string) (SLOClass, bool) {
+	switch name {
+	case "standard", "":
+		return ClassStandard, true
+	case "critical":
+		return ClassCritical, true
+	case "sheddable":
+		return ClassSheddable, true
+	}
+	return ClassStandard, false
+}
+
+// SLOClassed is implemented by payloads that declare a service class.
+// The class drives admission (reserved critical capacity, sheddable
+// shedding), the cascade queue's priority tier, per-class preemption
+// quanta, and per-class tail accounting. Payloads that don't implement
+// it are ClassStandard.
+type SLOClassed interface {
+	SLOClass() SLOClass
 }
 
 // NetTimed is implemented by payloads that crossed a network frontend
@@ -83,8 +157,9 @@ type task struct {
 	// hintNS is the payload's service-time estimate (0 when absent or
 	// the policy is hint-blind); with runNS it yields the SRPT key.
 	hintNS int64
-	// class is the payload's scheduling class (per-class quanta);
-	// ClassDefault when the payload is not Classed or classes are off.
+	// class is the payload's SLOClass (admission, cascade tier,
+	// per-class quanta, per-class tails); ClassStandard when the payload
+	// is not SLOClassed or class handling is off.
 	class uint8
 
 	// Centralqueue bookkeeping, guarded by the owning centralQueue's
@@ -102,7 +177,47 @@ type task struct {
 	runStart   time.Time // current running interval's start
 	runNS      int64     // accumulated running time
 	readTS     time.Time // wire read (NetTimed payloads on traced servers)
+
+	// ctx is the request's Ctx, embedded so startTask doesn't allocate
+	// one per request. Only the handler goroutine touches it, between
+	// the first resume and the final parked send.
+	ctx Ctx
 }
+
+// taskPool recycles tasks and their resume/parked handshake channels —
+// the remaining fixed allocations on the per-request path. A task is
+// returned to the pool at finish only when it provably has no aliases:
+// deadline-free tasks never enter the deadline heap and are never
+// tombstoned in a policy queue, so at delivery time nothing else holds
+// a pointer to them. Tasks with a deadline are left to the GC (their
+// heap entry may outlive delivery as a lazily-dropped tombstone).
+var taskPool = sync.Pool{New: func() any {
+	return &task{
+		resume: make(chan *executor),
+		parked: make(chan parkEvent),
+	}
+}}
+
+// newTask returns a zeroed task with live handshake channels.
+func newTask() *task {
+	return taskPool.Get().(*task)
+}
+
+// release recycles the task when no queue structure can still alias it;
+// see taskPool. The handshake channels are empty by construction: both
+// are unbuffered, and the final parked send has completed before finish
+// runs.
+func (t *task) release() {
+	if !t.deadline.IsZero() {
+		return
+	}
+	*t = task{resume: t.resume, parked: t.parked}
+	taskPool.Put(t)
+}
+
+// Tier places the task in the cascade queue's strict-priority order
+// (policy.Tiered).
+func (t *task) Tier() int { return SLOClass(t.class).Tier() }
 
 // deliver hands the task's single response to its owner: the callback
 // for SubmitFunc tasks, the capacity-1 channel for Submit tasks.

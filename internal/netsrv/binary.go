@@ -64,6 +64,20 @@ func (s *Server) serveBinary(conn net.Conn, first []byte) {
 		s.framesIn.Add(1)
 		r := s.getReq()
 		r.Op, r.ID, r.Key, r.Val, r.frame = f.Op, f.ID, f.Key, f.Val, f
+		if f.Class != 0 {
+			if cl := live.SLOClass(f.Class); cl < live.NumClasses {
+				r.Class = cl
+			} else {
+				// A class byte the server doesn't know is a malformed v2
+				// frame, not a silent downgrade to standard: reject it so
+				// the tenant's misconfiguration is visible.
+				s.badFrames.Add(1)
+				r.Status, r.errMsg = proto.StBadRequest, "unknown SLO class"
+				fl.inflight.Add(1)
+				fl.enqueue(r)
+				continue
+			}
+		}
 		if s.tr != nil {
 			r.readTS = time.Now()
 		}

@@ -3,9 +3,10 @@
 // goroutine.
 //
 // Each accepted connection is auto-detected by its first byte. Binary
-// frames open with proto.ReqMagic (0xC2, high bit set), text commands
-// with an ASCII letter, so one byte disambiguates and is replayed into
-// the chosen decoder — a client never announces its protocol.
+// frames open with a request magic (0xC2 v1 / 0xC4 v2, high bit set),
+// text commands with an ASCII letter (or '@' for a class token), so one
+// byte disambiguates and is replayed into the chosen decoder — a client
+// never announces its protocol.
 //
 //   - Text mode (text.go) is the historical line protocol: lockstep,
 //     one request in flight, served through live.Do. Responses are
@@ -191,9 +192,9 @@ func (s *Server) Drain(grace time.Duration) {
 }
 
 // ServeConn serves one connection to completion and closes it. The
-// first byte picks the protocol: proto.ReqMagic is a binary client
-// (text ops start with ASCII letters; the magics have the high bit
-// set, so the byte is unambiguous).
+// first byte picks the protocol: a request magic (either frame
+// version) is a binary client (text ops start with ASCII letters or
+// '@'; the magics have the high bit set, so the byte is unambiguous).
 func (s *Server) ServeConn(conn net.Conn) {
 	defer conn.Close()
 	s.mu.Lock()
@@ -211,7 +212,7 @@ func (s *Server) ServeConn(conn net.Conn) {
 	if _, err := io.ReadFull(conn, first[:]); err != nil {
 		return
 	}
-	if first[0] == proto.ReqMagic {
+	if proto.IsReqMagic(first[0]) {
 		s.serveBinary(conn, first[:])
 	} else {
 		s.serveText(conn, first[:])

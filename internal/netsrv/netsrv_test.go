@@ -454,3 +454,118 @@ func TestDrainAnswersStopped(t *testing.T) {
 	ln.Close()
 	s.Drain(200 * time.Millisecond)
 }
+
+// TestTextClassTokens: an @class prefix parses case-insensitively in
+// front of any data op, an unknown @token or a bare token is a parse
+// error (not a silent downgrade), and the line after the error still
+// parses — lockstep text never desyncs on a bad class.
+func TestTextClassTokens(t *testing.T) {
+	_, ln := newTestServer(t, Options{})
+	conn := dial(t, ln)
+	send := "@critical GET key000\n@SHEDDABLE get key000\n@standard PUT ck cv\n" +
+		"@critical GET ck\n@premium GET key000\n@critical\nGET key000\n"
+	if _, err := io.WriteString(conn, send); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{
+		"VALUE value", "VALUE value", "OK", "VALUE cv",
+		"ERR unknown SLO class @premium", "ERR class token needs a command",
+		"VALUE value",
+	}
+	br := bufio.NewReader(conn)
+	for i, w := range want {
+		line, err := br.ReadString('\n')
+		if err != nil {
+			t.Fatalf("response %d: %v", i, err)
+		}
+		if got := strings.TrimSuffix(line, "\n"); got != w {
+			t.Fatalf("response %d = %q, want %q", i, got, w)
+		}
+	}
+}
+
+// TestBinaryClassFrames: v2 frames with known classes serve normally
+// interleaved with v1 frames; an out-of-range class byte answers
+// StBadRequest for that id (a malformed v2 frame, not a downgrade to
+// standard) and the length-delimited stream keeps serving.
+func TestBinaryClassFrames(t *testing.T) {
+	s, ln := newTestServer(t, Options{})
+	conn := dial(t, ln)
+	var wire []byte
+	wire = proto.AppendClassRequest(wire, proto.OpGet, 1, 41, []byte("key005"), nil)
+	wire = proto.AppendClassRequest(wire, proto.OpGet, 2, 42, []byte("key005"), nil)
+	wire = proto.AppendRequest(wire, proto.OpGet, 43, []byte("key005"), nil)
+	wire = proto.AppendClassRequest(wire, proto.OpGet, 7, 44, []byte("key005"), nil)
+	wire = proto.AppendClassRequest(wire, proto.OpGet, 1, 45, []byte("key005"), nil)
+	if _, err := conn.Write(wire); err != nil {
+		t.Fatal(err)
+	}
+	got := readResponses(t, proto.NewRespReader(conn, 0), 5)
+	for _, id := range []uint64{41, 42, 43, 45} {
+		if r := got[id]; r.Status != proto.StValue || string(r.Payload) != "value" {
+			t.Fatalf("classed GET id %d: %+v", id, r)
+		}
+	}
+	if got[44].Status != proto.StBadRequest {
+		t.Fatalf("unknown class byte: %+v, want StBadRequest", got[44])
+	}
+	if n := s.NetStats().BadFrames; n != 1 {
+		t.Fatalf("BadFrames = %d, want 1", n)
+	}
+}
+
+// TestBinaryShedOnWire: live.ErrShed crosses the wire as StShed. A
+// one-worker runtime with a tiny ingress buffer is plugged by a long
+// spin, then flooded with pipelined sheddable GETs — the overflow must
+// come back SHED (not OVERLOADED), and every frame is answered.
+func TestBinaryShedOnWire(t *testing.T) {
+	store := kv.New()
+	store.Put([]byte("k"), []byte("v"))
+	rt := live.New(&KVHandler{Store: store, ScanBatch: 64}, live.Options{
+		Workers:        1,
+		SubmitBuffer:   4,
+		ClassAdmission: true,
+		PinThreads:     false,
+	})
+	rt.Start()
+	s := New(rt, Options{})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go s.Serve(ln)
+	t.Cleanup(func() {
+		ln.Close()
+		rt.Stop()
+		s.Drain(200 * time.Millisecond)
+	})
+
+	conn := dial(t, ln)
+	const floods = 64
+	var wire []byte
+	wire = proto.AppendSpinRequest(wire, 1, 20_000) // plug the worker for 20ms
+	for i := uint64(0); i < floods; i++ {
+		wire = proto.AppendClassRequest(wire, proto.OpGet, byte(live.ClassSheddable), 100+i, []byte("k"), nil)
+	}
+	if _, err := conn.Write(wire); err != nil {
+		t.Fatal(err)
+	}
+	got := readResponses(t, proto.NewRespReader(conn, 0), floods+1)
+	if got[1].Status != proto.StOK {
+		t.Fatalf("spin: %+v", got[1])
+	}
+	shed := 0
+	for i := uint64(0); i < floods; i++ {
+		switch r := got[100+i]; r.Status {
+		case proto.StShed:
+			shed++
+		case proto.StValue:
+		default:
+			t.Fatalf("sheddable GET id %d: status %s — sheddable overflow must be SHED, never %s",
+				100+i, proto.StatusString(proto.StShed), proto.StatusString(r.Status))
+		}
+	}
+	if shed == 0 {
+		t.Fatal("64 sheddable GETs through a 4-slot buffer behind a plugged worker and none were shed")
+	}
+}

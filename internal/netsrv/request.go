@@ -26,6 +26,10 @@ type Request struct {
 	Key  []byte
 	Val  []byte
 	Spin time.Duration // OpSpin only, decoded at ingest
+	// Class is the request's SLO class, stamped from the wire (v2
+	// frame class byte in binary mode, @class token in text mode);
+	// ClassStandard when the client didn't declare one.
+	Class live.SLOClass
 
 	// Result, written by KVHandler.Handle (or the error mapping for
 	// requests the runtime failed):
@@ -74,24 +78,14 @@ func (r *Request) ServiceHint() time.Duration {
 	}
 }
 
-// SchedClass buckets the request for per-class preemption quanta
-// (live.Classed): point ops are short — a tight quantum keeps them from
-// waiting out a long slice — SCAN is long, and SPIN classes by its
-// declared duration. Classes only matter when the control plane sets
-// per-class quanta; otherwise the global quantum applies.
-func (r *Request) SchedClass() int {
-	switch r.Op {
-	case proto.OpScan:
-		return live.ClassLong
-	case proto.OpSpin:
-		if r.Spin >= 100*time.Microsecond {
-			return live.ClassLong
-		}
-		return live.ClassShort
-	default: // GET, PUT, DEL
-		return live.ClassShort
-	}
-}
+// SLOClass hands the runtime the class the client declared on the wire
+// (live.SLOClassed). Unlike the old op-derived scheduling class, the
+// SLO class is the *tenant's* declaration, not a property of the
+// operation: the same GET is critical from one caller and sheddable
+// from another. It drives admission (critical reserve, sheddable
+// shedding), the cascade queue's tier, per-class quanta, and per-class
+// tail accounting.
+func (r *Request) SLOClass() live.SLOClass { return r.Class }
 
 // decodeOp validates the opcode and decodes op-specific fields (SPIN's
 // duration rides in the key). It reports false for frames that can
@@ -167,11 +161,17 @@ func appendUint(b []byte, v uint64) []byte {
 
 // statusForErr maps a runtime failure onto the wire status the client
 // branches on. The text tokens for these statuses are the protocol's
-// historical single-token failures (DEADLINE, OVERLOADED, STOPPED).
+// historical single-token failures (DEADLINE, OVERLOADED, STOPPED,
+// SHED). SHED is deliberately distinct from OVERLOADED: overloaded
+// invites a retry after backoff, shed tells a sheddable client its
+// class is being dropped by policy while the server still has room for
+// protected traffic.
 func statusForErr(err error) (byte, string) {
 	switch {
 	case err == live.ErrDeadlineExceeded:
 		return proto.StDeadline, ""
+	case err == live.ErrShed:
+		return proto.StShed, ""
 	case err == live.ErrQueueFull:
 		return proto.StOverloaded, ""
 	case err == live.ErrServerStopped:

@@ -12,6 +12,7 @@ import (
 	"net"
 	"time"
 
+	"concord/internal/live"
 	"concord/internal/obs"
 	"concord/internal/proto"
 )
@@ -190,8 +191,28 @@ func (e parseError) Error() string { return string(e) }
 
 // parseText parses one data line into req without allocating: Key and
 // Val alias line, which stays valid through the lockstep live.Do.
+// A line may open with an SLO-class token (`@critical GET k`); the
+// token sets req.Class and the rest of the line parses as usual. An
+// unknown @token is a parse error, not errUnknownOp — '@' never opens
+// a control verb, so the line can only be a malformed data op.
 func parseText(line []byte, req *Request) error {
 	op, rest := cutSpace(line)
+	if len(op) > 0 && op[0] == '@' {
+		switch {
+		case bytes.EqualFold(op[1:], clCRITICAL):
+			req.Class = live.ClassCritical
+		case bytes.EqualFold(op[1:], clSHEDDABLE):
+			req.Class = live.ClassSheddable
+		case bytes.EqualFold(op[1:], clSTANDARD):
+			req.Class = live.ClassStandard
+		default:
+			return parseError("unknown SLO class " + string(op))
+		}
+		if rest == nil {
+			return parseError("class token needs a command")
+		}
+		op, rest = cutSpace(rest)
+	}
 	switch {
 	case bytes.EqualFold(op, opGET):
 		if len(rest) == 0 {
@@ -230,6 +251,10 @@ var (
 	opDEL  = []byte("DEL")
 	opSCAN = []byte("SCAN")
 	opSPIN = []byte("SPIN")
+
+	clCRITICAL  = []byte("critical")
+	clSTANDARD  = []byte("standard")
+	clSHEDDABLE = []byte("sheddable")
 )
 
 // cutSpace splits b at its first space.

@@ -1,0 +1,76 @@
+// Per-SLO-class tail accounting: one TailTracker (rolling latency
+// windows + SLO burn accounting) per service class, behind the same
+// one-nil-check hot-path contract as the classless TailTracker. This is
+// the observability half of the runtime's multi-tenancy story — the
+// classless tracker answers "how is the server doing", the class tails
+// answer "how is each tenant class doing", which is the number the
+// admission/shedding machinery is judged by.
+package obs
+
+import "time"
+
+// ClassSLO configures one class's tail tracker.
+type ClassSLO struct {
+	// Target is the class's latency objective (SLOConfig.Target).
+	Target time.Duration
+	// Objective is the good-ratio goal; 0 takes the SLO default (0.999).
+	Objective float64
+}
+
+// ClassTails is a fixed array of per-class TailTrackers, indexed by the
+// live runtime's SLOClass values. Out-of-range classes fold into class
+// 0 rather than being dropped (the ClassSketches convention). Safe for
+// concurrent use.
+type ClassTails struct {
+	tails []*TailTracker
+}
+
+// NewClassTails builds one tracker per configured class, each with its
+// own SLOTracker at the class's latency objective. windows sizes every
+// class's rolling histogram (nil = DefaultWindows). At least one class
+// is forced.
+func NewClassTails(slos []ClassSLO, windows []time.Duration) *ClassTails {
+	if len(slos) == 0 {
+		slos = []ClassSLO{{}}
+	}
+	ct := &ClassTails{tails: make([]*TailTracker, len(slos))}
+	for i, c := range slos {
+		var slo *SLOTracker
+		if c.Target > 0 {
+			slo = NewSLOTracker(SLOConfig{Target: c.Target, Objective: c.Objective})
+		}
+		ct.tails[i] = NewTailTracker(windows, slo)
+	}
+	return ct
+}
+
+// Classes returns the number of classes tracked.
+func (c *ClassTails) Classes() int { return len(c.tails) }
+
+// clamp folds out-of-range classes into class 0.
+func (c *ClassTails) clamp(class int) int {
+	if class < 0 || class >= len(c.tails) {
+		return 0
+	}
+	return class
+}
+
+// Observe accounts one delivered response against its class.
+func (c *ClassTails) Observe(class int, latency time.Duration, ok bool) {
+	c.tails[c.clamp(class)].Observe(latency, ok)
+}
+
+// ObserveRejected accounts a rejected submission (shed, queue-full, or
+// stopped) as an SLO-bad event for its class.
+func (c *ClassTails) ObserveRejected(class int) {
+	c.tails[c.clamp(class)].ObserveRejected()
+}
+
+// Tail returns one class's tracker (nil when out of range), for metric
+// export and quantile queries.
+func (c *ClassTails) Tail(class int) *TailTracker {
+	if class < 0 || class >= len(c.tails) {
+		return nil
+	}
+	return c.tails[class]
+}

@@ -100,6 +100,9 @@ const (
 	StatusStopped
 	StatusError
 	StatusQueueFull
+	// StatusShed marks a sheddable request dropped by class admission
+	// control (live.ErrShed) — shed by policy, not out of room.
+	StatusShed
 )
 
 // Writer ids for the non-worker rings. Worker w writes ring w.

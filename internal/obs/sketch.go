@@ -169,7 +169,7 @@ type classSketch struct {
 // ClassSketches bundles a per-scheduling-class service-time sketch and
 // hint-error histogram, fed from the runtime's completion path (one
 // call per successfully completed request). Class indices follow the
-// live runtime's Classed taxonomy; out-of-range classes fold into
+// live runtime's SLOClass taxonomy; out-of-range classes fold into
 // class 0 rather than being dropped.
 type ClassSketches struct {
 	classes []classSketch

@@ -1,0 +1,109 @@
+// Tiered-priority cascade queue: strict priority across SLO-class
+// tiers, with an existing discipline (FCFS or SRPT) ordering each tier
+// internally. This is the "priority cascade" composition from Scully &
+// Harchol-Balter's near-optimal-under-constraints recipe: the optimal
+// blind/non-blind discipline runs unchanged *within* a class, while
+// class boundaries are absolute — no amount of queued sheddable work
+// delays a queued critical request.
+package policy
+
+// Tiered is implemented by items that carry a strict-priority tier.
+// Lower tiers are served first; within a tier the intra-tier discipline
+// decides. Items that do not implement Tiered fall into DefaultTier.
+type Tiered interface {
+	Tier() int
+}
+
+// DefaultTier is the tier assigned to items that do not implement
+// Tiered — the middle (standard) band, so explicitly-critical work can
+// outrank it and explicitly-sheddable work can yield to it.
+const DefaultTier = 1
+
+// maxCascadeTiers bounds the tier table. Tiers outside [0,
+// maxCascadeTiers) clamp to the nearest edge rather than erroring: the
+// cascade is a scheduling hint, not a validator.
+const maxCascadeTiers = 8
+
+// Cascade composes strict tier priority over an intra-tier discipline.
+// Sub-queues are created lazily per tier, so a workload that never uses
+// a tier pays nothing for it.
+type Cascade[T Item] struct {
+	tiers [maxCascadeTiers]Queue[T]
+	mk    func() Queue[T]
+	size  int
+}
+
+// NewCascade returns an empty cascade whose per-tier sub-queues are
+// produced by mk.
+func NewCascade[T Item](mk func() Queue[T]) *Cascade[T] {
+	return &Cascade[T]{mk: mk}
+}
+
+// tierOf clamps the item's tier into the table.
+func tierOf[T Item](item T) int {
+	t := DefaultTier
+	if ti, ok := any(item).(Tiered); ok {
+		t = ti.Tier()
+	}
+	if t < 0 {
+		t = 0
+	}
+	if t >= maxCascadeTiers {
+		t = maxCascadeTiers - 1
+	}
+	return t
+}
+
+// Push adds the item to its tier's sub-queue.
+func (q *Cascade[T]) Push(item T, started bool) {
+	t := tierOf(item)
+	if q.tiers[t] == nil {
+		q.tiers[t] = q.mk()
+	}
+	q.tiers[t].Push(item, started)
+	q.size++
+}
+
+// Pop removes the next item from the lowest-numbered non-empty tier.
+func (q *Cascade[T]) Pop() (item T, ok bool) {
+	for _, sub := range &q.tiers {
+		if sub == nil || sub.Len() == 0 {
+			continue
+		}
+		if item, ok = sub.Pop(); ok {
+			q.size--
+			return item, true
+		}
+	}
+	return item, false
+}
+
+// PopNonStarted removes the first never-started item scanning tiers in
+// priority order. A tier whose queued items have all started is skipped,
+// not a stopping point: a lower-priority tier may still hold stealable
+// fresh work.
+func (q *Cascade[T]) PopNonStarted() (item T, ok bool) {
+	for _, sub := range &q.tiers {
+		if sub == nil || sub.Len() == 0 {
+			continue
+		}
+		if item, ok = sub.PopNonStarted(); ok {
+			q.size--
+			return item, true
+		}
+	}
+	return item, false
+}
+
+// Len returns the total queued count across tiers.
+func (q *Cascade[T]) Len() int { return q.size }
+
+// TierLen returns the queued count in one tier (0 for lazily-unbuilt or
+// out-of-range tiers) — the dispatcher's "is critical work waiting?"
+// probe.
+func (q *Cascade[T]) TierLen(tier int) int {
+	if tier < 0 || tier >= maxCascadeTiers || q.tiers[tier] == nil {
+		return 0
+	}
+	return q.tiers[tier].Len()
+}

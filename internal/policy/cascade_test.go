@@ -1,0 +1,128 @@
+package policy
+
+import (
+	"testing"
+	"testing/quick"
+
+	"concord/internal/sim"
+)
+
+// tjob is a tiered job for cascade tests.
+type tjob struct {
+	id        int
+	tier      int
+	remaining sim.Cycles
+}
+
+func (j *tjob) RemainingCycles() sim.Cycles { return j.remaining }
+func (j *tjob) Tier() int                   { return j.tier }
+
+func TestCascadeStrictTierPriority(t *testing.T) {
+	q := NewCascade[*tjob](func() Queue[*tjob] { return NewFCFS[*tjob]() })
+	// Push in mixed tier order; pops must come back tier 0 first, FIFO
+	// within each tier.
+	q.Push(&tjob{id: 0, tier: 2}, false)
+	q.Push(&tjob{id: 1, tier: 0}, false)
+	q.Push(&tjob{id: 2, tier: 1}, false)
+	q.Push(&tjob{id: 3, tier: 0}, false)
+	q.Push(&tjob{id: 4, tier: 2}, false)
+	q.Push(&tjob{id: 5, tier: 1}, false)
+	want := []int{1, 3, 2, 5, 0, 4}
+	for _, w := range want {
+		j, ok := q.Pop()
+		if !ok || j.id != w {
+			t.Fatalf("Pop = %v ok=%v, want id %d", j, ok, w)
+		}
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatal("pop from empty cascade succeeded")
+	}
+}
+
+func TestCascadeIntraTierSRPT(t *testing.T) {
+	q := NewCascade[*tjob](func() Queue[*tjob] { return NewSRPT[*tjob]() })
+	q.Push(&tjob{id: 0, tier: 1, remaining: 50}, false)
+	q.Push(&tjob{id: 1, tier: 1, remaining: 5}, false)
+	q.Push(&tjob{id: 2, tier: 0, remaining: 99}, false)
+	// Tier 0 outranks tier 1 regardless of remaining work; within tier 1
+	// the shorter job pops first.
+	for i, w := range []int{2, 1, 0} {
+		j, ok := q.Pop()
+		if !ok || j.id != w {
+			t.Fatalf("pop %d = %v, want id %d", i, j, w)
+		}
+	}
+}
+
+func TestCascadePopNonStartedScansAllTiers(t *testing.T) {
+	q := NewCascade[*tjob](func() Queue[*tjob] { return NewFCFS[*tjob]() })
+	q.Push(&tjob{id: 0, tier: 0}, true) // preempted critical
+	q.Push(&tjob{id: 1, tier: 2}, false)
+	// Tier 0 has only started work; the fresh tier-2 item must still be
+	// stealable.
+	j, ok := q.PopNonStarted()
+	if !ok || j.id != 1 {
+		t.Fatalf("PopNonStarted = %v ok=%v, want id 1", j, ok)
+	}
+	if q.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", q.Len())
+	}
+}
+
+func TestCascadeDefaultTierForUntiered(t *testing.T) {
+	q := NewCascade[*job](func() Queue[*job] { return NewFCFS[*job]() })
+	q.Push(&job{id: 0}, false)
+	if got := q.TierLen(DefaultTier); got != 1 {
+		t.Fatalf("untiered item landed in TierLen(%d) = %d, want 1", DefaultTier, got)
+	}
+	if j, ok := q.Pop(); !ok || j.id != 0 {
+		t.Fatalf("Pop = %v ok=%v", j, ok)
+	}
+}
+
+func TestCascadeTierClamping(t *testing.T) {
+	q := NewCascade[*tjob](func() Queue[*tjob] { return NewFCFS[*tjob]() })
+	q.Push(&tjob{id: 0, tier: -5}, false)
+	q.Push(&tjob{id: 1, tier: 1000}, false)
+	if got := q.TierLen(0); got != 1 {
+		t.Fatalf("TierLen(0) = %d, want 1 (negative tier clamps to 0)", got)
+	}
+	if got := q.TierLen(maxCascadeTiers - 1); got != 1 {
+		t.Fatalf("TierLen(max) = %d, want 1 (huge tier clamps to top)", got)
+	}
+	if got := q.TierLen(-1); got != 0 {
+		t.Fatalf("TierLen(-1) = %d, want 0", got)
+	}
+}
+
+// Property: cascade pops are sorted by tier, and within a tier (FCFS
+// intra-discipline) by arrival order — strict priority never inverts.
+func TestCascadeTierOrderProperty(t *testing.T) {
+	prop := func(tiers []uint8) bool {
+		q := NewCascade[*tjob](func() Queue[*tjob] { return NewFCFS[*tjob]() })
+		for i, tr := range tiers {
+			q.Push(&tjob{id: i, tier: int(tr) % 3}, false)
+		}
+		prevTier, prevID := -1, -1
+		for q.Len() > 0 {
+			j, ok := q.Pop()
+			if !ok {
+				return false
+			}
+			if j.tier < prevTier {
+				return false // priority inversion
+			}
+			if j.tier > prevTier {
+				prevID = -1
+			}
+			if j.id <= prevID {
+				return false // intra-tier FIFO violated
+			}
+			prevTier, prevID = j.tier, j.id
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -43,21 +43,27 @@ type Queue[T Item] interface {
 }
 
 // NewQueue resolves a central-queue discipline by name: "fcfs" (also
-// the default for an empty name) or "srpt". It is the single registry
-// both the simulator configuration and the live runtime's
-// Options.Policy knob resolve through.
+// the default for an empty name), "srpt", or the tiered-priority
+// cascades "cascade" (FCFS within each tier) and "cascade-srpt" (SRPT
+// within each tier). It is the single registry both the simulator
+// configuration and the live runtime's Options.Policy knob resolve
+// through.
 func NewQueue[T Item](name string) (Queue[T], error) {
 	switch name {
 	case "", "fcfs":
 		return NewFCFS[T](), nil
 	case "srpt":
 		return NewSRPT[T](), nil
+	case "cascade":
+		return NewCascade[T](func() Queue[T] { return NewFCFS[T]() }), nil
+	case "cascade-srpt":
+		return NewCascade[T](func() Queue[T] { return NewSRPT[T]() }), nil
 	}
 	return nil, fmt.Errorf("policy: unknown queue discipline %q (have %v)", name, Names())
 }
 
 // Names lists the discipline names NewQueue accepts.
-func Names() []string { return []string{"fcfs", "srpt"} }
+func Names() []string { return []string{"fcfs", "srpt", "cascade", "cascade-srpt"} }
 
 // fcfsEntry pairs an item with its started flag.
 type fcfsEntry[T Item] struct {

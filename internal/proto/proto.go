@@ -3,7 +3,7 @@
 // responses matched to requests by an opaque client-chosen id so they
 // may return out of order.
 //
-// # Request frame
+// # Request frame (v1)
 //
 //	offset size field
 //	0      1    magic (0xC2 — no ASCII text command starts with it)
@@ -16,6 +16,26 @@
 //
 // SPIN encodes its duration as a 4-byte LE microsecond count in the key
 // field (key length 4, value length 0).
+//
+// # Request frame (v2: SLO class)
+//
+// The v2 frame carries the request's SLO class in a byte between the
+// opcode and the id; everything after shifts by one:
+//
+//	offset size field
+//	0      1    magic (0xC4)
+//	1      1    opcode
+//	2      1    SLO class (0 standard, 1 critical, 2 sheddable)
+//	3      8    request id, uint64 LE
+//	11     4    key length, uint32 LE
+//	15     4    value length, uint32 LE
+//	19     k    key bytes
+//	19+k   v    value bytes
+//
+// Versioning is by magic, so the two frame formats interleave freely on
+// one connection and a v1-only client never changes: a v1 frame simply
+// is a class-standard request. AppendClassRequest canonicalizes —
+// class 0 emits the v1 frame (zero overhead for unclassed traffic).
 //
 // # Response frame
 //
@@ -51,11 +71,17 @@ import (
 )
 
 // Protocol magics. Request and response magic differ so a desynced peer
-// fails loudly instead of misparsing.
+// fails loudly instead of misparsing. ReqMagicV2 versions the request
+// frame (adds the SLO-class byte); there is no v2 response frame.
 const (
-	ReqMagic  = 0xC2
-	RespMagic = 0xC3
+	ReqMagic   = 0xC2
+	RespMagic  = 0xC3
+	ReqMagicV2 = 0xC4
 )
+
+// IsReqMagic reports whether b opens a request frame of either version
+// — the connection-layer auto-detection probe.
+func IsReqMagic(b byte) bool { return b == ReqMagic || b == ReqMagicV2 }
 
 // Opcodes.
 const (
@@ -68,22 +94,24 @@ const (
 
 // Response statuses. The numeric values are wire format: append-only.
 const (
-	StOK         byte = 0 // PUT/DEL/SPIN success, empty payload
-	StValue      byte = 1 // GET hit, payload = value
-	StNotFound   byte = 2 // GET/DEL miss
-	StCount      byte = 3 // SCAN, payload = 8-byte LE count
-	StErr        byte = 4 // handler error, payload = message
-	StDeadline   byte = 5 // request deadline exceeded
-	StOverloaded byte = 6 // submit queue full
-	StStopped    byte = 7 // server draining
-	StTooLarge   byte = 8 // frame body over the server's -maxreq limit
-	StBadRequest byte = 9 // unknown opcode or malformed frame body
+	StOK         byte = 0  // PUT/DEL/SPIN success, empty payload
+	StValue      byte = 1  // GET hit, payload = value
+	StNotFound   byte = 2  // GET/DEL miss
+	StCount      byte = 3  // SCAN, payload = 8-byte LE count
+	StErr        byte = 4  // handler error, payload = message
+	StDeadline   byte = 5  // request deadline exceeded
+	StOverloaded byte = 6  // submit queue full
+	StStopped    byte = 7  // server draining
+	StTooLarge   byte = 8  // frame body over the server's -maxreq limit
+	StBadRequest byte = 9  // unknown opcode or malformed frame body
+	StShed       byte = 10 // sheddable request dropped by class admission
 )
 
 // Header sizes.
 const (
-	ReqHeaderSize  = 18
-	RespHeaderSize = 14
+	ReqHeaderSize   = 18
+	ReqV2HeaderSize = 19
+	RespHeaderSize  = 14
 )
 
 // StatusString names a status for logs and error tokens; it matches the
@@ -110,6 +138,8 @@ func StatusString(st byte) string {
 		return "TOOLARGE"
 	case StBadRequest:
 		return "BADREQUEST"
+	case StShed:
+		return "SHED"
 	}
 	return fmt.Sprintf("STATUS(%d)", st)
 }
@@ -163,12 +193,39 @@ func AppendRequest(dst []byte, op byte, id uint64, key, val []byte) []byte {
 	return append(dst, val...)
 }
 
+// AppendClassRequest appends one encoded request frame carrying an SLO
+// class. Class 0 (standard) emits the canonical v1 frame — classless
+// traffic pays no format overhead and stays parseable by v1-only peers;
+// any other class emits the v2 frame.
+func AppendClassRequest(dst []byte, op, class byte, id uint64, key, val []byte) []byte {
+	if class == 0 {
+		return AppendRequest(dst, op, id, key, val)
+	}
+	var h [ReqV2HeaderSize]byte
+	h[0] = ReqMagicV2
+	h[1] = op
+	h[2] = class
+	binary.LittleEndian.PutUint64(h[3:], id)
+	binary.LittleEndian.PutUint32(h[11:], uint32(len(key)))
+	binary.LittleEndian.PutUint32(h[15:], uint32(len(val)))
+	dst = append(dst, h[:]...)
+	dst = append(dst, key...)
+	return append(dst, val...)
+}
+
 // AppendSpinRequest appends a SPIN frame for the given duration in
 // microseconds.
 func AppendSpinRequest(dst []byte, id uint64, micros uint32) []byte {
 	var arg [4]byte
 	binary.LittleEndian.PutUint32(arg[:], micros)
 	return AppendRequest(dst, OpSpin, id, arg[:], nil)
+}
+
+// AppendSpinClassRequest is AppendSpinRequest with an SLO class.
+func AppendSpinClassRequest(dst []byte, class byte, id uint64, micros uint32) []byte {
+	var arg [4]byte
+	binary.LittleEndian.PutUint32(arg[:], micros)
+	return AppendClassRequest(dst, OpSpin, class, id, arg[:], nil)
 }
 
 // AppendResponse appends one encoded response frame to dst and returns

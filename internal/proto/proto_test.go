@@ -281,3 +281,61 @@ func TestStatusAndOpStrings(t *testing.T) {
 		t.Fatal("op names drifted")
 	}
 }
+
+// TestClassFrameRoundTrip: v2 frames carry the class byte end to end,
+// class 0 canonicalizes to a v1 frame on the wire, and v1/v2 frames
+// interleave on one stream — all surviving torn reads.
+func TestClassFrameRoundTrip(t *testing.T) {
+	want := []Frame{
+		{Op: OpGet, Class: 1, ID: 1, Key: []byte("crit"), Val: []byte{}},
+		{Op: OpPut, Class: 0, ID: 2, Key: []byte("std"), Val: []byte("v")},
+		{Op: OpScan, Class: 2, ID: 3, Key: []byte{}, Val: []byte{}},
+		{Op: OpGet, Class: 0, ID: 4, Key: []byte("v1"), Val: []byte{}},
+	}
+	var wire []byte
+	for _, f := range want {
+		at := len(wire)
+		if f.ID == 4 {
+			// A v1 writer on the same stream.
+			wire = AppendRequest(wire, f.Op, f.ID, f.Key, f.Val)
+		} else {
+			wire = AppendClassRequest(wire, f.Op, f.Class, f.ID, f.Key, f.Val)
+		}
+		wantMagic := byte(ReqMagicV2)
+		if f.Class == 0 {
+			// Canonicalization: standard never pays the v2 byte.
+			wantMagic = ReqMagic
+		}
+		if wire[at] != wantMagic {
+			t.Fatalf("frame id %d class %d: magic 0x%02X, want 0x%02X",
+				f.ID, f.Class, wire[at], wantMagic)
+		}
+	}
+	wire = AppendSpinClassRequest(wire, 2, 5, 250)
+
+	fr := NewFrameReader(&chunkReader{r: bytes.NewReader(wire), n: 1}, NewPool(8), 1<<20)
+	for i, w := range want {
+		f, err := fr.Next()
+		if err != nil {
+			t.Fatalf("frame %d: %v", i, err)
+		}
+		if f.Op != w.Op || f.Class != w.Class || f.ID != w.ID ||
+			!bytes.Equal(f.Key, w.Key) || !bytes.Equal(f.Val, w.Val) {
+			t.Fatalf("frame %d = {op %d class %d id %d %q %q}, want {op %d class %d id %d %q %q}",
+				i, f.Op, f.Class, f.ID, f.Key, f.Val, w.Op, w.Class, w.ID, w.Key, w.Val)
+		}
+		f.Release()
+	}
+	f, err := fr.Next()
+	if err != nil {
+		t.Fatalf("classed spin frame: %v", err)
+	}
+	if us, ok := DecodeSpin(f.Key); !ok || us != 250 || f.Class != 2 {
+		t.Fatalf("classed spin = %d,%v class %d, want 250,true class 2", us, ok, f.Class)
+	}
+	f.Release()
+	if _, err := fr.Next(); err != io.EOF {
+		t.Fatalf("at end: err = %v, want io.EOF", err)
+	}
+	fr.Close()
+}

@@ -15,11 +15,14 @@ import (
 // buffer: they are valid until Release, which must be called exactly
 // once — typically after the response has been written.
 type Frame struct {
-	Op  byte
-	ID  uint64
-	Key []byte
-	Val []byte
-	buf *Buffer
+	Op byte
+	// Class is the request's SLO class: the v2 frame's class byte, 0
+	// (standard) for v1 frames.
+	Class byte
+	ID    uint64
+	Key   []byte
+	Val   []byte
+	buf   *Buffer
 }
 
 // Release drops the frame's buffer reference. Key and Val must not be
@@ -78,19 +81,32 @@ func (fr *FrameReader) Next() (Frame, error) {
 		return Frame{}, err
 	}
 	h := fr.buf.B[fr.start:]
-	if h[0] != ReqMagic {
+	// Version by magic: v1 fields start at offset 2, v2 inserts the SLO
+	// class byte there and shifts the rest by one.
+	hdr := ReqHeaderSize
+	var class byte
+	switch h[0] {
+	case ReqMagic:
+	case ReqMagicV2:
+		hdr = ReqV2HeaderSize
+		if err := fr.ensure(hdr, false); err != nil {
+			return Frame{}, err
+		}
+		h = fr.buf.B[fr.start:] // ensure may have rolled the buffer
+		class = h[2]
+	default:
 		return Frame{}, ErrBadMagic
 	}
 	op := h[1]
-	id := binary.LittleEndian.Uint64(h[2:])
-	klen := int64(binary.LittleEndian.Uint32(h[10:]))
-	vlen := int64(binary.LittleEndian.Uint32(h[14:]))
+	id := binary.LittleEndian.Uint64(h[hdr-16:])
+	klen := int64(binary.LittleEndian.Uint32(h[hdr-8:]))
+	vlen := int64(binary.LittleEndian.Uint32(h[hdr-4:]))
 	body := klen + vlen
 	if body > int64(fr.max) {
 		// Skip the body without buffering it: consume what is already
 		// read, drop the rest on the floor, and report the id so the
 		// server can answer StTooLarge on a still-synced stream.
-		fr.start += ReqHeaderSize
+		fr.start += hdr
 		have := int64(fr.end - fr.start)
 		if have > body {
 			have = body
@@ -106,17 +122,18 @@ func (fr *FrameReader) Next() (Frame, error) {
 		}
 		return Frame{}, &TooLargeError{ID: id, Size: int(body), Max: fr.max}
 	}
-	total := ReqHeaderSize + int(body)
+	total := hdr + int(body)
 	if err := fr.ensure(total, false); err != nil {
 		return Frame{}, err
 	}
 	b := fr.buf.B[fr.start:]
 	f := Frame{
-		Op:  op,
-		ID:  id,
-		Key: b[ReqHeaderSize : ReqHeaderSize+klen : ReqHeaderSize+klen],
-		Val: b[ReqHeaderSize+klen : total : total],
-		buf: fr.buf,
+		Op:    op,
+		Class: class,
+		ID:    id,
+		Key:   b[hdr : hdr+int(klen) : hdr+int(klen)],
+		Val:   b[hdr+int(klen) : total : total],
+		buf:   fr.buf,
 	}
 	fr.buf.Retain()
 	fr.start += total

@@ -191,14 +191,7 @@ func (d *traceDist) Sample(_ *sim.RNG) dist.Sample {
 }
 
 func className(c uint8) string {
-	switch int(c) {
-	case live.ClassShort:
-		return "short"
-	case live.ClassLong:
-		return "long"
-	default:
-		return "default"
-	}
+	return live.SLOClass(c).String()
 }
 
 // traceArrival replays captured inter-arrival gaps. The Machine calls
